@@ -1,0 +1,88 @@
+/// Ablation: reduce slow start on vs off (Algorithm 1, lines 7-11).
+/// With slow start the shuffle-sort may begin at the first map completion
+/// ("shuffling starts as early as possible"); without it, only after the
+/// last map. The effect requires a multi-wave map stage — in a single
+/// wave with class-uniform durations the first and last map completions
+/// coincide — so this ablation runs a 5 GB job on a deliberately small
+/// cluster (2 nodes, 4 GB containers → 32 slots for 40 maps → 2 waves).
+
+#include <cstdio>
+
+#include "common/statistics.h"
+#include "experiments/experiment.h"
+#include "workload/wordcount.h"
+
+int main() {
+  using namespace mrperf;
+  const int nodes = 2;
+  std::printf("workload: 5GB WordCount, %d nodes, 4GB containers "
+              "(two map waves)\n\n",
+              nodes);
+  std::printf("%-9s | %10s %10s %10s | %s\n", "slowstart", "measured",
+              "forkjoin", "tripathi", "ss start vs last map end (model)");
+
+  for (bool slow_start : {true, false}) {
+    ExperimentOptions opts = DefaultExperimentOptions();
+    opts.repetitions = 3;
+
+    HadoopConfig cfg = PaperHadoopConfig();
+    cfg.slowstart_enabled = slow_start;
+    cfg.map_container_bytes = 4 * kGiB;
+    cfg.reduce_container_bytes = 4 * kGiB;
+
+    const ClusterConfig cluster = PaperCluster(nodes);
+    std::vector<double> means;
+    bool sim_failed = false;
+    for (int rep = 0; rep < opts.repetitions; ++rep) {
+      SimOptions sim_opts = opts.sim;
+      sim_opts.seed = opts.base_seed + rep * 7919;
+      ClusterSimulator sim(cluster, sim_opts);
+      SimJobSpec spec;
+      spec.profile = opts.profile;
+      spec.config = cfg;
+      spec.input_bytes = 5 * kGiB;
+      if (!sim.SubmitJob(spec).ok()) {
+        sim_failed = true;
+        break;
+      }
+      auto r = sim.Run();
+      if (!r.ok()) {
+        sim_failed = true;
+        break;
+      }
+      means.push_back(r->MeanJobResponse());
+    }
+    auto input = ModelInputFromHerodotou(cluster, cfg, opts.profile,
+                                         5 * kGiB, 1);
+    if (sim_failed || !input.ok()) {
+      std::fprintf(stderr, "ablation point failed\n");
+      return 1;
+    }
+    auto model = SolveModel(*input, opts.model);
+    if (!model.ok()) {
+      std::fprintf(stderr, "model failed: %s\n",
+                   model.status().ToString().c_str());
+      return 1;
+    }
+    // Where does the model start the shuffle relative to the map stage?
+    double last_map_end = 0.0, first_ss_start = 1e18;
+    for (const auto& t : model->timeline.tasks) {
+      if (t.cls == TaskClass::kMap) {
+        last_map_end = std::max(last_map_end, t.interval.end);
+      } else if (t.cls == TaskClass::kShuffleSort) {
+        first_ss_start = std::min(first_ss_start, t.interval.start);
+      }
+    }
+    std::printf("%-9s | %10.1f %10.1f %10.1f | shuffle starts %+.1fs\n",
+                slow_start ? "on" : "off", Median(means),
+                model->forkjoin_response, model->tripathi_response,
+                first_ss_start - last_map_end);
+  }
+  std::printf(
+      "\nExpected shape: with slow start the model's shuffle overlaps the\n"
+      "second map wave (negative offset) and its estimates drop; without\n"
+      "it the shuffle strictly follows the maps. The simulated measurement\n"
+      "is less sensitive because fetches are gated on map outputs either\n"
+      "way — exactly the pipelining the model's border rule abstracts.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// Reproduces the paper's §2.2 scalability argument against Markov-chain
+/// approaches: "the state space grows exponentially with the number of
+/// tasks, making it impossible to be applied to model jobs with many
+/// tasks". Sweeps the distinct-task CTMC over task counts, reporting state
+/// count and solve time, next to the MVA-based model whose cost is
+/// polynomial (§4.3: O(C²N²K)).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "queueing/ctmc.h"
+#include "queueing/mva_overlap.h"
+
+namespace mrperf {
+namespace {
+
+void BM_CtmcDistinctTasks(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  std::vector<double> rates;
+  rates.reserve(m);
+  for (int i = 0; i < m; ++i) {
+    rates.push_back(1.0 + 0.01 * i);  // heterogeneous tasks
+  }
+  size_t states = 0;
+  for (auto _ : state) {
+    auto r = ExactMakespanDistinctChain(rates, /*max_tasks=*/24);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    states = r->num_states;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["states"] =
+      benchmark::Counter(static_cast<double>(states));
+  state.SetComplexityN(m);
+}
+// 2^20 states is ~1M; beyond that a laptop runs out of patience — which
+// is precisely the point being demonstrated.
+BENCHMARK(BM_CtmcDistinctTasks)->DenseRange(4, 18, 2)->Complexity();
+
+void BM_OverlapMvaSameTasks(benchmark::State& state) {
+  // The paper's answer to the blowup: MVA cost grows polynomially in the
+  // number of tasks.
+  const int m = static_cast<int>(state.range(0));
+  OverlapMvaProblem p;
+  p.centers = {{"cpu", CenterType::kQueueing, 4}};
+  p.tasks.assign(m, OverlapTask{{1.0}});
+  p.overlap.assign(m, std::vector<double>(m, 1.0));
+  for (int i = 0; i < m; ++i) p.overlap[i][i] = 0.0;
+  for (auto _ : state) {
+    auto sol = SolveOverlapMva(p);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_OverlapMvaSameTasks)->DenseRange(4, 18, 2)->Complexity();
+
+}  // namespace
+}  // namespace mrperf
+
+BENCHMARK_MAIN();

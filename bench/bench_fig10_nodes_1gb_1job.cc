@@ -1,0 +1,11 @@
+/// Reproduces Figure 10: job response time vs number of nodes (4, 6, 8)
+/// for WordCount on 1 GB input, 1 job in the cluster. Series: HadoopSetup
+/// (simulated testbed), Fork/join, Tripathi.
+
+#include "figure_common.h"
+
+int main() {
+  return mrperf::bench::RunNodeSweepFigure(
+      "Figure 10: Input 1GB; #jobs 1", /*input_gb=*/1.0, /*num_jobs=*/1,
+      /*block_size_bytes=*/128 * mrperf::kMiB);
+}

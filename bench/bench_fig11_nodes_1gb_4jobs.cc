@@ -1,0 +1,10 @@
+/// Reproduces Figure 11: job response time vs number of nodes (4, 6, 8)
+/// for WordCount on 1 GB input, 4 concurrent jobs.
+
+#include "figure_common.h"
+
+int main() {
+  return mrperf::bench::RunNodeSweepFigure(
+      "Figure 11: Input 1GB; #jobs 4", /*input_gb=*/1.0, /*num_jobs=*/4,
+      /*block_size_bytes=*/128 * mrperf::kMiB);
+}

@@ -1,0 +1,10 @@
+/// Reproduces Figure 12: job response time vs number of nodes (4, 6, 8)
+/// for WordCount on 5 GB input, 1 job.
+
+#include "figure_common.h"
+
+int main() {
+  return mrperf::bench::RunNodeSweepFigure(
+      "Figure 12: Input 5GB; #jobs 1", /*input_gb=*/5.0, /*num_jobs=*/1,
+      /*block_size_bytes=*/128 * mrperf::kMiB);
+}

@@ -1,0 +1,9 @@
+/// Reproduces Figure 14: job response time vs number of concurrent jobs
+/// (1-4) for WordCount on 5 GB input, 4 nodes.
+
+#include "figure_common.h"
+
+int main() {
+  return mrperf::bench::RunJobSweepFigure("Figure 14: #Nodes 4; Input 5GB",
+                                          /*nodes=*/4, /*input_gb=*/5.0);
+}

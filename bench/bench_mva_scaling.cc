@@ -1,0 +1,76 @@
+/// Microbenchmark for the §4.3 complexity analysis: the MVA algorithm is
+/// O(C²N²K). Sweeps task count (overlap MVA) and population (exact /
+/// approximate MVA) to expose the scaling the paper derives.
+
+#include <benchmark/benchmark.h>
+
+#include "queueing/mva_approx.h"
+#include "queueing/mva_exact.h"
+#include "queueing/mva_overlap.h"
+
+namespace mrperf {
+namespace {
+
+void BM_ExactMva(benchmark::State& state) {
+  const int population = static_cast<int>(state.range(0));
+  ClosedNetwork net;
+  net.centers = {{"cpu", CenterType::kQueueing, 4},
+                 {"net", CenterType::kQueueing, 1}};
+  net.demand = {{8.0, 0.0}, {1.0, 3.0}, {4.0, 0.5}};
+  net.population = {population, population, population};
+  net.think_time = {0.0, 0.0, 0.0};
+  for (auto _ : state) {
+    auto sol = SolveMvaExact(net);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.SetComplexityN(population);
+}
+BENCHMARK(BM_ExactMva)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_ApproxMva(benchmark::State& state) {
+  const int population = static_cast<int>(state.range(0));
+  ClosedNetwork net;
+  net.centers = {{"cpu", CenterType::kQueueing, 4},
+                 {"net", CenterType::kQueueing, 1}};
+  net.demand = {{8.0, 0.0}, {1.0, 3.0}, {4.0, 0.5}};
+  net.population = {population, population, population};
+  net.think_time = {0.0, 0.0, 0.0};
+  for (auto _ : state) {
+    auto sol = SolveMvaApprox(net);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.SetComplexityN(population);
+}
+BENCHMARK(BM_ApproxMva)->RangeMultiplier(2)->Range(2, 512)->Complexity();
+
+void BM_OverlapMva(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  OverlapMvaProblem p;
+  for (int n = 0; n < 4; ++n) {
+    p.centers.push_back({"cpu" + std::to_string(n),
+                         CenterType::kQueueing, 4});
+    p.centers.push_back({"disk" + std::to_string(n),
+                         CenterType::kQueueing, 1});
+  }
+  const size_t K = p.centers.size();
+  for (int t = 0; t < tasks; ++t) {
+    OverlapTask task;
+    task.demand.assign(K, 0.0);
+    task.demand[(t % 4) * 2] = 8.0;
+    task.demand[(t % 4) * 2 + 1] = 2.0;
+    p.tasks.push_back(task);
+  }
+  p.overlap.assign(tasks, std::vector<double>(tasks, 0.8));
+  for (int i = 0; i < tasks; ++i) p.overlap[i][i] = 0.0;
+  for (auto _ : state) {
+    auto sol = SolveOverlapMva(p);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.SetComplexityN(tasks);
+}
+BENCHMARK(BM_OverlapMva)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+}  // namespace
+}  // namespace mrperf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/// Scheduler baseline comparison (paper §2.1): the Tetris multi-resource
+/// packing scheduler vs the capacity scheduler's FIFO policy on the
+/// simulated cluster, over a mixed workload of jobs with heterogeneous
+/// container sizes. Grandl et al. report Tetris gains of over 30% in
+/// makespan and average completion time on production-like mixes; the
+/// simulated gap here is smaller (homogeneous MapReduce stages leave less
+/// fragmentation to reclaim) but the ordering holds.
+
+#include <cstdio>
+
+#include "common/statistics.h"
+#include "sim/cluster_sim.h"
+#include "workload/wordcount.h"
+
+int main() {
+  using namespace mrperf;
+
+  auto run_mix = [](SchedulerKind kind, uint64_t seed)
+      -> Result<std::pair<double, double>> {
+    SimOptions opts;
+    opts.seed = seed;
+    opts.task_cv = 0.6;
+    opts.scheduler = kind;
+    ClusterSimulator sim(PaperCluster(4), opts);
+    // Mixed workload: small 1 GB jobs with small containers interleaved
+    // with a large 5 GB job using big containers.
+    for (int j = 0; j < 3; ++j) {
+      SimJobSpec small;
+      small.profile = WordCountProfile();
+      small.config = PaperHadoopConfig();
+      small.config.map_container_bytes = 1 * kGiB;
+      small.config.reduce_container_bytes = 1 * kGiB;
+      small.input_bytes = 1 * kGiB;
+      MRPERF_RETURN_NOT_OK(sim.SubmitJob(small));
+    }
+    SimJobSpec big;
+    big.profile = WordCountProfile();
+    big.config = PaperHadoopConfig();
+    big.config.map_container_bytes = 4 * kGiB;
+    big.config.reduce_container_bytes = 4 * kGiB;
+    big.input_bytes = 5 * kGiB;
+    MRPERF_RETURN_NOT_OK(sim.SubmitJob(big));
+    MRPERF_ASSIGN_OR_RETURN(SimResult r, sim.Run());
+    return std::make_pair(r.makespan, r.MeanJobResponse());
+  };
+
+  std::printf("%-18s | %12s %12s\n", "scheduler", "makespan", "mean resp");
+  for (auto [kind, name] :
+       {std::pair{SchedulerKind::kCapacityFifo, "capacity-fifo"},
+        std::pair{SchedulerKind::kTetrisPacking, "tetris-packing"}}) {
+    std::vector<double> makespans, responses;
+    for (uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+      auto r = run_mix(kind, seed);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", name,
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      makespans.push_back(r->first);
+      responses.push_back(r->second);
+    }
+    std::printf("%-18s | %12.1f %12.1f\n", name, Median(makespans),
+                Median(responses));
+  }
+  std::printf(
+      "\nExpected shape (§2.1): packing + SRTF at or below FIFO on both\n"
+      "metrics; the paper notes Tetris still ignores the map→shuffle\n"
+      "precedence its own model captures.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// Baseline comparison: the dynamic model of the paper vs the two static
+/// Hadoop 1.x-era baselines discussed in §2.1 — Herodotou's phase-cost sum
+/// and ARIA's makespan-bound average — against the simulated measurement.
+/// Shows why contention/synchronization-aware modelling matters: the
+/// static estimates ignore queueing delays entirely.
+
+#include <cstdio>
+
+#include "experiments/experiment.h"
+#include "hadoop/aria_model.h"
+#include "hadoop/herodotou_model.h"
+#include "workload/wordcount.h"
+
+int main() {
+  using namespace mrperf;
+  std::printf("%-14s | %9s | %9s %9s %9s %9s\n", "point", "measured",
+              "herodotou", "aria", "forkjoin", "tripathi");
+
+  for (double gb : {1.0, 5.0}) {
+    for (int jobs : {1}) {
+      ExperimentPoint point;
+      point.num_nodes = 4;
+      point.input_bytes = static_cast<int64_t>(gb * kGiB);
+      point.num_jobs = jobs;
+      ExperimentOptions opts = DefaultExperimentOptions();
+      opts.repetitions = 3;
+
+      auto measured = RunSimulatedMeasurement(point, opts);
+      auto model = RunModelPrediction(point, opts);
+      if (!measured.ok() || !model.ok()) {
+        std::fprintf(stderr, "point failed\n");
+        return 1;
+      }
+
+      // Herodotou static: sum of wave-serialized phase costs.
+      HerodotouModel hm(PaperCluster(point.num_nodes), PaperHadoopConfig(),
+                        opts.profile);
+      auto est = hm.EstimateJob(point.input_bytes);
+      if (!est.ok()) return 1;
+
+      // ARIA: makespan bounds with the cluster's container slots.
+      AriaJobProfile aria;
+      aria.map.num_tasks = est->num_map_tasks;
+      aria.map.avg_task_seconds = est->map_task.TotalSeconds();
+      aria.map.max_task_seconds = est->map_task.TotalSeconds();
+      const PhaseCost ss = est->reduce_task.ShuffleSortCost();
+      aria.first_shuffle.num_tasks = est->num_reduce_tasks;
+      aria.first_shuffle.avg_task_seconds = ss.Total();
+      aria.first_shuffle.max_task_seconds = ss.Total();
+      aria.typical_shuffle = aria.first_shuffle;
+      aria.reduce.num_tasks = est->num_reduce_tasks;
+      aria.reduce.avg_task_seconds =
+          est->reduce_task.MergeSubtaskCost().Total();
+      aria.reduce.max_task_seconds = aria.reduce.avg_task_seconds;
+      const HadoopConfig cfg = PaperHadoopConfig();
+      auto bounds = EstimateJobCompletion(
+          aria, point.num_nodes * cfg.MaxMapsPerNode(),
+          point.num_nodes * cfg.MaxReducesPerNode());
+      if (!bounds.ok()) return 1;
+
+      std::printf("%-2.0fGB x %dj n4  | %9.1f | %9.1f %9.1f %9.1f %9.1f\n",
+                  gb, jobs, *measured, est->total_seconds, bounds->average,
+                  model->forkjoin_response, model->tripathi_response);
+    }
+  }
+  std::printf(
+      "\nExpected shape: the static baselines underestimate (no queueing,\n"
+      "no synchronization delays); the dynamic model tracks the\n"
+      "measurement and overestimates mildly (§5.2).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+/// Microbenchmark for the §4.3 complexity analysis of timeline /
+/// precedence-tree construction: O(C × T) with C = m + r(m+1) tasks and
+/// T = n × max(MaxMapsPerNode, MaxReducesPerNode) containers.
+
+#include <benchmark/benchmark.h>
+
+#include "model/precedence_tree.h"
+#include "model/timeline.h"
+
+namespace mrperf {
+namespace {
+
+ModelInput ScalingInput(int maps, int nodes) {
+  ModelInput in;
+  in.num_nodes = nodes;
+  in.cpu_per_node = 12;
+  in.disk_per_node = 1;
+  in.map_tasks = maps;
+  in.reduce_tasks = std::max(1, maps / 20);
+  in.max_maps_per_node = 8;
+  in.max_reduces_per_node = 8;
+  in.map_demand = {16.0, 3.0, 0.0};
+  in.shuffle_sort_local_demand = {1.0, 4.0, 0.0};
+  in.shuffle_per_remote_map_sec = 0.05;
+  in.merge_demand = {6.0, 2.0, 0.5};
+  in.init_map_response = 19.0;
+  in.init_shuffle_sort_response = 6.0;
+  in.init_merge_response = 8.5;
+  return in;
+}
+
+TaskDurations ScalingDurations() {
+  TaskDurations d;
+  d.map = 19.0;
+  d.shuffle_sort_base = 5.0;
+  d.shuffle_per_remote_map = 0.05;
+  d.merge = 8.5;
+  return d;
+}
+
+void BM_TimelineConstruction(benchmark::State& state) {
+  const int maps = static_cast<int>(state.range(0));
+  const ModelInput in = ScalingInput(maps, 8);
+  const TaskDurations d = ScalingDurations();
+  for (auto _ : state) {
+    auto tl = BuildTimeline(in, d);
+    benchmark::DoNotOptimize(tl);
+  }
+  state.SetComplexityN(maps);
+}
+BENCHMARK(BM_TimelineConstruction)
+    ->RangeMultiplier(2)
+    ->Range(8, 2048)
+    ->Complexity();
+
+void BM_PrecedenceTreeConstruction(benchmark::State& state) {
+  const int maps = static_cast<int>(state.range(0));
+  const ModelInput in = ScalingInput(maps, 8);
+  auto tl = BuildTimeline(in, ScalingDurations());
+  if (!tl.ok()) {
+    state.SkipWithError("timeline failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto tree = BuildPrecedenceTree(*tl, 0);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetComplexityN(maps);
+}
+BENCHMARK(BM_PrecedenceTreeConstruction)
+    ->RangeMultiplier(2)
+    ->Range(8, 2048)
+    ->Complexity();
+
+void BM_TimelineNodesSweep(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const ModelInput in = ScalingInput(512, nodes);
+  const TaskDurations d = ScalingDurations();
+  for (auto _ : state) {
+    auto tl = BuildTimeline(in, d);
+    benchmark::DoNotOptimize(tl);
+  }
+  state.SetComplexityN(nodes);
+}
+BENCHMARK(BM_TimelineNodesSweep)->RangeMultiplier(2)->Range(2, 64);
+
+}  // namespace
+}  // namespace mrperf
+
+BENCHMARK_MAIN();

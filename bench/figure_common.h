@@ -1,0 +1,71 @@
+/// \file figure_common.h
+/// \brief Shared driver for the figure-reproduction benches: runs the
+/// simulator ("HadoopSetup") and both model estimators over one sweep and
+/// prints the series of the corresponding paper figure.
+
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiments/experiment.h"
+#include "experiments/report.h"
+
+namespace mrperf::bench {
+
+/// Runs a node sweep at fixed input size / job count (Figures 10-13, 15).
+inline int RunNodeSweepFigure(const std::string& title, double input_gb,
+                              int num_jobs, int64_t block_size_bytes) {
+  ExperimentOptions opts = DefaultExperimentOptions();
+  std::vector<double> xs;
+  std::vector<ExperimentResult> results;
+  for (int nodes : {4, 6, 8}) {
+    ExperimentPoint point;
+    point.num_nodes = nodes;
+    point.input_bytes = static_cast<int64_t>(input_gb * kGiB);
+    point.num_jobs = num_jobs;
+    point.block_size_bytes = block_size_bytes;
+    auto r = RunExperiment(point, opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "experiment failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    xs.push_back(nodes);
+    results.push_back(*r);
+  }
+  PrintFigureTable(std::cout, title, "nodes", xs, results);
+  PrintErrorSummary(std::cout, title + " — error summary",
+                    SummarizeErrors(results));
+  return 0;
+}
+
+/// Runs a concurrency sweep at fixed nodes / input size (Figure 14).
+inline int RunJobSweepFigure(const std::string& title, int nodes,
+                             double input_gb) {
+  ExperimentOptions opts = DefaultExperimentOptions();
+  std::vector<double> xs;
+  std::vector<ExperimentResult> results;
+  for (int jobs : {1, 2, 3, 4}) {
+    ExperimentPoint point;
+    point.num_nodes = nodes;
+    point.input_bytes = static_cast<int64_t>(input_gb * kGiB);
+    point.num_jobs = jobs;
+    auto r = RunExperiment(point, opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "experiment failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    xs.push_back(jobs);
+    results.push_back(*r);
+  }
+  PrintFigureTable(std::cout, title, "jobs", xs, results);
+  PrintErrorSummary(std::cout, title + " — error summary",
+                    SummarizeErrors(results));
+  return 0;
+}
+
+}  // namespace mrperf::bench

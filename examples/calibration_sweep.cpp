@@ -1,0 +1,59 @@
+/// \file calibration_sweep.cpp
+/// \brief Calibration explorer: sweeps the simulator's task-duration
+/// variability (task_cv) and the model's intra-job overlap scale (the
+/// tuning knob the paper's conclusions single out), reporting
+/// model-vs-simulator errors on representative workload points. The values
+/// chosen from this sweep are recorded in EXPERIMENTS.md; the same sweep is
+/// how a user would fit the model to their own cluster.
+///
+/// Usage: calibration_sweep [task_cv...]   (defaults: 0.9 1.0 1.1)
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "experiments/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace mrperf;
+
+  const std::vector<ExperimentPoint> points = {
+      {.num_nodes = 4, .input_bytes = 1 * kGiB, .num_jobs = 1},
+      {.num_nodes = 8, .input_bytes = 1 * kGiB, .num_jobs = 1},
+      {.num_nodes = 4, .input_bytes = 5 * kGiB, .num_jobs = 1},
+      {.num_nodes = 8, .input_bytes = 5 * kGiB, .num_jobs = 1},
+      {.num_nodes = 4, .input_bytes = 1 * kGiB, .num_jobs = 4},
+      {.num_nodes = 4, .input_bytes = 5 * kGiB, .num_jobs = 4},
+  };
+  const char* labels[] = {"1GBx1j n4", "1GBx1j n8", "5GBx1j n4",
+                          "5GBx1j n8", "1GBx4j n4", "5GBx4j n4"};
+
+  std::vector<double> cvs;
+  for (int i = 1; i < argc; ++i) cvs.push_back(std::atof(argv[i]));
+  if (cvs.empty()) cvs = {0.9, 1.0, 1.1};
+
+  for (double cv : cvs) {
+    for (double alpha : {0.6, 0.8, 1.0}) {
+      std::printf("--- task_cv %.2f  alpha_scale %.2f ---\n", cv, alpha);
+      for (size_t i = 0; i < points.size(); ++i) {
+        ExperimentOptions opts = DefaultExperimentOptions();
+        opts.sim.task_cv = cv;
+        opts.model.overlap.alpha_scale = alpha;
+        opts.model.overlap.beta_scale = alpha;
+        opts.repetitions = 3;
+        auto r = RunExperiment(points[i], opts);
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s: %s\n", labels[i],
+                       r.status().ToString().c_str());
+          continue;
+        }
+        std::printf(
+            "%-10s measured %7.1f  FJ %7.1f (%+5.1f%%)  Tri %7.1f (%+5.1f%%)\n",
+            labels[i], r->measured_sec, r->forkjoin_sec,
+            r->forkjoin_error * 100, r->tripathi_sec,
+            r->tripathi_error * 100);
+      }
+    }
+  }
+  return 0;
+}

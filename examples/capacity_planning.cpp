@@ -1,0 +1,72 @@
+/// \file capacity_planning.cpp
+/// \brief Capacity-planning scenario (paper §1: the model is "useful for
+/// critical decision making in workload management and resource capacity
+/// planning").
+///
+/// Question: how many nodes does a nightly WordCount-style workload need
+/// so that the average job response time stays under a target, given an
+/// expected concurrency level? Instead of standing up clusters of every
+/// size, sweep the analytic model over node counts and pick the knee.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "experiments/experiment.h"
+#include "model/input.h"
+#include "model/model.h"
+#include "workload/wordcount.h"
+
+int main(int argc, char** argv) {
+  using namespace mrperf;
+  const double input_gb = argc > 1 ? std::atof(argv[1]) : 5.0;
+  const int concurrency = argc > 2 ? std::atoi(argv[2]) : 3;
+  const double target_sec = argc > 3 ? std::atof(argv[3]) : 400.0;
+
+  std::printf(
+      "Capacity planning: %.0f GB WordCount, %d concurrent jobs, target "
+      "mean response %.0f s\n\n",
+      input_gb, concurrency, target_sec);
+  std::printf("%6s | %12s %12s | %s\n", "nodes", "Fork/join(s)",
+              "Tripathi(s)", "meets target?");
+
+  const ModelOptions model_opts = DefaultExperimentOptions().model;
+  int chosen = -1;
+  for (int nodes = 2; nodes <= 32; nodes += 2) {
+    auto input = ModelInputFromHerodotou(
+        PaperCluster(nodes), PaperHadoopConfig(), WordCountProfile(),
+        static_cast<int64_t>(input_gb * kGiB), concurrency);
+    if (!input.ok()) {
+      std::fprintf(stderr, "input: %s\n", input.status().ToString().c_str());
+      return 1;
+    }
+    auto model = SolveModel(*input, model_opts);
+    if (!model.ok()) {
+      std::fprintf(stderr, "model: %s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    const bool ok = model->forkjoin_response <= target_sec;
+    std::printf("%6d | %12.1f %12.1f | %s\n", nodes,
+                model->forkjoin_response, model->tripathi_response,
+                ok ? "yes" : "no");
+    if (ok && chosen < 0) chosen = nodes;
+  }
+
+  if (chosen < 0) {
+    std::printf("\nNo cluster size up to 32 nodes meets the target.\n");
+    return 0;
+  }
+  std::printf("\nSmallest cluster meeting the target: %d nodes.\n", chosen);
+
+  // Sanity-check the chosen size against the simulated testbed.
+  ExperimentPoint point;
+  point.num_nodes = chosen;
+  point.input_bytes = static_cast<int64_t>(input_gb * kGiB);
+  point.num_jobs = concurrency;
+  auto measured =
+      RunSimulatedMeasurement(point, DefaultExperimentOptions());
+  if (measured.ok()) {
+    std::printf("Simulated check at %d nodes: %.1f s (target %.0f s)\n",
+                chosen, *measured, target_sec);
+  }
+  return 0;
+}

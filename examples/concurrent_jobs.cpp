@@ -1,0 +1,58 @@
+/// \file concurrent_jobs.cpp
+/// \brief Workload-management what-if: how does response time degrade as
+/// more jobs share the cluster (the paper's Figure 14 question, §5.2),
+/// and how well do the two estimators track it?
+///
+/// Runs 1..N concurrent WordCount jobs on a fixed cluster through both
+/// the simulator and the model, printing the degradation curve and the
+/// per-level estimation errors, plus the intra-/inter-job overlap factors
+/// the model inferred (§4.2.3).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "experiments/experiment.h"
+#include "workload/wordcount.h"
+
+int main(int argc, char** argv) {
+  using namespace mrperf;
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double input_gb = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const int max_jobs = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  std::printf(
+      "Concurrency what-if: %d nodes, %.0f GB per job, 1..%d jobs\n\n",
+      nodes, input_gb, max_jobs);
+  std::printf("%5s | %9s | %9s (%6s) | %9s (%6s) | %7s %7s\n", "jobs",
+              "measured", "forkjoin", "err", "tripathi", "err", "alpha",
+              "beta");
+
+  ExperimentOptions opts = DefaultExperimentOptions();
+  opts.repetitions = 3;
+  double first_measured = 0.0;
+  double last_measured = 0.0;
+  for (int jobs = 1; jobs <= max_jobs; ++jobs) {
+    ExperimentPoint point;
+    point.num_nodes = nodes;
+    point.input_bytes = static_cast<int64_t>(input_gb * kGiB);
+    point.num_jobs = jobs;
+    auto r = RunExperiment(point, opts);
+    auto m = RunModelPrediction(point, opts);
+    if (!r.ok() || !m.ok()) {
+      std::fprintf(stderr, "failed at %d jobs\n", jobs);
+      return 1;
+    }
+    if (jobs == 1) first_measured = r->measured_sec;
+    last_measured = r->measured_sec;
+    std::printf("%5d | %9.1f | %9.1f (%+5.1f%%) | %9.1f (%+5.1f%%) | "
+                "%7.3f %7.3f\n",
+                jobs, r->measured_sec, r->forkjoin_sec,
+                r->forkjoin_error * 100, r->tripathi_sec,
+                r->tripathi_error * 100, m->mean_alpha, m->mean_beta);
+  }
+  std::printf(
+      "\nDegradation at %d jobs: %.2fx the single-job response "
+      "(simulated).\n",
+      max_jobs, first_measured > 0 ? last_measured / first_measured : 0.0);
+  return 0;
+}

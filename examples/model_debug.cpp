@@ -1,0 +1,73 @@
+/// \file model_debug.cpp
+/// \brief Diagnostic dump of the model internals for one workload point:
+/// class responses, timeline structure, phase groups and per-group
+/// fork/join contributions. Useful when calibrating the model to a new
+/// cluster (and during development of this reproduction).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/statistics.h"
+#include "experiments/experiment.h"
+#include "model/input.h"
+#include "model/model.h"
+#include "model/precedence_tree.h"
+#include "workload/wordcount.h"
+
+int main(int argc, char** argv) {
+  using namespace mrperf;
+  ExperimentPoint point;
+  point.num_nodes = argc > 1 ? std::atoi(argv[1]) : 4;
+  point.input_bytes =
+      argc > 2 ? static_cast<int64_t>(std::atof(argv[2]) * kGiB) : 5 * kGiB;
+  point.num_jobs = argc > 3 ? std::atoi(argv[3]) : 1;
+
+  ExperimentOptions opts = DefaultExperimentOptions();
+  auto model = RunModelPrediction(point, opts);
+  if (!model.ok()) {
+    std::fprintf(stderr, "model: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("model: FJ %.1f Tri %.1f iters %d depth %d alpha %.3f beta %.3f\n",
+              model->forkjoin_response, model->tripathi_response,
+              model->iterations, model->tree_depth, model->mean_alpha,
+              model->mean_beta);
+  std::printf("class responses: map %.1f ss %.1f mg %.1f\n",
+              model->map_response, model->shuffle_sort_response,
+              model->merge_response);
+  const Timeline& tl = model->timeline;
+  std::printf("timeline: %zu tasks, makespan %.1f\n", tl.tasks.size(),
+              tl.makespan);
+  for (int j = 0; j < point.num_jobs; ++j) {
+    TreeOptions topts;
+    auto tree = BuildPrecedenceTree(tl, j, topts);
+    if (!tree.ok()) continue;
+    std::printf("job %d: first_start %.1f end %.1f groups:\n", j,
+                tl.job_first_start[j], tl.job_end[j]);
+    for (const auto& group : tree->phase_groups) {
+      double max_d = 0, max_end = 0, start = 1e18;
+      std::map<TaskClass, int> by_class;
+      for (int id : group) {
+        const auto& t = tl.tasks[id];
+        ++by_class[t.cls];
+        max_d = std::max(max_d, t.interval.duration());
+        max_end = std::max(max_end, t.interval.end);
+        start = std::min(start, t.interval.start);
+      }
+      std::printf(
+          "  group size %3zu (map %d ss %d mg %d) start %.1f dur_max %.1f "
+          "H_k %.2f contrib %.1f\n",
+          group.size(), by_class[TaskClass::kMap],
+          by_class[TaskClass::kShuffleSort], by_class[TaskClass::kMerge],
+          start, max_d, HarmonicNumber(static_cast<int>(group.size())),
+          HarmonicNumber(static_cast<int>(group.size())) * max_d);
+    }
+  }
+
+  auto measured = RunSimulatedMeasurement(point, opts);
+  if (measured.ok()) {
+    std::printf("simulated: %.1f\n", *measured);
+  }
+  return 0;
+}

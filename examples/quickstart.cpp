@@ -1,0 +1,85 @@
+/// \file quickstart.cpp
+/// \brief Minimal end-to-end use of the mrperf public API.
+///
+/// Reproduces the paper's running example flavour (§3.1) and then a full
+/// 1 GB WordCount on a 4-node cluster:
+///   1. build a Hadoop/YARN configuration and a WordCount job profile;
+///   2. derive the model input from the Herodotou static cost model;
+///   3. solve the Hadoop 2.x performance model (both estimators);
+///   4. cross-check the prediction against the discrete-event cluster
+///      simulator (the stand-in for a physical Hadoop 2.x setup).
+
+#include <cstdio>
+
+#include "experiments/experiment.h"
+#include "hadoop/config.h"
+#include "model/input.h"
+#include "model/model.h"
+#include "sim/cluster_sim.h"
+#include "workload/wordcount.h"
+
+int main() {
+  using namespace mrperf;
+
+  // --- 1. cluster + job configuration -----------------------------------
+  const ClusterConfig cluster = PaperCluster(/*num_nodes=*/4);
+  const HadoopConfig config = PaperHadoopConfig();
+  const JobProfile profile = WordCountProfile();
+  const int64_t input_bytes = 1 * kGiB;
+
+  std::printf("mrperf quickstart: WordCount, %d nodes, 1 GB input\n",
+              cluster.num_nodes);
+  std::printf("  map tasks: %d (block size %lld MiB), reduce tasks: %d\n",
+              config.NumMapTasks(input_bytes),
+              static_cast<long long>(config.block_size_bytes / kMiB),
+              config.num_reducers);
+
+  // --- 2. model input from the static cost model ------------------------
+  auto input = ModelInputFromHerodotou(cluster, config, profile, input_bytes,
+                                       /*num_jobs=*/1);
+  if (!input.ok()) {
+    std::fprintf(stderr, "input error: %s\n",
+                 input.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  static init: map %.1fs, shuffle-sort %.1fs, merge %.1fs\n",
+              input->init_map_response, input->init_shuffle_sort_response,
+              input->init_merge_response);
+
+  // --- 3. solve the performance model ------------------------------------
+  auto model = SolveModel(*input);
+  if (!model.ok()) {
+    std::fprintf(stderr, "model error: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  model (%d iterations, %s):\n", model->iterations,
+              model->converged ? "converged" : "not converged");
+  std::printf("    Fork/join estimate: %.1f s\n", model->forkjoin_response);
+  std::printf("    Tripathi  estimate: %.1f s\n", model->tripathi_response);
+  std::printf("    precedence tree depth: %d\n", model->tree_depth);
+
+  // --- 4. compare with the simulated Hadoop 2.x setup --------------------
+  ClusterSimulator sim(cluster, SimOptions{});
+  SimJobSpec spec;
+  spec.profile = profile;
+  spec.config = config;
+  spec.input_bytes = input_bytes;
+  if (Status st = sim.SubmitJob(spec); !st.ok()) {
+    std::fprintf(stderr, "submit error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto measured = sim.Run();
+  if (!measured.ok()) {
+    std::fprintf(stderr, "sim error: %s\n",
+                 measured.status().ToString().c_str());
+    return 1;
+  }
+  const double actual = measured->MeanJobResponse();
+  std::printf("  simulated Hadoop setup: %.1f s\n", actual);
+  std::printf("    Fork/join error: %+.1f%%\n",
+              (model->forkjoin_response - actual) / actual * 100.0);
+  std::printf("    Tripathi  error: %+.1f%%\n",
+              (model->tripathi_response - actual) / actual * 100.0);
+  return 0;
+}

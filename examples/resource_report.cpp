@@ -1,0 +1,96 @@
+/// \file resource_report.cpp
+/// \brief Resource-consumption what-if (the paper's §6 future work,
+/// implemented in model/resource_estimator.h): predict per-class and
+/// per-job CPU/disk/network seconds and container occupancy for a
+/// workload, and validate the prediction against a simulated execution.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "experiments/experiment.h"
+#include "model/resource_estimator.h"
+#include "workload/wordcount.h"
+
+namespace {
+
+void PrintConsumption(const char* label,
+                      const mrperf::ResourceConsumption& c) {
+  std::printf("  %-14s | %4d tasks | cpu %8.1fs  disk %8.1fs  net %7.1fs"
+              "  container %9.1fs\n",
+              label, c.tasks, c.cpu_seconds, c.disk_seconds,
+              c.network_seconds, c.container_seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrperf;
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double input_gb = argc > 2 ? std::atof(argv[2]) : 5.0;
+  const int jobs = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  std::printf("Resource report: %.0f GB WordCount x %d jobs on %d nodes\n\n",
+              input_gb, jobs, nodes);
+
+  ExperimentPoint point;
+  point.num_nodes = nodes;
+  point.input_bytes = static_cast<int64_t>(input_gb * kGiB);
+  point.num_jobs = jobs;
+  ExperimentOptions opts = DefaultExperimentOptions();
+
+  // Predicted consumption from the analytic model's converged timeline.
+  auto input = ModelInputFromHerodotou(PaperCluster(nodes),
+                                       PaperHadoopConfig(), opts.profile,
+                                       point.input_bytes, jobs);
+  if (!input.ok()) return 1;
+  auto model = SolveModel(*input, opts.model);
+  if (!model.ok()) return 1;
+  auto predicted = EstimateResources(*input, *model);
+  if (!predicted.ok()) return 1;
+
+  std::printf("Predicted (analytic model):\n");
+  PrintConsumption("map",
+                   predicted->per_class[static_cast<int>(TaskClass::kMap)]);
+  PrintConsumption(
+      "shuffle-sort",
+      predicted->per_class[static_cast<int>(TaskClass::kShuffleSort)]);
+  PrintConsumption(
+      "merge", predicted->per_class[static_cast<int>(TaskClass::kMerge)]);
+  PrintConsumption("TOTAL", predicted->total);
+  for (size_t j = 0; j < predicted->per_job.size(); ++j) {
+    std::printf("  job %zu container-seconds: %.1f\n", j,
+                predicted->per_job[j].container_seconds);
+  }
+  std::printf("  utilizations: cpu %.0f%%  disk %.0f%%  net %.0f%%\n\n",
+              predicted->cpu_utilization * 100,
+              predicted->disk_utilization * 100,
+              predicted->network_utilization * 100);
+
+  // Measured consumption from one simulated execution.
+  ClusterSimulator sim(PaperCluster(nodes), opts.sim);
+  for (int j = 0; j < jobs; ++j) {
+    SimJobSpec spec;
+    spec.profile = opts.profile;
+    spec.config = PaperHadoopConfig();
+    spec.input_bytes = point.input_bytes;
+    if (!sim.SubmitJob(spec).ok()) return 1;
+  }
+  auto run = sim.Run();
+  if (!run.ok()) return 1;
+  auto measured = MeasureResources(PaperCluster(nodes), *run);
+  if (!measured.ok()) return 1;
+
+  std::printf("Measured (simulated execution):\n");
+  PrintConsumption("TOTAL", measured->total);
+  std::printf("  utilizations: cpu %.0f%%  disk %.0f%%  net %.0f%%\n\n",
+              measured->cpu_utilization * 100,
+              measured->disk_utilization * 100,
+              measured->network_utilization * 100);
+
+  const double cpu_err = (predicted->total.cpu_seconds -
+                          measured->total.cpu_seconds) /
+                         measured->total.cpu_seconds;
+  std::printf("Prediction error on total CPU seconds: %+.1f%%\n",
+              cpu_err * 100);
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "common/interval.h"
+
+#include <cmath>
+
+namespace mrperf {
+namespace {
+
+// Event times closer than this are considered identical when splitting a
+// timeline into phases; avoids spurious zero-length phases caused by
+// floating-point noise in iterated model updates.
+constexpr double kTimeEpsilon = 1e-9;
+
+}  // namespace
+
+double OverlapFraction(const Interval& a, const Interval& b) {
+  const double d = a.duration();
+  if (d <= 0.0) return 0.0;
+  return a.OverlapDuration(b) / d;
+}
+
+std::vector<double> PhaseBoundaries(const std::vector<Interval>& intervals) {
+  std::vector<double> times;
+  times.reserve(intervals.size() * 2);
+  for (const auto& iv : intervals) {
+    times.push_back(iv.start);
+    times.push_back(iv.end);
+  }
+  std::sort(times.begin(), times.end());
+  std::vector<double> out;
+  for (double t : times) {
+    if (out.empty() || t - out.back() > kTimeEpsilon) out.push_back(t);
+  }
+  return out;
+}
+
+double UnionDuration(std::vector<Interval> intervals) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  double total = 0.0;
+  double cur_start = 0.0;
+  double cur_end = -1.0;
+  bool open = false;
+  for (const auto& iv : intervals) {
+    if (iv.empty()) continue;
+    if (!open) {
+      cur_start = iv.start;
+      cur_end = iv.end;
+      open = true;
+    } else if (iv.start <= cur_end) {
+      cur_end = std::max(cur_end, iv.end);
+    } else {
+      total += cur_end - cur_start;
+      cur_start = iv.start;
+      cur_end = iv.end;
+    }
+  }
+  if (open) total += cur_end - cur_start;
+  return total;
+}
+
+}  // namespace mrperf

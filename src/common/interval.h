@@ -1,0 +1,53 @@
+/// \file interval.h
+/// \brief Closed time intervals and overlap computations.
+///
+/// The timeline-based overlap factors of the model (Section 4.2.3 of the
+/// paper) reduce to interval-intersection arithmetic, centralized here.
+
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace mrperf {
+
+/// \brief A time interval [start, end] with start <= end.
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+
+  double duration() const { return end - start; }
+  bool empty() const { return end <= start; }
+
+  /// Returns true when the two intervals share a point of positive measure.
+  bool Overlaps(const Interval& other) const {
+    return std::max(start, other.start) < std::min(end, other.end);
+  }
+
+  /// Length of the intersection with `other` (0 when disjoint).
+  double OverlapDuration(const Interval& other) const {
+    const double lo = std::max(start, other.start);
+    const double hi = std::min(end, other.end);
+    return hi > lo ? hi - lo : 0.0;
+  }
+
+  bool Contains(double t) const { return t >= start && t <= end; }
+
+  bool operator==(const Interval& other) const {
+    return start == other.start && end == other.end;
+  }
+};
+
+/// \brief Fraction of `a` that overlaps `b`: |a ∩ b| / |a|. Returns 0 when
+/// `a` has zero duration.
+double OverlapFraction(const Interval& a, const Interval& b);
+
+/// \brief Collects the sorted distinct event times (starts and ends) of a
+/// set of intervals; consecutive pairs delimit the "phases" of the paper's
+/// timeline (each start or end of a task opens a new phase).
+std::vector<double> PhaseBoundaries(const std::vector<Interval>& intervals);
+
+/// \brief Total measure of the union of intervals.
+double UnionDuration(std::vector<Interval> intervals);
+
+}  // namespace mrperf

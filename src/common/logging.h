@@ -1,0 +1,81 @@
+/// \file logging.h
+/// \brief Minimal leveled logging and assertion macros.
+///
+/// Logging is stderr-only and intended for diagnostics in examples, tests and
+/// the simulator's verbose mode. Library code on hot paths never logs.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mrperf {
+
+/// \brief Severity levels, ordered by verbosity.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// \brief Process-wide logging configuration.
+class Logger {
+ public:
+  /// Sets the minimum level that is emitted; messages below it are dropped.
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// Emits one log line (used by the MRPERF_LOG macro).
+  static void Log(LogLevel level, const char* file, int line,
+                  const std::string& msg);
+};
+
+namespace internal {
+
+/// Stream-builder that emits its accumulated message on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::Log(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define MRPERF_LOG(level)                                              \
+  if (::mrperf::Logger::GetLevel() <= ::mrperf::LogLevel::k##level)    \
+  ::mrperf::internal::LogMessage(::mrperf::LogLevel::k##level,         \
+                                 __FILE__, __LINE__)                   \
+      .stream()
+
+/// \brief Checks an invariant; aborts with a message when violated.
+/// Used for programming errors only, never for recoverable conditions.
+#define MRPERF_CHECK(cond)                                          \
+  if (!(cond))                                                      \
+  ::mrperf::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+namespace internal {
+
+/// Stream-builder that aborts the process on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* cond);
+  [[noreturn]] ~FatalMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mrperf

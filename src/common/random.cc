@@ -1,0 +1,112 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mrperf {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: expands a single seed into the 256-bit xoshiro state.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  MRPERF_CHECK(n > 0) << "UniformInt requires n > 0";
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  uint64_t r;
+  do {
+    r = NextU64();
+  } while (r < threshold);
+  return r % n;
+}
+
+double Rng::Exponential(double mean) {
+  MRPERF_CHECK(mean > 0) << "Exponential mean must be positive";
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::Erlang(int k, double mean) {
+  MRPERF_CHECK(k > 0) << "Erlang stage count must be positive";
+  double sum = 0.0;
+  const double stage_mean = mean / k;
+  for (int i = 0; i < k; ++i) sum += Exponential(stage_mean);
+  return sum;
+}
+
+double Rng::LogNormalMeanCv(double mean, double cv) {
+  MRPERF_CHECK(mean > 0 && cv >= 0) << "invalid log-normal parameters";
+  if (cv == 0) return mean;
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::exp(Normal(mu, std::sqrt(sigma2)));
+}
+
+double Rng::TruncatedNormalMeanCv(double mean, double cv,
+                                  double floor_fraction) {
+  if (cv == 0) return mean;
+  const double floor = floor_fraction * mean;
+  double x = Normal(mean, cv * mean);
+  if (x < floor) x = floor;
+  return x;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace mrperf

@@ -1,0 +1,65 @@
+/// \file random.h
+/// \brief Deterministic pseudo-random number generation for the simulator.
+///
+/// The cluster simulator and the workload generators must be reproducible:
+/// the same seed yields the same trace on every platform. We therefore use a
+/// self-contained xoshiro256** implementation rather than `std::mt19937`
+/// combined with platform-dependent `std::*_distribution` behaviour.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mrperf {
+
+/// \brief Deterministic RNG (xoshiro256**) with convenience samplers.
+///
+/// All distribution samplers are implemented in-library so sequences are
+/// bit-identical across standard library implementations.
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds produce identical streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double NextDouble();
+
+  /// Returns a double uniformly distributed in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Returns an integer uniformly distributed in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Samples an exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Samples a standard normal via Box-Muller (deterministic pairing).
+  double Normal(double mean, double stddev);
+
+  /// Samples an Erlang-k: sum of k exponentials with total mean `mean`.
+  double Erlang(int k, double mean);
+
+  /// Samples a log-normal such that the result has the given mean and
+  /// coefficient of variation.
+  double LogNormalMeanCv(double mean, double cv);
+
+  /// Samples a truncated normal with given mean and cv, clamped at
+  /// `floor_fraction * mean` from below (models bounded task durations).
+  double TruncatedNormalMeanCv(double mean, double cv,
+                               double floor_fraction = 0.1);
+
+  /// Returns an independent child generator; useful to decorrelate
+  /// subsystems while keeping global determinism.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace mrperf

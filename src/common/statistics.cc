@@ -1,0 +1,132 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrperf {
+
+Result<RunningStats> RunningStats::FromMoments(size_t count, double mean,
+                                               double variance, double min,
+                                               double max) {
+  if (count > 0 && (variance < 0 || min > max || mean < min || mean > max)) {
+    return Status::InvalidArgument("inconsistent aggregate moments");
+  }
+  RunningStats s;
+  s.count_ = count;
+  s.mean_ = count ? mean : 0.0;
+  s.m2_ = variance * static_cast<double>(count);
+  s.min_ = count ? min : 0.0;
+  s.max_ = count ? max : 0.0;
+  return s;
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cv() const {
+  const double m = mean();
+  if (m == 0.0) return 0.0;
+  return stddev() / m;
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const size_t n = xs.size();
+  if (n % 2 == 1) return xs[n / 2];
+  return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+Result<double> Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return Status::InvalidArgument("Percentile of empty sample");
+  }
+  if (p < 0.0 || p > 100.0) {
+    return Status::OutOfRange("percentile must be in [0, 100]");
+  }
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double CoefficientOfVariation(const std::vector<double>& xs) {
+  const double m = Mean(xs);
+  if (m == 0.0) return 0.0;
+  return std::sqrt(Variance(xs)) / m;
+}
+
+Result<double> RelativeError(double estimate, double actual) {
+  if (actual == 0.0) {
+    return Status::InvalidArgument("RelativeError with zero actual value");
+  }
+  return std::abs(estimate - actual) / std::abs(actual);
+}
+
+Result<double> SignedRelativeError(double estimate, double actual) {
+  if (actual == 0.0) {
+    return Status::InvalidArgument(
+        "SignedRelativeError with zero actual value");
+  }
+  return (estimate - actual) / std::abs(actual);
+}
+
+double HarmonicNumber(int k) {
+  double h = 0.0;
+  for (int i = 1; i <= k; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+}  // namespace mrperf

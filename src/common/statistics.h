@@ -1,0 +1,73 @@
+/// \file statistics.h
+/// \brief Descriptive statistics used by the model, simulator and reports.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrperf {
+
+/// \brief Streaming accumulator of count/mean/variance (Welford) and range.
+class RunningStats {
+ public:
+  /// Reconstructs an accumulator from previously exported aggregates
+  /// (used by persistence layers). Errors when count > 0 with
+  /// inconsistent min/max/variance.
+  static Result<RunningStats> FromMoments(size_t count, double mean,
+                                          double variance, double min,
+                                          double max);
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  double cv() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// \brief Population variance; 0 for fewer than two elements.
+double Variance(const std::vector<double>& xs);
+
+/// \brief Median (average of middle two for even sizes); 0 when empty.
+double Median(std::vector<double> xs);
+
+/// \brief p-th percentile (0..100) by linear interpolation; errors when
+/// `xs` is empty or `p` out of range.
+Result<double> Percentile(std::vector<double> xs, double p);
+
+/// \brief Coefficient of variation stddev/mean; 0 when mean is 0.
+double CoefficientOfVariation(const std::vector<double>& xs);
+
+/// \brief |estimate - actual| / actual. Errors when `actual` == 0.
+Result<double> RelativeError(double estimate, double actual);
+
+/// \brief Signed (estimate - actual) / actual. Errors when `actual` == 0.
+Result<double> SignedRelativeError(double estimate, double actual);
+
+/// \brief k-th harmonic number H_k = sum_{i=1..k} 1/i. Requires k >= 0.
+double HarmonicNumber(int k);
+
+}  // namespace mrperf

@@ -1,0 +1,186 @@
+/// \file status.h
+/// \brief Arrow/RocksDB-style Status and Result types used across mrperf.
+///
+/// All fallible public APIs in this library return either a `Status` (for
+/// operations without a value) or a `Result<T>` (for operations producing a
+/// value). Exceptions are not used for recoverable error signalling.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mrperf {
+
+/// \brief Machine-readable error category carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotConverged = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kFailedPrecondition = 6,
+  kInternal = 7,
+  kNotImplemented = 8,
+};
+
+/// \brief Returns a short human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Success-or-error outcome of an operation.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Status is cheap to copy (small string optimization applies to
+/// most messages in practice).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// \name Factory helpers for common error categories.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotConverged() const { return code_ == StatusCode::kNotConverged; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+
+  /// Renders e.g. "InvalidArgument: numNodes must be positive".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Value-or-Status outcome of an operation.
+///
+/// Holds either a successfully produced T or an error Status. Accessing the
+/// value of an error Result aborts (programming error), mirroring
+/// `arrow::Result` semantics.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Aborts if `status.ok()`.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      Abort("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status, or OK when the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the contained value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    if (!ok()) Abort(std::get<Status>(repr_).ToString());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    if (!ok()) Abort(std::get<Status>(repr_).ToString());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) Abort(std::get<Status>(repr_).ToString());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Alias for ValueOrDie, matching arrow::Result.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value when present, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+ private:
+  [[noreturn]] static void Abort(const std::string& msg);
+
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+[[noreturn]] void AbortWithMessage(const std::string& msg);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::Abort(const std::string& msg) {
+  internal::AbortWithMessage(msg);
+}
+
+/// \brief Propagates a non-OK Status from the current function.
+#define MRPERF_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::mrperf::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+/// \brief Assigns the value of a Result to `lhs`, or propagates its error.
+#define MRPERF_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define MRPERF_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  MRPERF_ASSIGN_OR_RETURN_IMPL(MRPERF_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define MRPERF_CONCAT_INNER_(x, y) x##y
+#define MRPERF_CONCAT_(x, y) MRPERF_CONCAT_INNER_(x, y)
+
+}  // namespace mrperf

@@ -1,0 +1,134 @@
+#include "distributions/basic.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mrperf {
+
+DeterministicDist::DeterministicDist(double value) : value_(value) {
+  MRPERF_CHECK(value >= 0) << "DeterministicDist requires value >= 0";
+}
+
+double DeterministicDist::Pdf(double t) const {
+  // Density of a point mass is a Dirac delta; report 0 everywhere since the
+  // numeric integrators only consume the CDF of deterministic children.
+  (void)t;
+  return 0.0;
+}
+
+DistributionPtr DeterministicDist::Clone() const {
+  return std::make_unique<DeterministicDist>(value_);
+}
+
+ExponentialDist::ExponentialDist(double mean) : mean_(mean) {
+  MRPERF_CHECK(mean > 0) << "ExponentialDist requires mean > 0";
+}
+
+double ExponentialDist::Cdf(double t) const {
+  if (t <= 0) return 0.0;
+  return 1.0 - std::exp(-t / mean_);
+}
+
+double ExponentialDist::Pdf(double t) const {
+  if (t < 0) return 0.0;
+  return std::exp(-t / mean_) / mean_;
+}
+
+DistributionPtr ExponentialDist::Clone() const {
+  return std::make_unique<ExponentialDist>(mean_);
+}
+
+ErlangDist::ErlangDist(int k, double mean) : k_(k), mean_(mean) {
+  MRPERF_CHECK(k >= 1) << "ErlangDist requires k >= 1";
+  MRPERF_CHECK(mean > 0) << "ErlangDist requires mean > 0";
+}
+
+double ErlangDist::Cdf(double t) const {
+  if (t <= 0) return 0.0;
+  // 1 - sum_{n=0}^{k-1} e^{-lt} (lt)^n / n!, evaluated with a running term
+  // to stay stable for large k.
+  const double lt = rate() * t;
+  double term = std::exp(-lt);  // n = 0
+  double sum = term;
+  for (int n = 1; n < k_; ++n) {
+    term *= lt / n;
+    sum += term;
+  }
+  const double cdf = 1.0 - sum;
+  return cdf < 0.0 ? 0.0 : (cdf > 1.0 ? 1.0 : cdf);
+}
+
+double ErlangDist::Pdf(double t) const {
+  if (t < 0) return 0.0;
+  if (t == 0) return k_ == 1 ? rate() : 0.0;
+  const double l = rate();
+  // l^k t^{k-1} e^{-lt} / (k-1)!  computed in log space for stability.
+  const double log_pdf = k_ * std::log(l) + (k_ - 1) * std::log(t) - l * t -
+                         std::lgamma(static_cast<double>(k_));
+  return std::exp(log_pdf);
+}
+
+DistributionPtr ErlangDist::Clone() const {
+  return std::make_unique<ErlangDist>(k_, mean_);
+}
+
+HyperExponentialDist::HyperExponentialDist(double p, double mean1,
+                                           double mean2)
+    : p_(p), m1_(mean1), m2_(mean2) {
+  MRPERF_CHECK(p > 0 && p < 1) << "HyperExponentialDist requires p in (0,1)";
+  MRPERF_CHECK(mean1 > 0 && mean2 > 0)
+      << "HyperExponentialDist requires positive phase means";
+}
+
+Result<HyperExponentialDist> HyperExponentialDist::FitMeanCv(double mean,
+                                                             double cv) {
+  if (mean <= 0) {
+    return Status::InvalidArgument("H2 fit requires mean > 0");
+  }
+  if (cv < 1.0) {
+    return Status::InvalidArgument(
+        "H2 fit requires cv >= 1 (use Erlang for cv < 1)");
+  }
+  // Balanced-means two-moment fit: p/m1 == (1-p)/m2.
+  const double c2 = cv * cv;
+  double p = 0.5 * (1.0 + std::sqrt((c2 - 1.0) / (c2 + 1.0)));
+  // Guard the degenerate cv == 1 case (p == 0.5 gives an exponential split).
+  if (p >= 1.0 - 1e-12) p = 1.0 - 1e-12;
+  const double m1 = mean / (2.0 * p);
+  const double m2 = mean / (2.0 * (1.0 - p));
+  return HyperExponentialDist(p, m1, m2);
+}
+
+double HyperExponentialDist::Mean() const {
+  return p_ * m1_ + (1.0 - p_) * m2_;
+}
+
+double HyperExponentialDist::Variance() const {
+  const double second = 2.0 * (p_ * m1_ * m1_ + (1.0 - p_) * m2_ * m2_);
+  const double m = Mean();
+  return second - m * m;
+}
+
+double HyperExponentialDist::Cdf(double t) const {
+  if (t <= 0) return 0.0;
+  return 1.0 - p_ * std::exp(-t / m1_) - (1.0 - p_) * std::exp(-t / m2_);
+}
+
+double HyperExponentialDist::Pdf(double t) const {
+  if (t < 0) return 0.0;
+  return p_ / m1_ * std::exp(-t / m1_) +
+         (1.0 - p_) / m2_ * std::exp(-t / m2_);
+}
+
+double HyperExponentialDist::UpperTailBound() const {
+  // The slowest phase dominates the tail; 40 of its means bounds the
+  // survival mass below 1e-17.
+  return 40.0 * std::max(m1_, m2_);
+}
+
+DistributionPtr HyperExponentialDist::Clone() const {
+  return std::make_unique<HyperExponentialDist>(p_, m1_, m2_);
+}
+
+}  // namespace mrperf

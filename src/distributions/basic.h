@@ -1,0 +1,105 @@
+/// \file basic.h
+/// \brief Concrete distributions: Deterministic, Exponential, Erlang,
+/// two-phase Hyperexponential.
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "distributions/distribution.h"
+
+namespace mrperf {
+
+/// \brief Point mass at `value` (CV = 0). Used for constant phases.
+class DeterministicDist : public Distribution {
+ public:
+  /// Requires value >= 0.
+  explicit DeterministicDist(double value);
+
+  double Mean() const override { return value_; }
+  double Variance() const override { return 0.0; }
+  double Cdf(double t) const override { return t >= value_ ? 1.0 : 0.0; }
+  double Pdf(double t) const override;
+  double UpperTailBound() const override { return value_; }
+  DistributionPtr Clone() const override;
+
+ private:
+  double value_;
+};
+
+/// \brief Exponential distribution with the given mean (CV = 1).
+class ExponentialDist : public Distribution {
+ public:
+  /// Requires mean > 0.
+  explicit ExponentialDist(double mean);
+
+  double Mean() const override { return mean_; }
+  double Variance() const override { return mean_ * mean_; }
+  double Cdf(double t) const override;
+  double Pdf(double t) const override;
+  DistributionPtr Clone() const override;
+
+  double rate() const { return 1.0 / mean_; }
+
+ private:
+  double mean_;
+};
+
+/// \brief Erlang-k distribution: sum of k iid exponentials (CV = 1/sqrt(k)).
+///
+/// Per the paper (§4.2.4), tree-node response times with CV <= 1 are
+/// approximated by an Erlang whose stage count matches the CV.
+class ErlangDist : public Distribution {
+ public:
+  /// Requires k >= 1 and mean > 0. The per-stage mean is mean/k.
+  ErlangDist(int k, double mean);
+
+  double Mean() const override { return mean_; }
+  double Variance() const override { return mean_ * mean_ / k_; }
+  double Cdf(double t) const override;
+  double Pdf(double t) const override;
+  DistributionPtr Clone() const override;
+
+  int stages() const { return k_; }
+  /// Per-stage rate lambda = k / mean.
+  double rate() const { return k_ / mean_; }
+
+ private:
+  int k_;
+  double mean_;
+};
+
+/// \brief Two-phase hyperexponential H2 (CV >= 1): with probability p the
+/// sample is Exp(mean m1), else Exp(mean m2).
+///
+/// Per the paper (§4.2.4), tree-node response times with CV >= 1 are
+/// approximated by a hyperexponential matched to mean and CV.
+class HyperExponentialDist : public Distribution {
+ public:
+  /// Requires p in (0,1), m1 > 0, m2 > 0.
+  HyperExponentialDist(double p, double mean1, double mean2);
+
+  /// Fits an H2 to a target mean and CV (>= 1) using balanced means
+  /// (p/m1 == (1-p)/m2), the standard two-moment fit. Errors when
+  /// mean <= 0 or cv < 1.
+  static Result<HyperExponentialDist> FitMeanCv(double mean, double cv);
+
+  double Mean() const override;
+  double Variance() const override;
+  double Cdf(double t) const override;
+  double Pdf(double t) const override;
+  double UpperTailBound() const override;
+  DistributionPtr Clone() const override;
+
+  double p() const { return p_; }
+  double mean1() const { return m1_; }
+  double mean2() const { return m2_; }
+
+ private:
+  double p_;
+  double m1_;
+  double m2_;
+};
+
+}  // namespace mrperf

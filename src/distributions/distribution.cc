@@ -1,0 +1,20 @@
+#include "distributions/distribution.h"
+
+#include <cmath>
+
+namespace mrperf {
+
+double Distribution::Cv() const {
+  const double m = Mean();
+  if (m == 0.0) return 0.0;
+  return std::sqrt(Variance()) / m;
+}
+
+double Distribution::UpperTailBound() const {
+  // 40 standard deviations: for the exponential-family distributions used
+  // here the neglected survival mass is below 1e-17, keeping truncation
+  // error far under the quadrature tolerance.
+  return Mean() + 40.0 * std::sqrt(Variance()) + 1e-12;
+}
+
+}  // namespace mrperf

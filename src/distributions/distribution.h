@@ -1,0 +1,56 @@
+/// \file distribution.h
+/// \brief Abstract continuous, non-negative distribution interface.
+///
+/// The Tripathi-based job response estimator (paper §4.2.4) approximates the
+/// response time of every precedence-tree node by an Erlang or a
+/// Hyperexponential distribution chosen by coefficient of variation, then
+/// propagates moments through S (sum) and P (max) operators. This interface
+/// is what those operators consume.
+
+#pragma once
+
+#include <memory>
+
+namespace mrperf {
+
+/// \brief A continuous distribution on [0, ∞).
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// First moment E[X].
+  virtual double Mean() const = 0;
+
+  /// Variance Var[X].
+  virtual double Variance() const = 0;
+
+  /// Second raw moment E[X²] = Var + Mean².
+  double SecondMoment() const {
+    const double m = Mean();
+    return Variance() + m * m;
+  }
+
+  /// Coefficient of variation stddev/mean (0 when mean is 0).
+  double Cv() const;
+
+  /// Cumulative distribution function F(t) = P(X <= t); 0 for t < 0.
+  virtual double Cdf(double t) const = 0;
+
+  /// Probability density function f(t); 0 for t < 0.
+  virtual double Pdf(double t) const = 0;
+
+  /// Survival function 1 - F(t).
+  double Survival(double t) const { return 1.0 - Cdf(t); }
+
+  /// A t beyond which the survival mass is negligible (used to bound
+  /// numeric integration). Implementations return mean + 12 stddev by
+  /// default; subclasses with heavier tails override.
+  virtual double UpperTailBound() const;
+
+  /// Deep copy.
+  virtual std::unique_ptr<Distribution> Clone() const = 0;
+};
+
+using DistributionPtr = std::unique_ptr<Distribution>;
+
+}  // namespace mrperf

@@ -1,0 +1,48 @@
+#include "distributions/fitting.h"
+
+#include <cmath>
+
+#include "distributions/basic.h"
+
+namespace mrperf {
+
+int ErlangStagesForCv(double cv) {
+  if (cv >= 1.0) return 1;
+  // Matching CV^2 = 1/k exactly is only possible for integer k; round to the
+  // nearest stage count, capped to keep Cdf evaluation cheap and stable.
+  const double k = 1.0 / (cv * cv);
+  const int rounded = static_cast<int>(std::lround(k));
+  constexpr int kMaxStages = 512;
+  if (rounded < 1) return 1;
+  if (rounded > kMaxStages) return kMaxStages;
+  return rounded;
+}
+
+Result<DistributionPtr> FitByMeanCv(double mean, double cv) {
+  if (mean < 0 || cv < 0) {
+    return Status::InvalidArgument("FitByMeanCv requires mean >= 0, cv >= 0");
+  }
+  if (mean == 0) {
+    if (cv > 0) {
+      return Status::InvalidArgument("zero mean with positive cv is not a "
+                                     "valid distribution");
+    }
+    return DistributionPtr(std::make_unique<DeterministicDist>(0.0));
+  }
+  // Very small CVs produce Erlangs with hundreds of stages whose CDF is a
+  // numerically delicate truncated Poisson sum; a point mass is within the
+  // fitting error at that point.
+  constexpr double kDeterministicCvThreshold = 1.0 / 24.0;
+  if (cv <= kDeterministicCvThreshold) {
+    return DistributionPtr(std::make_unique<DeterministicDist>(mean));
+  }
+  if (cv <= 1.0) {
+    const int k = ErlangStagesForCv(cv);
+    return DistributionPtr(std::make_unique<ErlangDist>(k, mean));
+  }
+  MRPERF_ASSIGN_OR_RETURN(HyperExponentialDist h2,
+                          HyperExponentialDist::FitMeanCv(mean, cv));
+  return DistributionPtr(std::make_unique<HyperExponentialDist>(h2));
+}
+
+}  // namespace mrperf

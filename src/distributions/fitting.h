@@ -1,0 +1,24 @@
+/// \file fitting.h
+/// \brief CV-driven distribution fitting (paper §4.2.4).
+///
+/// "We assume that the distribution of X is of Erlang type if its CV <= 1,
+/// and Hyperexponential distribution if CV >= 1."
+
+#pragma once
+
+#include "common/status.h"
+#include "distributions/distribution.h"
+
+namespace mrperf {
+
+/// \brief Fits a distribution to a (mean, cv) pair following the paper's
+/// rule: cv == 0 → Deterministic; cv <= 1 → Erlang with
+/// k = max(1, round(1/cv²)) rescaled to the exact mean; cv > 1 → balanced
+/// two-phase Hyperexponential. Errors when mean < 0 or cv < 0, or mean == 0
+/// with cv > 0.
+Result<DistributionPtr> FitByMeanCv(double mean, double cv);
+
+/// \brief Number of Erlang stages used for a given cv in (0, 1].
+int ErlangStagesForCv(double cv);
+
+}  // namespace mrperf

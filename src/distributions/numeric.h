@@ -1,0 +1,24 @@
+/// \file numeric.h
+/// \brief Adaptive numeric integration used by the order-statistics code.
+
+#pragma once
+
+#include <functional>
+
+#include "common/status.h"
+
+namespace mrperf {
+
+/// \brief Integrates `f` over [a, b] with adaptive Simpson quadrature.
+///
+/// \param f integrand, evaluated on [a, b]
+/// \param a lower bound
+/// \param b upper bound (>= a)
+/// \param abs_tol absolute error target (> 0)
+/// \param max_depth recursion depth cap; the integration degrades to the
+///        current best estimate rather than recursing past it
+Result<double> IntegrateAdaptiveSimpson(
+    const std::function<double(double)>& f, double a, double b,
+    double abs_tol = 1e-10, int max_depth = 40);
+
+}  // namespace mrperf

@@ -1,0 +1,95 @@
+#include "distributions/order_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "distributions/numeric.h"
+
+namespace mrperf {
+namespace {
+
+constexpr double kIntegrationTol = 1e-9;
+
+double JointUpperBound(const std::vector<const Distribution*>& xs) {
+  double bound = 0.0;
+  for (const auto* x : xs) bound = std::max(bound, x->UpperTailBound());
+  return bound;
+}
+
+}  // namespace
+
+double Moments::Cv() const {
+  if (mean == 0.0) return 0.0;
+  const double var = Variance();
+  return var > 0.0 ? std::sqrt(var) / mean : 0.0;
+}
+
+Result<Moments> MaxMomentsN(const std::vector<const Distribution*>& xs) {
+  if (xs.empty()) {
+    return Status::InvalidArgument("MaxMomentsN requires at least one input");
+  }
+  if (xs.size() == 1) return MomentsOf(*xs[0]);
+  const double upper = JointUpperBound(xs);
+  auto joint_cdf = [&xs](double t) {
+    double prod = 1.0;
+    for (const auto* x : xs) prod *= x->Cdf(t);
+    return prod;
+  };
+  MRPERF_ASSIGN_OR_RETURN(
+      double mean,
+      IntegrateAdaptiveSimpson(
+          [&joint_cdf](double t) { return 1.0 - joint_cdf(t); }, 0.0, upper,
+          kIntegrationTol));
+  MRPERF_ASSIGN_OR_RETURN(
+      double second,
+      IntegrateAdaptiveSimpson(
+          [&joint_cdf](double t) { return 2.0 * t * (1.0 - joint_cdf(t)); },
+          0.0, upper, kIntegrationTol));
+  Moments out;
+  out.mean = mean;
+  // Quadrature noise can push E[X²] slightly below mean²; clamp so the
+  // implied variance is never negative.
+  out.second = std::max(second, mean * mean);
+  return out;
+}
+
+Result<Moments> MaxMoments(const Distribution& x, const Distribution& y) {
+  return MaxMomentsN({&x, &y});
+}
+
+Result<Moments> MinMoments(const Distribution& x, const Distribution& y) {
+  const double upper = std::max(x.UpperTailBound(), y.UpperTailBound());
+  auto joint_survival = [&x, &y](double t) {
+    return x.Survival(t) * y.Survival(t);
+  };
+  MRPERF_ASSIGN_OR_RETURN(double mean,
+                          IntegrateAdaptiveSimpson(joint_survival, 0.0,
+                                                   upper, kIntegrationTol));
+  MRPERF_ASSIGN_OR_RETURN(
+      double second,
+      IntegrateAdaptiveSimpson(
+          [&joint_survival](double t) { return 2.0 * t * joint_survival(t); },
+          0.0, upper, kIntegrationTol));
+  Moments out;
+  out.mean = mean;
+  out.second = std::max(second, mean * mean);
+  return out;
+}
+
+Moments SumMoments(const Moments& x, const Moments& y) {
+  // Independence: means and variances add.
+  Moments out;
+  out.mean = x.mean + y.mean;
+  const double var = x.Variance() + y.Variance();
+  out.second = var + out.mean * out.mean;
+  return out;
+}
+
+Moments MomentsOf(const Distribution& x) {
+  Moments out;
+  out.mean = x.Mean();
+  out.second = x.SecondMoment();
+  return out;
+}
+
+}  // namespace mrperf

@@ -1,0 +1,115 @@
+#include "experiments/experiment.h"
+
+#include <algorithm>
+
+#include "common/statistics.h"
+#include "model/input.h"
+#include "workload/wordcount.h"
+
+namespace mrperf {
+namespace {
+
+Status ValidatePoint(const ExperimentPoint& point) {
+  if (point.num_nodes < 1) {
+    return Status::InvalidArgument("num_nodes must be >= 1");
+  }
+  if (point.input_bytes <= 0) {
+    return Status::InvalidArgument("input_bytes must be positive");
+  }
+  if (point.num_jobs < 1) {
+    return Status::InvalidArgument("num_jobs must be >= 1");
+  }
+  if (point.block_size_bytes <= 0) {
+    return Status::InvalidArgument("block_size_bytes must be positive");
+  }
+  if (point.num_reducers < 0) {
+    return Status::InvalidArgument("num_reducers must be >= 0");
+  }
+  return Status::OK();
+}
+
+HadoopConfig ConfigFor(const ExperimentPoint& point) {
+  return PaperHadoopConfig(point.block_size_bytes, point.num_reducers);
+}
+
+}  // namespace
+
+ExperimentOptions DefaultExperimentOptions() {
+  ExperimentOptions opts;
+  opts.profile = WordCountProfile();
+  // Calibration (see EXPERIMENTS.md "Calibration" and the
+  // calibration_sweep example): task-duration variability of the simulated
+  // testbed, damped overlap factors (the tuning the paper's conclusions
+  // point at), and slightly heavy-tailed leaf responses for the Tripathi
+  // estimator.
+  opts.sim.task_cv = 1.3;
+  opts.model.overlap.alpha_scale = 0.6;
+  opts.model.overlap.beta_scale = 0.4;
+  opts.model.estimator.leaf_cv = 1.10;
+  return opts;
+}
+
+Result<double> RunSimulatedMeasurement(const ExperimentPoint& point,
+                                       const ExperimentOptions& options) {
+  MRPERF_RETURN_NOT_OK(ValidatePoint(point));
+  if (options.repetitions < 1) {
+    return Status::InvalidArgument("repetitions must be >= 1");
+  }
+  const ClusterConfig cluster = PaperCluster(point.num_nodes);
+  const HadoopConfig config = ConfigFor(point);
+
+  std::vector<double> means;
+  means.reserve(options.repetitions);
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    SimOptions sim_opts = options.sim;
+    sim_opts.seed = options.base_seed + static_cast<uint64_t>(rep) * 7919;
+    ClusterSimulator sim(cluster, sim_opts);
+    for (int j = 0; j < point.num_jobs; ++j) {
+      SimJobSpec spec;
+      spec.profile = options.profile;
+      spec.config = config;
+      spec.input_bytes = point.input_bytes;
+      spec.submit_time = 0.0;  // §5.1: jobs executed simultaneously
+      MRPERF_RETURN_NOT_OK(sim.SubmitJob(spec));
+    }
+    MRPERF_ASSIGN_OR_RETURN(SimResult result, sim.Run());
+    means.push_back(result.MeanJobResponse());
+  }
+  return Median(means);
+}
+
+Result<ModelResult> RunModelPrediction(const ExperimentPoint& point,
+                                       const ExperimentOptions& options) {
+  MRPERF_RETURN_NOT_OK(ValidatePoint(point));
+  const ClusterConfig cluster = PaperCluster(point.num_nodes);
+  const HadoopConfig config = ConfigFor(point);
+  MRPERF_ASSIGN_OR_RETURN(
+      ModelInput input,
+      ModelInputFromHerodotou(cluster, config, options.profile,
+                              point.input_bytes, point.num_jobs));
+  return SolveModel(input, options.model);
+}
+
+Result<ExperimentResult> RunExperiment(const ExperimentPoint& point,
+                                       const ExperimentOptions& options) {
+  ExperimentResult out;
+  out.point = point;
+  MRPERF_ASSIGN_OR_RETURN(out.measured_sec,
+                          RunSimulatedMeasurement(point, options));
+  MRPERF_ASSIGN_OR_RETURN(ModelResult model,
+                          RunModelPrediction(point, options));
+  out.forkjoin_sec = model.forkjoin_response;
+  out.tripathi_sec = model.tripathi_response;
+  out.model_iterations = model.iterations;
+  out.model_converged = model.converged;
+  out.tree_depth = model.tree_depth;
+  MRPERF_ASSIGN_OR_RETURN(
+      out.forkjoin_error,
+      SignedRelativeError(out.forkjoin_sec, out.measured_sec));
+  MRPERF_ASSIGN_OR_RETURN(
+      out.tripathi_error,
+      SignedRelativeError(out.tripathi_sec, out.measured_sec));
+  return out;
+}
+
+}  // namespace mrperf

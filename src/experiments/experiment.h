@@ -1,0 +1,70 @@
+/// \file experiment.h
+/// \brief Experiment driver: runs the cluster simulator ("HadoopSetup",
+/// the measured series of Figures 10–15) against the analytic model's
+/// Fork/Join and Tripathi estimates for one workload point, and computes
+/// the relative errors the paper reports in §5.2.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "hadoop/config.h"
+#include "hadoop/job_profile.h"
+#include "model/model.h"
+#include "sim/cluster_sim.h"
+
+namespace mrperf {
+
+/// \brief One point of the evaluation grid (§5.1 parameters).
+struct ExperimentPoint {
+  int num_nodes = 4;
+  int64_t input_bytes = 1 * kGiB;
+  int num_jobs = 1;
+  int64_t block_size_bytes = 128 * kMiB;
+  int num_reducers = 2;
+};
+
+/// \brief Run configuration.
+struct ExperimentOptions {
+  /// Simulator repetitions; the paper repeats each experiment 5 times and
+  /// takes the median (§5.1).
+  int repetitions = 5;
+  uint64_t base_seed = 1234;
+  SimOptions sim;
+  ModelOptions model;
+  JobProfile profile;
+};
+
+/// \brief Measured-vs-predicted outcome for one point.
+struct ExperimentResult {
+  ExperimentPoint point;
+  /// Median (over repetitions) of the simulator's mean job response.
+  double measured_sec = 0.0;
+  double forkjoin_sec = 0.0;
+  double tripathi_sec = 0.0;
+  /// Signed relative errors (positive = overestimate).
+  double forkjoin_error = 0.0;
+  double tripathi_error = 0.0;
+  int model_iterations = 0;
+  bool model_converged = false;
+  int tree_depth = 0;
+};
+
+/// \brief Default options with the paper's WordCount calibration.
+ExperimentOptions DefaultExperimentOptions();
+
+/// \brief Runs simulator + model for one grid point.
+Result<ExperimentResult> RunExperiment(const ExperimentPoint& point,
+                                       const ExperimentOptions& options);
+
+/// \brief Runs only the simulator side (used by calibration and tests).
+Result<double> RunSimulatedMeasurement(const ExperimentPoint& point,
+                                       const ExperimentOptions& options);
+
+/// \brief Runs only the model side.
+Result<ModelResult> RunModelPrediction(const ExperimentPoint& point,
+                                       const ExperimentOptions& options);
+
+}  // namespace mrperf

@@ -1,0 +1,74 @@
+#include "experiments/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace mrperf {
+
+void PrintFigureTable(std::ostream& os, const std::string& title,
+                      const std::string& x_label,
+                      const std::vector<double>& x_values,
+                      const std::vector<ExperimentResult>& results) {
+  os << "== " << title << " ==\n";
+  os << std::left << std::setw(10) << x_label << std::right << std::setw(14)
+     << "HadoopSetup" << std::setw(12) << "Fork/join" << std::setw(12)
+     << "Tripathi" << std::setw(10) << "FJ err%" << std::setw(10)
+     << "Tri err%" << "\n";
+  const size_t rows = std::min(x_values.size(), results.size());
+  os << std::fixed;
+  for (size_t i = 0; i < rows; ++i) {
+    const auto& r = results[i];
+    os << std::left << std::setw(10) << std::setprecision(0) << x_values[i]
+       << std::right << std::setprecision(1) << std::setw(14)
+       << r.measured_sec << std::setw(12) << r.forkjoin_sec << std::setw(12)
+       << r.tripathi_sec << std::setw(9) << r.forkjoin_error * 100.0 << "%"
+       << std::setw(9) << r.tripathi_error * 100.0 << "%" << "\n";
+  }
+  os.unsetf(std::ios_base::floatfield);
+  os << "\n";
+}
+
+ErrorSummary SummarizeErrors(const std::vector<ExperimentResult>& results) {
+  ErrorSummary s;
+  if (results.empty()) return s;
+  s.count = static_cast<int>(results.size());
+  double fj_sum = 0, tri_sum = 0;
+  int fj_over = 0, tri_over = 0;
+  s.forkjoin_min = s.tripathi_min = 1e300;
+  for (const auto& r : results) {
+    const double fj = std::abs(r.forkjoin_error);
+    const double tri = std::abs(r.tripathi_error);
+    s.forkjoin_min = std::min(s.forkjoin_min, fj);
+    s.forkjoin_max = std::max(s.forkjoin_max, fj);
+    s.tripathi_min = std::min(s.tripathi_min, tri);
+    s.tripathi_max = std::max(s.tripathi_max, tri);
+    fj_sum += fj;
+    tri_sum += tri;
+    if (r.forkjoin_error > 0) ++fj_over;
+    if (r.tripathi_error > 0) ++tri_over;
+  }
+  s.forkjoin_mean = fj_sum / s.count;
+  s.tripathi_mean = tri_sum / s.count;
+  s.forkjoin_over_fraction = static_cast<double>(fj_over) / s.count;
+  s.tripathi_over_fraction = static_cast<double>(tri_over) / s.count;
+  return s;
+}
+
+void PrintErrorSummary(std::ostream& os, const std::string& title,
+                       const ErrorSummary& s) {
+  os << "== " << title << " ==\n" << std::fixed << std::setprecision(1);
+  os << "points: " << s.count << "\n";
+  os << "Fork/join error: min " << s.forkjoin_min * 100 << "%, max "
+     << s.forkjoin_max * 100 << "%, mean " << s.forkjoin_mean * 100
+     << "% (overestimates " << s.forkjoin_over_fraction * 100
+     << "% of points)\n";
+  os << "Tripathi  error: min " << s.tripathi_min * 100 << "%, max "
+     << s.tripathi_max * 100 << "%, mean " << s.tripathi_mean * 100
+     << "% (overestimates " << s.tripathi_over_fraction * 100
+     << "% of points)\n\n";
+  os.unsetf(std::ios_base::floatfield);
+}
+
+}  // namespace mrperf

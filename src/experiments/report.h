@@ -1,0 +1,49 @@
+/// \file report.h
+/// \brief Text rendering of the paper's figures: one series table per
+/// figure with the HadoopSetup (simulated), Fork/join and Tripathi columns,
+/// plus error summaries (§5.2).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "experiments/experiment.h"
+
+namespace mrperf {
+
+/// \brief Prints a figure as an aligned table.
+///
+/// \param os output stream
+/// \param title e.g. "Figure 10: Input 1GB, #jobs 1"
+/// \param x_label e.g. "nodes" or "jobs"
+/// \param x_values x coordinate per row
+/// \param results one ExperimentResult per row
+void PrintFigureTable(std::ostream& os, const std::string& title,
+                      const std::string& x_label,
+                      const std::vector<double>& x_values,
+                      const std::vector<ExperimentResult>& results);
+
+/// \brief Error-range summary across many results: min/max/mean absolute
+/// relative error per estimator (the 11%–13.5% / 19%–23% style numbers).
+struct ErrorSummary {
+  double forkjoin_min = 0.0;
+  double forkjoin_max = 0.0;
+  double forkjoin_mean = 0.0;
+  double tripathi_min = 0.0;
+  double tripathi_max = 0.0;
+  double tripathi_mean = 0.0;
+  int count = 0;
+  /// Fraction of points where each estimator overestimates (the paper
+  /// observes both approaches overestimate).
+  double forkjoin_over_fraction = 0.0;
+  double tripathi_over_fraction = 0.0;
+};
+
+ErrorSummary SummarizeErrors(const std::vector<ExperimentResult>& results);
+
+void PrintErrorSummary(std::ostream& os, const std::string& title,
+                       const ErrorSummary& summary);
+
+}  // namespace mrperf

@@ -1,0 +1,90 @@
+#include "hadoop/aria_model.h"
+
+namespace mrperf {
+namespace {
+
+Status ValidateStage(const AriaStageProfile& stage) {
+  if (stage.num_tasks < 0) {
+    return Status::InvalidArgument("num_tasks must be >= 0");
+  }
+  if (stage.avg_task_seconds < 0 || stage.max_task_seconds < 0) {
+    return Status::InvalidArgument("task durations must be >= 0");
+  }
+  if (stage.num_tasks > 0 &&
+      stage.max_task_seconds + 1e-12 < stage.avg_task_seconds) {
+    return Status::InvalidArgument(
+        "max task duration cannot be below the average");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<AriaBounds> MakespanBounds(const AriaStageProfile& stage, int slots) {
+  MRPERF_RETURN_NOT_OK(ValidateStage(stage));
+  if (slots < 1) {
+    return Status::InvalidArgument("slots must be >= 1");
+  }
+  AriaBounds out;
+  if (stage.num_tasks == 0) return out;
+  const double n = static_cast<double>(stage.num_tasks);
+  const double k = static_cast<double>(slots);
+  out.lower = n * stage.avg_task_seconds / k;
+  out.upper = (n - 1.0) * stage.avg_task_seconds / k + stage.max_task_seconds;
+  out.average = 0.5 * (out.lower + out.upper);
+  return out;
+}
+
+Result<AriaBounds> EstimateJobCompletion(const AriaJobProfile& profile,
+                                         int map_slots, int reduce_slots) {
+  MRPERF_ASSIGN_OR_RETURN(AriaBounds map_b,
+                          MakespanBounds(profile.map, map_slots));
+  AriaBounds out = map_b;
+
+  if (profile.reduce.num_tasks > 0) {
+    if (reduce_slots < 1) {
+      return Status::InvalidArgument(
+          "reduce_slots must be >= 1 when the job has reduce tasks");
+    }
+    // First-wave shuffle overlaps maps and is charged once at full size;
+    // subsequent waves shuffle while earlier reduces run.
+    const int waves =
+        (profile.reduce.num_tasks + reduce_slots - 1) / reduce_slots;
+    out.lower += profile.first_shuffle.avg_task_seconds;
+    out.upper += profile.first_shuffle.max_task_seconds;
+    if (waves > 1) {
+      AriaStageProfile remaining = profile.typical_shuffle;
+      remaining.num_tasks =
+          profile.reduce.num_tasks - reduce_slots;  // waves 2..w
+      MRPERF_ASSIGN_OR_RETURN(AriaBounds shuffle_b,
+                              MakespanBounds(remaining, reduce_slots));
+      out.lower += shuffle_b.lower;
+      out.upper += shuffle_b.upper;
+    }
+    MRPERF_ASSIGN_OR_RETURN(AriaBounds reduce_b,
+                            MakespanBounds(profile.reduce, reduce_slots));
+    out.lower += reduce_b.lower;
+    out.upper += reduce_b.upper;
+  }
+  out.average = 0.5 * (out.lower + out.upper);
+  return out;
+}
+
+Result<int> MinSlotsForDeadline(const AriaJobProfile& profile,
+                                double deadline_seconds, int max_slots) {
+  if (deadline_seconds <= 0) {
+    return Status::InvalidArgument("deadline must be positive");
+  }
+  if (max_slots < 1) {
+    return Status::InvalidArgument("max_slots must be >= 1");
+  }
+  for (int slots = 1; slots <= max_slots; ++slots) {
+    MRPERF_ASSIGN_OR_RETURN(AriaBounds b,
+                            EstimateJobCompletion(profile, slots, slots));
+    if (b.upper <= deadline_seconds) return slots;
+  }
+  return Status::OutOfRange(
+      "deadline not achievable within max_slots containers");
+}
+
+}  // namespace mrperf

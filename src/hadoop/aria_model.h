@@ -1,0 +1,63 @@
+/// \file aria_model.h
+/// \brief ARIA makespan bounds (Verma, Cherkasova, Campbell [11]).
+///
+/// The second static baseline the paper discusses (§2.1). Given per-stage
+/// task duration statistics and the number of containers allocated, the
+/// Makespan Theorem for greedy task assignment gives
+///   T_low = n · avg / k          (perfect packing)
+///   T_up  = (n − 1) · avg / k + max   (worst adversarial arrival)
+/// per stage, and T_avg = (T_low + T_up) / 2 is ARIA's recommended job
+/// completion estimate. ARIA assumes a fixed slot count per stage — exactly
+/// the Hadoop 1.x assumption the paper argues no longer holds under YARN —
+/// so it serves here as the baseline the dynamic model is compared against.
+
+#pragma once
+
+#include "common/status.h"
+
+namespace mrperf {
+
+/// \brief Duration statistics of the tasks of one stage.
+struct AriaStageProfile {
+  int num_tasks = 0;
+  double avg_task_seconds = 0.0;
+  double max_task_seconds = 0.0;
+};
+
+/// \brief Lower/upper/average completion bounds for one stage or a job.
+struct AriaBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+  double average = 0.0;  ///< (lower + upper) / 2
+};
+
+/// \brief Per-job ARIA profile: map stage, shuffle stage (typical + first
+/// wave), reduce stage.
+struct AriaJobProfile {
+  AriaStageProfile map;
+  /// Shuffle of the first reduce wave overlaps the map stage; ARIA models
+  /// it separately from typical-wave shuffles.
+  AriaStageProfile first_shuffle;
+  AriaStageProfile typical_shuffle;
+  AriaStageProfile reduce;
+};
+
+/// \brief Makespan bounds for `n` greedy-assigned tasks on `k` slots.
+/// Errors when n < 0, k < 1, durations negative, or max < avg.
+Result<AriaBounds> MakespanBounds(const AriaStageProfile& stage, int slots);
+
+/// \brief ARIA job completion estimate on `map_slots`/`reduce_slots`.
+///
+/// T_job = T_map + T_first_shuffle + T_typ_shuffle·(waves−1) + T_reduce,
+/// each term bounded by the Makespan Theorem.
+Result<AriaBounds> EstimateJobCompletion(const AriaJobProfile& profile,
+                                         int map_slots, int reduce_slots);
+
+/// \brief Inverse problem ARIA was built for: the minimum number of
+/// identical slots (used for both stages) so that the upper-bound job
+/// completion estimate meets `deadline_seconds`. Errors when the deadline
+/// is unachievable with `max_slots`.
+Result<int> MinSlotsForDeadline(const AriaJobProfile& profile,
+                                double deadline_seconds, int max_slots);
+
+}  // namespace mrperf

@@ -1,0 +1,83 @@
+#include "hadoop/config.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrperf {
+
+int HadoopConfig::MaxMapsPerNode() const {
+  return static_cast<int>(node_capacity_bytes / map_container_bytes);
+}
+
+int HadoopConfig::MaxReducesPerNode() const {
+  return static_cast<int>(node_capacity_bytes / reduce_container_bytes);
+}
+
+int HadoopConfig::NumMapTasks(int64_t input_bytes) const {
+  if (input_bytes <= 0) return 0;
+  return static_cast<int>((input_bytes + block_size_bytes - 1) /
+                          block_size_bytes);
+}
+
+Status HadoopConfig::Validate() const {
+  if (block_size_bytes <= 0) {
+    return Status::InvalidArgument("block_size_bytes must be positive");
+  }
+  if (replication_factor < 1) {
+    return Status::InvalidArgument("replication_factor must be >= 1");
+  }
+  if (io_sort_mb <= 0) {
+    return Status::InvalidArgument("io_sort_mb must be positive");
+  }
+  if (io_sort_spill_percent <= 0 || io_sort_spill_percent > 1) {
+    return Status::InvalidArgument("io_sort_spill_percent must be in (0,1]");
+  }
+  if (io_sort_factor < 2) {
+    return Status::InvalidArgument("io_sort_factor must be >= 2");
+  }
+  if (num_reducers < 0) {
+    return Status::InvalidArgument("num_reducers must be >= 0");
+  }
+  if (slowstart_completed_maps < 0 || slowstart_completed_maps > 1) {
+    return Status::InvalidArgument(
+        "slowstart_completed_maps must be in [0,1]");
+  }
+  if (shuffle_parallel_copies < 1) {
+    return Status::InvalidArgument("shuffle_parallel_copies must be >= 1");
+  }
+  if (map_container_bytes <= 0 || reduce_container_bytes <= 0) {
+    return Status::InvalidArgument("container sizes must be positive");
+  }
+  if (node_capacity_bytes < std::max(map_container_bytes,
+                                     reduce_container_bytes)) {
+    return Status::InvalidArgument(
+        "node capacity must fit at least one container");
+  }
+  return Status::OK();
+}
+
+Status NodeHardware::Validate() const {
+  if (cpu_cores < 1) {
+    return Status::InvalidArgument("cpu_cores must be >= 1");
+  }
+  if (disks < 1) {
+    return Status::InvalidArgument("disks must be >= 1");
+  }
+  if (disk_read_bytes_per_sec <= 0 || disk_write_bytes_per_sec <= 0 ||
+      network_bytes_per_sec <= 0) {
+    return Status::InvalidArgument("hardware rates must be positive");
+  }
+  return Status::OK();
+}
+
+Status ClusterConfig::Validate() const {
+  if (num_nodes < 1) {
+    return Status::InvalidArgument("num_nodes must be >= 1");
+  }
+  if (node_capacity_bytes <= 0) {
+    return Status::InvalidArgument("node_capacity_bytes must be positive");
+  }
+  return node.Validate();
+}
+
+}  // namespace mrperf

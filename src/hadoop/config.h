@@ -1,0 +1,105 @@
+/// \file config.h
+/// \brief Hadoop/YARN configuration parameters relevant to the cost models.
+///
+/// Mirrors the subset of `mapred-site.xml` / `yarn-site.xml` knobs the
+/// paper's models depend on: split sizing, sort buffer management, shuffle
+/// parallelism, the reduce slow-start threshold, and container sizing.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace mrperf {
+
+/// \brief Byte-count helpers.
+constexpr int64_t kKiB = 1024;
+constexpr int64_t kMiB = 1024 * kKiB;
+constexpr int64_t kGiB = 1024 * kMiB;
+
+/// \brief Static Hadoop 2.x configuration for one job submission.
+struct HadoopConfig {
+  // --- HDFS / input ---------------------------------------------------
+  /// dfs.blocksize: input split size; the number of map tasks is
+  /// ceil(input_size / block_size) (paper §3.3: "the number of map tasks is
+  /// based on the input splits").
+  int64_t block_size_bytes = 128 * kMiB;
+  /// dfs.replication applied to reduce output writes.
+  int replication_factor = 3;
+
+  // --- Map-side sort/spill (Herodotou model inputs) --------------------
+  /// mapreduce.task.io.sort.mb: map-side sort buffer.
+  int64_t io_sort_mb = 100 * kMiB;
+  /// mapreduce.map.sort.spill.percent: buffer fill fraction triggering a
+  /// spill.
+  double io_sort_spill_percent = 0.8;
+  /// mapreduce.task.io.sort.factor: number of streams merged at once.
+  int io_sort_factor = 10;
+
+  // --- Reduce / shuffle -------------------------------------------------
+  /// mapreduce.job.reduces: user-defined number of reduce tasks (paper
+  /// §3.3: "the number of reducers [is based] on user-defined parameter").
+  int num_reducers = 1;
+  /// mapreduce.job.reduce.slowstart.completedmaps: fraction of finished
+  /// maps before reduces are scheduled. Default 0.05 (paper §4.2.2:
+  /// "schedulers wait until 5% of the map tasks in a job have completed").
+  double slowstart_completed_maps = 0.05;
+  /// Whether slow start is enabled at all. Disabling it makes the shuffle
+  /// begin only after the last map (paper, Algorithm 1 lines 7-11).
+  bool slowstart_enabled = true;
+  /// mapreduce.reduce.shuffle.parallelcopies.
+  int shuffle_parallel_copies = 5;
+
+  // --- Containers (YARN) ------------------------------------------------
+  /// mapreduce.map.memory.mb equivalent, in bytes.
+  int64_t map_container_bytes = 1024 * kMiB;
+  /// mapreduce.reduce.memory.mb equivalent, in bytes.
+  int64_t reduce_container_bytes = 1024 * kMiB;
+  /// yarn.nodemanager.resource.memory-mb equivalent, in bytes.
+  int64_t node_capacity_bytes = 8192 * kMiB;
+  /// Default MapReduce AM priorities (paper §3.3, RMContainerAllocator):
+  /// maps get 20, reduces get 10; higher value is served first here.
+  int map_priority = 20;
+  int reduce_priority = 10;
+
+  /// Containers per node available to map tasks:
+  /// floor(TotalNodeCapacity / SizeOfContainerForMapTask) (paper §4.3).
+  int MaxMapsPerNode() const;
+  /// Containers per node available to reduce tasks.
+  int MaxReducesPerNode() const;
+
+  /// Number of map tasks for a given input size.
+  int NumMapTasks(int64_t input_bytes) const;
+
+  Status Validate() const;
+};
+
+/// \brief Hardware rates of one cluster node, used to turn data volumes
+/// into service demands. Defaults approximate the paper's testbed (2x Xeon
+/// E5-2630L, 1 SATA disk, gigabit Ethernet).
+struct NodeHardware {
+  int cpu_cores = 12;
+  int disks = 1;
+  /// Sequential HDFS-read throughput per disk, bytes/sec.
+  double disk_read_bytes_per_sec = 140.0 * kMiB;
+  /// Sequential write throughput per disk, bytes/sec.
+  double disk_write_bytes_per_sec = 110.0 * kMiB;
+  /// Network throughput per node, bytes/sec (gigabit ≈ 117 MiB/s).
+  double network_bytes_per_sec = 117.0 * kMiB;
+
+  Status Validate() const;
+};
+
+/// \brief Cluster description: homogeneous nodes (paper §4.1 assumption).
+struct ClusterConfig {
+  int num_nodes = 4;
+  NodeHardware node;
+  /// NodeManager-advertised memory per node, bytes. Kept consistent with
+  /// HadoopConfig::node_capacity_bytes by the experiment drivers.
+  int64_t node_capacity_bytes = 8192 * kMiB;
+
+  Status Validate() const;
+};
+
+}  // namespace mrperf

@@ -1,0 +1,274 @@
+#include "hadoop/herodotou_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrperf {
+namespace {
+
+/// Number of sequential merge passes needed to merge `segments` sorted runs
+/// with a fan-in of `factor` (classic external-merge pass count).
+int64_t MergePasses(int64_t segments, int factor) {
+  if (segments <= 1) return 0;
+  int64_t passes = 0;
+  while (segments > 1) {
+    segments = (segments + factor - 1) / factor;
+    ++passes;
+  }
+  return passes;
+}
+
+}  // namespace
+
+PhaseCost MapTaskCost::TotalCost() const {
+  PhaseCost total;
+  total += read;
+  total += map;
+  total += collect;
+  total += spill;
+  total += merge;
+  return total;
+}
+
+PhaseCost ReduceTaskCost::TotalCost() const {
+  PhaseCost total;
+  total += shuffle;
+  total += merge;
+  total += reduce;
+  total += write;
+  return total;
+}
+
+PhaseCost ReduceTaskCost::ShuffleSortCost() const {
+  // The paper groups each shuffle with its partial sort into one
+  // "shuffle-sort" subtask (§4.1); the partial sorts are the merge work
+  // proportional to the shuffled volume, which this model accounts for in
+  // `merge`. Attribute the in-shuffle half of the merging to shuffle-sort.
+  PhaseCost out = shuffle;
+  out.cpu += 0.5 * merge.cpu;
+  out.disk += 0.5 * merge.disk;
+  return out;
+}
+
+PhaseCost ReduceTaskCost::MergeSubtaskCost() const {
+  // Final sort + reduce function + output write (§4.1: "we group the final
+  // sort and the reduce function into one merge subtask").
+  PhaseCost out;
+  out.cpu = 0.5 * merge.cpu + reduce.cpu + write.cpu;
+  out.disk = 0.5 * merge.disk + reduce.disk + write.disk;
+  out.network = reduce.network + write.network;
+  return out;
+}
+
+HerodotouModel::HerodotouModel(ClusterConfig cluster, HadoopConfig config,
+                               JobProfile profile)
+    : cluster_(std::move(cluster)),
+      config_(std::move(config)),
+      profile_(std::move(profile)) {}
+
+Status HerodotouModel::Validate() const {
+  MRPERF_RETURN_NOT_OK(cluster_.Validate());
+  MRPERF_RETURN_NOT_OK(config_.Validate());
+  return profile_.Validate();
+}
+
+int64_t HerodotouModel::MapOutputBytes(int64_t split_bytes) const {
+  const auto& df = profile_.dataflow;
+  double out = static_cast<double>(split_bytes) * df.map_size_selectivity;
+  if (profile_.use_combiner) out *= df.combine_size_selectivity;
+  out *= df.intermediate_compress_ratio;
+  return static_cast<int64_t>(out);
+}
+
+Result<MapTaskCost> HerodotouModel::CostMapTask(int64_t split_bytes) const {
+  MRPERF_RETURN_NOT_OK(Validate());
+  if (split_bytes < 0) {
+    return Status::InvalidArgument("split_bytes must be >= 0");
+  }
+  const auto& df = profile_.dataflow;
+  const auto& cs = profile_.cost;
+  const auto& hw = cluster_.node;
+
+  MapTaskCost out;
+  out.input_bytes = split_bytes;
+  const double input_records =
+      static_cast<double>(split_bytes) / df.input_record_bytes;
+  const double map_out_bytes_raw =
+      static_cast<double>(split_bytes) * df.map_size_selectivity;
+  const double map_out_records = input_records * df.map_record_selectivity;
+
+  // Read: stream the split from HDFS. The common case is a data-local read,
+  // so it is disk-bound.
+  out.read.disk = static_cast<double>(split_bytes) /
+                  (hw.disk_read_bytes_per_sec * hw.disks);
+  // Fixed startup charged to the read phase (container launch, JVM init).
+  out.read.cpu = cs.task_startup_sec;
+
+  // Map: user function CPU over all input records.
+  out.map.cpu = input_records * cs.map_cpu_per_record;
+
+  // Collect: partition + serialize each output record into the buffer.
+  out.collect.cpu = map_out_records * cs.collect_cpu_per_record;
+
+  // Spill: the buffer of io.sort.mb * spill.percent fills
+  // ceil(map_out / threshold) times; each spill quick-sorts its records
+  // (log2 of records per spill comparisons) and writes the (possibly
+  // combined, compressed) run to local disk.
+  const double spill_threshold = static_cast<double>(config_.io_sort_mb) *
+                                 config_.io_sort_spill_percent;
+  const int64_t spill_count = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(map_out_bytes_raw / spill_threshold)));
+  out.spill_count = spill_count;
+  const double records_per_spill = map_out_records / spill_count;
+  const double sort_log =
+      records_per_spill > 2.0 ? std::log2(records_per_spill) : 1.0;
+  out.spill.cpu = map_out_records * cs.sort_cpu_per_record * sort_log;
+  double spilled_bytes = map_out_bytes_raw;
+  if (profile_.use_combiner) {
+    out.spill.cpu += map_out_records * cs.combine_cpu_per_record;
+    spilled_bytes *= df.combine_size_selectivity;
+  }
+  spilled_bytes *= df.intermediate_compress_ratio;
+  out.spill.disk = spilled_bytes / (hw.disk_write_bytes_per_sec * hw.disks);
+
+  // Merge: combine spill runs into the single sorted map output file.
+  // Every pass reads and rewrites the full output volume.
+  const int64_t passes = MergePasses(spill_count, config_.io_sort_factor);
+  out.merge_passes = passes;
+  if (passes > 0) {
+    const double pass_records =
+        map_out_records * (profile_.use_combiner
+                               ? df.combine_record_selectivity
+                               : 1.0);
+    out.merge.cpu =
+        static_cast<double>(passes) * pass_records * cs.merge_cpu_per_record;
+    out.merge.disk = static_cast<double>(passes) * spilled_bytes *
+                     (1.0 / (hw.disk_read_bytes_per_sec * hw.disks) +
+                      1.0 / (hw.disk_write_bytes_per_sec * hw.disks));
+  }
+
+  out.output_bytes = MapOutputBytes(split_bytes);
+  return out;
+}
+
+Result<ReduceTaskCost> HerodotouModel::CostReduceTask(
+    int64_t total_map_output_bytes, int num_reducers,
+    double remote_fraction) const {
+  MRPERF_RETURN_NOT_OK(Validate());
+  if (total_map_output_bytes < 0) {
+    return Status::InvalidArgument("total_map_output_bytes must be >= 0");
+  }
+  if (num_reducers < 1) {
+    return Status::InvalidArgument("num_reducers must be >= 1");
+  }
+  if (remote_fraction < 0 || remote_fraction > 1) {
+    return Status::InvalidArgument("remote_fraction must be in [0,1]");
+  }
+  const auto& df = profile_.dataflow;
+  const auto& cs = profile_.cost;
+  const auto& hw = cluster_.node;
+
+  ReduceTaskCost out;
+  const double shuffle_bytes =
+      static_cast<double>(total_map_output_bytes) / num_reducers;
+  out.input_bytes = static_cast<int64_t>(shuffle_bytes);
+  // Width of one intermediate record: map output bytes over map output
+  // records, expressed through the selectivities.
+  const double intermediate_record_bytes =
+      df.input_record_bytes * df.map_size_selectivity /
+      std::max(df.map_record_selectivity, 1e-12);
+  const double reduce_in_records =
+      shuffle_bytes > 0 && intermediate_record_bytes > 0
+          ? shuffle_bytes / intermediate_record_bytes
+          : 0.0;
+
+  // Shuffle: remote segments cross the network; local segments are read
+  // from the local disks. Shuffled data lands on the reducer's disk.
+  out.shuffle.network =
+      shuffle_bytes * remote_fraction / hw.network_bytes_per_sec;
+  out.shuffle.disk =
+      shuffle_bytes * (1.0 - remote_fraction) /
+          (hw.disk_read_bytes_per_sec * hw.disks) +
+      shuffle_bytes / (hw.disk_write_bytes_per_sec * hw.disks);
+  out.shuffle.cpu = cs.task_startup_sec;
+
+  // Merge (sort): merge the per-map segments; one full read+write pass per
+  // merge level over the shuffled volume plus per-record merge CPU.
+  const int64_t segments = std::max<int64_t>(1, num_reducers);
+  // Segments arriving at a reducer equal the number of map tasks; callers
+  // that know m can refine via merge passes on m segments. We approximate
+  // with io.sort.factor-driven passes over the volume.
+  const int64_t passes =
+      MergePasses(std::max<int64_t>(segments, 2), config_.io_sort_factor);
+  const double sort_log =
+      reduce_in_records > 2.0 ? std::log2(reduce_in_records) : 1.0;
+  out.merge.cpu = reduce_in_records * cs.sort_cpu_per_record * sort_log +
+                  static_cast<double>(passes) * reduce_in_records *
+                      cs.merge_cpu_per_record;
+  out.merge.disk = static_cast<double>(passes) * shuffle_bytes *
+                   (1.0 / (hw.disk_read_bytes_per_sec * hw.disks) +
+                    1.0 / (hw.disk_write_bytes_per_sec * hw.disks));
+
+  // Reduce: user function over all grouped records.
+  out.reduce.cpu = reduce_in_records * cs.reduce_cpu_per_record;
+
+  // Write: reduce output to HDFS; the first replica is local, the
+  // replication pipeline pushes the rest over the network.
+  const double out_bytes = shuffle_bytes * df.reduce_size_selectivity;
+  out.output_bytes = static_cast<int64_t>(out_bytes);
+  out.write.disk = out_bytes / (hw.disk_write_bytes_per_sec * hw.disks);
+  if (config_.replication_factor > 1) {
+    out.write.network = out_bytes *
+                        static_cast<double>(config_.replication_factor - 1) /
+                        hw.network_bytes_per_sec;
+  }
+  return out;
+}
+
+Result<StaticJobEstimate> HerodotouModel::EstimateJob(
+    int64_t input_bytes) const {
+  MRPERF_RETURN_NOT_OK(Validate());
+  if (input_bytes <= 0) {
+    return Status::InvalidArgument("input_bytes must be positive");
+  }
+  StaticJobEstimate est;
+  est.num_map_tasks = config_.NumMapTasks(input_bytes);
+  est.num_reduce_tasks = config_.num_reducers;
+
+  const int64_t last_split =
+      input_bytes - static_cast<int64_t>(est.num_map_tasks - 1) *
+                        config_.block_size_bytes;
+  (void)last_split;  // Full splits dominate; cost the typical split.
+  const int64_t split = std::min<int64_t>(input_bytes,
+                                          config_.block_size_bytes);
+  MRPERF_ASSIGN_OR_RETURN(est.map_task, CostMapTask(split));
+
+  const int64_t total_map_out =
+      MapOutputBytes(split) * static_cast<int64_t>(est.num_map_tasks);
+  // With node-local maps, a 1/numNodes fraction of each reducer's input is
+  // local on average.
+  const double remote_fraction =
+      cluster_.num_nodes > 1
+          ? 1.0 - 1.0 / static_cast<double>(cluster_.num_nodes)
+          : 0.0;
+  MRPERF_ASSIGN_OR_RETURN(
+      est.reduce_task,
+      CostReduceTask(total_map_out, std::max(1, est.num_reduce_tasks),
+                     remote_fraction));
+
+  // §4.2.1: "we will give all available resources to the map tasks and then
+  // to the reduce tasks" — wave-serialized static estimate.
+  const int map_slots = cluster_.num_nodes * config_.MaxMapsPerNode();
+  const int reduce_slots = cluster_.num_nodes * config_.MaxReducesPerNode();
+  est.map_waves = (est.num_map_tasks + map_slots - 1) / map_slots;
+  est.reduce_waves =
+      est.num_reduce_tasks > 0
+          ? (est.num_reduce_tasks + reduce_slots - 1) / reduce_slots
+          : 0;
+  est.total_seconds =
+      est.map_waves * est.map_task.TotalSeconds() +
+      est.reduce_waves * est.reduce_task.TotalSeconds();
+  return est;
+}
+
+}  // namespace mrperf

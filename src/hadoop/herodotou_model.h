@@ -1,0 +1,133 @@
+/// \file herodotou_model.h
+/// \brief Herodotou's static per-phase MapReduce cost model [3]
+/// (arXiv:1106.0940), used by the paper for:
+///   (a) initializing task response times in activity A1 of the modified
+///       MVA loop ("obtaining from the existing static cost models"), and
+///   (b) as a static whole-job baseline that ignores contention and
+///       synchronization (Related Work §2.1).
+///
+/// The model describes a map task as read → map → collect → spill → merge
+/// and a reduce task as shuffle → merge (sort) → reduce → write, turning
+/// dataflow statistics and per-unit costs into phase durations. Every phase
+/// cost is also decomposed into CPU, disk and network components so the
+/// dynamic model can derive per-service-center demands from it.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "hadoop/config.h"
+#include "hadoop/job_profile.h"
+
+namespace mrperf {
+
+/// \brief Resource decomposition of one phase cost, in seconds.
+struct PhaseCost {
+  double cpu = 0.0;
+  double disk = 0.0;
+  double network = 0.0;
+
+  double Total() const { return cpu + disk + network; }
+
+  PhaseCost& operator+=(const PhaseCost& other) {
+    cpu += other.cpu;
+    disk += other.disk;
+    network += other.network;
+    return *this;
+  }
+};
+
+/// \brief Per-phase costs of a single map task.
+struct MapTaskCost {
+  PhaseCost read;     ///< Read the input split from HDFS.
+  PhaseCost map;      ///< Apply the user map function.
+  PhaseCost collect;  ///< Partition + serialize into the sort buffer.
+  PhaseCost spill;    ///< Sort (+ combine) and write spill files.
+  PhaseCost merge;    ///< Multi-pass merge of spills into the task output.
+
+  PhaseCost TotalCost() const;
+  double TotalSeconds() const { return TotalCost().Total(); }
+
+  // Dataflow derived alongside the costs.
+  int64_t input_bytes = 0;
+  int64_t output_bytes = 0;  ///< Final materialized map output.
+  int64_t spill_count = 0;
+  int64_t merge_passes = 0;
+};
+
+/// \brief Per-phase costs of a single reduce task.
+struct ReduceTaskCost {
+  PhaseCost shuffle;  ///< Copy map output partitions over the network.
+  PhaseCost merge;    ///< Merge-sort the shuffled segments.
+  PhaseCost reduce;   ///< Apply the user reduce function.
+  PhaseCost write;    ///< Write output to HDFS (replication pipeline).
+
+  PhaseCost TotalCost() const;
+  double TotalSeconds() const { return TotalCost().Total(); }
+
+  /// Cost of the paper's "shuffle-sort" subtask (shuffle + partial sorts).
+  PhaseCost ShuffleSortCost() const;
+  /// Cost of the paper's "merge" subtask (final sort + reduce + write).
+  PhaseCost MergeSubtaskCost() const;
+
+  int64_t input_bytes = 0;   ///< Bytes shuffled into this reducer.
+  int64_t output_bytes = 0;  ///< Bytes written to HDFS.
+};
+
+/// \brief Whole-job static estimate (no contention, no overlap).
+struct StaticJobEstimate {
+  MapTaskCost map_task;
+  ReduceTaskCost reduce_task;
+  int num_map_tasks = 0;
+  int num_reduce_tasks = 0;
+  int map_waves = 0;
+  int reduce_waves = 0;
+  /// Job duration assuming all resources go first to maps, then reduces
+  /// (paper §4.2.1's initialization assumption).
+  double total_seconds = 0.0;
+};
+
+/// \brief Herodotou-style analytic cost model instance.
+class HerodotouModel {
+ public:
+  /// \param cluster homogeneous cluster description
+  /// \param config Hadoop configuration of the submission
+  /// \param profile application dataflow/cost profile
+  HerodotouModel(ClusterConfig cluster, HadoopConfig config,
+                 JobProfile profile);
+
+  /// Validates the constituent configurations.
+  Status Validate() const;
+
+  /// Costs one map task processing `split_bytes` of input.
+  Result<MapTaskCost> CostMapTask(int64_t split_bytes) const;
+
+  /// Costs one reduce task given the total intermediate data of the job
+  /// (`total_map_output_bytes`, after combine/compression) divided evenly
+  /// across `num_reducers`; `remote_fraction` is the fraction of that data
+  /// shuffled across the network (the rest is node-local).
+  Result<ReduceTaskCost> CostReduceTask(int64_t total_map_output_bytes,
+                                        int num_reducers,
+                                        double remote_fraction) const;
+
+  /// Full static job estimate for `input_bytes` of input: number of tasks
+  /// from the block size, wave counts from per-node container capacity,
+  /// and the all-maps-then-all-reduces serialization of §4.2.1.
+  Result<StaticJobEstimate> EstimateJob(int64_t input_bytes) const;
+
+  const ClusterConfig& cluster() const { return cluster_; }
+  const HadoopConfig& config() const { return config_; }
+  const JobProfile& profile() const { return profile_; }
+
+ private:
+  /// Bytes of map output produced from `split_bytes` of input, after
+  /// combiner and compression.
+  int64_t MapOutputBytes(int64_t split_bytes) const;
+
+  ClusterConfig cluster_;
+  HadoopConfig config_;
+  JobProfile profile_;
+};
+
+}  // namespace mrperf

@@ -1,0 +1,41 @@
+#include "hadoop/job_profile.h"
+
+namespace mrperf {
+
+Status DataflowStats::Validate() const {
+  if (input_record_bytes <= 0) {
+    return Status::InvalidArgument("input_record_bytes must be positive");
+  }
+  if (map_size_selectivity < 0 || map_record_selectivity < 0) {
+    return Status::InvalidArgument("map selectivities must be >= 0");
+  }
+  if (combine_size_selectivity <= 0 || combine_size_selectivity > 1 ||
+      combine_record_selectivity <= 0 || combine_record_selectivity > 1) {
+    return Status::InvalidArgument("combine selectivities must be in (0,1]");
+  }
+  if (reduce_size_selectivity < 0 || reduce_record_selectivity < 0) {
+    return Status::InvalidArgument("reduce selectivities must be >= 0");
+  }
+  if (intermediate_compress_ratio <= 0 || intermediate_compress_ratio > 1) {
+    return Status::InvalidArgument(
+        "intermediate_compress_ratio must be in (0,1]");
+  }
+  return Status::OK();
+}
+
+Status CostStats::Validate() const {
+  if (map_cpu_per_record < 0 || reduce_cpu_per_record < 0 ||
+      combine_cpu_per_record < 0 || collect_cpu_per_record < 0 ||
+      sort_cpu_per_record < 0 || merge_cpu_per_record < 0 ||
+      task_startup_sec < 0) {
+    return Status::InvalidArgument("cost statistics must be >= 0");
+  }
+  return Status::OK();
+}
+
+Status JobProfile::Validate() const {
+  MRPERF_RETURN_NOT_OK(dataflow.Validate());
+  return cost.Validate();
+}
+
+}  // namespace mrperf

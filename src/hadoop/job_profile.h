@@ -1,0 +1,74 @@
+/// \file job_profile.h
+/// \brief Dataflow and cost statistics describing one MapReduce program.
+///
+/// This is the "Job Profile" abstraction the paper inherits from ARIA [11]
+/// and Herodotou [3]: application-level selectivities (how much data each
+/// stage produces) plus per-byte / per-record processing costs measured on
+/// the target hardware. Profiles are produced either analytically (the
+/// WordCount generator in `src/workload/`) or by profiling a simulator run.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace mrperf {
+
+/// \brief Dataflow statistics: sizes and record counts through the stages.
+struct DataflowStats {
+  /// Average input record width in bytes (e.g. a text line).
+  double input_record_bytes = 100.0;
+  /// Map selectivity in bytes: map_output_bytes / map_input_bytes.
+  double map_size_selectivity = 1.0;
+  /// Map selectivity in records: map_output_records / map_input_records.
+  double map_record_selectivity = 1.0;
+  /// Combiner output reduction applied to spilled data (1 = no combiner).
+  double combine_size_selectivity = 1.0;
+  double combine_record_selectivity = 1.0;
+  /// Reduce selectivity in bytes: reduce_output_bytes / reduce_input_bytes.
+  double reduce_size_selectivity = 1.0;
+  double reduce_record_selectivity = 1.0;
+  /// Intermediate-data compression ratio applied to shuffled bytes
+  /// (1 = uncompressed).
+  double intermediate_compress_ratio = 1.0;
+
+  Status Validate() const;
+};
+
+/// \brief Per-unit processing costs of the user code and the framework,
+/// in seconds per byte or seconds per record on one core of the target
+/// hardware.
+struct CostStats {
+  /// CPU cost of the map function per input record.
+  double map_cpu_per_record = 0.8e-6;
+  /// CPU cost of the reduce function per input record.
+  double reduce_cpu_per_record = 0.8e-6;
+  /// CPU cost of the combiner per record (only if combiner enabled).
+  double combine_cpu_per_record = 0.4e-6;
+  /// CPU cost of partitioning + serializing one map output record.
+  double collect_cpu_per_record = 0.3e-6;
+  /// CPU cost of comparing/moving one record during sort (per record per
+  /// merge pass; the log factor is applied by the model).
+  double sort_cpu_per_record = 0.15e-6;
+  /// CPU cost of merging one record (per pass).
+  double merge_cpu_per_record = 0.1e-6;
+  /// Fixed per-task startup/teardown overhead, seconds (JVM reuse off).
+  double task_startup_sec = 1.5;
+
+  Status Validate() const;
+};
+
+/// \brief Full job profile: program identity + dataflow + costs.
+struct JobProfile {
+  std::string name = "job";
+  DataflowStats dataflow;
+  CostStats cost;
+  /// Whether a combiner runs on spills.
+  bool use_combiner = false;
+
+  Status Validate() const;
+};
+
+}  // namespace mrperf

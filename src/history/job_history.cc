@@ -1,0 +1,191 @@
+#include "history/job_history.h"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace mrperf {
+namespace {
+
+constexpr const char* kMagic = "mrhist";
+constexpr int kVersion = 1;
+
+void WriteStats(std::ostream& os, const RunningStats& s) {
+  os << s.count() << ' ' << s.mean() << ' ' << s.variance() << ' ' << s.min()
+     << ' ' << s.max();
+}
+
+Result<RunningStats> ReadStats(std::istream& is) {
+  size_t count;
+  double mean, variance, min, max;
+  if (!(is >> count >> mean >> variance >> min >> max)) {
+    return Status::InvalidArgument("truncated statistics record");
+  }
+  return RunningStats::FromMoments(count, mean, variance, min, max);
+}
+
+}  // namespace
+
+Status JobHistory::AddRun(const SimResult& result) {
+  for (const auto& t : result.tasks) {
+    if (t.type == TaskType::kMap) {
+      MRPERF_RETURN_NOT_OK(AddRecord(
+          TaskClass::kMap, t.ResponseTime(), t.cpu_residence,
+          t.disk_residence, t.network_residence, t.cpu_demand,
+          t.disk_demand, t.network_demand));
+      continue;
+    }
+    // Split a reduce record at shuffle_end into the paper's shuffle-sort
+    // and merge subtasks, apportioning residences/demands by duration.
+    const double total = t.ResponseTime();
+    if (total <= 0) {
+      return Status::InvalidArgument("non-positive reduce response time");
+    }
+    double ss_frac = t.shuffle_end > t.start
+                         ? (t.shuffle_end - t.start) / total
+                         : 0.5;
+    if (ss_frac < 0) ss_frac = 0.0;
+    if (ss_frac > 1) ss_frac = 1.0;
+    const double mg_frac = 1.0 - ss_frac;
+    MRPERF_RETURN_NOT_OK(AddRecord(
+        TaskClass::kShuffleSort, total * ss_frac, t.cpu_residence * ss_frac,
+        t.disk_residence * ss_frac, t.network_residence,
+        t.cpu_demand * ss_frac, t.disk_demand * ss_frac, t.network_demand));
+    MRPERF_RETURN_NOT_OK(AddRecord(
+        TaskClass::kMerge, total * mg_frac, t.cpu_residence * mg_frac,
+        t.disk_residence * mg_frac, 0.0, t.cpu_demand * mg_frac,
+        t.disk_demand * mg_frac, 0.0));
+  }
+  return Status::OK();
+}
+
+Status JobHistory::AddRecord(TaskClass cls, double response, double cpu_res,
+                             double disk_res, double net_res, double cpu_dem,
+                             double disk_dem, double net_dem) {
+  if (response < 0 || cpu_res < 0 || disk_res < 0 || net_res < 0 ||
+      cpu_dem < 0 || disk_dem < 0 || net_dem < 0) {
+    return Status::InvalidArgument("history records must be non-negative");
+  }
+  ClassHistory& h = classes_[static_cast<int>(cls)];
+  h.response.Add(response);
+  h.cpu_residence.Add(cpu_res);
+  h.disk_residence.Add(disk_res);
+  h.network_residence.Add(net_res);
+  h.cpu_demand.Add(cpu_dem);
+  h.disk_demand.Add(disk_dem);
+  h.network_demand.Add(net_dem);
+  return Status::OK();
+}
+
+const ClassHistory& JobHistory::OfClass(TaskClass cls) const {
+  return classes_[static_cast<int>(cls)];
+}
+
+size_t JobHistory::TotalRecords() const {
+  size_t total = 0;
+  for (const auto& h : classes_) total += h.response.count();
+  return total;
+}
+
+Result<ModelInput> JobHistory::BuildModelInput(const ClusterConfig& cluster,
+                                               const HadoopConfig& config,
+                                               int map_tasks,
+                                               int reduce_tasks,
+                                               int num_jobs) const {
+  MRPERF_RETURN_NOT_OK(cluster.Validate());
+  MRPERF_RETURN_NOT_OK(config.Validate());
+  const ClassHistory& map = OfClass(TaskClass::kMap);
+  if (map.response.count() == 0) {
+    return Status::FailedPrecondition("no map-task history recorded");
+  }
+  ModelInput in;
+  in.num_nodes = cluster.num_nodes;
+  in.cpu_per_node = cluster.node.cpu_cores;
+  in.disk_per_node = cluster.node.disks;
+  in.num_jobs = num_jobs;
+  in.map_tasks = map_tasks;
+  in.reduce_tasks = reduce_tasks;
+  in.max_maps_per_node = config.MaxMapsPerNode();
+  in.max_reduces_per_node = config.MaxReducesPerNode();
+  in.slow_start = config.slowstart_enabled;
+
+  in.map_demand = {map.cpu_demand.mean(), map.disk_demand.mean(),
+                   map.network_demand.mean()};
+  in.init_map_response = map.response.mean();
+
+  if (reduce_tasks > 0) {
+    const ClassHistory& ss = OfClass(TaskClass::kShuffleSort);
+    const ClassHistory& mg = OfClass(TaskClass::kMerge);
+    if (ss.response.count() == 0 || mg.response.count() == 0) {
+      return Status::FailedPrecondition(
+          "no reduce-subtask history recorded");
+    }
+    in.shuffle_sort_local_demand = {ss.cpu_demand.mean(),
+                                    ss.disk_demand.mean(), 0.0};
+    // The recorded network demand of a shuffle-sort covers all remote
+    // segments; express it per remote map as Algorithm 1 expects.
+    const double mean_remote_maps =
+        cluster.num_nodes > 1
+            ? map_tasks * (1.0 - 1.0 / cluster.num_nodes)
+            : 0.0;
+    in.shuffle_per_remote_map_sec =
+        mean_remote_maps > 0 ? ss.network_demand.mean() / mean_remote_maps
+                             : 0.0;
+    in.merge_demand = {mg.cpu_demand.mean(), mg.disk_demand.mean(),
+                       mg.network_demand.mean()};
+    in.init_shuffle_sort_response = ss.response.mean();
+    in.init_merge_response = mg.response.mean();
+  }
+  MRPERF_RETURN_NOT_OK(in.Validate());
+  return in;
+}
+
+void JobHistory::Save(std::ostream& os) const {
+  // Round-trip-exact doubles.
+  os << std::setprecision(17);
+  os << kMagic << ' ' << kVersion << '\n';
+  for (int c = 0; c < kNumTaskClasses; ++c) {
+    const ClassHistory& h = classes_[c];
+    os << TaskClassToString(static_cast<TaskClass>(c));
+    for (const RunningStats* s :
+         {&h.response, &h.cpu_residence, &h.disk_residence,
+          &h.network_residence, &h.cpu_demand, &h.disk_demand,
+          &h.network_demand}) {
+      os << ' ';
+      WriteStats(os, *s);
+    }
+    os << '\n';
+  }
+}
+
+Result<JobHistory> JobHistory::Load(std::istream& is) {
+  std::string magic;
+  int version;
+  if (!(is >> magic >> version) || magic != kMagic) {
+    return Status::InvalidArgument("not an mrhist stream");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported mrhist version");
+  }
+  JobHistory out;
+  for (int c = 0; c < kNumTaskClasses; ++c) {
+    std::string name;
+    if (!(is >> name)) {
+      return Status::InvalidArgument("truncated mrhist stream");
+    }
+    if (name != TaskClassToString(static_cast<TaskClass>(c))) {
+      return Status::InvalidArgument("unexpected class name: " + name);
+    }
+    ClassHistory& h = out.classes_[c];
+    for (RunningStats* s :
+         {&h.response, &h.cpu_residence, &h.disk_residence,
+          &h.network_residence, &h.cpu_demand, &h.disk_demand,
+          &h.network_demand}) {
+      MRPERF_ASSIGN_OR_RETURN(*s, ReadStats(is));
+    }
+  }
+  return out;
+}
+
+}  // namespace mrperf

@@ -1,0 +1,76 @@
+/// \file job_history.h
+/// \brief Job-history store: the "history of corresponding real Hadoop job
+/// executions" of §4.2.1.
+///
+/// The paper's first initialization option takes average residence and
+/// response times from profiles of past executions. This module provides
+/// that path: it ingests per-task records (from the cluster simulator, or
+/// parsed from a history log), aggregates per-class statistics, and builds
+/// a `ModelInput` from them — the alternative to the Herodotou-based
+/// initialization of `ModelInputFromHerodotou`.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/statistics.h"
+#include "common/status.h"
+#include "model/input.h"
+#include "sim/cluster_sim.h"
+
+namespace mrperf {
+
+/// \brief Aggregated statistics of one task class across executions.
+struct ClassHistory {
+  RunningStats response;       ///< start→end wall time
+  RunningStats cpu_residence;  ///< time at CPU stations (queueing incl.)
+  RunningStats disk_residence;
+  RunningStats network_residence;
+  RunningStats cpu_demand;     ///< pure service demands
+  RunningStats disk_demand;
+  RunningStats network_demand;
+};
+
+/// \brief Accumulates task records from completed executions.
+class JobHistory {
+ public:
+  /// Ingests all task records of one simulated run. Reduce records are
+  /// split into the paper's shuffle-sort and merge subtasks using the
+  /// recorded shuffle_end timestamp (residences and demands are
+  /// apportioned by duration).
+  Status AddRun(const SimResult& result);
+
+  /// Ingests one raw record (already subtask-granular).
+  Status AddRecord(TaskClass cls, double response, double cpu_res,
+                   double disk_res, double net_res, double cpu_dem,
+                   double disk_dem, double net_dem);
+
+  const ClassHistory& OfClass(TaskClass cls) const;
+
+  /// Total records ingested across classes.
+  size_t TotalRecords() const;
+
+  /// Builds Table 2 inputs from the recorded averages: demands from the
+  /// mean pure service demands, initial response times from the mean
+  /// responses (the "sample techniques" initialization of §4.2.1).
+  /// Cluster shape (`num_nodes`, caps, slow start, m, r, N) comes from
+  /// the caller. Errors when a needed class has no records.
+  Result<ModelInput> BuildModelInput(const ClusterConfig& cluster,
+                                     const HadoopConfig& config,
+                                     int map_tasks, int reduce_tasks,
+                                     int num_jobs) const;
+
+  /// Serializes the aggregate history to a line-oriented text format
+  /// ("mrhist v1"): one line per class with counts and moments.
+  void Save(std::ostream& os) const;
+
+  /// Parses the format written by Save. Errors on malformed input.
+  static Result<JobHistory> Load(std::istream& is);
+
+ private:
+  ClassHistory classes_[kNumTaskClasses];
+};
+
+}  // namespace mrperf

@@ -1,0 +1,127 @@
+#include "model/input.h"
+
+#include <algorithm>
+
+namespace mrperf {
+
+const char* TaskClassToString(TaskClass c) {
+  switch (c) {
+    case TaskClass::kMap:
+      return "map";
+    case TaskClass::kShuffleSort:
+      return "shuffle-sort";
+    case TaskClass::kMerge:
+      return "merge";
+  }
+  return "?";
+}
+
+Status ModelInput::Validate() const {
+  if (num_nodes < 1) {
+    return Status::InvalidArgument("num_nodes must be >= 1");
+  }
+  if (cpu_per_node < 1 || disk_per_node < 1) {
+    return Status::InvalidArgument("cpu/disk per node must be >= 1");
+  }
+  if (num_jobs < 1) {
+    return Status::InvalidArgument("num_jobs must be >= 1");
+  }
+  if (map_tasks < 1) {
+    return Status::InvalidArgument("map_tasks must be >= 1");
+  }
+  if (reduce_tasks < 0) {
+    return Status::InvalidArgument("reduce_tasks must be >= 0");
+  }
+  if (max_maps_per_node < 1 || max_reduces_per_node < 1) {
+    return Status::InvalidArgument("container caps must be >= 1");
+  }
+  if (map_demand.Total() <= 0) {
+    return Status::InvalidArgument("map demand must be positive");
+  }
+  if (reduce_tasks > 0 && (shuffle_sort_local_demand.Total() < 0 ||
+                           merge_demand.Total() <= 0)) {
+    return Status::InvalidArgument("reduce subtask demands must be positive");
+  }
+  if (shuffle_per_remote_map_sec < 0) {
+    return Status::InvalidArgument(
+        "shuffle_per_remote_map_sec must be >= 0");
+  }
+  if (init_map_response <= 0) {
+    return Status::InvalidArgument("initial map response must be positive");
+  }
+  if (reduce_tasks > 0 &&
+      (init_shuffle_sort_response <= 0 || init_merge_response <= 0)) {
+    return Status::InvalidArgument(
+        "initial reduce subtask responses must be positive");
+  }
+  return Status::OK();
+}
+
+int ModelInput::SlotsPerNode() const {
+  return std::max(max_maps_per_node, max_reduces_per_node);
+}
+
+Result<ModelInput> ModelInputFromHerodotou(const ClusterConfig& cluster,
+                                           const HadoopConfig& config,
+                                           const JobProfile& profile,
+                                           int64_t input_bytes,
+                                           int num_jobs) {
+  HerodotouModel model(cluster, config, profile);
+  MRPERF_RETURN_NOT_OK(model.Validate());
+  MRPERF_ASSIGN_OR_RETURN(StaticJobEstimate est,
+                          model.EstimateJob(input_bytes));
+
+  ModelInput in;
+  in.num_nodes = cluster.num_nodes;
+  in.cpu_per_node = cluster.node.cpu_cores;
+  in.disk_per_node = cluster.node.disks;
+  in.num_jobs = num_jobs;
+  in.map_tasks = est.num_map_tasks;
+  in.reduce_tasks = est.num_reduce_tasks;
+  in.max_maps_per_node = config.MaxMapsPerNode();
+  in.max_reduces_per_node = config.MaxReducesPerNode();
+  in.slow_start = config.slowstart_enabled;
+
+  const MapTaskCost& mc = est.map_task;
+  in.map_demand.cpu = mc.read.cpu + mc.map.cpu + mc.collect.cpu +
+                      mc.spill.cpu + mc.merge.cpu;
+  in.map_demand.disk = mc.read.disk + mc.spill.disk + mc.merge.disk;
+  in.map_demand.network = 0.0;
+
+  if (est.num_reduce_tasks > 0) {
+    const ReduceTaskCost& rc = est.reduce_task;
+    const PhaseCost ss = rc.ShuffleSortCost();
+    const PhaseCost mg = rc.MergeSubtaskCost();
+    // The network leg of the shuffle is placement dependent; the timeline
+    // adds it per remote map (Algorithm 1, line 16). Keep the local part
+    // (disk + cpu) here.
+    in.shuffle_sort_local_demand.cpu = ss.cpu;
+    in.shuffle_sort_local_demand.disk = ss.disk;
+    in.shuffle_sort_local_demand.network = 0.0;
+    // m.sd / |R|: one map's output is shuffled in map_output/num_nodes...
+    // Each map contributes output_bytes/r to each reduce; a remote fetch
+    // moves those bytes across the reducer's NIC.
+    in.shuffle_per_remote_map_sec =
+        static_cast<double>(mc.output_bytes) /
+        std::max(1, est.num_reduce_tasks) /
+        cluster.node.network_bytes_per_sec;
+    in.merge_demand.cpu = mg.cpu;
+    in.merge_demand.disk = mg.disk;
+    in.merge_demand.network = mg.network;
+
+    // Initial responses: static phase totals; the shuffle-sort initial
+    // estimate includes the placement-averaged network leg.
+    const double remote_fraction =
+        cluster.num_nodes > 1 ? 1.0 - 1.0 / cluster.num_nodes : 0.0;
+    in.init_shuffle_sort_response =
+        in.shuffle_sort_local_demand.Total() +
+        remote_fraction * est.num_map_tasks * in.shuffle_per_remote_map_sec;
+    in.init_merge_response = in.merge_demand.Total();
+  }
+  in.init_map_response = in.map_demand.Total();
+
+  MRPERF_RETURN_NOT_OK(in.Validate());
+  return in;
+}
+
+}  // namespace mrperf

@@ -1,0 +1,85 @@
+/// \file input.h
+/// \brief Input parameters of the Hadoop 2.x performance model (Table 2).
+///
+/// The model considers C = 3 task classes — map, shuffle-sort, merge
+/// (paper §4.1: each reduce task is split into a shuffle-sort subtask and a
+/// merge subtask) — executing on a homogeneous cluster whose shared
+/// resources are CPU, disk and network stations on every node. Class
+/// service demands and initial response times are produced from the
+/// Herodotou static model (§4.2.1, the faster-converging initialization).
+
+#pragma once
+
+#include "common/status.h"
+#include "hadoop/config.h"
+#include "hadoop/herodotou_model.h"
+#include "hadoop/job_profile.h"
+
+namespace mrperf {
+
+/// \brief Task classes of the model.
+enum class TaskClass { kMap = 0, kShuffleSort = 1, kMerge = 2 };
+constexpr int kNumTaskClasses = 3;
+
+const char* TaskClassToString(TaskClass c);
+
+/// \brief Pure service demand of one task on each resource class, seconds.
+struct ClassDemand {
+  double cpu = 0.0;
+  double disk = 0.0;
+  double network = 0.0;
+
+  double Total() const { return cpu + disk + network; }
+};
+
+/// \brief Everything the model needs about one workload (Table 2).
+struct ModelInput {
+  // --- configuration parameters ---------------------------------------
+  int num_nodes = 4;        ///< numNodes
+  int cpu_per_node = 12;    ///< cpuPerNode
+  int disk_per_node = 1;    ///< diskPerNode
+
+  // --- workload parameters ---------------------------------------------
+  int num_jobs = 1;         ///< N concurrent homogeneous jobs
+  int map_tasks = 0;        ///< m per job
+  int reduce_tasks = 0;     ///< r per job
+  int max_maps_per_node = 8;     ///< MaxMapPerNode
+  int max_reduces_per_node = 8;  ///< MaxReducePerNode
+
+  /// Residence-time inputs S_{i,k}: pure service demand of each class at
+  /// each service center (cpu/disk/network of the task's node).
+  ClassDemand map_demand;
+  /// Node-local part of the shuffle-sort subtask (sorting, local reads,
+  /// disk writes of shuffled data).
+  ClassDemand shuffle_sort_local_demand;
+  /// Network seconds a reduce spends fetching ONE remote map's partition
+  /// (the paper's m.sd / |R| term in Algorithm 1, line 16).
+  double shuffle_per_remote_map_sec = 0.0;
+  ClassDemand merge_demand;
+
+  /// Initial AvgResponseTime_i per class (§4.2.1, from the static model).
+  double init_map_response = 0.0;
+  double init_shuffle_sort_response = 0.0;
+  double init_merge_response = 0.0;
+
+  // --- scheduling parameters --------------------------------------------
+  bool slow_start = true;  ///< reduce slow start (Algorithm 1, lines 7-11)
+
+  Status Validate() const;
+
+  /// Container slots per node usable by the timeline: the cluster is a
+  /// continuum, so any task may use any slot (§1: "no static partitioning
+  /// of resources per map and reduce tasks").
+  int SlotsPerNode() const;
+};
+
+/// \brief Builds a ModelInput from the Herodotou static model (§4.2.1's
+/// recommended initialization): class demands from the per-phase cost
+/// decomposition, initial response times from the static phase totals.
+Result<ModelInput> ModelInputFromHerodotou(const ClusterConfig& cluster,
+                                           const HadoopConfig& config,
+                                           const JobProfile& profile,
+                                           int64_t input_bytes,
+                                           int num_jobs);
+
+}  // namespace mrperf

@@ -1,0 +1,231 @@
+#include "model/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrperf {
+namespace {
+
+/// Index of a node's center in the per-node center layout.
+enum Center { kCpu = 0, kDisk = 1, kNet = 2 };
+
+/// Builds the overlap-MVA problem for the current timeline: per-node CPU /
+/// disk / network stations, each task placing demand only on its node.
+OverlapMvaProblem BuildMvaProblem(const ModelInput& input,
+                                  const Timeline& timeline,
+                                  const OverlapFactors& overlap) {
+  OverlapMvaProblem problem;
+  problem.centers.reserve(static_cast<size_t>(input.num_nodes) * 3);
+  for (int n = 0; n < input.num_nodes; ++n) {
+    problem.centers.push_back(ServiceCenter{
+        "cpu" + std::to_string(n), CenterType::kQueueing,
+        input.cpu_per_node});
+    problem.centers.push_back(ServiceCenter{
+        "disk" + std::to_string(n), CenterType::kQueueing,
+        input.disk_per_node});
+    problem.centers.push_back(
+        ServiceCenter{"net" + std::to_string(n), CenterType::kQueueing, 1});
+  }
+  const size_t K = problem.centers.size();
+  problem.tasks.reserve(timeline.tasks.size());
+  for (const auto& t : timeline.tasks) {
+    OverlapTask task;
+    task.demand.assign(K, 0.0);
+    const size_t base = static_cast<size_t>(t.node) * 3;
+    task.demand[base + kCpu] = t.demand.cpu;
+    task.demand[base + kDisk] = t.demand.disk;
+    task.demand[base + kNet] = t.demand.network;
+    // The MVA requires positive total demand per task; zero-cost tasks
+    // (possible for degenerate profiles) get a negligible placeholder.
+    if (t.demand.Total() <= 0) task.demand[base + kCpu] = 1e-12;
+    problem.tasks.push_back(std::move(task));
+  }
+  problem.overlap = overlap.theta;
+  return problem;
+}
+
+struct ClassResponses {
+  double map = 0.0;
+  double shuffle_sort = 0.0;  // includes the placement-average network leg
+  double merge = 0.0;
+  double net_inflation = 1.0;  // contention multiplier on shuffle transfers
+};
+
+}  // namespace
+
+Result<ModelResult> SolveModel(const ModelInput& input,
+                               const ModelOptions& options) {
+  MRPERF_RETURN_NOT_OK(input.Validate());
+  if (options.epsilon <= 0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (options.damping <= 0 || options.damping > 1) {
+    return Status::InvalidArgument("damping must be in (0, 1]");
+  }
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+
+  // ---- A1: initialization (Herodotou-derived inputs) --------------------
+  ClassResponses cls;
+  cls.map = input.init_map_response;
+  cls.shuffle_sort = input.init_shuffle_sort_response;
+  cls.merge = input.init_merge_response;
+
+  TreeOptions tree_opts;
+  tree_opts.balance = options.balance_tree;
+
+  ModelResult result;
+  double prev_fj = -1.0;
+  double prev_tri = -1.0;
+  double prev2_fj = -1.0;  // two iterations back, for cycle detection
+  ClassResponses prev_cls = cls;
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+
+    // ---- A2a: timeline from current class responses ---------------------
+    TaskDurations durations;
+    durations.map = cls.map;
+    durations.merge = cls.merge;
+    // Split the shuffle-sort response into its node-local base and the
+    // per-remote-map penalty (Algorithm 1 line 16), inflating the transfer
+    // term with the current network-contention estimate.
+    const double mean_remote_maps =
+        input.num_nodes > 1
+            ? input.map_tasks *
+                  (1.0 - 1.0 / static_cast<double>(input.num_nodes))
+            : 0.0;
+    durations.shuffle_per_remote_map =
+        input.shuffle_per_remote_map_sec * cls.net_inflation;
+    durations.shuffle_sort_base = std::max(
+        0.0, cls.shuffle_sort -
+                 mean_remote_maps * durations.shuffle_per_remote_map);
+    MRPERF_ASSIGN_OR_RETURN(Timeline timeline,
+                            BuildTimeline(input, durations));
+
+    // ---- A3: overlap factors -------------------------------------------
+    MRPERF_ASSIGN_OR_RETURN(OverlapFactors overlap,
+                            ComputeOverlapFactors(timeline, options.overlap));
+
+    // ---- A4: overlap-adjusted MVA --------------------------------------
+    OverlapMvaProblem problem = BuildMvaProblem(input, timeline, overlap);
+    MRPERF_ASSIGN_OR_RETURN(OverlapMvaSolution mva,
+                            SolveOverlapMva(problem, options.mva));
+
+    // New class response estimates (means over tasks of the class).
+    double map_sum = 0.0, ss_sum = 0.0, mg_sum = 0.0;
+    double net_res_sum = 0.0, net_dem_sum = 0.0;
+    int map_count = 0, ss_count = 0, mg_count = 0;
+    for (size_t i = 0; i < timeline.tasks.size(); ++i) {
+      const auto& t = timeline.tasks[i];
+      const double response = mva.response[i];
+      const size_t net_center = static_cast<size_t>(t.node) * 3 + kNet;
+      switch (t.cls) {
+        case TaskClass::kMap:
+          map_sum += response;
+          ++map_count;
+          break;
+        case TaskClass::kShuffleSort:
+          ss_sum += response;
+          ++ss_count;
+          net_res_sum += mva.residence[i][net_center];
+          net_dem_sum += t.demand.network;
+          break;
+        case TaskClass::kMerge:
+          mg_sum += response;
+          ++mg_count;
+          break;
+      }
+    }
+    ClassResponses next = cls;
+    if (map_count > 0) next.map = map_sum / map_count;
+    if (ss_count > 0) next.shuffle_sort = ss_sum / ss_count;
+    if (mg_count > 0) next.merge = mg_sum / mg_count;
+    next.net_inflation =
+        net_dem_sum > 0 ? std::max(1.0, net_res_sum / net_dem_sum) : 1.0;
+
+    const double d = options.damping;
+    cls.map += d * (next.map - cls.map);
+    cls.shuffle_sort += d * (next.shuffle_sort - cls.shuffle_sort);
+    cls.merge += d * (next.merge - cls.merge);
+    cls.net_inflation += d * (next.net_inflation - cls.net_inflation);
+
+    // ---- A5: job response estimation from the precedence tree ----------
+    auto leaf_response = [&mva](int task_id) {
+      return mva.response[task_id];
+    };
+    double fj_sum = 0.0, tri_sum = 0.0;
+    result.forkjoin_job_responses.clear();
+    result.tripathi_job_responses.clear();
+    int max_depth = 0;
+    for (int job = 0; job < input.num_jobs; ++job) {
+      MRPERF_ASSIGN_OR_RETURN(
+          PrecedenceTree tree,
+          BuildPrecedenceTree(timeline, job, tree_opts));
+      max_depth = std::max(max_depth, tree.depth);
+      MRPERF_ASSIGN_OR_RETURN(
+          double fj,
+          EstimateForkJoin(tree, leaf_response, options.estimator));
+      MRPERF_ASSIGN_OR_RETURN(
+          double tri,
+          EstimateTripathi(tree, leaf_response, options.estimator));
+      // A job's response includes the FIFO queueing delay before its
+      // first container starts.
+      const double offset = timeline.job_first_start[job];
+      result.forkjoin_job_responses.push_back(offset + fj);
+      result.tripathi_job_responses.push_back(offset + tri);
+      fj_sum += offset + fj;
+      tri_sum += offset + tri;
+    }
+    const double fj_mean = fj_sum / input.num_jobs;
+    const double tri_mean = tri_sum / input.num_jobs;
+
+    result.forkjoin_response = fj_mean;
+    result.tripathi_response = tri_mean;
+    result.map_response = cls.map;
+    result.shuffle_sort_response = cls.shuffle_sort;
+    result.merge_response = cls.merge;
+    result.mean_alpha = overlap.mean_alpha;
+    result.mean_beta = overlap.mean_beta;
+    result.tree_depth = max_depth;
+    result.timeline = std::move(timeline);
+
+    // ---- A6: convergence test ------------------------------------------
+    const auto close = [&options](double cur, double prev) {
+      const double delta = std::abs(cur - prev);
+      return delta <= options.epsilon ||
+             delta <= options.epsilon_relative * std::abs(cur);
+    };
+    // The test covers the job estimates and the per-class response times
+    // (the iterated quantities of Figure 4's A4/A5 activities).
+    if (prev_fj >= 0 && close(fj_mean, prev_fj) &&
+        close(tri_mean, prev_tri) && close(cls.map, prev_cls.map) &&
+        close(cls.shuffle_sort, prev_cls.shuffle_sort) &&
+        close(cls.merge, prev_cls.merge)) {
+      result.converged = true;
+      return result;
+    }
+    prev_cls = cls;
+    // Discrete placement decisions can lock the loop into a period-2
+    // cycle; detect it and return the midpoint of the cycle.
+    if (prev2_fj >= 0 && iter > 10 && close(fj_mean, prev2_fj)) {
+      result.forkjoin_response = 0.5 * (fj_mean + prev_fj);
+      result.tripathi_response = 0.5 * (tri_mean + prev_tri);
+      result.converged = true;
+      return result;
+    }
+    prev2_fj = prev_fj;
+    prev_fj = fj_mean;
+    prev_tri = tri_mean;
+  }
+
+  if (!options.allow_nonconverged) {
+    return Status::NotConverged(
+        "modified MVA did not converge within max_iterations");
+  }
+  result.converged = false;
+  return result;
+}
+
+}  // namespace mrperf

@@ -1,0 +1,45 @@
+#include "model/overlap.h"
+
+#include <algorithm>
+
+namespace mrperf {
+
+Result<OverlapFactors> ComputeOverlapFactors(const Timeline& timeline,
+                                             const OverlapOptions& options) {
+  if (options.alpha_scale < 0 || options.beta_scale < 0) {
+    return Status::InvalidArgument("overlap scales must be >= 0");
+  }
+  const size_t T = timeline.tasks.size();
+  if (T == 0) {
+    return Status::InvalidArgument("timeline has no tasks");
+  }
+  OverlapFactors out;
+  out.theta.assign(T, std::vector<double>(T, 0.0));
+
+  double alpha_sum = 0.0, beta_sum = 0.0;
+  size_t alpha_count = 0, beta_count = 0;
+  for (size_t i = 0; i < T; ++i) {
+    const auto& ti = timeline.tasks[i];
+    for (size_t j = 0; j < T; ++j) {
+      if (i == j) continue;
+      const auto& tj = timeline.tasks[j];
+      const double frac = OverlapFraction(ti.interval, tj.interval);
+      const bool same_job = ti.job == tj.job;
+      const double scale =
+          same_job ? options.alpha_scale : options.beta_scale;
+      out.theta[i][j] = std::clamp(frac * scale, 0.0, 1.0);
+      if (same_job) {
+        alpha_sum += frac;
+        ++alpha_count;
+      } else {
+        beta_sum += frac;
+        ++beta_count;
+      }
+    }
+  }
+  out.mean_alpha = alpha_count ? alpha_sum / alpha_count : 0.0;
+  out.mean_beta = beta_count ? beta_sum / beta_count : 0.0;
+  return out;
+}
+
+}  // namespace mrperf

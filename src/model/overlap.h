@@ -1,0 +1,43 @@
+/// \file overlap.h
+/// \brief Intra-job (α) and inter-job (β) overlap factors (paper §4.2.3).
+///
+/// "For a system with multiple classes of tasks the queueing delay of task
+/// class i due to task class j is directly proportional to their overlaps."
+/// Both factors are estimated from the constructed timeline as the fraction
+/// of task i's interval during which task j is also active:
+///   θ_ij = |[st_i, et_i] ∩ [st_j, et_j]| / (et_i − st_i)
+/// α applies to pairs from the same job, β to pairs from different jobs.
+/// The scale knobs implement the paper's closing remark that "the cost
+/// model can be further fine tuned ... by changing the calculation of the
+/// overlap factors".
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/timeline.h"
+
+namespace mrperf {
+
+/// \brief Tuning of the overlap estimation.
+struct OverlapOptions {
+  double alpha_scale = 1.0;  ///< multiplier on intra-job overlaps
+  double beta_scale = 1.0;   ///< multiplier on inter-job overlaps
+};
+
+/// \brief Combined overlap matrix over all timeline tasks.
+struct OverlapFactors {
+  /// theta[i][j]: overlap of timeline.tasks[j] onto timeline.tasks[i],
+  /// already scaled by alpha/beta; clamped to [0, 1].
+  std::vector<std::vector<double>> theta;
+  /// Mean intra-job and inter-job factors (diagnostics / Figure 8 style).
+  double mean_alpha = 0.0;
+  double mean_beta = 0.0;
+};
+
+/// \brief Computes overlap factors from the timeline intervals.
+Result<OverlapFactors> ComputeOverlapFactors(
+    const Timeline& timeline, const OverlapOptions& options = {});
+
+}  // namespace mrperf

@@ -1,0 +1,121 @@
+#include "model/precedence_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrperf {
+namespace {
+
+int AddLeaf(PrecedenceTree* tree, int task_id) {
+  TreeNode node;
+  node.op = TreeOp::kLeaf;
+  node.task_id = task_id;
+  tree->nodes.push_back(node);
+  ++tree->num_leaves;
+  return static_cast<int>(tree->nodes.size()) - 1;
+}
+
+int AddOp(PrecedenceTree* tree, TreeOp op, int left, int right) {
+  TreeNode node;
+  node.op = op;
+  node.left = left;
+  node.right = right;
+  tree->nodes.push_back(node);
+  return static_cast<int>(tree->nodes.size()) - 1;
+}
+
+/// Combines `items` into a balanced binary subtree of `op` nodes by
+/// pairing neighbours level by level.
+int CombineBalanced(PrecedenceTree* tree, TreeOp op, std::vector<int> items) {
+  while (items.size() > 1) {
+    std::vector<int> next;
+    next.reserve((items.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < items.size(); i += 2) {
+      next.push_back(AddOp(tree, op, items[i], items[i + 1]));
+    }
+    if (items.size() % 2 == 1) next.push_back(items.back());
+    items = std::move(next);
+  }
+  return items.empty() ? -1 : items[0];
+}
+
+/// Combines `items` into a left-deep chain (the unbalanced variant).
+int CombineLeftDeep(PrecedenceTree* tree, TreeOp op, std::vector<int> items) {
+  if (items.empty()) return -1;
+  int acc = items[0];
+  for (size_t i = 1; i < items.size(); ++i) {
+    acc = AddOp(tree, op, acc, items[i]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<PrecedenceTree> BuildPrecedenceTree(const Timeline& timeline, int job,
+                                           const TreeOptions& options) {
+  if (options.phase_epsilon < 0) {
+    return Status::InvalidArgument("phase_epsilon must be >= 0");
+  }
+  // Collect this job's tasks with their timeline ids, ordered by start.
+  std::vector<int> task_ids;
+  for (size_t i = 0; i < timeline.tasks.size(); ++i) {
+    if (timeline.tasks[i].job == job) {
+      task_ids.push_back(static_cast<int>(i));
+    }
+  }
+  if (task_ids.empty()) {
+    return Status::NotFound("job has no tasks in the timeline");
+  }
+  std::sort(task_ids.begin(), task_ids.end(), [&timeline](int a, int b) {
+    const auto& ta = timeline.tasks[a];
+    const auto& tb = timeline.tasks[b];
+    if (ta.interval.start != tb.interval.start) {
+      return ta.interval.start < tb.interval.start;
+    }
+    if (ta.cls != tb.cls) return ta.cls < tb.cls;
+    return ta.index < tb.index;
+  });
+
+  PrecedenceTree tree;
+  // Phase grouping: every task start opens a new phase (§4.2.2: "each
+  // start or end of a task indicates the start of a new phase"); tasks
+  // whose starts coincide belong to the same phase group and run in
+  // parallel, successive groups run serially.
+  std::vector<std::vector<int>> groups;
+  double group_start = 0.0;
+  for (int id : task_ids) {
+    const double st = timeline.tasks[id].interval.start;
+    if (groups.empty() || st - group_start > options.phase_epsilon) {
+      groups.emplace_back();
+      group_start = st;
+    }
+    groups.back().push_back(id);
+  }
+  tree.phase_groups = groups;
+
+  std::vector<int> group_roots;
+  group_roots.reserve(groups.size());
+  for (const auto& group : groups) {
+    std::vector<int> leaves;
+    leaves.reserve(group.size());
+    for (int id : group) leaves.push_back(AddLeaf(&tree, id));
+    const int root = options.balance
+                         ? CombineBalanced(&tree, TreeOp::kParallel, leaves)
+                         : CombineLeftDeep(&tree, TreeOp::kParallel, leaves);
+    group_roots.push_back(root);
+  }
+  // Serial chain across phases. S-chains evaluate associatively (sums),
+  // so left-deep is canonical here.
+  tree.root = CombineLeftDeep(&tree, TreeOp::kSerial, group_roots);
+  tree.depth = SubtreeDepth(tree, tree.root);
+  return tree;
+}
+
+int SubtreeDepth(const PrecedenceTree& tree, int node) {
+  if (node < 0) return 0;
+  const TreeNode& n = tree.nodes[node];
+  if (n.op == TreeOp::kLeaf) return 1;
+  return 1 + std::max(SubtreeDepth(tree, n.left), SubtreeDepth(tree, n.right));
+}
+
+}  // namespace mrperf

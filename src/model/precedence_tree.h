@@ -1,0 +1,71 @@
+/// \file precedence_tree.h
+/// \brief Binary precedence tree with serial (S) and parallel-and (P)
+/// operators (paper §4.2.2).
+///
+/// "Each leaf represents a task and each internal node is an operator
+/// describing the constraints in the execution of the tasks." The tree is
+/// derived from the timeline: each task start opens a new phase, tasks
+/// starting in the same phase execute in parallel (one P-group), and
+/// successive phases execute serially (S-chain). Each P-group is built as
+/// a balanced binary subtree when balancing is enabled — the paper applies
+/// "a balancing procedure for each P-subtree" to reduce the maximal depth,
+/// which §5.2 shows reduces the estimation error.
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/timeline.h"
+
+namespace mrperf {
+
+/// \brief Node kind.
+enum class TreeOp {
+  kLeaf,
+  kSerial,    ///< S operator: children run sequentially
+  kParallel,  ///< P operator: children run in parallel
+};
+
+/// \brief Arena-allocated tree node.
+struct TreeNode {
+  TreeOp op = TreeOp::kLeaf;
+  /// Leaf: index into the source timeline's task vector; -1 for operators.
+  int task_id = -1;
+  int left = -1;
+  int right = -1;
+};
+
+/// \brief The binary precedence tree of one job.
+struct PrecedenceTree {
+  std::vector<TreeNode> nodes;
+  int root = -1;
+  int num_leaves = 0;
+  /// Maximal root-to-leaf depth (leaf depth 1); drives estimator error
+  /// (paper §5.2).
+  int depth = 0;
+  /// The start-phase groups, in time order; each entry lists timeline task
+  /// ids. Retained for the group-harmonic fork/join evaluation.
+  std::vector<std::vector<int>> phase_groups;
+
+  bool Empty() const { return root < 0; }
+};
+
+/// \brief Options for tree construction.
+struct TreeOptions {
+  /// Balance every P-subtree (paper default). When false, P-groups become
+  /// left-deep chains — the ablation the paper motivates in §5.2.
+  bool balance = true;
+  /// Starts closer than this are treated as the same phase.
+  double phase_epsilon = 1e-9;
+};
+
+/// \brief Builds the precedence tree of `job` from the timeline. Errors
+/// when the job has no tasks in the timeline.
+Result<PrecedenceTree> BuildPrecedenceTree(const Timeline& timeline, int job,
+                                           const TreeOptions& options = {});
+
+/// \brief Computes the maximal depth of the subtree rooted at `node`.
+int SubtreeDepth(const PrecedenceTree& tree, int node);
+
+}  // namespace mrperf

@@ -1,0 +1,59 @@
+/// \file resource_estimator.h
+/// \brief Per-task and per-job resource consumption estimation — the
+/// paper's stated future work (§6: "we are planning to extend our model to
+/// be able to estimate the amount of consumed resources for each task and
+/// the whole job").
+///
+/// Consumption is derived from the model's converged timeline: pure
+/// service seconds per resource class (work the job actually imposes),
+/// busy-time shares against cluster capacity, and container occupancy
+/// (container-seconds — what a YARN operator is billed for). The same
+/// quantities are computable from a simulated run for validation.
+
+#pragma once
+
+#include "common/status.h"
+#include "model/input.h"
+#include "model/model.h"
+#include "sim/cluster_sim.h"
+
+namespace mrperf {
+
+/// \brief Resource consumption of one task class or one job.
+struct ResourceConsumption {
+  double cpu_seconds = 0.0;      ///< pure CPU service demand
+  double disk_seconds = 0.0;     ///< pure disk service demand
+  double network_seconds = 0.0;  ///< pure NIC service demand
+  /// Container occupancy: seconds a container slot is held (for reduces,
+  /// shuffle-sort + merge share one container).
+  double container_seconds = 0.0;
+  int tasks = 0;
+
+  ResourceConsumption& operator+=(const ResourceConsumption& o);
+};
+
+/// \brief Whole-workload consumption report.
+struct ResourceReport {
+  ResourceConsumption per_class[kNumTaskClasses];
+  /// per_job[j]: consumption of job j's tasks.
+  std::vector<ResourceConsumption> per_job;
+  ResourceConsumption total;
+  /// Mean utilization of each resource class over the makespan, against
+  /// the cluster capacity (numNodes × servers per node).
+  double cpu_utilization = 0.0;
+  double disk_utilization = 0.0;
+  double network_utilization = 0.0;
+  double makespan = 0.0;
+};
+
+/// \brief Estimates consumption from the model's converged timeline
+/// (predictive — no execution needed).
+Result<ResourceReport> EstimateResources(const ModelInput& input,
+                                         const ModelResult& result);
+
+/// \brief Computes the same report from a simulated execution
+/// (for validating the predictive estimate).
+Result<ResourceReport> MeasureResources(const ClusterConfig& cluster,
+                                        const SimResult& result);
+
+}  // namespace mrperf

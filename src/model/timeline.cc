@@ -1,0 +1,166 @@
+#include "model/timeline.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mrperf {
+namespace {
+
+/// Mutable slot state during construction.
+struct Slot {
+  int node = -1;
+  double free_at = 0.0;
+};
+
+/// Picks the slot matching the paper's `i := min(TL)` rule: the node whose
+/// earliest slot frees first; ties broken by lower node occupancy (total
+/// busy time), then lower node id.
+size_t PickSlot(const std::vector<Slot>& slots,
+                const std::vector<double>& node_busy) {
+  size_t best = 0;
+  for (size_t s = 1; s < slots.size(); ++s) {
+    const Slot& a = slots[s];
+    const Slot& b = slots[best];
+    if (a.free_at < b.free_at ||
+        (a.free_at == b.free_at &&
+         (node_busy[a.node] < node_busy[b.node] ||
+          (node_busy[a.node] == node_busy[b.node] && a.node < b.node)))) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<const TimelineTask*> Timeline::JobTasks(int job) const {
+  std::vector<const TimelineTask*> out;
+  for (const auto& t : tasks) {
+    if (t.job == job) out.push_back(&t);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TimelineTask* a, const TimelineTask* b) {
+              if (a->interval.start != b->interval.start) {
+                return a->interval.start < b->interval.start;
+              }
+              if (a->cls != b->cls) return a->cls < b->cls;
+              return a->index < b->index;
+            });
+  return out;
+}
+
+Result<Timeline> BuildTimeline(const ModelInput& input,
+                               const TaskDurations& durations) {
+  MRPERF_RETURN_NOT_OK(input.Validate());
+  if (durations.map <= 0) {
+    return Status::InvalidArgument("map duration must be positive");
+  }
+  if (input.reduce_tasks > 0 &&
+      (durations.shuffle_sort_base < 0 || durations.merge <= 0 ||
+       durations.shuffle_per_remote_map < 0)) {
+    return Status::InvalidArgument(
+        "reduce subtask durations must be positive");
+  }
+
+  const int slots_per_node = input.SlotsPerNode();
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<size_t>(input.num_nodes) * slots_per_node);
+  for (int n = 0; n < input.num_nodes; ++n) {
+    for (int s = 0; s < slots_per_node; ++s) {
+      slots.push_back(Slot{n, 0.0});
+    }
+  }
+  std::vector<double> node_busy(input.num_nodes, 0.0);
+
+  Timeline tl;
+  tl.job_first_start.assign(input.num_jobs, std::numeric_limits<double>::max());
+  tl.job_end.assign(input.num_jobs, 0.0);
+
+  // FIFO across jobs: the scheduler drains the first application's demand
+  // before the next one's (paper §4.2.2, scheduling factor 1). Within a
+  // job, maps are served before reduces (higher priority, factor 1 of the
+  // resource-management group).
+  for (int job = 0; job < input.num_jobs; ++job) {
+    // ---- map tasks (Algorithm 1, lines 4-6) ---------------------------
+    std::vector<int> map_node(input.map_tasks, -1);
+    double first_map_end = std::numeric_limits<double>::max();
+    double last_map_end = 0.0;
+    for (int m = 0; m < input.map_tasks; ++m) {
+      const size_t s = PickSlot(slots, node_busy);
+      Slot& slot = slots[s];
+      TimelineTask task;
+      task.job = job;
+      task.cls = TaskClass::kMap;
+      task.index = m;
+      task.node = slot.node;
+      task.interval = Interval{slot.free_at, slot.free_at + durations.map};
+      task.demand = input.map_demand;
+      map_node[m] = slot.node;
+      slot.free_at = task.interval.end;
+      node_busy[slot.node] += durations.map;
+      first_map_end = std::min(first_map_end, task.interval.end);
+      last_map_end = std::max(last_map_end, task.interval.end);
+      tl.job_first_start[job] =
+          std::min(tl.job_first_start[job], task.interval.start);
+      tl.job_end[job] = std::max(tl.job_end[job], task.interval.end);
+      tl.tasks.push_back(task);
+    }
+
+    // ---- border (lines 7-11): earliest shuffle start ------------------
+    const double border =
+        input.slow_start ? first_map_end : last_map_end;
+
+    // ---- reduce tasks (lines 12-21) ------------------------------------
+    for (int r = 0; r < input.reduce_tasks; ++r) {
+      const size_t s = PickSlot(slots, node_busy);
+      Slot& slot = slots[s];
+      const int node = slot.node;
+      const double start = std::max(slot.free_at, border);
+
+      // Line 14-18: every map on a different node adds m.sd/|R| to the
+      // shuffle duration of this reduce.
+      int remote_maps = 0;
+      for (int m = 0; m < input.map_tasks; ++m) {
+        if (map_node[m] != node) ++remote_maps;
+      }
+      const double shuffle_d =
+          durations.shuffle_sort_base +
+          remote_maps * durations.shuffle_per_remote_map;
+
+      TimelineTask ss;
+      ss.job = job;
+      ss.cls = TaskClass::kShuffleSort;
+      ss.index = r;
+      ss.node = node;
+      ss.interval = Interval{start, start + shuffle_d};
+      ss.demand = input.shuffle_sort_local_demand;
+      ss.demand.network += remote_maps * input.shuffle_per_remote_map_sec;
+
+      TimelineTask mg;
+      mg.job = job;
+      mg.cls = TaskClass::kMerge;
+      mg.index = r;
+      mg.node = node;
+      mg.interval = Interval{ss.interval.end,
+                             ss.interval.end + durations.merge};
+      mg.demand = input.merge_demand;
+
+      slot.free_at = mg.interval.end;
+      node_busy[node] += mg.interval.end - start;
+      tl.job_first_start[job] = std::min(tl.job_first_start[job], start);
+      tl.job_end[job] = std::max(tl.job_end[job], mg.interval.end);
+      tl.tasks.push_back(ss);
+      tl.tasks.push_back(mg);
+    }
+  }
+
+  for (int job = 0; job < input.num_jobs; ++job) {
+    tl.makespan = std::max(tl.makespan, tl.job_end[job]);
+    if (tl.job_first_start[job] == std::numeric_limits<double>::max()) {
+      tl.job_first_start[job] = 0.0;
+    }
+  }
+  return tl;
+}
+
+}  // namespace mrperf

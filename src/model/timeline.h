@@ -1,0 +1,75 @@
+/// \file timeline.h
+/// \brief Timeline construction — Algorithm 1 of the paper, generalized to
+/// N concurrent homogeneous jobs under the single-root-queue capacity
+/// scheduler (FIFO across jobs, map priority over reduce within a job).
+///
+/// The timeline emulates YARN's container allocation with the model's
+/// current per-class response-time estimates as task durations:
+///   * every node exposes SlotsPerNode() container slots (the resource
+///     continuum — no map/reduce split);
+///   * map tasks are placed greedily on the node whose earliest slot frees
+///     first (ties: lowest occupancy, paper §4.2.2), mirroring
+///     `i := min(TL)`;
+///   * with slow start, reduces may begin at the first map completion of
+///     their job (`border := TL[min(TL)].et`); without it, at the last map
+///     completion (`border := TL[max(TL)].et`);
+///   * every map placed on a different node than a reduce adds
+///     `m.sd / |R|` network seconds to that reduce's shuffle duration
+///     (Algorithm 1, line 16);
+///   * each reduce occupies its slot with a shuffle-sort subtask followed
+///     immediately by a merge subtask (paper §4.1 task classes).
+
+#pragma once
+
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+#include "model/input.h"
+
+namespace mrperf {
+
+/// \brief Per-class task durations used for one timeline construction
+/// round (the current response-time estimates of the outer MVA loop).
+struct TaskDurations {
+  double map = 0.0;
+  /// Shuffle-sort duration before the per-remote-map network penalty.
+  double shuffle_sort_base = 0.0;
+  /// Network seconds added per remote map (m.sd / |R|), possibly inflated
+  /// by the current network-contention estimate.
+  double shuffle_per_remote_map = 0.0;
+  double merge = 0.0;
+};
+
+/// \brief One scheduled task (or reduce subtask) of the timeline.
+struct TimelineTask {
+  int job = -1;
+  TaskClass cls = TaskClass::kMap;
+  /// Index of the task within its job and class.
+  int index = -1;
+  int node = -1;
+  Interval interval;
+  /// Placement-resolved pure service demands of this task.
+  ClassDemand demand;
+};
+
+/// \brief The constructed timeline for all jobs.
+struct Timeline {
+  std::vector<TimelineTask> tasks;
+  /// First container start per job (queueing delay before the job's first
+  /// task; part of the job's response time under FIFO).
+  std::vector<double> job_first_start;
+  /// Last task end per job.
+  std::vector<double> job_end;
+  double makespan = 0.0;
+
+  /// Tasks of one job, ordered by (start, class, index).
+  std::vector<const TimelineTask*> JobTasks(int job) const;
+};
+
+/// \brief Builds the timeline (Algorithm 1). Errors on invalid input or
+/// non-positive durations.
+Result<Timeline> BuildTimeline(const ModelInput& input,
+                               const TaskDurations& durations);
+
+}  // namespace mrperf

@@ -1,0 +1,46 @@
+#include "queueing/closed_network.h"
+
+namespace mrperf {
+
+Status ClosedNetwork::Validate() const {
+  if (centers.empty()) {
+    return Status::InvalidArgument("network has no service centers");
+  }
+  if (population.empty()) {
+    return Status::InvalidArgument("network has no customer classes");
+  }
+  if (demand.size() != population.size()) {
+    return Status::InvalidArgument(
+        "demand matrix row count must equal the number of classes");
+  }
+  if (think_time.size() != population.size()) {
+    return Status::InvalidArgument(
+        "think_time size must equal the number of classes");
+  }
+  for (const auto& center : centers) {
+    if (center.server_count < 1) {
+      return Status::InvalidArgument("center '" + center.name +
+                                     "' must have at least one server");
+    }
+  }
+  for (size_t c = 0; c < demand.size(); ++c) {
+    if (demand[c].size() != centers.size()) {
+      return Status::InvalidArgument(
+          "demand matrix column count must equal the number of centers");
+    }
+    for (double d : demand[c]) {
+      if (d < 0) {
+        return Status::InvalidArgument("service demands must be >= 0");
+      }
+    }
+    if (population[c] < 0) {
+      return Status::InvalidArgument("populations must be >= 0");
+    }
+    if (think_time[c] < 0) {
+      return Status::InvalidArgument("think times must be >= 0");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mrperf

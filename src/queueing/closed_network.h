@@ -1,0 +1,75 @@
+/// \file closed_network.h
+/// \brief Closed multiclass product-form queueing network description.
+///
+/// The performance model (paper §4.2.5) solves a closed queueing network
+/// whose service centers are the cluster's shared resources (CPU&Memory,
+/// Network) and whose customer classes are the MapReduce task classes (map,
+/// shuffle-sort, merge). This header defines the network description shared
+/// by the exact and approximate MVA solvers.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrperf {
+
+/// \brief Kind of service center.
+enum class CenterType {
+  /// Single-queue station where customers contend (FCFS/PS; both have the
+  /// same product-form MVA treatment under exponential service).
+  kQueueing,
+  /// Infinite-server station: no contention, residence == demand.
+  kDelay,
+};
+
+/// \brief One service center of the network.
+struct ServiceCenter {
+  std::string name;
+  CenterType type = CenterType::kQueueing;
+  /// Number of identical servers aggregated into this center. MVA treats a
+  /// c-server station approximately by scaling the queueing term by 1/c
+  /// (the standard "service rate scaling" approximation).
+  int server_count = 1;
+};
+
+/// \brief A closed multiclass network: K centers, C classes.
+///
+/// `demand[c][k]` is the total service demand (visits × service time) of a
+/// class-c customer at center k; `population[c]` the number of class-c
+/// customers circulating; `think_time[c]` the delay spent outside all
+/// centers per cycle.
+struct ClosedNetwork {
+  std::vector<ServiceCenter> centers;
+  std::vector<std::vector<double>> demand;  ///< [class][center]
+  std::vector<int> population;              ///< [class]
+  std::vector<double> think_time;           ///< [class]
+
+  size_t num_centers() const { return centers.size(); }
+  size_t num_classes() const { return population.size(); }
+
+  /// Validates dimensions, non-negative demands/populations.
+  Status Validate() const;
+};
+
+/// \brief Per-class steady-state solution of a closed network.
+struct MvaSolution {
+  /// residence[c][k]: time a class-c customer spends at center k per cycle,
+  /// queueing included.
+  std::vector<std::vector<double>> residence;
+  /// response[c]: sum over centers of residence (excludes think time).
+  std::vector<double> response;
+  /// throughput[c]: class-c cycles per unit time.
+  std::vector<double> throughput;
+  /// queue_length[c][k]: mean number of class-c customers at center k.
+  std::vector<std::vector<double>> queue_length;
+  /// utilization[k]: total utilization of center k (sum over classes of
+  /// throughput × demand / servers).
+  std::vector<double> utilization;
+  /// Iterations used (1 for exact MVA's final population step).
+  int iterations = 0;
+};
+
+}  // namespace mrperf

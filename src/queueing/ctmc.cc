@@ -1,0 +1,208 @@
+#include "queueing/ctmc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace mrperf {
+namespace {
+
+/// Backward-induction solve for acyclic chains: process states in an
+/// order where all successors are already solved.
+Result<std::vector<double>> SolveDag(
+    const std::vector<std::vector<std::pair<size_t, double>>>& rates,
+    const std::vector<size_t>& topo_order) {
+  const size_t n = rates.size();
+  std::vector<double> expected(n, 0.0);
+  // topo_order lists states such that every transition goes from an
+  // earlier to a later position; iterate backwards.
+  for (auto it = topo_order.rbegin(); it != topo_order.rend(); ++it) {
+    const size_t s = *it;
+    if (rates[s].empty()) {
+      expected[s] = 0.0;  // absorbing
+      continue;
+    }
+    double total_rate = 0.0;
+    double weighted = 0.0;
+    for (const auto& [to, rate] : rates[s]) {
+      total_rate += rate;
+      weighted += rate * expected[to];
+    }
+    expected[s] = (1.0 + weighted) / total_rate;
+  }
+  return expected;
+}
+
+/// Gaussian elimination fallback for cyclic chains (small n).
+Result<std::vector<double>> SolveDense(
+    const std::vector<std::vector<std::pair<size_t, double>>>& rates) {
+  const size_t n = rates.size();
+  constexpr size_t kMaxDense = 2000;
+  if (n > kMaxDense) {
+    return Status::OutOfRange(
+        "cyclic CTMC too large for the dense solver (" + std::to_string(n) +
+        " states)");
+  }
+  // System: for transient s, R_s * E_s - sum_t rate(s,t) * E_t = 1.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n + 1, 0.0));
+  for (size_t s = 0; s < n; ++s) {
+    if (rates[s].empty()) {
+      a[s][s] = 1.0;
+      a[s][n] = 0.0;  // absorbing: E = 0
+      continue;
+    }
+    double total = 0.0;
+    for (const auto& [to, rate] : rates[s]) {
+      a[s][to] -= rate;
+      total += rate;
+    }
+    a[s][s] += total;
+    a[s][n] = 1.0;
+  }
+  // Partial-pivot elimination.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (std::abs(a[pivot][col]) < 1e-14) {
+      return Status::InvalidArgument(
+          "CTMC has states that cannot reach absorption");
+    }
+    std::swap(a[col], a[pivot]);
+    for (size_t row = 0; row < n; ++row) {
+      if (row == col) continue;
+      const double f = a[row][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (size_t k = col; k <= n; ++k) a[row][k] -= f * a[col][k];
+    }
+  }
+  std::vector<double> expected(n);
+  for (size_t s = 0; s < n; ++s) expected[s] = a[s][n] / a[s][s];
+  return expected;
+}
+
+}  // namespace
+
+Ctmc::Ctmc(size_t num_states) : rates_(num_states) {}
+
+Status Ctmc::AddTransition(size_t from, size_t to, double rate) {
+  if (from >= rates_.size() || to >= rates_.size()) {
+    return Status::OutOfRange("transition endpoint out of range");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self-transitions are not allowed");
+  }
+  if (rate <= 0) {
+    return Status::InvalidArgument("transition rates must be positive");
+  }
+  rates_[from].emplace_back(to, rate);
+  return Status::OK();
+}
+
+Result<std::vector<double>> Ctmc::ExpectedTimeToAbsorption() const {
+  const size_t n = rates_.size();
+  if (n == 0) {
+    return Status::InvalidArgument("chain has no states");
+  }
+  // Kahn's algorithm to detect acyclicity and produce a topological order.
+  std::vector<int> indegree(n, 0);
+  for (const auto& out : rates_) {
+    for (const auto& [to, rate] : out) ++indegree[to];
+  }
+  std::queue<size_t> ready;
+  for (size_t s = 0; s < n; ++s) {
+    if (indegree[s] == 0) ready.push(s);
+  }
+  std::vector<size_t> topo;
+  topo.reserve(n);
+  while (!ready.empty()) {
+    const size_t s = ready.front();
+    ready.pop();
+    topo.push_back(s);
+    for (const auto& [to, rate] : rates_[s]) {
+      if (--indegree[to] == 0) ready.push(to);
+    }
+  }
+  if (topo.size() == n) {
+    return SolveDag(rates_, topo);
+  }
+  return SolveDense(rates_);
+}
+
+Result<double> ExactMakespanCounterChain(int map_tasks, int reduce_tasks,
+                                         int slots, double map_rate,
+                                         double reduce_rate) {
+  if (map_tasks < 0 || reduce_tasks < 0) {
+    return Status::InvalidArgument("task counts must be >= 0");
+  }
+  if (slots < 1) {
+    return Status::InvalidArgument("slots must be >= 1");
+  }
+  if (map_tasks > 0 && map_rate <= 0) {
+    return Status::InvalidArgument("map_rate must be positive");
+  }
+  if (reduce_tasks > 0 && reduce_rate <= 0) {
+    return Status::InvalidArgument("reduce_rate must be positive");
+  }
+  // With a strict barrier, the chain factorizes into two pure-death
+  // processes; expected absorption time has the closed form
+  //   sum_{k=1..m} 1 / (min(k, slots) * rate)
+  // per stage. Build the explicit chain anyway (it is the ground-truth
+  // machinery, and tests cross-check it against the closed form).
+  // State encoding: 0..m map-remaining levels then 1..r reduce levels.
+  const size_t n = static_cast<size_t>(map_tasks) + reduce_tasks + 1;
+  Ctmc chain(n);
+  // States m..1 remaining maps.
+  for (int k = map_tasks; k >= 1; --k) {
+    const size_t from = static_cast<size_t>(map_tasks - k);
+    const double rate = std::min(k, slots) * map_rate;
+    MRPERF_RETURN_NOT_OK(chain.AddTransition(from, from + 1, rate));
+  }
+  for (int k = reduce_tasks; k >= 1; --k) {
+    const size_t from =
+        static_cast<size_t>(map_tasks) + (reduce_tasks - k);
+    const double rate = std::min(k, slots) * reduce_rate;
+    MRPERF_RETURN_NOT_OK(chain.AddTransition(from, from + 1, rate));
+  }
+  MRPERF_ASSIGN_OR_RETURN(std::vector<double> expected,
+                          chain.ExpectedTimeToAbsorption());
+  return expected[0];
+}
+
+Result<DistinctChainResult> ExactMakespanDistinctChain(
+    const std::vector<double>& rates, int max_tasks) {
+  const int m = static_cast<int>(rates.size());
+  if (m == 0) {
+    return Status::InvalidArgument("need at least one task");
+  }
+  if (m > max_tasks) {
+    return Status::OutOfRange(
+        "distinct-task chain has 2^" + std::to_string(m) +
+        " states; exceeds the configured cap (the paper's scalability "
+        "argument, §2.2)");
+  }
+  for (double r : rates) {
+    if (r <= 0) {
+      return Status::InvalidArgument("task rates must be positive");
+    }
+  }
+  const size_t n = size_t{1} << m;  // subsets of unfinished tasks
+  Ctmc chain(n);
+  for (size_t state = 1; state < n; ++state) {
+    for (int task = 0; task < m; ++task) {
+      if (state & (size_t{1} << task)) {
+        MRPERF_RETURN_NOT_OK(chain.AddTransition(
+            state, state & ~(size_t{1} << task), rates[task]));
+      }
+    }
+  }
+  MRPERF_ASSIGN_OR_RETURN(std::vector<double> expected,
+                          chain.ExpectedTimeToAbsorption());
+  DistinctChainResult out;
+  out.expected_makespan = expected[n - 1];  // all tasks unfinished
+  out.num_states = n;
+  return out;
+}
+
+}  // namespace mrperf

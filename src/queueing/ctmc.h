@@ -1,0 +1,78 @@
+/// \file ctmc.h
+/// \brief Absorbing continuous-time Markov chains — the classical
+/// alternative the paper dismisses (§2.2): "jointly exploit Markov Chains
+/// for representing the possible states of the system ... However, such
+/// approaches do not scale well since the state space grows exponentially
+/// with the number of tasks."
+///
+/// This module implements that alternative honestly so the claim can be
+/// reproduced quantitatively (bench_ctmc_blowup):
+///  * a generic dense absorbing CTMC with expected-time-to-absorption
+///    solving (first-step analysis, Gaussian elimination);
+///  * a counter-based MapReduce chain (polynomial state space) that gives
+///    the exact expected makespan for iid exponential tasks on a bounded
+///    number of containers — ground truth for estimator validation;
+///  * a distinct-task chain whose states are subsets of unfinished tasks
+///    (2^m states) for heterogeneous task rates — the exponential blowup.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrperf {
+
+/// \brief Dense absorbing CTMC.
+class Ctmc {
+ public:
+  /// Creates a chain with `num_states` states and no transitions.
+  explicit Ctmc(size_t num_states);
+
+  size_t num_states() const { return rates_.size(); }
+
+  /// Adds rate `rate` (> 0) from state `from` to state `to` (from != to).
+  Status AddTransition(size_t from, size_t to, double rate);
+
+  /// Expected time to reach any state with no outgoing transitions
+  /// (absorbing), from every state. States that cannot reach an absorbing
+  /// state make the system singular and produce an error.
+  Result<std::vector<double>> ExpectedTimeToAbsorption() const;
+
+ private:
+  // rates_[s]: outgoing (to, rate) pairs.
+  std::vector<std::vector<std::pair<size_t, double>>> rates_;
+};
+
+/// \brief Exact expected makespan of a two-stage MapReduce job with iid
+/// exponential task durations on a bounded container pool, via a
+/// counter-based absorbing chain.
+///
+/// State: (maps remaining, reduces remaining); within a state,
+/// min(remaining, slots) tasks run. Reduces start only after the last map
+/// (no slow start — the chain models the synchronization barrier).
+///
+/// \param map_tasks m >= 0
+/// \param reduce_tasks r >= 0
+/// \param slots concurrently usable containers >= 1
+/// \param map_rate per-task completion rate (1/mean seconds) > 0
+/// \param reduce_rate per-task completion rate > 0 when r > 0
+Result<double> ExactMakespanCounterChain(int map_tasks, int reduce_tasks,
+                                         int slots, double map_rate,
+                                         double reduce_rate);
+
+/// \brief Exact expected completion time of `rates.size()` fully parallel
+/// tasks with heterogeneous exponential rates, via the distinct-task chain
+/// over all 2^m subsets of unfinished tasks.
+struct DistinctChainResult {
+  double expected_makespan = 0.0;
+  size_t num_states = 0;  ///< 2^m — the paper's exponential blowup
+};
+
+/// Errors when rates are non-positive or m exceeds `max_tasks` (the
+/// state space doubles per task; 25 tasks is already 33M states).
+Result<DistinctChainResult> ExactMakespanDistinctChain(
+    const std::vector<double>& rates, int max_tasks = 22);
+
+}  // namespace mrperf

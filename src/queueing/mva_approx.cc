@@ -1,0 +1,98 @@
+#include "queueing/mva_approx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mrperf {
+
+Result<MvaSolution> SolveMvaApprox(const ClosedNetwork& net,
+                                   const ApproxMvaOptions& options) {
+  MRPERF_RETURN_NOT_OK(net.Validate());
+  if (options.damping <= 0 || options.damping > 1) {
+    return Status::InvalidArgument("damping must be in (0, 1]");
+  }
+  if (options.tolerance <= 0) {
+    return Status::InvalidArgument("tolerance must be positive");
+  }
+  const size_t C = net.num_classes();
+  const size_t K = net.num_centers();
+
+  // Initial guess: each class spreads its population uniformly.
+  std::vector<std::vector<double>> queue(C, std::vector<double>(K, 0.0));
+  for (size_t c = 0; c < C; ++c) {
+    for (size_t k = 0; k < K; ++k) {
+      queue[c][k] = static_cast<double>(net.population[c]) / K;
+    }
+  }
+
+  std::vector<std::vector<double>> residence(C, std::vector<double>(K, 0.0));
+  std::vector<double> throughput(C, 0.0);
+
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (size_t c = 0; c < C; ++c) {
+      const int pop = net.population[c];
+      if (pop == 0) {
+        throughput[c] = 0.0;
+        continue;
+      }
+      double response = 0.0;
+      for (size_t k = 0; k < K; ++k) {
+        const auto& center = net.centers[k];
+        if (center.type == CenterType::kDelay) {
+          residence[c][k] = net.demand[c][k];
+        } else {
+          double others = 0.0;
+          for (size_t j = 0; j < C; ++j) {
+            if (j == c) continue;
+            others += queue[j][k];
+          }
+          const double self =
+              (static_cast<double>(pop) - 1.0) / pop * queue[c][k];
+          residence[c][k] = net.demand[c][k] *
+                            (1.0 + (others + self) / center.server_count);
+        }
+        response += residence[c][k];
+      }
+      throughput[c] = pop / (net.think_time[c] + response);
+    }
+    for (size_t c = 0; c < C; ++c) {
+      for (size_t k = 0; k < K; ++k) {
+        const double updated = throughput[c] * residence[c][k];
+        const double next =
+            queue[c][k] + options.damping * (updated - queue[c][k]);
+        max_delta = std::max(max_delta, std::abs(next - queue[c][k]));
+        queue[c][k] = next;
+      }
+    }
+    if (max_delta <= options.tolerance) {
+      ++iter;
+      break;
+    }
+  }
+  if (iter >= options.max_iterations) {
+    return Status::NotConverged(
+        "approximate MVA did not converge within max_iterations");
+  }
+
+  MvaSolution sol;
+  sol.residence = residence;
+  sol.queue_length = queue;
+  sol.throughput = throughput;
+  sol.response.assign(C, 0.0);
+  sol.utilization.assign(K, 0.0);
+  sol.iterations = iter;
+  for (size_t c = 0; c < C; ++c) {
+    for (size_t k = 0; k < K; ++k) sol.response[c] += residence[c][k];
+  }
+  for (size_t k = 0; k < K; ++k) {
+    double util = 0.0;
+    for (size_t c = 0; c < C; ++c) util += throughput[c] * net.demand[c][k];
+    sol.utilization[k] = util / net.centers[k].server_count;
+  }
+  return sol;
+}
+
+}  // namespace mrperf

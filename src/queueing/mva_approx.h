@@ -1,0 +1,30 @@
+/// \file mva_approx.h
+/// \brief Approximate multiclass MVA (Bard–Schweitzer fixed point).
+///
+/// Replaces the exact recursion's Q(N - e_c) with the Schweitzer estimate
+///   Q_k(N - e_c) ≈ Σ_{j≠c} Q_{j,k}(N) + (N_c - 1)/N_c · Q_{c,k}(N)
+/// and iterates to a fixed point. Cost per iteration is O(C·K), making it
+/// usable inside the model's outer convergence loop and for large sweeps.
+
+#pragma once
+
+#include "common/status.h"
+#include "queueing/closed_network.h"
+
+namespace mrperf {
+
+/// \brief Options for the approximate solver.
+struct ApproxMvaOptions {
+  /// Convergence threshold on the max absolute change of any queue length.
+  double tolerance = 1e-10;
+  /// Iteration cap; exceeding it returns Status::NotConverged.
+  int max_iterations = 100'000;
+  /// Under-relaxation factor in (0, 1]; 1 = plain fixed point.
+  double damping = 1.0;
+};
+
+/// \brief Solves `net` with the Bard–Schweitzer approximation.
+Result<MvaSolution> SolveMvaApprox(const ClosedNetwork& net,
+                                   const ApproxMvaOptions& options = {});
+
+}  // namespace mrperf

@@ -1,0 +1,114 @@
+#include "queueing/mva_exact.h"
+
+#include <vector>
+
+namespace mrperf {
+namespace {
+
+/// Mixed-radix index for population vectors: vector n maps to
+/// sum_c n_c * stride_c with stride_c = prod_{c'<c} (N_{c'}+1).
+size_t IndexOf(const std::vector<int>& n, const std::vector<size_t>& stride) {
+  size_t idx = 0;
+  for (size_t c = 0; c < n.size(); ++c) idx += n[c] * stride[c];
+  return idx;
+}
+
+}  // namespace
+
+Result<MvaSolution> SolveMvaExact(const ClosedNetwork& net,
+                                  size_t max_states) {
+  MRPERF_RETURN_NOT_OK(net.Validate());
+  const size_t C = net.num_classes();
+  const size_t K = net.num_centers();
+
+  std::vector<size_t> stride(C);
+  size_t states = 1;
+  for (size_t c = 0; c < C; ++c) {
+    stride[c] = states;
+    states *= static_cast<size_t>(net.population[c]) + 1;
+    if (states > max_states) {
+      return Status::OutOfRange(
+          "exact MVA state space exceeds max_states; use SolveMvaApprox");
+    }
+  }
+
+  // total_queue[state][k]: total mean queue length at center k for the
+  // population vector encoded by `state`.
+  std::vector<std::vector<double>> total_queue(states,
+                                               std::vector<double>(K, 0.0));
+
+  MvaSolution sol;
+  sol.residence.assign(C, std::vector<double>(K, 0.0));
+  sol.response.assign(C, 0.0);
+  sol.throughput.assign(C, 0.0);
+  sol.queue_length.assign(C, std::vector<double>(K, 0.0));
+  sol.utilization.assign(K, 0.0);
+  sol.iterations = 1;
+
+  // Enumerate population vectors in lexicographic (odometer) order, which
+  // guarantees n - e_c has already been computed.
+  std::vector<int> n(C, 0);
+  std::vector<std::vector<double>> residence(C, std::vector<double>(K));
+  std::vector<double> throughput(C);
+  for (size_t state = 1; state < states; ++state) {
+    // Advance odometer.
+    for (size_t c = 0; c < C; ++c) {
+      if (n[c] < net.population[c]) {
+        ++n[c];
+        break;
+      }
+      n[c] = 0;
+    }
+    // MVA step for population vector n.
+    for (size_t c = 0; c < C; ++c) {
+      if (n[c] == 0) {
+        throughput[c] = 0.0;
+        for (size_t k = 0; k < K; ++k) residence[c][k] = 0.0;
+        continue;
+      }
+      const size_t prev = state - stride[c];  // index of n - e_c
+      double response = 0.0;
+      for (size_t k = 0; k < K; ++k) {
+        const auto& center = net.centers[k];
+        if (center.type == CenterType::kDelay) {
+          residence[c][k] = net.demand[c][k];
+        } else {
+          residence[c][k] =
+              net.demand[c][k] *
+              (1.0 + total_queue[prev][k] / center.server_count);
+        }
+        response += residence[c][k];
+      }
+      throughput[c] = n[c] / (net.think_time[c] + response);
+    }
+    auto& tq = total_queue[state];
+    for (size_t k = 0; k < K; ++k) {
+      tq[k] = 0.0;
+      for (size_t c = 0; c < C; ++c) {
+        tq[k] += throughput[c] * residence[c][k];
+      }
+    }
+  }
+
+  // Final population vector == net.population; copy out its metrics.
+  for (size_t c = 0; c < C; ++c) {
+    double response = 0.0;
+    for (size_t k = 0; k < K; ++k) {
+      sol.residence[c][k] = residence[c][k];
+      sol.queue_length[c][k] = throughput[c] * residence[c][k];
+      response += residence[c][k];
+    }
+    sol.response[c] = response;
+    sol.throughput[c] = throughput[c];
+  }
+  for (size_t k = 0; k < K; ++k) {
+    double util = 0.0;
+    for (size_t c = 0; c < C; ++c) {
+      util += sol.throughput[c] * net.demand[c][k];
+    }
+    sol.utilization[k] = util / net.centers[k].server_count;
+  }
+  return sol;
+}
+
+}  // namespace mrperf

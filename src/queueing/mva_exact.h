@@ -1,0 +1,24 @@
+/// \file mva_exact.h
+/// \brief Exact multiclass Mean Value Analysis (Reiser–Lavenberg 1980).
+///
+/// Solves a closed product-form network exactly by recursing over all
+/// population vectors n with 0 <= n <= N componentwise. Cost is
+/// O(K·C·∏(N_c+1)), which is cheap for the paper's dimensions (C = 3 task
+/// classes, N <= 4 jobs, K = 2 centers) and serves as the ground truth the
+/// approximate solver is tested against.
+
+#pragma once
+
+#include "common/status.h"
+#include "queueing/closed_network.h"
+
+namespace mrperf {
+
+/// \brief Solves `net` with the exact MVA recursion.
+///
+/// Errors on invalid networks or when the state space
+/// ∏(N_c+1) exceeds `max_states` (guards accidental exponential blowup).
+Result<MvaSolution> SolveMvaExact(const ClosedNetwork& net,
+                                  size_t max_states = 50'000'000);
+
+}  // namespace mrperf

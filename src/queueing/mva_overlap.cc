@@ -1,0 +1,126 @@
+#include "queueing/mva_overlap.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrperf {
+
+Status OverlapMvaProblem::Validate() const {
+  if (centers.empty()) {
+    return Status::InvalidArgument("overlap MVA requires at least one center");
+  }
+  if (tasks.empty()) {
+    return Status::InvalidArgument("overlap MVA requires at least one task");
+  }
+  for (const auto& center : centers) {
+    if (center.server_count < 1) {
+      return Status::InvalidArgument("center '" + center.name +
+                                     "' must have at least one server");
+    }
+  }
+  for (const auto& task : tasks) {
+    if (task.demand.size() != centers.size()) {
+      return Status::InvalidArgument(
+          "every task must provide one demand per center");
+    }
+    double total = 0.0;
+    for (double d : task.demand) {
+      if (d < 0) return Status::InvalidArgument("demands must be >= 0");
+      total += d;
+    }
+    if (total <= 0) {
+      return Status::InvalidArgument(
+          "every task must have positive total demand");
+    }
+  }
+  if (overlap.size() != tasks.size()) {
+    return Status::InvalidArgument(
+        "overlap matrix must be tasks x tasks (row count mismatch)");
+  }
+  for (const auto& row : overlap) {
+    if (row.size() != tasks.size()) {
+      return Status::InvalidArgument(
+          "overlap matrix must be tasks x tasks (column count mismatch)");
+    }
+    for (double v : row) {
+      if (v < 0.0 || v > 1.0 + 1e-9) {
+        return Status::InvalidArgument("overlap factors must be in [0, 1]");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<OverlapMvaSolution> SolveOverlapMva(const OverlapMvaProblem& problem,
+                                           const OverlapMvaOptions& options) {
+  MRPERF_RETURN_NOT_OK(problem.Validate());
+  if (options.damping <= 0 || options.damping > 1) {
+    return Status::InvalidArgument("damping must be in (0, 1]");
+  }
+  const size_t T = problem.tasks.size();
+  const size_t K = problem.centers.size();
+
+  // Start from zero contention: residence == raw demand.
+  std::vector<std::vector<double>> residence(T);
+  std::vector<double> response(T, 0.0);
+  for (size_t i = 0; i < T; ++i) {
+    residence[i] = problem.tasks[i].demand;
+    for (double r : residence[i]) response[i] += r;
+  }
+
+  // q[j][k]: conditional probability that active task j is at center k.
+  std::vector<std::vector<double>> q(T, std::vector<double>(K, 0.0));
+  auto refresh_q = [&]() {
+    for (size_t j = 0; j < T; ++j) {
+      for (size_t k = 0; k < K; ++k) {
+        q[j][k] = response[j] > 0 ? residence[j][k] / response[j] : 0.0;
+      }
+    }
+  };
+
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    refresh_q();
+    double max_delta = 0.0;
+    for (size_t i = 0; i < T; ++i) {
+      double new_response = 0.0;
+      for (size_t k = 0; k < K; ++k) {
+        const auto& center = problem.centers[k];
+        double new_res;
+        if (center.type == CenterType::kDelay) {
+          new_res = problem.tasks[i].demand[k];
+        } else {
+          double interference = 0.0;
+          for (size_t j = 0; j < T; ++j) {
+            if (j == i) continue;
+            interference += problem.overlap[i][j] * q[j][k];
+          }
+          new_res = problem.tasks[i].demand[k] *
+                    (1.0 + interference / center.server_count);
+        }
+        const double damped =
+            residence[i][k] + options.damping * (new_res - residence[i][k]);
+        max_delta = std::max(max_delta, std::abs(damped - residence[i][k]));
+        residence[i][k] = damped;
+        new_response += damped;
+      }
+      response[i] = new_response;
+    }
+    if (max_delta <= options.tolerance) {
+      ++iter;
+      break;
+    }
+  }
+  if (iter >= options.max_iterations) {
+    return Status::NotConverged(
+        "overlap MVA did not converge within max_iterations");
+  }
+
+  OverlapMvaSolution sol;
+  sol.residence = std::move(residence);
+  sol.response = std::move(response);
+  sol.iterations = iter;
+  return sol;
+}
+
+}  // namespace mrperf

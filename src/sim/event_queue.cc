@@ -1,0 +1,42 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace mrperf {
+
+Status EventQueue::ScheduleAt(double at, Callback fn) {
+  if (at < now_) {
+    return Status::InvalidArgument("cannot schedule an event in the past");
+  }
+  if (!fn) {
+    return Status::InvalidArgument("event callback must be callable");
+  }
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  return Status::OK();
+}
+
+Status EventQueue::ScheduleAfter(double delay, Callback fn) {
+  if (delay < 0) {
+    return Status::InvalidArgument("delay must be >= 0");
+  }
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+Result<int64_t> EventQueue::Run(double until, int64_t max_events) {
+  int64_t executed = 0;
+  while (!queue_.empty()) {
+    // Copying the top is required because the callback may schedule.
+    Event ev = queue_.top();
+    if (ev.time > until) break;
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    if (++executed > max_events) {
+      return Status::OutOfRange(
+          "simulation exceeded max_events; likely a scheduling loop");
+    }
+  }
+  return executed;
+}
+
+}  // namespace mrperf

@@ -1,0 +1,58 @@
+/// \file event_queue.h
+/// \brief Discrete-event simulation core: virtual clock + event queue.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrperf {
+
+/// \brief Deterministic discrete-event engine.
+///
+/// Events scheduled for the same instant fire in scheduling order (a
+/// monotonic sequence number breaks ties), which keeps simulations
+/// reproducible.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time, seconds.
+  double Now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (>= Now()).
+  Status ScheduleAt(double at, Callback fn);
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  Status ScheduleAfter(double delay, Callback fn);
+
+  /// Runs events until the queue drains or `until` is passed.
+  /// Returns the number of events executed.
+  Result<int64_t> Run(double until = 1e18, int64_t max_events = 500'000'000);
+
+  /// Events waiting to run.
+  size_t Pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    int64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  int64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace mrperf

@@ -1,0 +1,33 @@
+#include "yarn/node.h"
+
+namespace mrperf {
+
+double NodeState::OccupancyRate() const {
+  if (capacity_.memory_bytes <= 0) return 1.0;
+  return static_cast<double>(used_.memory_bytes) /
+         static_cast<double>(capacity_.memory_bytes);
+}
+
+Status NodeState::Allocate(const Resource& capability) {
+  if (!CanFit(capability)) {
+    return Status::FailedPrecondition("container does not fit on node " +
+                                      std::to_string(id_));
+  }
+  used_ += capability;
+  ++running_containers_;
+  return Status::OK();
+}
+
+Status NodeState::Release(const Resource& capability) {
+  const Resource next = used_ - capability;
+  if (!next.IsNonNegative() || running_containers_ <= 0) {
+    return Status::FailedPrecondition(
+        "releasing more capacity than allocated on node " +
+        std::to_string(id_));
+  }
+  used_ = next;
+  --running_containers_;
+  return Status::OK();
+}
+
+}  // namespace mrperf

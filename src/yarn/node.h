@@ -1,0 +1,51 @@
+/// \file node.h
+/// \brief NodeManager-side resource accounting.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "yarn/resources.h"
+
+namespace mrperf {
+
+/// \brief Tracks allocated/free capacity of one cluster node.
+class NodeState {
+ public:
+  NodeState(int id, Resource capacity)
+      : id_(id), capacity_(capacity), used_{} {}
+
+  int id() const { return id_; }
+  const Resource& capacity() const { return capacity_; }
+  const Resource& used() const { return used_; }
+  Resource Free() const { return capacity_ - used_; }
+
+  /// True when a container of the given capability fits right now.
+  bool CanFit(const Resource& capability) const {
+    return capability.FitsIn(Free());
+  }
+
+  /// Occupancy rate used by the model for container placement
+  /// (§4.2.2: "assign containers to the nodes with the lowest value").
+  /// Memory is the dominant resource in MapReduce sizing.
+  double OccupancyRate() const;
+
+  /// Reserves capacity for a container. Errors when it does not fit.
+  Status Allocate(const Resource& capability);
+
+  /// Releases previously allocated capacity. Errors when releasing more
+  /// than is allocated.
+  Status Release(const Resource& capability);
+
+  int running_containers() const { return running_containers_; }
+
+ private:
+  int id_;
+  Resource capacity_;
+  Resource used_;
+  int running_containers_ = 0;
+};
+
+}  // namespace mrperf

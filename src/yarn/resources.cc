@@ -1,0 +1,48 @@
+#include "yarn/resources.h"
+
+namespace mrperf {
+
+const char* TaskTypeToString(TaskType type) {
+  switch (type) {
+    case TaskType::kMap:
+      return "map";
+    case TaskType::kReduce:
+      return "reduce";
+    case TaskType::kAppMaster:
+      return "am";
+  }
+  return "?";
+}
+
+const char* TaskLifecycleStateToString(TaskLifecycleState state) {
+  switch (state) {
+    case TaskLifecycleState::kPending:
+      return "pending";
+    case TaskLifecycleState::kScheduled:
+      return "scheduled";
+    case TaskLifecycleState::kAssigned:
+      return "assigned";
+    case TaskLifecycleState::kCompleted:
+      return "completed";
+  }
+  return "?";
+}
+
+Status AdvanceLifecycle(TaskLifecycleState from, TaskLifecycleState to) {
+  const bool valid =
+      (from == TaskLifecycleState::kPending &&
+       to == TaskLifecycleState::kScheduled) ||
+      (from == TaskLifecycleState::kScheduled &&
+       to == TaskLifecycleState::kAssigned) ||
+      (from == TaskLifecycleState::kAssigned &&
+       to == TaskLifecycleState::kCompleted);
+  if (!valid) {
+    return Status::FailedPrecondition(
+        std::string("invalid lifecycle transition ") +
+        TaskLifecycleStateToString(from) + " -> " +
+        TaskLifecycleStateToString(to));
+  }
+  return Status::OK();
+}
+
+}  // namespace mrperf

@@ -1,0 +1,58 @@
+/// \file scheduler.h
+/// \brief Abstract RM scheduler interface.
+///
+/// Two implementations ship with the library: the capacity scheduler with
+/// a single root queue (the paper's assumption, `capacity_scheduler.h`)
+/// and the Tetris multi-resource packing scheduler discussed in the
+/// paper's related work (§2.1, `tetris_scheduler.h`). The cluster
+/// simulator drives either through this interface.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "yarn/node.h"
+#include "yarn/resources.h"
+
+namespace mrperf {
+
+/// \brief ResourceManager-side scheduler contract.
+class SchedulerInterface {
+ public:
+  virtual ~SchedulerInterface() = default;
+
+  /// Registers an application (FIFO position = registration order where
+  /// the policy uses one).
+  virtual Status RegisterApplication(int64_t app_id) = 0;
+
+  /// Removes an application and its outstanding demand.
+  virtual Status UnregisterApplication(int64_t app_id) = 0;
+
+  /// Adds resource requests from an application heartbeat.
+  virtual Status SubmitRequests(
+      int64_t app_id, const std::vector<ResourceRequest>& requests) = 0;
+
+  /// Attempts to place outstanding demand on `nodes`; grants update the
+  /// node accounting in place.
+  virtual Result<std::vector<Container>> Assign(
+      std::vector<NodeState>& nodes,
+      const std::map<std::string, int>& node_of_host) = 0;
+
+  /// Outstanding queued containers.
+  virtual int64_t PendingContainers() const = 0;
+
+  /// Optional hint: estimated remaining work (seconds) of an application,
+  /// used by shortest-remaining-time-first policies (Tetris). Default
+  /// implementations ignore it.
+  virtual Status SetRemainingWorkHint(int64_t app_id, double seconds) {
+    (void)app_id;
+    (void)seconds;
+    return Status::OK();
+  }
+};
+
+}  // namespace mrperf

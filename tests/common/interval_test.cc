@@ -1,0 +1,95 @@
+#include "common/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace mrperf {
+namespace {
+
+TEST(IntervalTest, DurationAndEmpty) {
+  Interval a{2.0, 5.0};
+  EXPECT_DOUBLE_EQ(a.duration(), 3.0);
+  EXPECT_FALSE(a.empty());
+  Interval zero{4.0, 4.0};
+  EXPECT_TRUE(zero.empty());
+}
+
+TEST(IntervalTest, OverlapDetection) {
+  Interval a{0.0, 10.0};
+  EXPECT_TRUE(a.Overlaps({5.0, 15.0}));
+  EXPECT_TRUE(a.Overlaps({2.0, 3.0}));
+  EXPECT_FALSE(a.Overlaps({10.0, 20.0}));  // touching is not overlapping
+  EXPECT_FALSE(a.Overlaps({-5.0, 0.0}));
+  EXPECT_FALSE(a.Overlaps({11.0, 12.0}));
+}
+
+TEST(IntervalTest, OverlapDuration) {
+  Interval a{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(a.OverlapDuration({5.0, 15.0}), 5.0);
+  EXPECT_DOUBLE_EQ(a.OverlapDuration({2.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(a.OverlapDuration({10.0, 20.0}), 0.0);
+  EXPECT_DOUBLE_EQ(a.OverlapDuration({-10.0, 30.0}), 10.0);
+}
+
+TEST(IntervalTest, Contains) {
+  Interval a{1.0, 2.0};
+  EXPECT_TRUE(a.Contains(1.0));
+  EXPECT_TRUE(a.Contains(2.0));
+  EXPECT_TRUE(a.Contains(1.5));
+  EXPECT_FALSE(a.Contains(0.99));
+  EXPECT_FALSE(a.Contains(2.01));
+}
+
+TEST(OverlapFractionTest, FractionOfFirstInterval) {
+  // theta_ij = |i ∩ j| / |i| — the paper's overlap factor estimate.
+  EXPECT_DOUBLE_EQ(OverlapFraction({0, 10}, {0, 10}), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapFraction({0, 10}, {5, 15}), 0.5);
+  EXPECT_DOUBLE_EQ(OverlapFraction({5, 15}, {0, 10}), 0.5);
+  EXPECT_DOUBLE_EQ(OverlapFraction({0, 10}, {20, 30}), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapFraction({0, 4}, {0, 10}), 1.0);
+}
+
+TEST(OverlapFractionTest, ZeroDurationYieldsZero) {
+  EXPECT_DOUBLE_EQ(OverlapFraction({5, 5}, {0, 10}), 0.0);
+}
+
+TEST(OverlapFractionTest, Asymmetry) {
+  // A short task fully inside a long one overlaps 100% of itself but only
+  // a fraction of the long one.
+  Interval small{4, 6}, big{0, 20};
+  EXPECT_DOUBLE_EQ(OverlapFraction(small, big), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapFraction(big, small), 0.1);
+}
+
+TEST(PhaseBoundariesTest, CollectsDistinctEventTimes) {
+  std::vector<Interval> ivs{{0, 10}, {0, 5}, {5, 12}};
+  const auto b = PhaseBoundaries(ivs);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 0.0);
+  EXPECT_DOUBLE_EQ(b[1], 5.0);
+  EXPECT_DOUBLE_EQ(b[2], 10.0);
+  EXPECT_DOUBLE_EQ(b[3], 12.0);
+}
+
+TEST(PhaseBoundariesTest, DeduplicatesNearbyTimes) {
+  std::vector<Interval> ivs{{0, 5}, {1e-12, 5 + 1e-12}};
+  const auto b = PhaseBoundaries(ivs);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(PhaseBoundariesTest, EmptyInput) {
+  EXPECT_TRUE(PhaseBoundaries({}).empty());
+}
+
+TEST(UnionDurationTest, DisjointAndOverlapping) {
+  EXPECT_DOUBLE_EQ(UnionDuration({}), 0.0);
+  EXPECT_DOUBLE_EQ(UnionDuration({{0, 2}, {5, 6}}), 3.0);
+  EXPECT_DOUBLE_EQ(UnionDuration({{0, 4}, {2, 6}}), 6.0);
+  EXPECT_DOUBLE_EQ(UnionDuration({{0, 10}, {2, 3}, {4, 5}}), 10.0);
+}
+
+TEST(UnionDurationTest, IgnoresEmptyIntervals) {
+  EXPECT_DOUBLE_EQ(UnionDuration({{3, 3}, {1, 2}}), 1.0);
+}
+
+}  // namespace
+}  // namespace mrperf

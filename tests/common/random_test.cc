@@ -1,0 +1,123 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+
+namespace mrperf {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(5.0, 9.0);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LT(x, 9.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeWithoutBias) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(RngTest, ExponentialMatchesMean) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.Add(rng.Exponential(4.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.05);
+  EXPECT_NEAR(s.cv(), 1.0, 0.02);  // exponential CV == 1
+}
+
+TEST(RngTest, NormalMatchesMoments) {
+  Rng rng(19);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.Add(rng.Normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.03);
+}
+
+TEST(RngTest, ErlangMatchesMeanAndCv) {
+  Rng rng(23);
+  RunningStats s;
+  const int k = 4;
+  for (int i = 0; i < 100000; ++i) s.Add(rng.Erlang(k, 8.0));
+  EXPECT_NEAR(s.mean(), 8.0, 0.1);
+  EXPECT_NEAR(s.cv(), 1.0 / std::sqrt(k), 0.01);
+}
+
+class LogNormalParamTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(LogNormalParamTest, MatchesTargetMeanAndCv) {
+  const auto [mean, cv] = GetParam();
+  Rng rng(29);
+  RunningStats s;
+  for (int i = 0; i < 300000; ++i) s.Add(rng.LogNormalMeanCv(mean, cv));
+  EXPECT_NEAR(s.mean() / mean, 1.0, 0.02);
+  EXPECT_NEAR(s.cv(), cv, 0.05 * (1.0 + cv));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LogNormalParamTest,
+    ::testing::Values(std::pair{1.0, 0.2}, std::pair{1.0, 0.6},
+                      std::pair{10.0, 0.3}, std::pair{50.0, 1.0}));
+
+TEST(RngTest, LogNormalZeroCvIsDeterministic) {
+  Rng rng(31);
+  EXPECT_DOUBLE_EQ(rng.LogNormalMeanCv(3.0, 0.0), 3.0);
+}
+
+TEST(RngTest, TruncatedNormalRespectsFloor) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.TruncatedNormalMeanCv(10.0, 0.5, 0.1), 1.0);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng child = a.Fork();
+  // The child stream should differ from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == child.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace mrperf

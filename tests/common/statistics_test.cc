@@ -1,0 +1,136 @@
+#include "common/statistics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mrperf {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.4);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(VectorStatsTest, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 4.0);
+}
+
+TEST(VectorStatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(VectorStatsTest, PercentileInterpolates) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(*Percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(*Percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(*Percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(*Percentile(xs, 25), 20.0);
+  EXPECT_DOUBLE_EQ(*Percentile(xs, 12.5), 15.0);
+}
+
+TEST(VectorStatsTest, PercentileErrors) {
+  EXPECT_FALSE(Percentile({}, 50).ok());
+  EXPECT_FALSE(Percentile({1.0}, -1).ok());
+  EXPECT_FALSE(Percentile({1.0}, 101).ok());
+  EXPECT_TRUE(Percentile({1.0}, 50).ok());
+}
+
+TEST(VectorStatsTest, CoefficientOfVariation) {
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation({5.0, 5.0, 5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      CoefficientOfVariation({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 0.4);
+}
+
+TEST(ErrorMetricsTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(*RelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(*RelativeError(90.0, 100.0), 0.1);
+  EXPECT_FALSE(RelativeError(1.0, 0.0).ok());
+}
+
+TEST(ErrorMetricsTest, SignedRelativeError) {
+  EXPECT_DOUBLE_EQ(*SignedRelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(*SignedRelativeError(90.0, 100.0), -0.1);
+  EXPECT_FALSE(SignedRelativeError(1.0, 0.0).ok());
+}
+
+TEST(HarmonicTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(2), 1.5);  // the paper's H2 = 3/2
+  EXPECT_NEAR(HarmonicNumber(4), 2.0833333333, 1e-9);
+  EXPECT_NEAR(HarmonicNumber(8), 2.7178571428, 1e-9);
+}
+
+class HarmonicGrowthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HarmonicGrowthTest, ApproachesLogPlusGamma) {
+  const int k = GetParam();
+  constexpr double kEulerGamma = 0.57721566490153286;
+  // H_k = ln k + gamma + 1/(2k) - O(1/k^2)
+  EXPECT_NEAR(HarmonicNumber(k), std::log(k) + kEulerGamma + 0.5 / k,
+              1.0 / (8.0 * k * k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Growth, HarmonicGrowthTest,
+                         ::testing::Values(8, 16, 64, 256, 1024));
+
+}  // namespace
+}  // namespace mrperf

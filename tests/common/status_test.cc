@@ -1,0 +1,102 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace mrperf {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersCarryCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad arg");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad arg");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad arg");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotConverged), "NotConverged");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "AlreadyExists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotImplemented),
+               "NotImplemented");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.ValueOrDie(), 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(42), 42);
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  Result<double> r(2.5);
+  EXPECT_DOUBLE_EQ(r.ValueOr(0.0), 2.5);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).ValueOrDie();
+  EXPECT_EQ(s, "hello");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Result<int> DoubleIfSmall(int x) {
+  MRPERF_RETURN_NOT_OK(FailIfNegative(x));
+  if (x > 100) return Status::OutOfRange("too big");
+  return x * 2;
+}
+
+Result<int> ChainedComputation(int x) {
+  MRPERF_ASSIGN_OR_RETURN(int doubled, DoubleIfSmall(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(DoubleIfSmall(3).ok());
+  EXPECT_EQ(DoubleIfSmall(-1).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(DoubleIfSmall(101).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, AssignOrReturnMacroChains) {
+  ASSERT_TRUE(ChainedComputation(5).ok());
+  EXPECT_EQ(*ChainedComputation(5), 11);
+  EXPECT_EQ(ChainedComputation(-2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mrperf

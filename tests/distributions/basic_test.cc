@@ -1,0 +1,142 @@
+#include "distributions/basic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mrperf {
+namespace {
+
+TEST(DeterministicDistTest, PointMassMoments) {
+  DeterministicDist d(5.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(d.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cv(), 0.0);
+  EXPECT_DOUBLE_EQ(d.SecondMoment(), 25.0);
+}
+
+TEST(DeterministicDistTest, StepCdf) {
+  DeterministicDist d(5.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(4.999), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Survival(4.0), 1.0);
+}
+
+TEST(DeterministicDistTest, CloneIsIndependent) {
+  DeterministicDist d(2.0);
+  auto c = d.Clone();
+  EXPECT_DOUBLE_EQ(c->Mean(), 2.0);
+}
+
+TEST(ExponentialDistTest, Moments) {
+  ExponentialDist d(4.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(d.Variance(), 16.0);
+  EXPECT_DOUBLE_EQ(d.Cv(), 1.0);
+  EXPECT_DOUBLE_EQ(d.rate(), 0.25);
+}
+
+TEST(ExponentialDistTest, CdfPdfKnownValues) {
+  ExponentialDist d(1.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(0.0), 0.0);
+  EXPECT_NEAR(d.Cdf(1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(d.Pdf(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(d.Pdf(2.0), std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(d.Pdf(-1.0), 0.0);
+}
+
+TEST(ErlangDistTest, MomentsMatchStageCount) {
+  for (int k : {1, 2, 4, 16}) {
+    ErlangDist d(k, 10.0);
+    EXPECT_DOUBLE_EQ(d.Mean(), 10.0) << "k=" << k;
+    EXPECT_DOUBLE_EQ(d.Variance(), 100.0 / k) << "k=" << k;
+    EXPECT_NEAR(d.Cv(), 1.0 / std::sqrt(k), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(ErlangDistTest, OneStageIsExponential) {
+  ErlangDist e(1, 3.0);
+  ExponentialDist x(3.0);
+  for (double t : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(e.Cdf(t), x.Cdf(t), 1e-12);
+    EXPECT_NEAR(e.Pdf(t), x.Pdf(t), 1e-9);
+  }
+}
+
+TEST(ErlangDistTest, CdfIsMonotoneAndBounded) {
+  ErlangDist d(8, 5.0);
+  double prev = 0.0;
+  for (double t = 0; t <= 30.0; t += 0.25) {
+    const double c = d.Cdf(t);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_GT(d.Cdf(30.0), 0.999);
+}
+
+TEST(ErlangDistTest, CdfMedianNearMeanForLargeK) {
+  // Erlang concentrates around its mean as k grows.
+  ErlangDist d(100, 10.0);
+  EXPECT_NEAR(d.Cdf(10.0), 0.5, 0.03);
+  EXPECT_LT(d.Cdf(8.0), 0.05);
+  EXPECT_GT(d.Cdf(12.0), 0.95);
+}
+
+TEST(ErlangDistTest, PdfIntegratesToCdf) {
+  ErlangDist d(3, 2.0);
+  // Trapezoidal integral of pdf over [0, 10] should approximate Cdf(10).
+  double integral = 0.0;
+  const double h = 0.001;
+  for (double t = 0; t < 10.0; t += h) {
+    integral += 0.5 * (d.Pdf(t) + d.Pdf(t + h)) * h;
+  }
+  EXPECT_NEAR(integral, d.Cdf(10.0), 1e-4);
+}
+
+TEST(HyperExponentialDistTest, MomentsFromPhases) {
+  HyperExponentialDist d(0.3, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.3 * 1.0 + 0.7 * 5.0);
+  const double second = 2.0 * (0.3 * 1.0 + 0.7 * 25.0);
+  EXPECT_NEAR(d.Variance(), second - d.Mean() * d.Mean(), 1e-12);
+  EXPECT_GT(d.Cv(), 1.0);
+}
+
+TEST(HyperExponentialDistTest, FitMatchesTargets) {
+  for (double cv : {1.0, 1.2, 1.5, 2.0, 4.0}) {
+    auto fit = HyperExponentialDist::FitMeanCv(7.0, cv);
+    ASSERT_TRUE(fit.ok()) << "cv=" << cv;
+    EXPECT_NEAR(fit->Mean(), 7.0, 1e-9) << "cv=" << cv;
+    EXPECT_NEAR(fit->Cv(), cv, 1e-6) << "cv=" << cv;
+  }
+}
+
+TEST(HyperExponentialDistTest, FitRejectsInvalid) {
+  EXPECT_FALSE(HyperExponentialDist::FitMeanCv(0.0, 1.5).ok());
+  EXPECT_FALSE(HyperExponentialDist::FitMeanCv(-1.0, 1.5).ok());
+  EXPECT_FALSE(HyperExponentialDist::FitMeanCv(1.0, 0.5).ok());
+}
+
+TEST(HyperExponentialDistTest, CdfMixesPhases) {
+  HyperExponentialDist d(0.5, 2.0, 2.0);  // degenerates to Exp(2)
+  ExponentialDist x(2.0);
+  for (double t : {0.5, 1.0, 4.0}) {
+    EXPECT_NEAR(d.Cdf(t), x.Cdf(t), 1e-12);
+  }
+}
+
+TEST(HyperExponentialDistTest, TailBoundCoversSurvival) {
+  auto fit = HyperExponentialDist::FitMeanCv(1.0, 3.0);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit->Survival(fit->UpperTailBound()), 1e-12);
+}
+
+TEST(DistributionTest, SecondMomentConsistency) {
+  ErlangDist d(4, 6.0);
+  EXPECT_NEAR(d.SecondMoment(), d.Variance() + 36.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,110 @@
+#include "distributions/fitting.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "distributions/basic.h"
+
+namespace mrperf {
+namespace {
+
+TEST(FittingTest, ZeroCvGivesDeterministic) {
+  auto d = FitByMeanCv(5.0, 0.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ((*d)->Mean(), 5.0);
+  EXPECT_DOUBLE_EQ((*d)->Variance(), 0.0);
+}
+
+TEST(FittingTest, TinyCvTreatedAsDeterministic) {
+  auto d = FitByMeanCv(5.0, 0.01);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ((*d)->Variance(), 0.0);
+}
+
+TEST(FittingTest, CvBelowOneGivesErlang) {
+  // Paper §4.2.4: Erlang when CV <= 1.
+  auto d = FitByMeanCv(10.0, 0.5);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR((*d)->Mean(), 10.0, 1e-12);
+  EXPECT_NEAR((*d)->Cv(), 0.5, 1e-12);  // 1/cv^2 = 4 stages exactly
+}
+
+TEST(FittingTest, CvOneGivesExponentialShape) {
+  auto d = FitByMeanCv(3.0, 1.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR((*d)->Mean(), 3.0, 1e-12);
+  EXPECT_NEAR((*d)->Cv(), 1.0, 1e-12);
+}
+
+TEST(FittingTest, CvAboveOneGivesHyperexponential) {
+  // Paper §4.2.4: Hyperexponential when CV >= 1.
+  auto d = FitByMeanCv(2.0, 1.8);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR((*d)->Mean(), 2.0, 1e-9);
+  EXPECT_NEAR((*d)->Cv(), 1.8, 1e-6);
+}
+
+TEST(FittingTest, MeanAlwaysPreserved) {
+  for (double cv : {0.0, 0.2, 0.33, 0.71, 1.0, 1.3, 2.5}) {
+    auto d = FitByMeanCv(42.0, cv);
+    ASSERT_TRUE(d.ok()) << "cv=" << cv;
+    EXPECT_NEAR((*d)->Mean(), 42.0, 1e-6) << "cv=" << cv;
+  }
+}
+
+TEST(FittingTest, CvApproximatelyPreservedForErlang) {
+  // Erlang stage rounding means CV matches only approximately for
+  // intermediate values.
+  for (double cv : {0.3, 0.45, 0.6, 0.8, 0.95}) {
+    auto d = FitByMeanCv(1.0, cv);
+    ASSERT_TRUE(d.ok());
+    EXPECT_NEAR((*d)->Cv(), cv, 0.12) << "cv=" << cv;
+  }
+}
+
+TEST(FittingTest, InvalidArgumentsRejected) {
+  EXPECT_FALSE(FitByMeanCv(-1.0, 0.5).ok());
+  EXPECT_FALSE(FitByMeanCv(1.0, -0.5).ok());
+  EXPECT_FALSE(FitByMeanCv(0.0, 0.5).ok());
+}
+
+TEST(FittingTest, ZeroMeanZeroCvIsDegenerate) {
+  auto d = FitByMeanCv(0.0, 0.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ((*d)->Mean(), 0.0);
+}
+
+TEST(ErlangStagesTest, ExactInverseSquares) {
+  EXPECT_EQ(ErlangStagesForCv(1.0), 1);
+  EXPECT_EQ(ErlangStagesForCv(0.5), 4);
+  EXPECT_EQ(ErlangStagesForCv(1.0 / 3.0), 9);
+  EXPECT_EQ(ErlangStagesForCv(0.25), 16);
+}
+
+TEST(ErlangStagesTest, CapsAtMaximum) {
+  EXPECT_LE(ErlangStagesForCv(0.001), 512);
+  EXPECT_GE(ErlangStagesForCv(0.001), 1);
+}
+
+class FittingRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FittingRoundTripTest, CdfConsistentWithMoments) {
+  const double cv = GetParam();
+  auto d = FitByMeanCv(1.0, cv);
+  ASSERT_TRUE(d.ok());
+  // Numerically integrate the survival function: should recover the mean.
+  double integral = 0.0;
+  const double h = 0.0005;
+  const double upper = (*d)->UpperTailBound();
+  for (double t = 0; t < upper; t += h) {
+    integral += (*d)->Survival(t) * h;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01) << "cv=" << cv;
+}
+
+INSTANTIATE_TEST_SUITE_P(CvGrid, FittingRoundTripTest,
+                         ::testing::Values(0.1, 0.4, 0.7, 1.0, 1.5, 2.5));
+
+}  // namespace
+}  // namespace mrperf

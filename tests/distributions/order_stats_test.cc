@@ -1,0 +1,134 @@
+#include "distributions/order_stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+#include "distributions/basic.h"
+
+namespace mrperf {
+namespace {
+
+TEST(MomentsTest, VarianceAndCv) {
+  Moments m{3.0, 13.0};
+  EXPECT_DOUBLE_EQ(m.Variance(), 4.0);
+  EXPECT_NEAR(m.Cv(), 2.0 / 3.0, 1e-12);
+  Moments zero{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(zero.Cv(), 0.0);
+}
+
+TEST(MaxMomentsTest, TwoIidExponentials) {
+  // E[max(X,Y)] for iid Exp(mean) is 1.5 * mean — the basis of the
+  // paper's H2 = 3/2 fork/join factor.
+  ExponentialDist x(2.0), y(2.0);
+  auto m = MaxMoments(x, y);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->mean, 3.0, 1e-6);
+  // Var[max of 2 iid exp(rate l)] = 5/(4l^2); l = 0.5 here.
+  EXPECT_NEAR(m->Variance(), 5.0, 1e-4);
+}
+
+TEST(MaxMomentsTest, DominatedPair) {
+  // max(X, c) where c is far above X's tail is essentially c.
+  ExponentialDist x(1.0);
+  DeterministicDist c(100.0);
+  auto m = MaxMoments(x, c);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->mean, 100.0, 1e-6);
+  EXPECT_NEAR(m->Variance(), 0.0, 1e-3);
+}
+
+TEST(MaxMomentsTest, DeterministicPair) {
+  DeterministicDist a(4.0), b(7.0);
+  auto m = MaxMoments(a, b);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->mean, 7.0, 1e-9);
+}
+
+TEST(MaxMomentsTest, HarmonicLawForNExponentials) {
+  // E[max of k iid Exp(1)] = H_k exactly; validates MaxMomentsN against
+  // the closed form the fork/join estimator uses.
+  ExponentialDist x(1.0);
+  for (int k : {2, 3, 4, 8}) {
+    std::vector<const Distribution*> xs(k, &x);
+    auto m = MaxMomentsN(xs);
+    ASSERT_TRUE(m.ok()) << "k=" << k;
+    EXPECT_NEAR(m->mean, HarmonicNumber(k), 1e-5) << "k=" << k;
+  }
+}
+
+TEST(MaxMomentsTest, SingleInputIsIdentity) {
+  ErlangDist x(3, 5.0);
+  auto m = MaxMomentsN({&x});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->mean, 5.0);
+  EXPECT_NEAR(m->Variance(), x.Variance(), 1e-12);
+}
+
+TEST(MaxMomentsTest, EmptyInputRejected) {
+  EXPECT_FALSE(MaxMomentsN({}).ok());
+}
+
+TEST(MinMomentsTest, TwoIidExponentials) {
+  // min of two iid Exp(mean 2) is Exp(mean 1).
+  ExponentialDist x(2.0), y(2.0);
+  auto m = MinMoments(x, y);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->mean, 1.0, 1e-6);
+  EXPECT_NEAR(m->Variance(), 1.0, 1e-3);
+}
+
+TEST(MinMaxIdentityTest, SumOfMinAndMaxEqualsSumOfMeans) {
+  // E[min] + E[max] == E[X] + E[Y] for any X, Y.
+  ErlangDist x(2, 3.0);
+  ExponentialDist y(5.0);
+  auto mx = MaxMoments(x, y);
+  auto mn = MinMoments(x, y);
+  ASSERT_TRUE(mx.ok());
+  ASSERT_TRUE(mn.ok());
+  EXPECT_NEAR(mx->mean + mn->mean, 8.0, 1e-5);
+}
+
+TEST(SumMomentsTest, IndependentSum) {
+  Moments a{2.0, 5.0};   // var 1
+  Moments b{3.0, 13.0};  // var 4
+  Moments s = SumMoments(a, b);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 5.0);
+}
+
+TEST(SumMomentsTest, ZeroIsNeutral) {
+  Moments a{4.0, 20.0};
+  Moments zero{0.0, 0.0};
+  Moments s = SumMoments(a, zero);
+  EXPECT_DOUBLE_EQ(s.mean, a.mean);
+  EXPECT_NEAR(s.Variance(), a.Variance(), 1e-12);
+}
+
+TEST(MomentsOfTest, MatchesDistribution) {
+  ErlangDist x(4, 8.0);
+  Moments m = MomentsOf(x);
+  EXPECT_DOUBLE_EQ(m.mean, 8.0);
+  EXPECT_NEAR(m.Variance(), 16.0, 1e-12);
+}
+
+TEST(MaxMomentsTest, MaxIsAtLeastEachMean) {
+  // E[max(X, Y)] >= max(E[X], E[Y]) — Jensen-style sanity.
+  ErlangDist x(2, 6.0);
+  auto fit = HyperExponentialDist::FitMeanCv(4.0, 1.5);
+  ASSERT_TRUE(fit.ok());
+  auto m = MaxMoments(x, *fit);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GE(m->mean, 6.0 - 1e-9);
+}
+
+TEST(MaxMomentsTest, VarianceNeverNegative) {
+  DeterministicDist a(1.0), b(1.0);
+  auto m = MaxMoments(a, b);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GE(m->Variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,133 @@
+#include "experiments/experiment.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "experiments/report.h"
+
+namespace mrperf {
+namespace {
+
+ExperimentOptions FastOptions() {
+  ExperimentOptions opts = DefaultExperimentOptions();
+  opts.repetitions = 1;
+  return opts;
+}
+
+TEST(ExperimentTest, RunsOnePoint) {
+  ExperimentPoint point;
+  point.num_nodes = 4;
+  point.input_bytes = 1 * kGiB;
+  point.num_jobs = 1;
+  auto r = RunExperiment(point, FastOptions());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->measured_sec, 0.0);
+  EXPECT_GT(r->forkjoin_sec, 0.0);
+  EXPECT_GT(r->tripathi_sec, 0.0);
+  EXPECT_TRUE(r->model_converged);
+}
+
+TEST(ExperimentTest, ErrorsAreSignedRelative) {
+  ExperimentPoint point;
+  auto r = RunExperiment(point, FastOptions());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->forkjoin_error,
+              (r->forkjoin_sec - r->measured_sec) / r->measured_sec, 1e-12);
+  EXPECT_NEAR(r->tripathi_error,
+              (r->tripathi_sec - r->measured_sec) / r->measured_sec, 1e-12);
+}
+
+TEST(ExperimentTest, MedianOverRepetitionsIsDeterministic) {
+  ExperimentOptions opts = FastOptions();
+  opts.repetitions = 3;
+  ExperimentPoint point;
+  auto a = RunSimulatedMeasurement(point, opts);
+  auto b = RunSimulatedMeasurement(point, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(*a, *b);
+}
+
+TEST(ExperimentTest, InvalidPointsRejected) {
+  ExperimentPoint point;
+  point.num_nodes = 0;
+  EXPECT_FALSE(RunExperiment(point, FastOptions()).ok());
+  point = ExperimentPoint();
+  point.input_bytes = 0;
+  EXPECT_FALSE(RunExperiment(point, FastOptions()).ok());
+  point = ExperimentPoint();
+  point.num_jobs = 0;
+  EXPECT_FALSE(RunExperiment(point, FastOptions()).ok());
+}
+
+TEST(ExperimentTest, ZeroRepetitionsRejected) {
+  ExperimentOptions opts = FastOptions();
+  opts.repetitions = 0;
+  EXPECT_FALSE(RunSimulatedMeasurement(ExperimentPoint(), opts).ok());
+}
+
+TEST(ReportTest, SummarizeErrors) {
+  std::vector<ExperimentResult> results(3);
+  results[0].forkjoin_error = 0.10;
+  results[0].tripathi_error = 0.20;
+  results[1].forkjoin_error = -0.05;
+  results[1].tripathi_error = 0.25;
+  results[2].forkjoin_error = 0.15;
+  results[2].tripathi_error = 0.30;
+  ErrorSummary s = SummarizeErrors(results);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.forkjoin_min, 0.05);
+  EXPECT_DOUBLE_EQ(s.forkjoin_max, 0.15);
+  EXPECT_NEAR(s.forkjoin_mean, 0.10, 1e-12);
+  EXPECT_DOUBLE_EQ(s.tripathi_min, 0.20);
+  EXPECT_DOUBLE_EQ(s.tripathi_max, 0.30);
+  EXPECT_NEAR(s.forkjoin_over_fraction, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.tripathi_over_fraction, 1.0);
+}
+
+TEST(ReportTest, SummarizeEmptyIsZero) {
+  ErrorSummary s = SummarizeErrors({});
+  EXPECT_EQ(s.count, 0);
+}
+
+TEST(ReportTest, FigureTableRenders) {
+  std::vector<ExperimentResult> results(2);
+  results[0].measured_sec = 72.0;
+  results[0].forkjoin_sec = 80.0;
+  results[0].tripathi_sec = 90.0;
+  results[0].forkjoin_error = 0.11;
+  results[0].tripathi_error = 0.25;
+  results[1].measured_sec = 50.0;
+  results[1].forkjoin_sec = 55.0;
+  results[1].tripathi_sec = 60.0;
+  std::ostringstream os;
+  PrintFigureTable(os, "Figure 10: Input 1GB, #jobs 1", "nodes", {4, 8},
+                   results);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Figure 10"), std::string::npos);
+  EXPECT_NE(out.find("HadoopSetup"), std::string::npos);
+  EXPECT_NE(out.find("Fork/join"), std::string::npos);
+  EXPECT_NE(out.find("Tripathi"), std::string::npos);
+  EXPECT_NE(out.find("72.0"), std::string::npos);
+}
+
+TEST(ReportTest, ErrorSummaryRenders) {
+  ErrorSummary s;
+  s.count = 6;
+  s.forkjoin_min = 0.05;
+  s.forkjoin_max = 0.14;
+  s.forkjoin_mean = 0.10;
+  s.tripathi_min = 0.19;
+  s.tripathi_max = 0.23;
+  s.tripathi_mean = 0.21;
+  s.forkjoin_over_fraction = 1.0;
+  s.tripathi_over_fraction = 1.0;
+  std::ostringstream os;
+  PrintErrorSummary(os, "overall", s);
+  EXPECT_NE(os.str().find("Fork/join error"), std::string::npos);
+  EXPECT_NE(os.str().find("Tripathi"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrperf

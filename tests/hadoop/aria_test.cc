@@ -1,0 +1,134 @@
+#include "hadoop/aria_model.h"
+
+#include <gtest/gtest.h>
+
+namespace mrperf {
+namespace {
+
+AriaStageProfile Stage(int n, double avg, double max) {
+  AriaStageProfile s;
+  s.num_tasks = n;
+  s.avg_task_seconds = avg;
+  s.max_task_seconds = max;
+  return s;
+}
+
+AriaJobProfile TypicalJob() {
+  AriaJobProfile p;
+  p.map = Stage(40, 20.0, 35.0);
+  p.first_shuffle = Stage(2, 15.0, 20.0);
+  p.typical_shuffle = Stage(2, 10.0, 14.0);
+  p.reduce = Stage(2, 30.0, 40.0);
+  return p;
+}
+
+TEST(MakespanTest, SingleSlotIsSerial) {
+  auto b = MakespanBounds(Stage(10, 5.0, 8.0), 1);
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(b->lower, 50.0);
+  EXPECT_DOUBLE_EQ(b->upper, 45.0 + 8.0);
+  EXPECT_DOUBLE_EQ(b->average, 0.5 * (50.0 + 53.0));
+}
+
+TEST(MakespanTest, AmpleSlotsConvergeToMax) {
+  // With k >= n the upper bound approaches max + (n-1)avg/k.
+  auto b = MakespanBounds(Stage(4, 10.0, 12.0), 1000);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(b->upper, 12.0, 0.05);
+  EXPECT_NEAR(b->lower, 0.04, 1e-9);
+}
+
+TEST(MakespanTest, BoundsOrdered) {
+  for (int slots : {1, 2, 5, 17}) {
+    auto b = MakespanBounds(Stage(23, 7.0, 19.0), slots);
+    ASSERT_TRUE(b.ok());
+    EXPECT_LE(b->lower, b->upper) << "slots=" << slots;
+    EXPECT_GE(b->average, b->lower);
+    EXPECT_LE(b->average, b->upper);
+  }
+}
+
+TEST(MakespanTest, EmptyStageIsFree) {
+  auto b = MakespanBounds(Stage(0, 0.0, 0.0), 4);
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(b->upper, 0.0);
+}
+
+TEST(MakespanTest, RejectsInvalid) {
+  EXPECT_FALSE(MakespanBounds(Stage(5, 10.0, 5.0), 2).ok());  // max < avg
+  EXPECT_FALSE(MakespanBounds(Stage(-1, 1.0, 1.0), 2).ok());
+  EXPECT_FALSE(MakespanBounds(Stage(5, -1.0, 1.0), 2).ok());
+  EXPECT_FALSE(MakespanBounds(Stage(5, 1.0, 2.0), 0).ok());
+}
+
+TEST(AriaJobTest, CompletionBoundsOrdered) {
+  auto b = EstimateJobCompletion(TypicalJob(), 16, 2);
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->lower, 0.0);
+  EXPECT_LT(b->lower, b->upper);
+  EXPECT_DOUBLE_EQ(b->average, 0.5 * (b->lower + b->upper));
+}
+
+TEST(AriaJobTest, MoreSlotsNeverSlower) {
+  auto slow = EstimateJobCompletion(TypicalJob(), 4, 1);
+  auto fast = EstimateJobCompletion(TypicalJob(), 32, 4);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_GT(slow->average, fast->average);
+}
+
+TEST(AriaJobTest, MapOnlyJob) {
+  AriaJobProfile p;
+  p.map = Stage(10, 5.0, 7.0);
+  auto b = EstimateJobCompletion(p, 5, 0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(b->lower, 10.0);
+}
+
+TEST(AriaJobTest, MultiWaveShuffleCharged) {
+  AriaJobProfile p = TypicalJob();
+  p.reduce.num_tasks = 6;  // 3 waves on 2 slots
+  auto one_wave = EstimateJobCompletion(TypicalJob(), 16, 2);
+  auto three_waves = EstimateJobCompletion(p, 16, 2);
+  ASSERT_TRUE(one_wave.ok());
+  ASSERT_TRUE(three_waves.ok());
+  EXPECT_GT(three_waves->average, one_wave->average);
+}
+
+TEST(AriaJobTest, ReduceSlotsRequiredWhenReducesExist) {
+  EXPECT_FALSE(EstimateJobCompletion(TypicalJob(), 16, 0).ok());
+}
+
+TEST(AriaDeadlineTest, FindsMinimalSlots) {
+  const AriaJobProfile p = TypicalJob();
+  auto generous = EstimateJobCompletion(p, 64, 64);
+  ASSERT_TRUE(generous.ok());
+  auto slots = MinSlotsForDeadline(p, generous->upper + 1.0, 64);
+  ASSERT_TRUE(slots.ok());
+  EXPECT_GE(*slots, 1);
+  EXPECT_LE(*slots, 64);
+  // The found allocation indeed meets the deadline...
+  auto at = EstimateJobCompletion(p, *slots, *slots);
+  ASSERT_TRUE(at.ok());
+  EXPECT_LE(at->upper, generous->upper + 1.0);
+  // ...and one fewer does not (minimality), unless already 1.
+  if (*slots > 1) {
+    auto below = EstimateJobCompletion(p, *slots - 1, *slots - 1);
+    ASSERT_TRUE(below.ok());
+    EXPECT_GT(below->upper, generous->upper + 1.0);
+  }
+}
+
+TEST(AriaDeadlineTest, ImpossibleDeadlineRejected) {
+  auto slots = MinSlotsForDeadline(TypicalJob(), 1.0, 32);
+  EXPECT_FALSE(slots.ok());
+  EXPECT_TRUE(slots.status().IsOutOfRange());
+}
+
+TEST(AriaDeadlineTest, InvalidArgumentsRejected) {
+  EXPECT_FALSE(MinSlotsForDeadline(TypicalJob(), -5.0, 32).ok());
+  EXPECT_FALSE(MinSlotsForDeadline(TypicalJob(), 100.0, 0).ok());
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,105 @@
+#include "hadoop/config.h"
+
+#include <gtest/gtest.h>
+
+namespace mrperf {
+namespace {
+
+TEST(HadoopConfigTest, DefaultsAreValid) {
+  HadoopConfig cfg;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(HadoopConfigTest, NumMapTasksCeilDivision) {
+  HadoopConfig cfg;
+  cfg.block_size_bytes = 128 * kMiB;
+  EXPECT_EQ(cfg.NumMapTasks(0), 0);
+  EXPECT_EQ(cfg.NumMapTasks(1), 1);
+  EXPECT_EQ(cfg.NumMapTasks(128 * kMiB), 1);
+  EXPECT_EQ(cfg.NumMapTasks(128 * kMiB + 1), 2);
+  EXPECT_EQ(cfg.NumMapTasks(1 * kGiB), 8);
+  EXPECT_EQ(cfg.NumMapTasks(5 * kGiB), 40);
+}
+
+TEST(HadoopConfigTest, HalvingBlockSizeDoublesMaps) {
+  // The Figure 15 experiment: 64 MB blocks double the map count.
+  HadoopConfig cfg;
+  cfg.block_size_bytes = 64 * kMiB;
+  EXPECT_EQ(cfg.NumMapTasks(5 * kGiB), 80);
+}
+
+TEST(HadoopConfigTest, ContainerCapsFromCapacity) {
+  HadoopConfig cfg;
+  cfg.node_capacity_bytes = 8 * kGiB;
+  cfg.map_container_bytes = 1 * kGiB;
+  cfg.reduce_container_bytes = 2 * kGiB;
+  EXPECT_EQ(cfg.MaxMapsPerNode(), 8);
+  EXPECT_EQ(cfg.MaxReducesPerNode(), 4);
+}
+
+TEST(HadoopConfigTest, ValidationRejectsBadValues) {
+  HadoopConfig cfg;
+  cfg.block_size_bytes = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = HadoopConfig();
+  cfg.io_sort_spill_percent = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = HadoopConfig();
+  cfg.io_sort_factor = 1;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = HadoopConfig();
+  cfg.slowstart_completed_maps = -0.1;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = HadoopConfig();
+  cfg.num_reducers = -1;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = HadoopConfig();
+  cfg.node_capacity_bytes = cfg.map_container_bytes - 1;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(HadoopConfigTest, PaperPriorities) {
+  // §3.3: map priority 20, reduce priority 10.
+  HadoopConfig cfg;
+  EXPECT_EQ(cfg.map_priority, 20);
+  EXPECT_EQ(cfg.reduce_priority, 10);
+  EXPECT_GT(cfg.map_priority, cfg.reduce_priority);
+}
+
+TEST(HadoopConfigTest, PaperSlowStartDefault) {
+  // §4.2.2: "schedulers wait until 5% of the map tasks ... have completed".
+  HadoopConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.slowstart_completed_maps, 0.05);
+  EXPECT_TRUE(cfg.slowstart_enabled);
+}
+
+TEST(NodeHardwareTest, DefaultsValidAndRejectsBadRates) {
+  NodeHardware hw;
+  EXPECT_TRUE(hw.Validate().ok());
+  hw.disk_read_bytes_per_sec = 0;
+  EXPECT_FALSE(hw.Validate().ok());
+  hw = NodeHardware();
+  hw.cpu_cores = 0;
+  EXPECT_FALSE(hw.Validate().ok());
+  hw = NodeHardware();
+  hw.disks = 0;
+  EXPECT_FALSE(hw.Validate().ok());
+}
+
+TEST(ClusterConfigTest, Validation) {
+  ClusterConfig c;
+  EXPECT_TRUE(c.Validate().ok());
+  c.num_nodes = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = ClusterConfig();
+  c.node_capacity_bytes = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+}  // namespace
+}  // namespace mrperf

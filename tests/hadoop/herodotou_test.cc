@@ -1,0 +1,160 @@
+#include "hadoop/herodotou_model.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/wordcount.h"
+
+namespace mrperf {
+namespace {
+
+HerodotouModel MakeModel(int nodes = 4) {
+  return HerodotouModel(PaperCluster(nodes), PaperHadoopConfig(),
+                        WordCountProfile());
+}
+
+TEST(HerodotouTest, MapCostPositiveAndDecomposed) {
+  auto cost = MakeModel().CostMapTask(128 * kMiB);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_GT(cost->TotalSeconds(), 0.0);
+  EXPECT_GT(cost->read.disk, 0.0);
+  EXPECT_GT(cost->map.cpu, 0.0);
+  EXPECT_GT(cost->collect.cpu, 0.0);
+  EXPECT_GT(cost->spill.cpu, 0.0);
+  EXPECT_EQ(cost->input_bytes, 128 * kMiB);
+}
+
+TEST(HerodotouTest, MapCostScalesWithSplitSize) {
+  auto model = MakeModel();
+  auto half = model.CostMapTask(64 * kMiB);
+  auto full = model.CostMapTask(128 * kMiB);
+  ASSERT_TRUE(half.ok());
+  ASSERT_TRUE(full.ok());
+  // Costs scale sublinearly 2x (startup is fixed) but must increase.
+  EXPECT_GT(full->TotalSeconds(), half->TotalSeconds());
+  EXPECT_LT(full->TotalSeconds(), 2.0 * half->TotalSeconds());
+}
+
+TEST(HerodotouTest, CombinerShrinksMapOutput) {
+  JobProfile with = WordCountProfile();
+  JobProfile without = with;
+  without.use_combiner = false;
+  HerodotouModel m1(PaperCluster(4), PaperHadoopConfig(), with);
+  HerodotouModel m2(PaperCluster(4), PaperHadoopConfig(), without);
+  auto c1 = m1.CostMapTask(128 * kMiB);
+  auto c2 = m2.CostMapTask(128 * kMiB);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_LT(c1->output_bytes, c2->output_bytes);
+}
+
+TEST(HerodotouTest, SpillCountFollowsBufferSize) {
+  // 128 MB of raw map output against an 80 MB spill threshold -> 2 spills.
+  auto cost = MakeModel().CostMapTask(128 * kMiB);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(cost->spill_count, 2);
+  // 2 spills within a merge factor of 10 -> single merge pass.
+  EXPECT_EQ(cost->merge_passes, 1);
+}
+
+TEST(HerodotouTest, TinySplitSingleSpillNoMerge) {
+  auto cost = MakeModel().CostMapTask(16 * kMiB);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(cost->spill_count, 1);
+  EXPECT_EQ(cost->merge_passes, 0);
+  EXPECT_DOUBLE_EQ(cost->merge.Total(), 0.0);
+}
+
+TEST(HerodotouTest, ReduceCostScalesWithData) {
+  auto model = MakeModel();
+  auto small = model.CostReduceTask(100 * kMiB, 2, 0.75);
+  auto large = model.CostReduceTask(1000 * kMiB, 2, 0.75);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->TotalSeconds(), small->TotalSeconds());
+  EXPECT_EQ(large->input_bytes, 500 * kMiB);
+}
+
+TEST(HerodotouTest, MoreReducersLightenEachReducer) {
+  auto model = MakeModel();
+  auto r2 = model.CostReduceTask(1000 * kMiB, 2, 0.75);
+  auto r8 = model.CostReduceTask(1000 * kMiB, 8, 0.75);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r8.ok());
+  EXPECT_GT(r2->TotalSeconds(), r8->TotalSeconds());
+}
+
+TEST(HerodotouTest, RemoteFractionOnlyMovesNetworkCost) {
+  auto model = MakeModel();
+  auto local = model.CostReduceTask(500 * kMiB, 2, 0.0);
+  auto remote = model.CostReduceTask(500 * kMiB, 2, 1.0);
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(remote.ok());
+  EXPECT_DOUBLE_EQ(local->shuffle.network, 0.0);
+  EXPECT_GT(remote->shuffle.network, 0.0);
+  // Merge/reduce phases identical.
+  EXPECT_DOUBLE_EQ(local->merge.Total(), remote->merge.Total());
+  EXPECT_DOUBLE_EQ(local->reduce.Total(), remote->reduce.Total());
+}
+
+TEST(HerodotouTest, ReplicationDrivesWriteNetwork) {
+  HadoopConfig cfg1 = PaperHadoopConfig();
+  cfg1.replication_factor = 1;
+  HadoopConfig cfg3 = PaperHadoopConfig();
+  HerodotouModel m1(PaperCluster(4), cfg1, WordCountProfile());
+  HerodotouModel m3(PaperCluster(4), cfg3, WordCountProfile());
+  auto r1 = m1.CostReduceTask(500 * kMiB, 2, 0.75);
+  auto r3 = m3.CostReduceTask(500 * kMiB, 2, 0.75);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r3.ok());
+  EXPECT_DOUBLE_EQ(r1->write.network, 0.0);
+  EXPECT_GT(r3->write.network, 0.0);
+}
+
+TEST(HerodotouTest, ShuffleSortPlusMergeSubtaskCoverWholeReduce) {
+  // The paper's two reduce subtasks must partition the total reduce cost.
+  auto cost = MakeModel().CostReduceTask(500 * kMiB, 2, 0.75);
+  ASSERT_TRUE(cost.ok());
+  const PhaseCost ss = cost->ShuffleSortCost();
+  const PhaseCost mg = cost->MergeSubtaskCost();
+  EXPECT_NEAR(ss.Total() + mg.Total(), cost->TotalSeconds(), 1e-9);
+}
+
+TEST(HerodotouTest, JobEstimateStructure) {
+  auto est = MakeModel(4).EstimateJob(1 * kGiB);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->num_map_tasks, 8);
+  EXPECT_EQ(est->num_reduce_tasks, 2);
+  EXPECT_EQ(est->map_waves, 1);  // 4 nodes x 32 slots >> 8 maps
+  EXPECT_EQ(est->reduce_waves, 1);
+  EXPECT_GT(est->total_seconds, 0.0);
+}
+
+TEST(HerodotouTest, JobEstimateMoreNodesNeverSlower) {
+  auto e4 = MakeModel(4).EstimateJob(10 * kGiB);
+  auto e8 = MakeModel(8).EstimateJob(10 * kGiB);
+  ASSERT_TRUE(e4.ok());
+  ASSERT_TRUE(e8.ok());
+  EXPECT_GE(e4->total_seconds, e8->total_seconds);
+}
+
+TEST(HerodotouTest, InvalidInputsRejected) {
+  auto model = MakeModel();
+  EXPECT_FALSE(model.CostMapTask(-1).ok());
+  EXPECT_FALSE(model.CostReduceTask(-1, 2, 0.5).ok());
+  EXPECT_FALSE(model.CostReduceTask(100, 0, 0.5).ok());
+  EXPECT_FALSE(model.CostReduceTask(100, 2, 1.5).ok());
+  EXPECT_FALSE(model.EstimateJob(0).ok());
+}
+
+TEST(PhaseCostTest, Accumulation) {
+  PhaseCost a{1.0, 2.0, 3.0};
+  PhaseCost b{0.5, 0.5, 0.5};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.cpu, 1.5);
+  EXPECT_DOUBLE_EQ(a.disk, 2.5);
+  EXPECT_DOUBLE_EQ(a.network, 3.5);
+  EXPECT_DOUBLE_EQ(a.Total(), 7.5);
+}
+
+}  // namespace
+}  // namespace mrperf

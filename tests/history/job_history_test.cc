@@ -1,0 +1,161 @@
+#include "history/job_history.h"
+
+#include "model/model.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "workload/wordcount.h"
+
+namespace mrperf {
+namespace {
+
+SimResult RunOnce(int nodes = 4, int64_t input = 1 * kGiB,
+                  uint64_t seed = 5) {
+  SimOptions opts;
+  opts.seed = seed;
+  opts.task_cv = 0.3;
+  ClusterSimulator sim(PaperCluster(nodes), opts);
+  SimJobSpec spec;
+  spec.profile = WordCountProfile();
+  spec.config = PaperHadoopConfig();
+  spec.input_bytes = input;
+  EXPECT_TRUE(sim.SubmitJob(spec).ok());
+  auto r = sim.Run();
+  EXPECT_TRUE(r.ok());
+  return *r;
+}
+
+TEST(JobHistoryTest, IngestsSimulatedRun) {
+  JobHistory history;
+  ASSERT_TRUE(history.AddRun(RunOnce()).ok());
+  // 8 maps + 2 reduces split into 2 subtasks each.
+  EXPECT_EQ(history.TotalRecords(), 8u + 4u);
+  EXPECT_EQ(history.OfClass(TaskClass::kMap).response.count(), 8u);
+  EXPECT_EQ(history.OfClass(TaskClass::kShuffleSort).response.count(), 2u);
+  EXPECT_EQ(history.OfClass(TaskClass::kMerge).response.count(), 2u);
+}
+
+TEST(JobHistoryTest, SubtaskSplitConservesTotals) {
+  SimResult run = RunOnce();
+  JobHistory history;
+  ASSERT_TRUE(history.AddRun(run).ok());
+  double reduce_response = 0.0;
+  for (const auto& t : run.tasks) {
+    if (t.type == TaskType::kReduce) reduce_response += t.ResponseTime();
+  }
+  const auto& ss = history.OfClass(TaskClass::kShuffleSort).response;
+  const auto& mg = history.OfClass(TaskClass::kMerge).response;
+  EXPECT_NEAR(ss.sum() + mg.sum(), reduce_response, 1e-6);
+}
+
+TEST(JobHistoryTest, RejectsNegativeRecords) {
+  JobHistory history;
+  EXPECT_FALSE(history
+                   .AddRecord(TaskClass::kMap, -1.0, 0, 0, 0, 0, 0, 0)
+                   .ok());
+}
+
+TEST(JobHistoryTest, BuildsValidModelInput) {
+  JobHistory history;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    ASSERT_TRUE(history.AddRun(RunOnce(4, 1 * kGiB, seed)).ok());
+  }
+  auto in = history.BuildModelInput(PaperCluster(4), PaperHadoopConfig(),
+                                    /*map_tasks=*/8, /*reduce_tasks=*/2,
+                                    /*num_jobs=*/1);
+  ASSERT_TRUE(in.ok()) << in.status().ToString();
+  EXPECT_TRUE(in->Validate().ok());
+  EXPECT_GT(in->map_demand.Total(), 0.0);
+  EXPECT_GT(in->init_map_response, 0.0);
+  // Sample-based initial responses reflect contention, so they sit at or
+  // above the pure demands.
+  EXPECT_GE(in->init_map_response, in->map_demand.Total() - 1e-6);
+}
+
+TEST(JobHistoryTest, ModelSolvesFromSampleInitialization) {
+  // The §4.2.1 alternative initialization end-to-end: history -> input ->
+  // converged model.
+  JobHistory history;
+  ASSERT_TRUE(history.AddRun(RunOnce()).ok());
+  auto in = history.BuildModelInput(PaperCluster(4), PaperHadoopConfig(),
+                                    8, 2, 1);
+  ASSERT_TRUE(in.ok());
+  auto r = SolveModel(*in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->forkjoin_response, 0.0);
+}
+
+TEST(JobHistoryTest, MissingClassFailsPrecondition) {
+  JobHistory empty;
+  auto in = empty.BuildModelInput(PaperCluster(4), PaperHadoopConfig(), 8,
+                                  2, 1);
+  EXPECT_FALSE(in.ok());
+  EXPECT_TRUE(in.status().IsFailedPrecondition());
+
+  JobHistory maps_only;
+  ASSERT_TRUE(
+      maps_only.AddRecord(TaskClass::kMap, 10, 5, 5, 0, 4, 4, 0).ok());
+  auto in2 = maps_only.BuildModelInput(PaperCluster(4), PaperHadoopConfig(),
+                                       8, 2, 1);
+  EXPECT_FALSE(in2.ok());
+  // Map-only jobs need no reduce history.
+  auto in3 = maps_only.BuildModelInput(
+      PaperCluster(4), PaperHadoopConfig(128 * kMiB, 0), 8, 0, 1);
+  EXPECT_TRUE(in3.ok());
+}
+
+TEST(JobHistoryTest, SaveLoadRoundTrip) {
+  JobHistory history;
+  ASSERT_TRUE(history.AddRun(RunOnce()).ok());
+  std::stringstream buffer;
+  history.Save(buffer);
+  auto loaded = JobHistory::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->TotalRecords(), history.TotalRecords());
+  for (int c = 0; c < kNumTaskClasses; ++c) {
+    const auto cls = static_cast<TaskClass>(c);
+    EXPECT_NEAR(loaded->OfClass(cls).response.mean(),
+                history.OfClass(cls).response.mean(), 1e-9);
+    EXPECT_NEAR(loaded->OfClass(cls).cpu_demand.variance(),
+                history.OfClass(cls).cpu_demand.variance(), 1e-9);
+  }
+}
+
+TEST(JobHistoryTest, LoadRejectsGarbage) {
+  std::stringstream bad1("not-a-history 1");
+  EXPECT_FALSE(JobHistory::Load(bad1).ok());
+  std::stringstream bad2("mrhist 99");
+  EXPECT_FALSE(JobHistory::Load(bad2).ok());
+  std::stringstream bad3("mrhist 1\nmap 3 1.0");
+  EXPECT_FALSE(JobHistory::Load(bad3).ok());
+}
+
+TEST(JobHistoryTest, AccumulatesAcrossRuns) {
+  JobHistory history;
+  ASSERT_TRUE(history.AddRun(RunOnce(4, 1 * kGiB, 1)).ok());
+  const size_t after_one = history.TotalRecords();
+  ASSERT_TRUE(history.AddRun(RunOnce(4, 1 * kGiB, 2)).ok());
+  EXPECT_EQ(history.TotalRecords(), 2 * after_one);
+}
+
+TEST(RunningStatsTest, FromMomentsRoundTrip) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 5.0, 9.0}) s.Add(x);
+  auto rebuilt = RunningStats::FromMoments(s.count(), s.mean(), s.variance(),
+                                           s.min(), s.max());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->count(), s.count());
+  EXPECT_NEAR(rebuilt->variance(), s.variance(), 1e-12);
+}
+
+TEST(RunningStatsTest, FromMomentsRejectsInconsistent) {
+  EXPECT_FALSE(RunningStats::FromMoments(3, 5.0, -1.0, 0.0, 10.0).ok());
+  EXPECT_FALSE(RunningStats::FromMoments(3, 5.0, 1.0, 6.0, 10.0).ok());
+  EXPECT_FALSE(RunningStats::FromMoments(3, 5.0, 1.0, 0.0, 4.0).ok());
+  EXPECT_TRUE(RunningStats::FromMoments(0, 0.0, 0.0, 0.0, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,115 @@
+/// \file end_to_end_test.cc
+/// \brief Integration tests across the whole stack: workload generation →
+/// simulator ("measured") → analytic model ("predicted") → error report.
+/// These encode the paper's headline claims as assertions on the
+/// reproduction: both estimators track the measurement, fork/join is the
+/// more accurate of the two, and both tend to overestimate (§5.2).
+
+#include <gtest/gtest.h>
+
+#include "experiments/experiment.h"
+#include "experiments/report.h"
+#include "workload/wordcount.h"
+
+namespace mrperf {
+namespace {
+
+ExperimentOptions Options(int reps = 3) {
+  ExperimentOptions opts = DefaultExperimentOptions();
+  opts.repetitions = reps;
+  return opts;
+}
+
+ExperimentPoint Point(int nodes, double gb, int jobs,
+                      int64_t block = 128 * kMiB) {
+  ExperimentPoint p;
+  p.num_nodes = nodes;
+  p.input_bytes = static_cast<int64_t>(gb * kGiB);
+  p.num_jobs = jobs;
+  p.block_size_bytes = block;
+  return p;
+}
+
+TEST(EndToEndTest, SingleJobPredictionsTrackMeasurement) {
+  auto r = RunExperiment(Point(4, 1.0, 1), Options());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Fork/join within 30% of the simulated measurement, Tripathi within
+  // 50% — generous envelopes around the paper's bands, robust to seeds.
+  EXPECT_LT(std::abs(r->forkjoin_error), 0.30);
+  EXPECT_LT(std::abs(r->tripathi_error), 0.50);
+}
+
+TEST(EndToEndTest, ForkJoinMoreAccurateThanTripathi) {
+  // The paper's headline comparison (11–13.5% vs 19–23%).
+  for (auto point : {Point(4, 1.0, 1), Point(8, 1.0, 1), Point(4, 5.0, 1)}) {
+    auto r = RunExperiment(point, Options());
+    ASSERT_TRUE(r.ok());
+    EXPECT_LT(std::abs(r->forkjoin_error), std::abs(r->tripathi_error))
+        << "nodes=" << point.num_nodes
+        << " input=" << point.input_bytes / kGiB << "GB";
+  }
+}
+
+TEST(EndToEndTest, BothApproachesOverestimate) {
+  // §5.2: "with both approaches we overestimate the execution time".
+  auto r = RunExperiment(Point(4, 5.0, 1), Options());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->forkjoin_error, 0.0);
+  EXPECT_GT(r->tripathi_error, 0.0);
+}
+
+TEST(EndToEndTest, ResponseDecreasesWithNodes) {
+  auto r4 = RunExperiment(Point(4, 5.0, 1), Options());
+  auto r8 = RunExperiment(Point(8, 5.0, 1), Options());
+  ASSERT_TRUE(r4.ok());
+  ASSERT_TRUE(r8.ok());
+  EXPECT_GE(r4->measured_sec, r8->measured_sec * 0.98);
+  EXPECT_GT(r4->forkjoin_sec, r8->forkjoin_sec);
+}
+
+TEST(EndToEndTest, ResponseGrowsWithConcurrency) {
+  auto r1 = RunExperiment(Point(4, 1.0, 1), Options());
+  auto r4 = RunExperiment(Point(4, 1.0, 4), Options());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r4.ok());
+  EXPECT_GT(r4->measured_sec, r1->measured_sec);
+  EXPECT_GT(r4->forkjoin_sec, r1->forkjoin_sec);
+}
+
+TEST(EndToEndTest, SmallerBlocksDeepenTree) {
+  // Figure 15 mechanism: 64 MB blocks -> 2x maps -> deeper tree.
+  auto b128 = RunExperiment(Point(4, 5.0, 1, 128 * kMiB), Options(1));
+  auto b64 = RunExperiment(Point(4, 5.0, 1, 64 * kMiB), Options(1));
+  ASSERT_TRUE(b128.ok());
+  ASSERT_TRUE(b64.ok());
+  EXPECT_GT(b64->tree_depth, b128->tree_depth);
+}
+
+TEST(EndToEndTest, ErrorSummaryAcrossGridInPaperShape) {
+  std::vector<ExperimentResult> results;
+  for (int nodes : {4, 6, 8}) {
+    auto r = RunExperiment(Point(nodes, 1.0, 1), Options(1));
+    ASSERT_TRUE(r.ok());
+    results.push_back(*r);
+  }
+  ErrorSummary s = SummarizeErrors(results);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_LT(s.forkjoin_mean, s.tripathi_mean);
+  // Errors stay within loose bands around the paper's.
+  EXPECT_LT(s.forkjoin_mean, 0.30);
+  EXPECT_LT(s.tripathi_mean, 0.45);
+}
+
+TEST(EndToEndTest, ModelMatchesSimulatorOrderOfMagnitude) {
+  // Guard against calibration regressions: predictions within [0.5x, 2x]
+  // of measurements everywhere on the small grid.
+  for (auto point : {Point(4, 1.0, 1), Point(6, 1.0, 2), Point(8, 5.0, 1)}) {
+    auto r = RunExperiment(point, Options(1));
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r->forkjoin_sec, 0.5 * r->measured_sec);
+    EXPECT_LT(r->forkjoin_sec, 2.0 * r->measured_sec);
+  }
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,135 @@
+#include "model/input.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/wordcount.h"
+
+namespace mrperf {
+namespace {
+
+TEST(ModelInputTest, TaskClassNames) {
+  EXPECT_STREQ(TaskClassToString(TaskClass::kMap), "map");
+  EXPECT_STREQ(TaskClassToString(TaskClass::kShuffleSort), "shuffle-sort");
+  EXPECT_STREQ(TaskClassToString(TaskClass::kMerge), "merge");
+}
+
+TEST(ModelInputTest, SlotsPerNodeIsMaxOfCaps) {
+  // §4.3: T = n * max(pMaxMapsPerNode, pMaxReducePerNode).
+  ModelInput in;
+  in.max_maps_per_node = 8;
+  in.max_reduces_per_node = 4;
+  EXPECT_EQ(in.SlotsPerNode(), 8);
+  in.max_reduces_per_node = 12;
+  EXPECT_EQ(in.SlotsPerNode(), 12);
+}
+
+ModelInput ValidInput() {
+  ModelInput in;
+  in.map_tasks = 4;
+  in.reduce_tasks = 1;
+  in.map_demand = {5.0, 1.0, 0.0};
+  in.shuffle_sort_local_demand = {1.0, 1.0, 0.0};
+  in.shuffle_per_remote_map_sec = 0.1;
+  in.merge_demand = {2.0, 1.0, 0.0};
+  in.init_map_response = 6.0;
+  in.init_shuffle_sort_response = 2.5;
+  in.init_merge_response = 3.0;
+  return in;
+}
+
+TEST(ModelInputTest, ValidInputPasses) {
+  EXPECT_TRUE(ValidInput().Validate().ok());
+}
+
+TEST(ModelInputTest, ValidationCatchesEachField) {
+  auto check_invalid = [](auto mutate) {
+    ModelInput in = ValidInput();
+    mutate(in);
+    EXPECT_FALSE(in.Validate().ok());
+  };
+  check_invalid([](ModelInput& in) { in.num_nodes = 0; });
+  check_invalid([](ModelInput& in) { in.cpu_per_node = 0; });
+  check_invalid([](ModelInput& in) { in.num_jobs = 0; });
+  check_invalid([](ModelInput& in) { in.map_tasks = 0; });
+  check_invalid([](ModelInput& in) { in.reduce_tasks = -1; });
+  check_invalid([](ModelInput& in) { in.max_maps_per_node = 0; });
+  check_invalid([](ModelInput& in) { in.map_demand = {0, 0, 0}; });
+  check_invalid([](ModelInput& in) { in.init_map_response = 0.0; });
+  check_invalid([](ModelInput& in) { in.init_merge_response = 0.0; });
+  check_invalid(
+      [](ModelInput& in) { in.shuffle_per_remote_map_sec = -1.0; });
+}
+
+TEST(ModelInputTest, MapOnlyJobNeedsNoReduceResponses) {
+  ModelInput in = ValidInput();
+  in.reduce_tasks = 0;
+  in.init_shuffle_sort_response = 0.0;
+  in.init_merge_response = 0.0;
+  EXPECT_TRUE(in.Validate().ok());
+}
+
+TEST(HerodotouInitTest, PopulatesAllFields) {
+  auto in = ModelInputFromHerodotou(PaperCluster(4), PaperHadoopConfig(),
+                                    WordCountProfile(), 1 * kGiB, 2);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(in->num_nodes, 4);
+  EXPECT_EQ(in->num_jobs, 2);
+  EXPECT_EQ(in->map_tasks, 8);
+  EXPECT_EQ(in->reduce_tasks, 2);
+  EXPECT_EQ(in->max_maps_per_node, 32);
+  EXPECT_GT(in->map_demand.cpu, 0.0);
+  EXPECT_GT(in->map_demand.disk, 0.0);
+  EXPECT_DOUBLE_EQ(in->map_demand.network, 0.0);
+  EXPECT_GT(in->shuffle_per_remote_map_sec, 0.0);
+  EXPECT_GT(in->merge_demand.Total(), 0.0);
+  EXPECT_GT(in->init_map_response, 0.0);
+  EXPECT_GT(in->init_shuffle_sort_response, 0.0);
+  EXPECT_GT(in->init_merge_response, 0.0);
+  EXPECT_TRUE(in->Validate().ok());
+}
+
+TEST(HerodotouInitTest, InitialResponsesMatchStaticTotals) {
+  auto in = ModelInputFromHerodotou(PaperCluster(4), PaperHadoopConfig(),
+                                    WordCountProfile(), 1 * kGiB, 1);
+  ASSERT_TRUE(in.ok());
+  // §4.2.1: initial map response is the static per-task total.
+  EXPECT_NEAR(in->init_map_response, in->map_demand.Total(), 1e-9);
+  // Shuffle-sort initial response includes the placement-average remote
+  // transfer: base + (1 - 1/n) * m * sd.
+  const double expected =
+      in->shuffle_sort_local_demand.Total() +
+      0.75 * in->map_tasks * in->shuffle_per_remote_map_sec;
+  EXPECT_NEAR(in->init_shuffle_sort_response, expected, 1e-9);
+}
+
+TEST(HerodotouInitTest, BlockSizeDrivesMapTasks) {
+  auto in64 = ModelInputFromHerodotou(PaperCluster(4),
+                                      PaperHadoopConfig(64 * kMiB),
+                                      WordCountProfile(), 5 * kGiB, 1);
+  auto in128 = ModelInputFromHerodotou(PaperCluster(4),
+                                       PaperHadoopConfig(128 * kMiB),
+                                       WordCountProfile(), 5 * kGiB, 1);
+  ASSERT_TRUE(in64.ok());
+  ASSERT_TRUE(in128.ok());
+  EXPECT_EQ(in64->map_tasks, 80);   // Figure 15 configuration
+  EXPECT_EQ(in128->map_tasks, 40);
+  // Smaller splits -> cheaper individual maps.
+  EXPECT_LT(in64->init_map_response, in128->init_map_response);
+}
+
+TEST(HerodotouInitTest, SingleNodeHasNoRemoteShuffle) {
+  auto in = ModelInputFromHerodotou(PaperCluster(1), PaperHadoopConfig(),
+                                    WordCountProfile(), 1 * kGiB, 1);
+  ASSERT_TRUE(in.ok());
+  EXPECT_NEAR(in->init_shuffle_sort_response,
+              in->shuffle_sort_local_demand.Total(), 1e-9);
+}
+
+TEST(HerodotouInitTest, RejectsInvalidWorkload) {
+  EXPECT_FALSE(ModelInputFromHerodotou(PaperCluster(4), PaperHadoopConfig(),
+                                       WordCountProfile(), 0, 1)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,114 @@
+#include "model/overlap.h"
+
+#include <gtest/gtest.h>
+
+namespace mrperf {
+namespace {
+
+Timeline TwoJobTimeline() {
+  // Job 0: two maps [0,10], [5,15]; Job 1: one map [0,20].
+  Timeline tl;
+  auto add = [&tl](int job, double s, double e) {
+    TimelineTask t;
+    t.job = job;
+    t.cls = TaskClass::kMap;
+    t.index = static_cast<int>(tl.tasks.size());
+    t.node = 0;
+    t.interval = {s, e};
+    t.demand = {1.0, 0.0, 0.0};
+    tl.tasks.push_back(t);
+  };
+  add(0, 0, 10);
+  add(0, 5, 15);
+  add(1, 0, 20);
+  tl.job_first_start = {0.0, 0.0};
+  tl.job_end = {15.0, 20.0};
+  tl.makespan = 20.0;
+  return tl;
+}
+
+TEST(OverlapTest, FactorsMatchIntervalArithmetic) {
+  auto f = ComputeOverlapFactors(TwoJobTimeline());
+  ASSERT_TRUE(f.ok());
+  // theta[0][1]: [0,10] vs [5,15] -> 5/10.
+  EXPECT_DOUBLE_EQ(f->theta[0][1], 0.5);
+  // theta[1][0]: 5/10.
+  EXPECT_DOUBLE_EQ(f->theta[1][0], 0.5);
+  // theta[0][2]: [0,10] vs [0,20] -> 10/10 = 1.
+  EXPECT_DOUBLE_EQ(f->theta[0][2], 1.0);
+  // theta[2][0]: 10/20 = 0.5.
+  EXPECT_DOUBLE_EQ(f->theta[2][0], 0.5);
+  // Diagonal untouched.
+  EXPECT_DOUBLE_EQ(f->theta[0][0], 0.0);
+}
+
+TEST(OverlapTest, MeanAlphaAndBetaSeparated) {
+  auto f = ComputeOverlapFactors(TwoJobTimeline());
+  ASSERT_TRUE(f.ok());
+  // Intra-job pairs: (0,1) and (1,0) -> mean 0.5.
+  EXPECT_DOUBLE_EQ(f->mean_alpha, 0.5);
+  // Inter-job pairs: (0,2)=1, (2,0)=0.5, (1,2)=1, (2,1)=0.5 -> 0.75.
+  EXPECT_DOUBLE_EQ(f->mean_beta, 0.75);
+}
+
+TEST(OverlapTest, ScalesApplyPerKind) {
+  OverlapOptions opts;
+  opts.alpha_scale = 0.5;
+  opts.beta_scale = 0.0;
+  auto f = ComputeOverlapFactors(TwoJobTimeline(), opts);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->theta[0][1], 0.25);  // intra scaled by 0.5
+  EXPECT_DOUBLE_EQ(f->theta[0][2], 0.0);   // inter zeroed
+  // Reported means are unscaled raw overlaps (diagnostics).
+  EXPECT_DOUBLE_EQ(f->mean_alpha, 0.5);
+}
+
+TEST(OverlapTest, ScaledFactorsClampedToOne) {
+  OverlapOptions opts;
+  opts.alpha_scale = 10.0;
+  auto f = ComputeOverlapFactors(TwoJobTimeline(), opts);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->theta[0][1], 1.0);
+}
+
+TEST(OverlapTest, DisjointTasksHaveZeroOverlap) {
+  Timeline tl;
+  for (int i = 0; i < 2; ++i) {
+    TimelineTask t;
+    t.job = 0;
+    t.cls = TaskClass::kMap;
+    t.index = i;
+    t.node = 0;
+    t.interval = {i * 10.0, i * 10.0 + 5.0};
+    t.demand = {1.0, 0.0, 0.0};
+    tl.tasks.push_back(t);
+  }
+  tl.job_first_start = {0.0};
+  tl.job_end = {15.0};
+  auto f = ComputeOverlapFactors(tl);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->theta[0][1], 0.0);
+  EXPECT_DOUBLE_EQ(f->theta[1][0], 0.0);
+}
+
+TEST(OverlapTest, RejectsEmptyTimeline) {
+  Timeline tl;
+  EXPECT_FALSE(ComputeOverlapFactors(tl).ok());
+}
+
+TEST(OverlapTest, RejectsNegativeScales) {
+  OverlapOptions opts;
+  opts.alpha_scale = -1.0;
+  EXPECT_FALSE(ComputeOverlapFactors(TwoJobTimeline(), opts).ok());
+}
+
+TEST(OverlapTest, SingleJobHasNoBeta) {
+  Timeline tl = TwoJobTimeline();
+  tl.tasks.pop_back();  // drop job 1's task
+  auto f = ComputeOverlapFactors(tl);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->mean_beta, 0.0);
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,180 @@
+#include "model/precedence_tree.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mrperf {
+namespace {
+
+/// Builds a synthetic timeline with the given (job, class, start, end)
+/// rows.
+Timeline MakeTimeline(
+    const std::vector<std::tuple<int, TaskClass, double, double>>& rows) {
+  Timeline tl;
+  int index = 0;
+  for (const auto& [job, cls, start, end] : rows) {
+    TimelineTask t;
+    t.job = job;
+    t.cls = cls;
+    t.index = index++;
+    t.node = 0;
+    t.interval = {start, end};
+    t.demand = {1.0, 0.0, 0.0};
+    tl.tasks.push_back(t);
+    tl.makespan = std::max(tl.makespan, end);
+  }
+  tl.job_first_start = {0.0};
+  tl.job_end = {tl.makespan};
+  return tl;
+}
+
+TEST(PrecedenceTreeTest, SingleTaskIsLeafRoot) {
+  Timeline tl = MakeTimeline({{0, TaskClass::kMap, 0, 10}});
+  auto tree = BuildPrecedenceTree(tl, 0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_leaves, 1);
+  EXPECT_EQ(tree->depth, 1);
+  EXPECT_EQ(tree->nodes[tree->root].op, TreeOp::kLeaf);
+}
+
+TEST(PrecedenceTreeTest, ParallelTasksMakeOnePGroup) {
+  Timeline tl = MakeTimeline({{0, TaskClass::kMap, 0, 10},
+                              {0, TaskClass::kMap, 0, 10},
+                              {0, TaskClass::kMap, 0, 10}});
+  auto tree = BuildPrecedenceTree(tl, 0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_leaves, 3);
+  ASSERT_EQ(tree->phase_groups.size(), 1u);
+  EXPECT_EQ(tree->phase_groups[0].size(), 3u);
+  EXPECT_EQ(tree->nodes[tree->root].op, TreeOp::kParallel);
+}
+
+TEST(PrecedenceTreeTest, SequentialTasksMakeSChain) {
+  Timeline tl = MakeTimeline({{0, TaskClass::kMap, 0, 10},
+                              {0, TaskClass::kShuffleSort, 10, 15},
+                              {0, TaskClass::kMerge, 15, 20}});
+  auto tree = BuildPrecedenceTree(tl, 0);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree->phase_groups.size(), 3u);
+  EXPECT_EQ(tree->nodes[tree->root].op, TreeOp::kSerial);
+}
+
+TEST(PrecedenceTreeTest, BalancedDepthIsLogarithmic) {
+  std::vector<std::tuple<int, TaskClass, double, double>> rows;
+  for (int i = 0; i < 16; ++i) rows.push_back({0, TaskClass::kMap, 0, 10});
+  Timeline tl = MakeTimeline(rows);
+  TreeOptions opts;
+  opts.balance = true;
+  auto tree = BuildPrecedenceTree(tl, 0, opts);
+  ASSERT_TRUE(tree.ok());
+  // 16 leaves balanced: 4 P-levels + leaf = depth 5.
+  EXPECT_EQ(tree->depth, 5);
+}
+
+TEST(PrecedenceTreeTest, UnbalancedDepthIsLinear) {
+  std::vector<std::tuple<int, TaskClass, double, double>> rows;
+  for (int i = 0; i < 16; ++i) rows.push_back({0, TaskClass::kMap, 0, 10});
+  Timeline tl = MakeTimeline(rows);
+  TreeOptions opts;
+  opts.balance = false;
+  auto tree = BuildPrecedenceTree(tl, 0, opts);
+  ASSERT_TRUE(tree.ok());
+  // Left-deep chain of 16 leaves: depth 16.
+  EXPECT_EQ(tree->depth, 16);
+}
+
+TEST(PrecedenceTreeTest, BalancingReducesDepth) {
+  // §5.2: "For reducing the maximal depth of the precedence tree ... we
+  // balance it."
+  std::vector<std::tuple<int, TaskClass, double, double>> rows;
+  for (int i = 0; i < 40; ++i) rows.push_back({0, TaskClass::kMap, 0, 10});
+  Timeline tl = MakeTimeline(rows);
+  TreeOptions balanced, chained;
+  balanced.balance = true;
+  chained.balance = false;
+  auto t1 = BuildPrecedenceTree(tl, 0, balanced);
+  auto t2 = BuildPrecedenceTree(tl, 0, chained);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_LT(t1->depth, t2->depth);
+  EXPECT_EQ(t1->depth, 1 + static_cast<int>(std::ceil(std::log2(40))));
+}
+
+TEST(PrecedenceTreeTest, GroupsOrderedByStartTime) {
+  Timeline tl = MakeTimeline({{0, TaskClass::kMap, 5, 15},
+                              {0, TaskClass::kMap, 0, 10},
+                              {0, TaskClass::kMap, 10, 20}});
+  auto tree = BuildPrecedenceTree(tl, 0);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree->phase_groups.size(), 3u);
+  EXPECT_DOUBLE_EQ(tl.tasks[tree->phase_groups[0][0]].interval.start, 0.0);
+  EXPECT_DOUBLE_EQ(tl.tasks[tree->phase_groups[1][0]].interval.start, 5.0);
+  EXPECT_DOUBLE_EQ(tl.tasks[tree->phase_groups[2][0]].interval.start, 10.0);
+}
+
+TEST(PrecedenceTreeTest, EpsilonMergesJitteredStarts) {
+  Timeline tl = MakeTimeline({{0, TaskClass::kMap, 0, 10},
+                              {0, TaskClass::kMap, 1e-12, 10}});
+  auto tree = BuildPrecedenceTree(tl, 0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->phase_groups.size(), 1u);
+}
+
+TEST(PrecedenceTreeTest, FiltersByJob) {
+  Timeline tl = MakeTimeline({{0, TaskClass::kMap, 0, 10},
+                              {1, TaskClass::kMap, 0, 10},
+                              {1, TaskClass::kMap, 0, 10}});
+  tl.job_first_start = {0.0, 0.0};
+  tl.job_end = {10.0, 10.0};
+  auto t0 = BuildPrecedenceTree(tl, 0);
+  auto t1 = BuildPrecedenceTree(tl, 1);
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(t0->num_leaves, 1);
+  EXPECT_EQ(t1->num_leaves, 2);
+}
+
+TEST(PrecedenceTreeTest, MissingJobRejected) {
+  Timeline tl = MakeTimeline({{0, TaskClass::kMap, 0, 10}});
+  auto tree = BuildPrecedenceTree(tl, 7);
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PrecedenceTreeTest, NegativeEpsilonRejected) {
+  Timeline tl = MakeTimeline({{0, TaskClass::kMap, 0, 10}});
+  TreeOptions opts;
+  opts.phase_epsilon = -1.0;
+  EXPECT_FALSE(BuildPrecedenceTree(tl, 0, opts).ok());
+}
+
+TEST(PrecedenceTreeTest, MixedWavesAndReduces) {
+  // Two map waves then the reduce subtasks: 4 groups, S-chained.
+  Timeline tl = MakeTimeline({{0, TaskClass::kMap, 0, 10},
+                              {0, TaskClass::kMap, 0, 10},
+                              {0, TaskClass::kMap, 10, 20},
+                              {0, TaskClass::kMap, 10, 20},
+                              {0, TaskClass::kShuffleSort, 20, 25},
+                              {0, TaskClass::kMerge, 25, 30}});
+  auto tree = BuildPrecedenceTree(tl, 0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->phase_groups.size(), 4u);
+  EXPECT_EQ(tree->num_leaves, 6);
+  // Root chain of 4 groups: 3 serial nodes above the group roots.
+  int serial = 0, parallel = 0;
+  for (const auto& n : tree->nodes) {
+    if (n.op == TreeOp::kSerial) ++serial;
+    if (n.op == TreeOp::kParallel) ++parallel;
+  }
+  EXPECT_EQ(serial, 3);
+  EXPECT_EQ(parallel, 2);  // one per two-leaf map wave
+}
+
+TEST(SubtreeDepthTest, EmptyIsZero) {
+  PrecedenceTree tree;
+  EXPECT_EQ(SubtreeDepth(tree, -1), 0);
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,126 @@
+#include "model/resource_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "model/input.h"
+#include "workload/wordcount.h"
+
+namespace mrperf {
+namespace {
+
+struct Solved {
+  ModelInput input;
+  ModelResult model;
+};
+
+Solved SolveFor(int nodes, int jobs) {
+  auto in = ModelInputFromHerodotou(PaperCluster(nodes), PaperHadoopConfig(),
+                                    WordCountProfile(), 1 * kGiB, jobs);
+  EXPECT_TRUE(in.ok());
+  auto r = SolveModel(*in);
+  EXPECT_TRUE(r.ok());
+  return Solved{*in, *r};
+}
+
+TEST(ResourceEstimatorTest, TotalsArePerClassSums) {
+  Solved s = SolveFor(4, 1);
+  auto report = EstimateResources(s.input, s.model);
+  ASSERT_TRUE(report.ok());
+  ResourceConsumption sum;
+  for (const auto& c : report->per_class) {
+    sum += c;
+  }
+  EXPECT_NEAR(sum.cpu_seconds, report->total.cpu_seconds, 1e-9);
+  EXPECT_NEAR(sum.container_seconds, report->total.container_seconds, 1e-9);
+  EXPECT_EQ(sum.tasks, report->total.tasks);
+  EXPECT_EQ(report->total.tasks, 12);  // 8 maps + 2 ss + 2 mg
+}
+
+TEST(ResourceEstimatorTest, PerJobPartitionsTotal) {
+  Solved s = SolveFor(4, 3);
+  auto report = EstimateResources(s.input, s.model);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->per_job.size(), 3u);
+  double cpu = 0.0;
+  int tasks = 0;
+  for (const auto& j : report->per_job) {
+    cpu += j.cpu_seconds;
+    tasks += j.tasks;
+  }
+  EXPECT_NEAR(cpu, report->total.cpu_seconds, 1e-9);
+  EXPECT_EQ(tasks, report->total.tasks);
+  // Homogeneous jobs consume identical pure work.
+  EXPECT_NEAR(report->per_job[0].cpu_seconds, report->per_job[2].cpu_seconds,
+              1e-9);
+}
+
+TEST(ResourceEstimatorTest, DemandsMatchInputTotals) {
+  Solved s = SolveFor(4, 1);
+  auto report = EstimateResources(s.input, s.model);
+  ASSERT_TRUE(report.ok());
+  const auto& maps = report->per_class[static_cast<int>(TaskClass::kMap)];
+  EXPECT_NEAR(maps.cpu_seconds, 8 * s.input.map_demand.cpu, 1e-6);
+  EXPECT_NEAR(maps.disk_seconds, 8 * s.input.map_demand.disk, 1e-6);
+}
+
+TEST(ResourceEstimatorTest, UtilizationsInUnitRange) {
+  Solved s = SolveFor(4, 2);
+  auto report = EstimateResources(s.input, s.model);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->cpu_utilization, 0.0);
+  EXPECT_LE(report->cpu_utilization, 1.0);
+  EXPECT_GT(report->disk_utilization, 0.0);
+  EXPECT_LE(report->disk_utilization, 1.0);
+  EXPECT_GE(report->network_utilization, 0.0);
+  EXPECT_LE(report->network_utilization, 1.0);
+}
+
+TEST(ResourceEstimatorTest, ContainerSecondsAtLeastServiceTime) {
+  Solved s = SolveFor(4, 1);
+  auto report = EstimateResources(s.input, s.model);
+  ASSERT_TRUE(report.ok());
+  const double service = report->total.cpu_seconds +
+                         report->total.disk_seconds +
+                         report->total.network_seconds;
+  EXPECT_GE(report->total.container_seconds, service - 1e-6);
+}
+
+TEST(ResourceEstimatorTest, EmptyTimelineRejected) {
+  Solved s = SolveFor(2, 1);
+  ModelResult empty;
+  EXPECT_FALSE(EstimateResources(s.input, empty).ok());
+}
+
+TEST(ResourceEstimatorTest, MeasuredSideAgreesOnPureWork) {
+  // The estimate's pure service seconds should track the simulator's
+  // recorded demands (same Herodotou decomposition, noise averages out).
+  SimOptions opts;
+  opts.seed = 11;
+  opts.task_cv = 0.0;  // disable noise for an exact comparison
+  ClusterSimulator sim(PaperCluster(4), opts);
+  SimJobSpec spec;
+  spec.profile = WordCountProfile();
+  spec.config = PaperHadoopConfig();
+  spec.input_bytes = 1 * kGiB;
+  ASSERT_TRUE(sim.SubmitJob(spec).ok());
+  auto run = sim.Run();
+  ASSERT_TRUE(run.ok());
+  auto measured = MeasureResources(PaperCluster(4), *run);
+  ASSERT_TRUE(measured.ok());
+
+  Solved s = SolveFor(4, 1);
+  auto estimated = EstimateResources(s.input, s.model);
+  ASSERT_TRUE(estimated.ok());
+  EXPECT_NEAR(measured->total.cpu_seconds / estimated->total.cpu_seconds,
+              1.0, 0.15);
+  EXPECT_NEAR(measured->total.disk_seconds / estimated->total.disk_seconds,
+              1.0, 0.25);
+}
+
+TEST(ResourceEstimatorTest, MeasureRejectsEmptyRun) {
+  SimResult empty;
+  EXPECT_FALSE(MeasureResources(PaperCluster(2), empty).ok());
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,209 @@
+#include "model/timeline.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace mrperf {
+namespace {
+
+ModelInput SmallInput(int nodes, int maps, int reduces, int jobs = 1,
+                      bool slow_start = true) {
+  ModelInput in;
+  in.num_nodes = nodes;
+  in.cpu_per_node = 4;
+  in.disk_per_node = 1;
+  in.num_jobs = jobs;
+  in.map_tasks = maps;
+  in.reduce_tasks = reduces;
+  in.max_maps_per_node = 2;
+  in.max_reduces_per_node = 2;
+  in.map_demand = {8.0, 2.0, 0.0};
+  in.shuffle_sort_local_demand = {1.0, 2.0, 0.0};
+  in.shuffle_per_remote_map_sec = 0.5;
+  in.merge_demand = {3.0, 1.0, 0.5};
+  in.init_map_response = 10.0;
+  in.init_shuffle_sort_response = 4.0;
+  in.init_merge_response = 4.5;
+  in.slow_start = slow_start;
+  return in;
+}
+
+TaskDurations SmallDurations() {
+  TaskDurations d;
+  d.map = 10.0;
+  d.shuffle_sort_base = 3.0;
+  d.shuffle_per_remote_map = 0.5;
+  d.merge = 4.5;
+  return d;
+}
+
+TEST(TimelineTest, RunningExampleStructure) {
+  // Paper §3.1: n = 3 nodes, m = 4 maps, r = 1 reduce. With one slot per
+  // node, maps m1-m3 start at 0 and m4 runs after the first finisher;
+  // with slow start the reduce shuffle starts at the first map end.
+  ModelInput in = SmallInput(3, 4, 1);
+  in.max_maps_per_node = 1;
+  in.max_reduces_per_node = 1;
+  auto tl = BuildTimeline(in, SmallDurations());
+  ASSERT_TRUE(tl.ok());
+  ASSERT_EQ(tl->tasks.size(), 6u);  // 4 maps + shuffle-sort + merge
+
+  std::vector<const TimelineTask*> maps;
+  const TimelineTask* ss = nullptr;
+  const TimelineTask* mg = nullptr;
+  for (const auto& t : tl->tasks) {
+    if (t.cls == TaskClass::kMap) {
+      maps.push_back(&t);
+    } else if (t.cls == TaskClass::kShuffleSort) {
+      ss = &t;
+    } else {
+      mg = &t;
+    }
+  }
+  ASSERT_EQ(maps.size(), 4u);
+  ASSERT_NE(ss, nullptr);
+  ASSERT_NE(mg, nullptr);
+  // Three maps start at 0 on distinct nodes; m4 starts at 10.
+  int at_zero = 0;
+  for (const auto* m : maps) {
+    if (m->interval.start == 0.0) ++at_zero;
+  }
+  EXPECT_EQ(at_zero, 3);
+  // Slow start: shuffle begins at the first map completion (t = 10).
+  EXPECT_DOUBLE_EQ(ss->interval.start, 10.0);
+  // The reduce shuffles from remote maps: 4 maps, at most one local.
+  EXPECT_GE(ss->interval.duration(), 3.0 + 3 * 0.5 - 1e-9);
+  // Merge chains directly after shuffle-sort on the same node.
+  EXPECT_DOUBLE_EQ(mg->interval.start, ss->interval.end);
+  EXPECT_EQ(mg->node, ss->node);
+  EXPECT_DOUBLE_EQ(tl->makespan, tl->job_end[0]);
+}
+
+TEST(TimelineTest, WithoutSlowStartShuffleWaitsForLastMap) {
+  ModelInput in = SmallInput(3, 4, 1, 1, /*slow_start=*/false);
+  in.max_maps_per_node = 1;
+  auto tl = BuildTimeline(in, SmallDurations());
+  ASSERT_TRUE(tl.ok());
+  double last_map_end = 0.0;
+  double ss_start = -1.0;
+  for (const auto& t : tl->tasks) {
+    if (t.cls == TaskClass::kMap) {
+      last_map_end = std::max(last_map_end, t.interval.end);
+    }
+    if (t.cls == TaskClass::kShuffleSort) ss_start = t.interval.start;
+  }
+  EXPECT_DOUBLE_EQ(ss_start, last_map_end);  // border = TL[max(TL)].et
+}
+
+TEST(TimelineTest, SlowStartNeverLater) {
+  ModelInput with = SmallInput(3, 7, 2, 1, true);
+  ModelInput without = SmallInput(3, 7, 2, 1, false);
+  auto tl_with = BuildTimeline(with, SmallDurations());
+  auto tl_without = BuildTimeline(without, SmallDurations());
+  ASSERT_TRUE(tl_with.ok());
+  ASSERT_TRUE(tl_without.ok());
+  EXPECT_LE(tl_with->makespan, tl_without->makespan + 1e-9);
+}
+
+TEST(TimelineTest, MapsSpreadAcrossNodes) {
+  ModelInput in = SmallInput(4, 8, 0);
+  auto tl = BuildTimeline(in, SmallDurations());
+  ASSERT_TRUE(tl.ok());
+  std::vector<int> per_node(4, 0);
+  for (const auto& t : tl->tasks) ++per_node[t.node];
+  for (int count : per_node) EXPECT_EQ(count, 2);
+}
+
+TEST(TimelineTest, WavesFormWhenSlotsExhausted) {
+  // 4 maps on 1 node x 2 slots -> two waves.
+  ModelInput in = SmallInput(1, 4, 0);
+  auto tl = BuildTimeline(in, SmallDurations());
+  ASSERT_TRUE(tl.ok());
+  int first_wave = 0, second_wave = 0;
+  for (const auto& t : tl->tasks) {
+    if (t.interval.start == 0.0) ++first_wave;
+    if (t.interval.start == 10.0) ++second_wave;
+  }
+  EXPECT_EQ(first_wave, 2);
+  EXPECT_EQ(second_wave, 2);
+  EXPECT_DOUBLE_EQ(tl->makespan, 20.0);
+}
+
+TEST(TimelineTest, RemotePenaltyCountsOnlyOtherNodes) {
+  // Single node: every map is local, shuffle has no remote penalty.
+  ModelInput in = SmallInput(1, 2, 1);
+  auto tl = BuildTimeline(in, SmallDurations());
+  ASSERT_TRUE(tl.ok());
+  for (const auto& t : tl->tasks) {
+    if (t.cls == TaskClass::kShuffleSort) {
+      EXPECT_DOUBLE_EQ(t.interval.duration(), 3.0);
+      EXPECT_DOUBLE_EQ(t.demand.network, 0.0);
+    }
+  }
+}
+
+TEST(TimelineTest, DemandsPlacementResolved) {
+  ModelInput in = SmallInput(3, 6, 2);
+  auto tl = BuildTimeline(in, SmallDurations());
+  ASSERT_TRUE(tl.ok());
+  for (const auto& t : tl->tasks) {
+    if (t.cls == TaskClass::kMap) {
+      EXPECT_DOUBLE_EQ(t.demand.cpu, 8.0);
+      EXPECT_DOUBLE_EQ(t.demand.disk, 2.0);
+    } else if (t.cls == TaskClass::kShuffleSort) {
+      // Remote maps contribute network demand.
+      EXPECT_GT(t.demand.network, 0.0);
+    }
+  }
+}
+
+TEST(TimelineTest, MultiJobFifoOrdering) {
+  ModelInput in = SmallInput(2, 4, 0, /*jobs=*/2);
+  auto tl = BuildTimeline(in, SmallDurations());
+  ASSERT_TRUE(tl.ok());
+  // Job 0 grabs the 4 slots (2 nodes x 2); job 1 starts at the second wave.
+  EXPECT_DOUBLE_EQ(tl->job_first_start[0], 0.0);
+  EXPECT_DOUBLE_EQ(tl->job_first_start[1], 10.0);
+  EXPECT_GT(tl->job_end[1], tl->job_end[0] - 1e-9);
+}
+
+TEST(TimelineTest, JobTasksSortedByStart) {
+  ModelInput in = SmallInput(2, 5, 1);
+  auto tl = BuildTimeline(in, SmallDurations());
+  ASSERT_TRUE(tl.ok());
+  auto tasks = tl->JobTasks(0);
+  ASSERT_EQ(tasks.size(), 7u);
+  for (size_t i = 1; i < tasks.size(); ++i) {
+    EXPECT_GE(tasks[i]->interval.start, tasks[i - 1]->interval.start);
+  }
+}
+
+TEST(TimelineTest, MapOnlyJob) {
+  ModelInput in = SmallInput(2, 4, 0);
+  TaskDurations d = SmallDurations();
+  auto tl = BuildTimeline(in, d);
+  ASSERT_TRUE(tl.ok());
+  EXPECT_EQ(tl->tasks.size(), 4u);
+}
+
+TEST(TimelineTest, RejectsInvalidDurations) {
+  ModelInput in = SmallInput(2, 4, 1);
+  TaskDurations d = SmallDurations();
+  d.map = 0.0;
+  EXPECT_FALSE(BuildTimeline(in, d).ok());
+  d = SmallDurations();
+  d.merge = -1.0;
+  EXPECT_FALSE(BuildTimeline(in, d).ok());
+  d = SmallDurations();
+  d.shuffle_per_remote_map = -0.5;
+  EXPECT_FALSE(BuildTimeline(in, d).ok());
+}
+
+TEST(TimelineTest, RejectsInvalidInput) {
+  ModelInput in = SmallInput(0, 4, 1);
+  EXPECT_FALSE(BuildTimeline(in, SmallDurations()).ok());
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,307 @@
+/// \file invariants_test.cc
+/// \brief Property-style parameterized sweeps over model invariants:
+/// quantities that must hold for any valid configuration, checked across a
+/// grid of workloads.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+#include "model/estimators.h"
+#include "model/input.h"
+#include "model/model.h"
+#include "model/overlap.h"
+#include "model/precedence_tree.h"
+#include "model/timeline.h"
+#include "queueing/mva_exact.h"
+#include "workload/wordcount.h"
+
+namespace mrperf {
+namespace {
+
+// ---------------------------------------------------------------------
+// Timeline invariants across a (nodes, maps, reduces, jobs) grid.
+// ---------------------------------------------------------------------
+
+using GridParam = std::tuple<int, int, int, int>;  // nodes, m, r, jobs
+
+class TimelineInvariantTest : public ::testing::TestWithParam<GridParam> {};
+
+ModelInput GridInput(const GridParam& p) {
+  ModelInput in;
+  in.num_nodes = std::get<0>(p);
+  in.cpu_per_node = 4;
+  in.disk_per_node = 1;
+  in.map_tasks = std::get<1>(p);
+  in.reduce_tasks = std::get<2>(p);
+  in.num_jobs = std::get<3>(p);
+  in.max_maps_per_node = 4;
+  in.max_reduces_per_node = 4;
+  in.map_demand = {6.0, 2.0, 0.0};
+  in.shuffle_sort_local_demand = {0.5, 1.5, 0.0};
+  in.shuffle_per_remote_map_sec = 0.2;
+  in.merge_demand = {2.0, 1.0, 0.3};
+  in.init_map_response = 8.0;
+  in.init_shuffle_sort_response = 3.0;
+  in.init_merge_response = 3.3;
+  return in;
+}
+
+TaskDurations GridDurations() {
+  TaskDurations d;
+  d.map = 8.0;
+  d.shuffle_sort_base = 2.0;
+  d.shuffle_per_remote_map = 0.2;
+  d.merge = 3.3;
+  return d;
+}
+
+TEST_P(TimelineInvariantTest, TaskCountAndCapacityRespected) {
+  const ModelInput in = GridInput(GetParam());
+  auto tl = BuildTimeline(in, GridDurations());
+  ASSERT_TRUE(tl.ok());
+  // C = m + 2r tasks per job (map + shuffle-sort + merge subtasks).
+  EXPECT_EQ(tl->tasks.size(),
+            static_cast<size_t>(in.num_jobs) *
+                (in.map_tasks + 2 * in.reduce_tasks));
+  // Concurrency on each node never exceeds its slot count. Count overlap
+  // of container occupancy: maps occupy [start,end]; reduces occupy
+  // shuffle-sort start through merge end (same slot).
+  const int slots = in.SlotsPerNode();
+  for (const auto& probe : tl->tasks) {
+    const double t = probe.interval.start + 1e-6;
+    std::vector<int> active(in.num_nodes, 0);
+    for (const auto& task : tl->tasks) {
+      if (task.cls == TaskClass::kShuffleSort) continue;  // merged below
+      if (task.interval.start <= t && t < task.interval.end) {
+        ++active[task.node];
+      }
+    }
+    // Shuffle-sort occupies the same slot as its merge; count it when the
+    // merge has not started.
+    for (const auto& task : tl->tasks) {
+      if (task.cls != TaskClass::kShuffleSort) continue;
+      if (task.interval.start <= t && t < task.interval.end) {
+        ++active[task.node];
+      }
+    }
+    for (int n = 0; n < in.num_nodes; ++n) {
+      EXPECT_LE(active[n], slots) << "node " << n;
+    }
+  }
+}
+
+TEST_P(TimelineInvariantTest, ReducesNeverBeforeBorder) {
+  const ModelInput in = GridInput(GetParam());
+  auto tl = BuildTimeline(in, GridDurations());
+  ASSERT_TRUE(tl.ok());
+  for (int job = 0; job < in.num_jobs; ++job) {
+    double first_map_end = 1e300;
+    for (const auto& t : tl->tasks) {
+      if (t.job == job && t.cls == TaskClass::kMap) {
+        first_map_end = std::min(first_map_end, t.interval.end);
+      }
+    }
+    for (const auto& t : tl->tasks) {
+      if (t.job == job && t.cls == TaskClass::kShuffleSort) {
+        EXPECT_GE(t.interval.start, first_map_end - 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(TimelineInvariantTest, MergeChainsAfterItsShuffleSort) {
+  const ModelInput in = GridInput(GetParam());
+  auto tl = BuildTimeline(in, GridDurations());
+  ASSERT_TRUE(tl.ok());
+  for (const auto& ss : tl->tasks) {
+    if (ss.cls != TaskClass::kShuffleSort) continue;
+    bool found = false;
+    for (const auto& mg : tl->tasks) {
+      if (mg.cls == TaskClass::kMerge && mg.job == ss.job &&
+          mg.index == ss.index) {
+        EXPECT_DOUBLE_EQ(mg.interval.start, ss.interval.end);
+        EXPECT_EQ(mg.node, ss.node);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_P(TimelineInvariantTest, TreeLeavesEqualJobTasks) {
+  const ModelInput in = GridInput(GetParam());
+  auto tl = BuildTimeline(in, GridDurations());
+  ASSERT_TRUE(tl.ok());
+  for (int job = 0; job < in.num_jobs; ++job) {
+    auto tree = BuildPrecedenceTree(*tl, job);
+    ASSERT_TRUE(tree.ok());
+    EXPECT_EQ(tree->num_leaves, in.map_tasks + 2 * in.reduce_tasks);
+    // Groups partition the leaves.
+    size_t grouped = 0;
+    for (const auto& g : tree->phase_groups) grouped += g.size();
+    EXPECT_EQ(grouped, static_cast<size_t>(tree->num_leaves));
+    // Balanced depth bound: ceil(log2(max group)) + 1 + (#groups - 1).
+    EXPECT_LE(tree->depth,
+              static_cast<int>(tree->phase_groups.size()) +
+                  static_cast<int>(
+                      std::ceil(std::log2(std::max(2, tree->num_leaves)))) +
+                  1);
+  }
+}
+
+TEST_P(TimelineInvariantTest, OverlapMatrixWellFormed) {
+  const ModelInput in = GridInput(GetParam());
+  auto tl = BuildTimeline(in, GridDurations());
+  ASSERT_TRUE(tl.ok());
+  auto f = ComputeOverlapFactors(*tl);
+  ASSERT_TRUE(f.ok());
+  const size_t T = tl->tasks.size();
+  for (size_t i = 0; i < T; ++i) {
+    EXPECT_DOUBLE_EQ(f->theta[i][i], 0.0);
+    for (size_t j = 0; j < T; ++j) {
+      EXPECT_GE(f->theta[i][j], 0.0);
+      EXPECT_LE(f->theta[i][j], 1.0);
+      // Zero-overlap symmetry: if i never sees j, j never sees i.
+      if (f->theta[i][j] == 0.0) {
+        EXPECT_DOUBLE_EQ(f->theta[j][i], 0.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TimelineInvariantTest,
+    ::testing::Values(GridParam{1, 2, 1, 1}, GridParam{3, 4, 1, 1},
+                      GridParam{4, 8, 2, 1}, GridParam{4, 16, 2, 2},
+                      GridParam{8, 40, 4, 1}, GridParam{2, 5, 0, 3},
+                      GridParam{6, 13, 3, 2}));
+
+// ---------------------------------------------------------------------
+// Model invariants across the paper grid.
+// ---------------------------------------------------------------------
+
+using PaperParam = std::tuple<int, int, int>;  // nodes, GB, jobs
+
+class ModelInvariantTest : public ::testing::TestWithParam<PaperParam> {};
+
+TEST_P(ModelInvariantTest, SolvesAndKeepsOrderings) {
+  const auto [nodes, gb, jobs] = GetParam();
+  auto in = ModelInputFromHerodotou(
+      PaperCluster(nodes), PaperHadoopConfig(), WordCountProfile(),
+      static_cast<int64_t>(gb) * kGiB, jobs);
+  ASSERT_TRUE(in.ok());
+  ModelOptions opts;
+  opts.estimator.leaf_cv = 1.10;
+  auto r = SolveModel(*in, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Class responses at least their pure demands.
+  EXPECT_GE(r->map_response, in->map_demand.Total() - 1e-6);
+  EXPECT_GE(r->merge_response, in->merge_demand.Total() - 1e-6);
+  // Estimates at least the timeline's critical path lower bound (the
+  // makespan of the last job minus its start, averaged).
+  EXPECT_GT(r->forkjoin_response, 0.0);
+  EXPECT_GE(r->tripathi_response, r->forkjoin_response * 0.8);
+  // Overlaps are probabilities.
+  EXPECT_GE(r->mean_alpha, 0.0);
+  EXPECT_LE(r->mean_alpha, 1.0);
+  EXPECT_GE(r->mean_beta, 0.0);
+  EXPECT_LE(r->mean_beta, 1.0);
+  // Per-job estimates average to the reported means.
+  EXPECT_NEAR(Mean(r->forkjoin_job_responses), r->forkjoin_response,
+              1e-6 * r->forkjoin_response + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGrid, ModelInvariantTest,
+                         ::testing::Values(PaperParam{4, 1, 1},
+                                           PaperParam{6, 1, 2},
+                                           PaperParam{8, 5, 1},
+                                           PaperParam{4, 5, 2},
+                                           PaperParam{6, 5, 4}));
+
+// ---------------------------------------------------------------------
+// Estimator monotonicity properties.
+// ---------------------------------------------------------------------
+
+class EstimatorMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EstimatorMonotonicityTest, EstimatesMonotoneInLeafResponses) {
+  // Scaling every leaf response by a factor must scale (fork/join) or at
+  // least not decrease (Tripathi) the job estimate.
+  const int width = GetParam();
+  ModelInput in = GridInput(GridParam{4, width, 2, 1});
+  auto tl = BuildTimeline(in, GridDurations());
+  ASSERT_TRUE(tl.ok());
+  auto tree = BuildPrecedenceTree(*tl, 0);
+  ASSERT_TRUE(tree.ok());
+  auto leaf1 = [&tl](int id) { return tl->tasks[id].interval.duration(); };
+  auto leaf2 = [&tl](int id) {
+    return 1.7 * tl->tasks[id].interval.duration();
+  };
+  auto fj1 = EstimateForkJoin(*tree, leaf1);
+  auto fj2 = EstimateForkJoin(*tree, leaf2);
+  ASSERT_TRUE(fj1.ok());
+  ASSERT_TRUE(fj2.ok());
+  EXPECT_NEAR(*fj2, 1.7 * *fj1, 1e-9 * *fj2);  // FJ is positively homogeneous
+  auto tri1 = EstimateTripathi(*tree, leaf1);
+  auto tri2 = EstimateTripathi(*tree, leaf2);
+  ASSERT_TRUE(tri1.ok());
+  ASSERT_TRUE(tri2.ok());
+  EXPECT_GT(*tri2, *tri1);
+}
+
+TEST_P(EstimatorMonotonicityTest, EstimatesBoundedBelowByCriticalLeafSum) {
+  // Any job estimate must dominate the longest serial chain of phase
+  // maxima (the timeline's critical path through the groups).
+  const int width = GetParam();
+  ModelInput in = GridInput(GridParam{4, width, 2, 1});
+  auto tl = BuildTimeline(in, GridDurations());
+  ASSERT_TRUE(tl.ok());
+  auto tree = BuildPrecedenceTree(*tl, 0);
+  ASSERT_TRUE(tree.ok());
+  auto leaf = [&tl](int id) { return tl->tasks[id].interval.duration(); };
+  double critical = 0.0;
+  for (const auto& group : tree->phase_groups) {
+    double mx = 0.0;
+    for (int id : group) mx = std::max(mx, leaf(id));
+    critical += mx;
+  }
+  auto fj = EstimateForkJoin(*tree, leaf);
+  auto tri = EstimateTripathi(*tree, leaf);
+  ASSERT_TRUE(fj.ok());
+  ASSERT_TRUE(tri.ok());
+  EXPECT_GE(*fj, critical - 1e-9);
+  EXPECT_GE(*tri, critical * 0.99);  // quadrature tolerance
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, EstimatorMonotonicityTest,
+                         ::testing::Values(2, 5, 9, 16, 33));
+
+// ---------------------------------------------------------------------
+// Cross-solver property: overlap MVA with full overlap equals classic
+// closed-network behaviour in the always-on limit.
+// ---------------------------------------------------------------------
+
+class MvaCrossCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MvaCrossCheckTest, FullOverlapMatchesPermanentCustomers) {
+  // k identical tasks with theta == 1 behave like a closed network of k
+  // permanent customers; response = k * demand on one server.
+  const int k = GetParam();
+  OverlapMvaProblem p;
+  p.centers = {{"cpu", CenterType::kQueueing, 1}};
+  p.tasks.assign(k, OverlapTask{{2.0}});
+  p.overlap.assign(k, std::vector<double>(k, 1.0));
+  for (int i = 0; i < k; ++i) p.overlap[i][i] = 0.0;
+  auto sol = SolveOverlapMva(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->response[0], 2.0 * k, 0.02 * k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, MvaCrossCheckTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace mrperf

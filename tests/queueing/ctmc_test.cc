@@ -1,0 +1,161 @@
+#include "queueing/ctmc.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+
+namespace mrperf {
+namespace {
+
+TEST(CtmcTest, SingleTransitionIsExponentialMean) {
+  Ctmc chain(2);
+  ASSERT_TRUE(chain.AddTransition(0, 1, 0.5).ok());
+  auto e = chain.ExpectedTimeToAbsorption();
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR((*e)[0], 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ((*e)[1], 0.0);
+}
+
+TEST(CtmcTest, SerialChainSumsMeans) {
+  Ctmc chain(4);
+  ASSERT_TRUE(chain.AddTransition(0, 1, 1.0).ok());
+  ASSERT_TRUE(chain.AddTransition(1, 2, 2.0).ok());
+  ASSERT_TRUE(chain.AddTransition(2, 3, 4.0).ok());
+  auto e = chain.ExpectedTimeToAbsorption();
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR((*e)[0], 1.0 + 0.5 + 0.25, 1e-12);
+}
+
+TEST(CtmcTest, CompetingTransitionsRaceCorrectly) {
+  // From state 0: rates 1 and 3 to two absorbing states. Expected time to
+  // absorb = 1/(1+3).
+  Ctmc chain(3);
+  ASSERT_TRUE(chain.AddTransition(0, 1, 1.0).ok());
+  ASSERT_TRUE(chain.AddTransition(0, 2, 3.0).ok());
+  auto e = chain.ExpectedTimeToAbsorption();
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR((*e)[0], 0.25, 1e-12);
+}
+
+TEST(CtmcTest, CyclicChainSolvedDense) {
+  // 0 -> 1 (rate 1), 1 -> 0 (rate 1), 1 -> 2 absorbing (rate 1).
+  // E1 = 1/2 + (1/2) E0; E0 = 1 + E1 -> E0 = 3, E1 = 2.
+  Ctmc chain(3);
+  ASSERT_TRUE(chain.AddTransition(0, 1, 1.0).ok());
+  ASSERT_TRUE(chain.AddTransition(1, 0, 1.0).ok());
+  ASSERT_TRUE(chain.AddTransition(1, 2, 1.0).ok());
+  auto e = chain.ExpectedTimeToAbsorption();
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR((*e)[0], 3.0, 1e-9);
+  EXPECT_NEAR((*e)[1], 2.0, 1e-9);
+}
+
+TEST(CtmcTest, UnreachableAbsorptionRejected) {
+  // Two states cycling forever.
+  Ctmc chain(2);
+  ASSERT_TRUE(chain.AddTransition(0, 1, 1.0).ok());
+  ASSERT_TRUE(chain.AddTransition(1, 0, 1.0).ok());
+  EXPECT_FALSE(chain.ExpectedTimeToAbsorption().ok());
+}
+
+TEST(CtmcTest, InvalidTransitionsRejected) {
+  Ctmc chain(2);
+  EXPECT_FALSE(chain.AddTransition(0, 0, 1.0).ok());   // self loop
+  EXPECT_FALSE(chain.AddTransition(0, 5, 1.0).ok());   // out of range
+  EXPECT_FALSE(chain.AddTransition(0, 1, 0.0).ok());   // zero rate
+  EXPECT_FALSE(chain.AddTransition(0, 1, -1.0).ok());  // negative rate
+}
+
+TEST(CounterChainTest, SingleSlotIsSerialSum) {
+  // m tasks on one slot: expected makespan = m / rate.
+  auto t = ExactMakespanCounterChain(5, 0, 1, 0.5, 1.0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(*t, 10.0, 1e-9);
+}
+
+TEST(CounterChainTest, AmpleSlotsGiveHarmonicLaw) {
+  // m iid exponential tasks fully parallel: E[makespan] = H_m / rate —
+  // the identity behind the paper's fork/join factor.
+  for (int m : {2, 4, 8}) {
+    auto t = ExactMakespanCounterChain(m, 0, m, 1.0, 1.0);
+    ASSERT_TRUE(t.ok()) << "m=" << m;
+    EXPECT_NEAR(*t, HarmonicNumber(m), 1e-9) << "m=" << m;
+  }
+}
+
+TEST(CounterChainTest, ClosedFormForBoundedSlots) {
+  // E = sum_{k=1..m} 1 / (min(k, c) * rate).
+  const int m = 7, c = 3;
+  const double rate = 2.0;
+  double expected = 0.0;
+  for (int k = 1; k <= m; ++k) {
+    expected += 1.0 / (std::min(k, c) * rate);
+  }
+  auto t = ExactMakespanCounterChain(m, 0, c, rate, 1.0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(*t, expected, 1e-9);
+}
+
+TEST(CounterChainTest, TwoStageAddsReducePhase) {
+  auto maps_only = ExactMakespanCounterChain(4, 0, 2, 1.0, 1.0);
+  auto with_reduces = ExactMakespanCounterChain(4, 2, 2, 1.0, 0.5);
+  ASSERT_TRUE(maps_only.ok());
+  ASSERT_TRUE(with_reduces.ok());
+  // Barrier: reduce stage adds H-like time for 2 tasks on 2 slots at rate
+  // 0.5 -> 1/(2*0.5) + 1/(1*0.5) = 3.
+  EXPECT_NEAR(*with_reduces, *maps_only + 3.0, 1e-9);
+}
+
+TEST(CounterChainTest, RejectsInvalid) {
+  EXPECT_FALSE(ExactMakespanCounterChain(-1, 0, 1, 1.0, 1.0).ok());
+  EXPECT_FALSE(ExactMakespanCounterChain(2, 0, 0, 1.0, 1.0).ok());
+  EXPECT_FALSE(ExactMakespanCounterChain(2, 0, 1, 0.0, 1.0).ok());
+  EXPECT_FALSE(ExactMakespanCounterChain(2, 2, 1, 1.0, 0.0).ok());
+}
+
+TEST(DistinctChainTest, MatchesCounterChainForIidTasks) {
+  for (int m : {2, 4, 6}) {
+    std::vector<double> rates(m, 1.5);
+    auto distinct = ExactMakespanDistinctChain(rates);
+    auto counter = ExactMakespanCounterChain(m, 0, m, 1.5, 1.0);
+    ASSERT_TRUE(distinct.ok());
+    ASSERT_TRUE(counter.ok());
+    EXPECT_NEAR(distinct->expected_makespan, *counter, 1e-9) << "m=" << m;
+    EXPECT_EQ(distinct->num_states, size_t{1} << m);
+  }
+}
+
+TEST(DistinctChainTest, HeterogeneousInclusionExclusion) {
+  // E[max(X1, X2)] = 1/r1 + 1/r2 - 1/(r1+r2) for independent exponentials.
+  std::vector<double> rates{1.0, 3.0};
+  auto r = ExactMakespanDistinctChain(rates);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->expected_makespan, 1.0 + 1.0 / 3.0 - 0.25, 1e-9);
+}
+
+TEST(DistinctChainTest, StateSpaceGrowsExponentially) {
+  // The paper's §2.2 argument, as an executable fact.
+  for (int m : {4, 8, 12}) {
+    std::vector<double> rates(m, 1.0);
+    auto r = ExactMakespanDistinctChain(rates);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->num_states, size_t{1} << m);
+  }
+}
+
+TEST(DistinctChainTest, CapGuardsBlowup) {
+  std::vector<double> rates(30, 1.0);
+  auto r = ExactMakespanDistinctChain(rates, /*max_tasks=*/22);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+}
+
+TEST(DistinctChainTest, RejectsInvalidRates) {
+  EXPECT_FALSE(ExactMakespanDistinctChain({}).ok());
+  EXPECT_FALSE(ExactMakespanDistinctChain({1.0, 0.0}).ok());
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,138 @@
+#include "queueing/mva_approx.h"
+
+#include <gtest/gtest.h>
+
+#include "queueing/mva_exact.h"
+
+namespace mrperf {
+namespace {
+
+ClosedNetwork PaperStyleNetwork(int jobs) {
+  // 3 task classes (map, shuffle-sort, merge) on 2 centers (CPU&Memory,
+  // Network) — the paper's dimensions.
+  ClosedNetwork net;
+  net.centers = {{"cpu_mem", CenterType::kQueueing, 4},
+                 {"network", CenterType::kQueueing, 1}};
+  net.demand = {{8.0, 0.0}, {1.0, 3.0}, {4.0, 0.5}};
+  net.population = {8 * jobs, 2 * jobs, 2 * jobs};
+  net.think_time = {0.0, 0.0, 0.0};
+  return net;
+}
+
+TEST(MvaApproxTest, SingleCustomerIsExact) {
+  ClosedNetwork net;
+  net.centers = {{"cpu", CenterType::kQueueing, 1}};
+  net.demand = {{2.0}};
+  net.population = {1};
+  net.think_time = {0.0};
+  auto sol = SolveMvaApprox(net);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->response[0], 2.0, 1e-8);
+}
+
+class ApproxVsExactTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApproxVsExactTest, WithinToleranceOfExact) {
+  // Bard–Schweitzer deviates from exact MVA by up to ~10% at small
+  // populations (the well-documented regime of the approximation);
+  // property-check across populations.
+  const int jobs = GetParam();
+  ClosedNetwork net = PaperStyleNetwork(jobs);
+  auto exact = SolveMvaExact(net);
+  auto approx = SolveMvaApprox(net);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(approx.ok());
+  for (size_t c = 0; c < net.num_classes(); ++c) {
+    EXPECT_NEAR(approx->response[c] / exact->response[c], 1.0, 0.12)
+        << "class " << c << " jobs " << jobs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, ApproxVsExactTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(MvaApproxTest, LittlesLawHolds) {
+  ClosedNetwork net = PaperStyleNetwork(2);
+  auto sol = SolveMvaApprox(net);
+  ASSERT_TRUE(sol.ok());
+  for (size_t c = 0; c < net.num_classes(); ++c) {
+    EXPECT_NEAR(net.population[c],
+                sol->throughput[c] * (sol->response[c] + net.think_time[c]),
+                1e-6 * net.population[c])
+        << "class " << c;
+  }
+}
+
+TEST(MvaApproxTest, UtilizationBelowOne) {
+  ClosedNetwork net = PaperStyleNetwork(3);
+  auto sol = SolveMvaApprox(net);
+  ASSERT_TRUE(sol.ok());
+  for (double u : sol->utilization) {
+    EXPECT_LE(u, 1.0 + 1e-6);
+    EXPECT_GE(u, 0.0);
+  }
+}
+
+TEST(MvaApproxTest, ResponseMonotoneInPopulation) {
+  double prev = 0.0;
+  for (int jobs = 1; jobs <= 4; ++jobs) {
+    auto sol = SolveMvaApprox(PaperStyleNetwork(jobs));
+    ASSERT_TRUE(sol.ok());
+    EXPECT_GT(sol->response[0], prev);
+    prev = sol->response[0];
+  }
+}
+
+TEST(MvaApproxTest, DampingStillConverges) {
+  ApproxMvaOptions opts;
+  opts.damping = 0.3;
+  auto sol = SolveMvaApprox(PaperStyleNetwork(2), opts);
+  ASSERT_TRUE(sol.ok());
+  auto plain = SolveMvaApprox(PaperStyleNetwork(2));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_NEAR(sol->response[0], plain->response[0], 1e-6);
+}
+
+TEST(MvaApproxTest, IterationCapReported) {
+  ApproxMvaOptions opts;
+  opts.max_iterations = 1;
+  auto sol = SolveMvaApprox(PaperStyleNetwork(4), opts);
+  EXPECT_FALSE(sol.ok());
+  EXPECT_TRUE(sol.status().IsNotConverged());
+}
+
+TEST(MvaApproxTest, RejectsBadOptions) {
+  ApproxMvaOptions opts;
+  opts.damping = 0.0;
+  EXPECT_FALSE(SolveMvaApprox(PaperStyleNetwork(1), opts).ok());
+  opts.damping = 1.5;
+  EXPECT_FALSE(SolveMvaApprox(PaperStyleNetwork(1), opts).ok());
+  opts.damping = 1.0;
+  opts.tolerance = 0.0;
+  EXPECT_FALSE(SolveMvaApprox(PaperStyleNetwork(1), opts).ok());
+}
+
+TEST(MvaApproxTest, DelayCenterResidenceEqualsDemand) {
+  ClosedNetwork net;
+  net.centers = {{"cpu", CenterType::kQueueing, 1},
+                 {"sleep", CenterType::kDelay, 1}};
+  net.demand = {{1.0, 7.0}};
+  net.population = {5};
+  net.think_time = {0.0};
+  auto sol = SolveMvaApprox(net);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->residence[0][1], 7.0, 1e-9);
+}
+
+TEST(MvaApproxTest, ScalesToLargePopulations) {
+  // The whole point of the approximation: populations far beyond the
+  // exact recursion's reach.
+  ClosedNetwork net = PaperStyleNetwork(200);
+  auto sol = SolveMvaApprox(net);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GT(sol->response[0], 0.0);
+  EXPECT_LE(sol->utilization[0], 1.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace mrperf

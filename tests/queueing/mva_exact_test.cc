@@ -1,0 +1,161 @@
+#include "queueing/mva_exact.h"
+
+#include <gtest/gtest.h>
+
+namespace mrperf {
+namespace {
+
+ClosedNetwork SingleClassNetwork(int population, double demand,
+                                 double think = 0.0) {
+  ClosedNetwork net;
+  net.centers = {{"cpu", CenterType::kQueueing, 1}};
+  net.demand = {{demand}};
+  net.population = {population};
+  net.think_time = {think};
+  return net;
+}
+
+TEST(MvaExactTest, SingleCustomerSeesNoQueueing) {
+  auto sol = SolveMvaExact(SingleClassNetwork(1, 2.0));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->response[0], 2.0, 1e-12);
+  EXPECT_NEAR(sol->throughput[0], 0.5, 1e-12);
+  EXPECT_NEAR(sol->utilization[0], 1.0, 1e-12);
+}
+
+TEST(MvaExactTest, KnownTwoCustomerSolution) {
+  // Classic single-center closed network: with N=2 and D=1, R(2) = 2,
+  // X = 2/2 = 1, Q = 2.
+  auto sol = SolveMvaExact(SingleClassNetwork(2, 1.0));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->response[0], 2.0, 1e-12);
+  EXPECT_NEAR(sol->throughput[0], 1.0, 1e-12);
+  EXPECT_NEAR(sol->queue_length[0][0], 2.0, 1e-12);
+}
+
+TEST(MvaExactTest, ResponseGrowsLinearlyAtSaturatedCenter) {
+  // A saturated single center serves N customers in N*D per cycle.
+  for (int n : {1, 2, 5, 10}) {
+    auto sol = SolveMvaExact(SingleClassNetwork(n, 3.0));
+    ASSERT_TRUE(sol.ok());
+    EXPECT_NEAR(sol->response[0], 3.0 * n, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(MvaExactTest, ThinkTimeReducesContention) {
+  // Interactive system: R = N/X - Z, and with large Z utilization drops.
+  auto busy = SolveMvaExact(SingleClassNetwork(4, 1.0, 0.0));
+  auto idle = SolveMvaExact(SingleClassNetwork(4, 1.0, 100.0));
+  ASSERT_TRUE(busy.ok());
+  ASSERT_TRUE(idle.ok());
+  EXPECT_GT(busy->response[0], idle->response[0]);
+  EXPECT_LT(idle->utilization[0], 0.1);
+}
+
+TEST(MvaExactTest, DelayCenterAddsNoQueueing) {
+  ClosedNetwork net;
+  net.centers = {{"cpu", CenterType::kQueueing, 1},
+                 {"think", CenterType::kDelay, 1}};
+  net.demand = {{1.0, 5.0}};
+  net.population = {3};
+  net.think_time = {0.0};
+  auto sol = SolveMvaExact(net);
+  ASSERT_TRUE(sol.ok());
+  // The delay center contributes exactly its demand.
+  EXPECT_NEAR(sol->residence[0][1], 5.0, 1e-12);
+  EXPECT_GT(sol->residence[0][0], 1.0);  // queueing at the cpu
+}
+
+TEST(MvaExactTest, TwoClassSymmetry) {
+  // Two identical classes must see identical metrics.
+  ClosedNetwork net;
+  net.centers = {{"cpu", CenterType::kQueueing, 1},
+                 {"disk", CenterType::kQueueing, 1}};
+  net.demand = {{1.0, 2.0}, {1.0, 2.0}};
+  net.population = {2, 2};
+  net.think_time = {0.0, 0.0};
+  auto sol = SolveMvaExact(net);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->response[0], sol->response[1], 1e-9);
+  EXPECT_NEAR(sol->throughput[0], sol->throughput[1], 1e-9);
+}
+
+TEST(MvaExactTest, BottleneckDominates) {
+  // Asymptotically X -> 1/D_max as N grows.
+  ClosedNetwork net;
+  net.centers = {{"cpu", CenterType::kQueueing, 1},
+                 {"disk", CenterType::kQueueing, 1}};
+  net.demand = {{1.0, 4.0}};
+  net.population = {30};
+  net.think_time = {0.0};
+  auto sol = SolveMvaExact(net);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->throughput[0], 0.25, 0.002);
+  EXPECT_NEAR(sol->utilization[1], 1.0, 0.01);
+}
+
+TEST(MvaExactTest, MultiServerCenterReducesQueueing) {
+  ClosedNetwork one = SingleClassNetwork(4, 2.0);
+  ClosedNetwork two = SingleClassNetwork(4, 2.0);
+  two.centers[0].server_count = 4;
+  auto sol1 = SolveMvaExact(one);
+  auto sol4 = SolveMvaExact(two);
+  ASSERT_TRUE(sol1.ok());
+  ASSERT_TRUE(sol4.ok());
+  EXPECT_LT(sol4->response[0], sol1->response[0]);
+}
+
+TEST(MvaExactTest, ZeroPopulationClassIsInert) {
+  ClosedNetwork net;
+  net.centers = {{"cpu", CenterType::kQueueing, 1}};
+  net.demand = {{1.0}, {2.0}};
+  net.population = {3, 0};
+  net.think_time = {0.0, 0.0};
+  auto sol = SolveMvaExact(net);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->throughput[1], 0.0);
+  EXPECT_NEAR(sol->response[0], 3.0, 1e-9);
+}
+
+TEST(MvaExactTest, StateSpaceGuard) {
+  ClosedNetwork net;
+  net.centers = {{"cpu", CenterType::kQueueing, 1}};
+  net.demand = {{1.0}, {1.0}, {1.0}, {1.0}};
+  net.population = {1000, 1000, 1000, 1000};
+  net.think_time = {0, 0, 0, 0};
+  auto sol = SolveMvaExact(net, /*max_states=*/1000);
+  EXPECT_FALSE(sol.ok());
+  EXPECT_TRUE(sol.status().IsOutOfRange());
+}
+
+TEST(MvaExactTest, RejectsInvalidNetworks) {
+  ClosedNetwork net;
+  EXPECT_FALSE(SolveMvaExact(net).ok());  // no centers
+  net.centers = {{"cpu", CenterType::kQueueing, 1}};
+  EXPECT_FALSE(SolveMvaExact(net).ok());  // no classes
+  net.demand = {{-1.0}};
+  net.population = {1};
+  net.think_time = {0.0};
+  EXPECT_FALSE(SolveMvaExact(net).ok());  // negative demand
+}
+
+TEST(MvaExactTest, LittlesLawHolds) {
+  // N = X * (R + Z) for every class.
+  ClosedNetwork net;
+  net.centers = {{"cpu", CenterType::kQueueing, 1},
+                 {"disk", CenterType::kQueueing, 2}};
+  net.demand = {{0.5, 1.5}, {2.0, 0.25}};
+  net.population = {3, 2};
+  net.think_time = {1.0, 4.0};
+  auto sol = SolveMvaExact(net);
+  ASSERT_TRUE(sol.ok());
+  for (size_t c = 0; c < 2; ++c) {
+    EXPECT_NEAR(net.population[c],
+                sol->throughput[c] * (sol->response[c] + net.think_time[c]),
+                1e-9)
+        << "class " << c;
+  }
+}
+
+}  // namespace
+}  // namespace mrperf

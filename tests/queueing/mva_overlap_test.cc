@@ -1,0 +1,152 @@
+#include "queueing/mva_overlap.h"
+
+#include <gtest/gtest.h>
+
+namespace mrperf {
+namespace {
+
+OverlapMvaProblem TwoTaskProblem(double overlap) {
+  OverlapMvaProblem p;
+  p.centers = {{"cpu", CenterType::kQueueing, 1}};
+  p.tasks = {{{2.0}}, {{2.0}}};
+  p.overlap = {{0.0, overlap}, {overlap, 0.0}};
+  return p;
+}
+
+TEST(OverlapMvaTest, NoOverlapMeansNoQueueing) {
+  auto sol = SolveOverlapMva(TwoTaskProblem(0.0));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->response[0], 2.0, 1e-8);
+  EXPECT_NEAR(sol->response[1], 2.0, 1e-8);
+}
+
+TEST(OverlapMvaTest, FullOverlapDoublesResponseOnSharedCenter) {
+  // Two always-concurrent tasks on one server: each sees the other's full
+  // presence, so R = S * (1 + 1) = 2S at the fixed point.
+  auto sol = SolveOverlapMva(TwoTaskProblem(1.0));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->response[0], 4.0, 1e-6);
+  EXPECT_NEAR(sol->response[1], 4.0, 1e-6);
+}
+
+TEST(OverlapMvaTest, ResponseMonotoneInOverlap) {
+  double prev = 0.0;
+  for (double theta : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    auto sol = SolveOverlapMva(TwoTaskProblem(theta));
+    ASSERT_TRUE(sol.ok());
+    EXPECT_GT(sol->response[0], prev - 1e-12) << "theta=" << theta;
+    prev = sol->response[0];
+  }
+}
+
+TEST(OverlapMvaTest, HalfOverlapBetweenExtremes) {
+  auto sol = SolveOverlapMva(TwoTaskProblem(0.5));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GT(sol->response[0], 2.0);
+  EXPECT_LT(sol->response[0], 4.0);
+}
+
+TEST(OverlapMvaTest, MultiServerAbsorbsContention) {
+  OverlapMvaProblem p = TwoTaskProblem(1.0);
+  p.centers[0].server_count = 2;
+  auto sol = SolveOverlapMva(p);
+  ASSERT_TRUE(sol.ok());
+  // Two servers, two tasks: interference halves.
+  EXPECT_NEAR(sol->response[0], 2.0 * (1.0 + 0.5), 0.3);
+}
+
+TEST(OverlapMvaTest, DisjointCentersDoNotInterfere) {
+  OverlapMvaProblem p;
+  p.centers = {{"cpu0", CenterType::kQueueing, 1},
+               {"cpu1", CenterType::kQueueing, 1}};
+  p.tasks = {{{3.0, 0.0}}, {{0.0, 5.0}}};
+  p.overlap = {{0.0, 1.0}, {1.0, 0.0}};
+  auto sol = SolveOverlapMva(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->response[0], 3.0, 1e-8);
+  EXPECT_NEAR(sol->response[1], 5.0, 1e-8);
+}
+
+TEST(OverlapMvaTest, DelayCenterNeverQueues) {
+  OverlapMvaProblem p;
+  p.centers = {{"net", CenterType::kDelay, 1}};
+  p.tasks = {{{4.0}}, {{4.0}}};
+  p.overlap = {{0.0, 1.0}, {1.0, 0.0}};
+  auto sol = SolveOverlapMva(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->response[0], 4.0, 1e-9);
+}
+
+TEST(OverlapMvaTest, AsymmetricOverlapAffectsOnlyTheOverlapped) {
+  // Task 0 is a short task inside task 1's long interval: task 0 sees task
+  // 1 the whole time (theta01 = 1) but task 1 sees task 0 only briefly
+  // (theta10 = 0.1).
+  OverlapMvaProblem p;
+  p.centers = {{"cpu", CenterType::kQueueing, 1}};
+  p.tasks = {{{1.0}}, {{10.0}}};
+  p.overlap = {{0.0, 1.0}, {0.1, 0.0}};
+  auto sol = SolveOverlapMva(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->response[0], 2.0, 0.01);    // 1 * (1 + 1.0 * 1)
+  EXPECT_NEAR(sol->response[1], 11.0, 0.05);   // 10 * (1 + 0.1 * 1)
+}
+
+TEST(OverlapMvaTest, ManyConcurrentTasksScaleLinearly) {
+  // k fully-overlapping identical tasks on one server: R = S * k.
+  for (int k : {3, 6, 10}) {
+    OverlapMvaProblem p;
+    p.centers = {{"cpu", CenterType::kQueueing, 1}};
+    p.tasks.assign(k, OverlapTask{{1.0}});
+    p.overlap.assign(k, std::vector<double>(k, 1.0));
+    for (int i = 0; i < k; ++i) p.overlap[i][i] = 0.0;
+    auto sol = SolveOverlapMva(p);
+    ASSERT_TRUE(sol.ok()) << "k=" << k;
+    EXPECT_NEAR(sol->response[0], static_cast<double>(k), 0.01 * k)
+        << "k=" << k;
+  }
+}
+
+TEST(OverlapMvaTest, ValidationCatchesShapeErrors) {
+  OverlapMvaProblem p;
+  EXPECT_FALSE(SolveOverlapMva(p).ok());  // no centers
+
+  p.centers = {{"cpu", CenterType::kQueueing, 1}};
+  EXPECT_FALSE(SolveOverlapMva(p).ok());  // no tasks
+
+  p.tasks = {{{1.0, 2.0}}};  // wrong demand arity
+  p.overlap = {{0.0}};
+  EXPECT_FALSE(SolveOverlapMva(p).ok());
+
+  p.tasks = {{{1.0}}};
+  p.overlap = {};  // wrong overlap shape
+  EXPECT_FALSE(SolveOverlapMva(p).ok());
+
+  p.overlap = {{0.0}};
+  p.tasks = {{{0.0}}};  // zero total demand
+  EXPECT_FALSE(SolveOverlapMva(p).ok());
+}
+
+TEST(OverlapMvaTest, OverlapOutOfRangeRejected) {
+  OverlapMvaProblem p = TwoTaskProblem(0.5);
+  p.overlap[0][1] = 1.5;
+  EXPECT_FALSE(SolveOverlapMva(p).ok());
+  p.overlap[0][1] = -0.1;
+  EXPECT_FALSE(SolveOverlapMva(p).ok());
+}
+
+TEST(OverlapMvaTest, DampingOneStillConverges) {
+  OverlapMvaOptions opts;
+  opts.damping = 1.0;
+  auto sol = SolveOverlapMva(TwoTaskProblem(1.0), opts);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->response[0], 4.0, 1e-6);
+}
+
+TEST(OverlapMvaTest, ReportsIterationCount) {
+  auto sol = SolveOverlapMva(TwoTaskProblem(0.7));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GT(sol->iterations, 0);
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,95 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mrperf {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  ASSERT_TRUE(q.ScheduleAt(3.0, [&] { order.push_back(3); }).ok());
+  ASSERT_TRUE(q.ScheduleAt(1.0, [&] { order.push_back(1); }).ok());
+  ASSERT_TRUE(q.ScheduleAt(2.0, [&] { order.push_back(2); }).ok());
+  auto n = q.Run();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.Now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesBreakInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.ScheduleAt(1.0, [&order, i] { order.push_back(i); }).ok());
+  }
+  ASSERT_TRUE(q.Run().ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CallbacksCanSchedule) {
+  EventQueue q;
+  int fired = 0;
+  ASSERT_TRUE(q.ScheduleAt(1.0,
+                           [&] {
+                             ++fired;
+                             (void)q.ScheduleAfter(1.0, [&] { ++fired; });
+                           })
+                  .ok());
+  ASSERT_TRUE(q.Run().ok());
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.Now(), 2.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsEarly) {
+  EventQueue q;
+  int fired = 0;
+  ASSERT_TRUE(q.ScheduleAt(1.0, [&] { ++fired; }).ok());
+  ASSERT_TRUE(q.ScheduleAt(10.0, [&] { ++fired; }).ok());
+  ASSERT_TRUE(q.Run(5.0).ok());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.Pending(), 1u);
+}
+
+TEST(EventQueueTest, PastSchedulingRejected) {
+  EventQueue q;
+  ASSERT_TRUE(q.ScheduleAt(5.0, [] {}).ok());
+  ASSERT_TRUE(q.Run().ok());
+  EXPECT_FALSE(q.ScheduleAt(4.0, [] {}).ok());
+  EXPECT_FALSE(q.ScheduleAfter(-1.0, [] {}).ok());
+}
+
+TEST(EventQueueTest, NullCallbackRejected) {
+  EventQueue q;
+  EXPECT_FALSE(q.ScheduleAt(1.0, nullptr).ok());
+}
+
+TEST(EventQueueTest, RunawayLoopDetected) {
+  EventQueue q;
+  std::function<void()> loop = [&q, &loop] {
+    (void)q.ScheduleAfter(0.0, loop);
+  };
+  ASSERT_TRUE(q.ScheduleAt(0.0, loop).ok());
+  auto n = q.Run(1e18, /*max_events=*/1000);
+  EXPECT_FALSE(n.ok());
+  EXPECT_TRUE(n.status().IsOutOfRange());
+}
+
+TEST(EventQueueTest, ZeroDelayRunsAtCurrentTime) {
+  EventQueue q;
+  double seen = -1.0;
+  ASSERT_TRUE(q.ScheduleAt(2.0,
+                           [&] {
+                             (void)q.ScheduleAfter(0.0,
+                                                   [&] { seen = q.Now(); });
+                           })
+                  .ok());
+  ASSERT_TRUE(q.Run().ok());
+  EXPECT_DOUBLE_EQ(seen, 2.0);
+}
+
+}  // namespace
+}  // namespace mrperf

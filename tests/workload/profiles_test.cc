@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "hadoop/herodotou_model.h"
+#include "model/input.h"
+#include "model/model.h"
+#include "sim/cluster_sim.h"
+#include "workload/wordcount.h"
+
+namespace mrperf {
+namespace {
+
+TEST(ProfilesTest, AllProfilesValid) {
+  for (const JobProfile& p :
+       {WordCountProfile(), TeraSortProfile(), GrepProfile(),
+        InvertedIndexProfile()}) {
+    EXPECT_TRUE(p.Validate().ok()) << p.name;
+  }
+}
+
+TEST(ProfilesTest, TeraSortShufflesFullVolume) {
+  // Identity map, no combiner: intermediate bytes == input bytes.
+  HerodotouModel m(PaperCluster(4), PaperHadoopConfig(),
+                   TeraSortProfile());
+  auto cost = m.CostMapTask(128 * kMiB);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(cost->output_bytes, 128 * kMiB);
+}
+
+TEST(ProfilesTest, GrepEmitsAlmostNothing) {
+  HerodotouModel m(PaperCluster(4), PaperHadoopConfig(), GrepProfile(0.01));
+  auto cost = m.CostMapTask(128 * kMiB);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_LT(cost->output_bytes, 2 * kMiB);
+}
+
+TEST(ProfilesTest, ShuffleVolumeOrdering) {
+  // terasort >> wordcount >> grep in intermediate data.
+  auto out_bytes = [](const JobProfile& p) {
+    HerodotouModel m(PaperCluster(4), PaperHadoopConfig(), p);
+    auto cost = m.CostMapTask(128 * kMiB);
+    EXPECT_TRUE(cost.ok());
+    return cost->output_bytes;
+  };
+  EXPECT_GT(out_bytes(TeraSortProfile()), out_bytes(WordCountProfile()));
+  EXPECT_GT(out_bytes(WordCountProfile()), out_bytes(GrepProfile()));
+}
+
+TEST(ProfilesTest, GrepIsMapDominated) {
+  HerodotouModel m(PaperCluster(4), PaperHadoopConfig(128 * kMiB, 2),
+                   GrepProfile());
+  auto est = m.EstimateJob(1 * kGiB);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est->map_task.TotalSeconds(),
+            est->reduce_task.TotalSeconds());
+}
+
+TEST(ProfilesTest, TeraSortIsShuffleHeavy) {
+  HerodotouModel m(PaperCluster(4), PaperHadoopConfig(128 * kMiB, 2),
+                   TeraSortProfile());
+  auto est = m.EstimateJob(1 * kGiB);
+  ASSERT_TRUE(est.ok());
+  // Reducers each process half the full input volume: heavier than one
+  // 128 MB map.
+  EXPECT_GT(est->reduce_task.TotalSeconds(),
+            est->map_task.TotalSeconds());
+}
+
+class ProfileModelSweepTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProfileModelSweepTest, ModelSolvesForEveryProfile) {
+  JobProfile profile;
+  const std::string name = GetParam();
+  if (name == "wordcount") profile = WordCountProfile();
+  if (name == "terasort") profile = TeraSortProfile();
+  if (name == "grep") profile = GrepProfile();
+  if (name == "inverted-index") profile = InvertedIndexProfile();
+  auto in = ModelInputFromHerodotou(PaperCluster(4), PaperHadoopConfig(),
+                                    profile, 1 * kGiB, 1);
+  ASSERT_TRUE(in.ok()) << in.status().ToString();
+  auto r = SolveModel(*in);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->forkjoin_response, 0.0);
+  EXPECT_GT(r->tripathi_response, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileModelSweepTest,
+                         ::testing::Values("wordcount", "terasort", "grep",
+                                           "inverted-index"));
+
+class ProfileSimSweepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProfileSimSweepTest, SimulatorRunsEveryProfile) {
+  JobProfile profile;
+  const std::string name = GetParam();
+  if (name == "wordcount") profile = WordCountProfile();
+  if (name == "terasort") profile = TeraSortProfile();
+  if (name == "grep") profile = GrepProfile();
+  if (name == "inverted-index") profile = InvertedIndexProfile();
+  SimOptions opts;
+  opts.seed = 3;
+  opts.task_cv = 0.3;
+  ClusterSimulator sim(PaperCluster(4), opts);
+  SimJobSpec spec;
+  spec.profile = profile;
+  spec.config = PaperHadoopConfig();
+  spec.input_bytes = 1 * kGiB;
+  ASSERT_TRUE(sim.SubmitJob(spec).ok());
+  auto r = sim.Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->MeanJobResponse(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileSimSweepTest,
+                         ::testing::Values("wordcount", "terasort", "grep",
+                                           "inverted-index"));
+
+}  // namespace
+}  // namespace mrperf

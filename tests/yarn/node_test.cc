@@ -1,0 +1,61 @@
+#include "yarn/node.h"
+
+#include <gtest/gtest.h>
+
+#include "hadoop/config.h"
+
+namespace mrperf {
+namespace {
+
+TEST(NodeStateTest, AllocateAndRelease) {
+  NodeState node(0, Resource{8 * kGiB, 8});
+  EXPECT_TRUE(node.CanFit(Resource{2 * kGiB, 1}));
+  ASSERT_TRUE(node.Allocate(Resource{2 * kGiB, 1}).ok());
+  EXPECT_EQ(node.used().memory_bytes, 2 * kGiB);
+  EXPECT_EQ(node.running_containers(), 1);
+  ASSERT_TRUE(node.Release(Resource{2 * kGiB, 1}).ok());
+  EXPECT_EQ(node.used().memory_bytes, 0);
+  EXPECT_EQ(node.running_containers(), 0);
+}
+
+TEST(NodeStateTest, CapacityEnforced) {
+  NodeState node(1, Resource{4 * kGiB, 4});
+  ASSERT_TRUE(node.Allocate(Resource{3 * kGiB, 1}).ok());
+  EXPECT_FALSE(node.CanFit(Resource{2 * kGiB, 1}));
+  EXPECT_TRUE(node.Allocate(Resource{2 * kGiB, 1})
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(node.CanFit(Resource{1 * kGiB, 1}));
+}
+
+TEST(NodeStateTest, VcoresAlsoEnforced) {
+  NodeState node(2, Resource{100 * kGiB, 2});
+  ASSERT_TRUE(node.Allocate(Resource{1 * kGiB, 2}).ok());
+  EXPECT_FALSE(node.CanFit(Resource{1 * kGiB, 1}));
+}
+
+TEST(NodeStateTest, OverReleaseRejected) {
+  NodeState node(3, Resource{4 * kGiB, 4});
+  EXPECT_FALSE(node.Release(Resource{1 * kGiB, 1}).ok());
+  ASSERT_TRUE(node.Allocate(Resource{1 * kGiB, 1}).ok());
+  EXPECT_FALSE(node.Release(Resource{2 * kGiB, 1}).ok());
+}
+
+TEST(NodeStateTest, OccupancyRateTracksMemory) {
+  // §4.2.2: containers go to the node with the lowest occupancy rate.
+  NodeState node(4, Resource{8 * kGiB, 8});
+  EXPECT_DOUBLE_EQ(node.OccupancyRate(), 0.0);
+  ASSERT_TRUE(node.Allocate(Resource{2 * kGiB, 1}).ok());
+  EXPECT_DOUBLE_EQ(node.OccupancyRate(), 0.25);
+  ASSERT_TRUE(node.Allocate(Resource{6 * kGiB, 1}).ok());
+  EXPECT_DOUBLE_EQ(node.OccupancyRate(), 1.0);
+}
+
+TEST(NodeStateTest, FreeIsComplementOfUsed) {
+  NodeState node(5, Resource{10 * kGiB, 10});
+  ASSERT_TRUE(node.Allocate(Resource{4 * kGiB, 3}).ok());
+  EXPECT_EQ(node.Free().memory_bytes, 6 * kGiB);
+  EXPECT_EQ(node.Free().vcores, 7);
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,89 @@
+#include "yarn/resources.h"
+
+#include <gtest/gtest.h>
+
+namespace mrperf {
+namespace {
+
+TEST(ResourceTest, ArithmeticAndComparison) {
+  Resource a{4096, 2};
+  Resource b{1024, 1};
+  Resource sum = a + b;
+  EXPECT_EQ(sum.memory_bytes, 5120);
+  EXPECT_EQ(sum.vcores, 3);
+  Resource diff = a - b;
+  EXPECT_EQ(diff.memory_bytes, 3072);
+  EXPECT_EQ(diff.vcores, 1);
+  EXPECT_TRUE(b.FitsIn(a));
+  EXPECT_FALSE(a.FitsIn(b));
+  EXPECT_TRUE(a.FitsIn(a));
+}
+
+TEST(ResourceTest, CompoundAssignment) {
+  Resource a{100, 1};
+  a += Resource{50, 2};
+  EXPECT_EQ(a, (Resource{150, 3}));
+  a -= Resource{150, 3};
+  EXPECT_EQ(a, (Resource{0, 0}));
+  EXPECT_TRUE(a.IsNonNegative());
+  a -= Resource{1, 0};
+  EXPECT_FALSE(a.IsNonNegative());
+}
+
+TEST(ResourceTest, FitsInRequiresBothDimensions) {
+  Resource big_mem{10000, 1};
+  Resource big_cores{100, 64};
+  EXPECT_FALSE(big_mem.FitsIn(big_cores));
+  EXPECT_FALSE(big_cores.FitsIn(big_mem));
+}
+
+TEST(TaskTypeTest, Names) {
+  EXPECT_STREQ(TaskTypeToString(TaskType::kMap), "map");
+  EXPECT_STREQ(TaskTypeToString(TaskType::kReduce), "reduce");
+  EXPECT_STREQ(TaskTypeToString(TaskType::kAppMaster), "am");
+}
+
+TEST(LifecycleTest, PaperVocabularyNames) {
+  // §3.4 vocabulary: pending, scheduled, assigned, completed.
+  EXPECT_STREQ(TaskLifecycleStateToString(TaskLifecycleState::kPending),
+               "pending");
+  EXPECT_STREQ(TaskLifecycleStateToString(TaskLifecycleState::kScheduled),
+               "scheduled");
+  EXPECT_STREQ(TaskLifecycleStateToString(TaskLifecycleState::kAssigned),
+               "assigned");
+  EXPECT_STREQ(TaskLifecycleStateToString(TaskLifecycleState::kCompleted),
+               "completed");
+}
+
+TEST(LifecycleTest, ForwardTransitionsAllowed) {
+  EXPECT_TRUE(AdvanceLifecycle(TaskLifecycleState::kPending,
+                               TaskLifecycleState::kScheduled)
+                  .ok());
+  EXPECT_TRUE(AdvanceLifecycle(TaskLifecycleState::kScheduled,
+                               TaskLifecycleState::kAssigned)
+                  .ok());
+  EXPECT_TRUE(AdvanceLifecycle(TaskLifecycleState::kAssigned,
+                               TaskLifecycleState::kCompleted)
+                  .ok());
+}
+
+TEST(LifecycleTest, SkippingAndBackwardRejected) {
+  EXPECT_FALSE(AdvanceLifecycle(TaskLifecycleState::kPending,
+                                TaskLifecycleState::kAssigned)
+                   .ok());
+  EXPECT_FALSE(AdvanceLifecycle(TaskLifecycleState::kPending,
+                                TaskLifecycleState::kCompleted)
+                   .ok());
+  EXPECT_FALSE(AdvanceLifecycle(TaskLifecycleState::kCompleted,
+                                TaskLifecycleState::kPending)
+                   .ok());
+  EXPECT_FALSE(AdvanceLifecycle(TaskLifecycleState::kAssigned,
+                                TaskLifecycleState::kScheduled)
+                   .ok());
+  EXPECT_FALSE(AdvanceLifecycle(TaskLifecycleState::kPending,
+                                TaskLifecycleState::kPending)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace mrperf
