@@ -3,8 +3,9 @@
 
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return mrperf::bench::RunNodeSweepFigure(
       "Figure 12: Input 5GB; #jobs 1", /*input_gb=*/5.0, /*num_jobs=*/1,
-      /*block_size_bytes=*/128 * mrperf::kMiB);
+      /*block_size_bytes=*/128 * mrperf::kMiB,
+      mrperf::bench::ThreadsFromArgs(argc, argv));
 }

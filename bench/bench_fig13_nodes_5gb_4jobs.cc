@@ -3,8 +3,9 @@
 
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return mrperf::bench::RunNodeSweepFigure(
       "Figure 13: Input 5GB; #jobs 4", /*input_gb=*/5.0, /*num_jobs=*/4,
-      /*block_size_bytes=*/128 * mrperf::kMiB);
+      /*block_size_bytes=*/128 * mrperf::kMiB,
+      mrperf::bench::ThreadsFromArgs(argc, argv));
 }

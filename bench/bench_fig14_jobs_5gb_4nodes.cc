@@ -3,7 +3,8 @@
 
 #include "figure_common.h"
 
-int main() {
-  return mrperf::bench::RunJobSweepFigure("Figure 14: #Nodes 4; Input 5GB",
-                                          /*nodes=*/4, /*input_gb=*/5.0);
+int main(int argc, char** argv) {
+  return mrperf::bench::RunJobSweepFigure(
+      "Figure 14: #Nodes 4; Input 5GB", /*nodes=*/4, /*input_gb=*/5.0,
+      mrperf::bench::ThreadsFromArgs(argc, argv));
 }

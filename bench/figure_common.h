@@ -1,71 +1,97 @@
 /// \file figure_common.h
-/// \brief Shared driver for the figure-reproduction benches: runs the
-/// simulator ("HadoopSetup") and both model estimators over one sweep and
+/// \brief Shared driver for the figure-reproduction benches: expands the
+/// figure's parameter grid, fans it out through the engine's SweepRunner
+/// (simulator "HadoopSetup" + both model estimators per point), and
 /// prints the series of the corresponding paper figure.
 
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "engine/sweep_grid.h"
+#include "engine/sweep_runner.h"
 #include "experiments/experiment.h"
 #include "experiments/report.h"
 
 namespace mrperf::bench {
 
-/// Runs a node sweep at fixed input size / job count (Figures 10-13, 15).
-inline int RunNodeSweepFigure(const std::string& title, double input_gb,
-                              int num_jobs, int64_t block_size_bytes) {
-  ExperimentOptions opts = DefaultExperimentOptions();
-  std::vector<double> xs;
-  std::vector<ExperimentResult> results;
-  for (int nodes : {4, 6, 8}) {
-    ExperimentPoint point;
-    point.num_nodes = nodes;
-    point.input_bytes = static_cast<int64_t>(input_gb * kGiB);
-    point.num_jobs = num_jobs;
-    point.block_size_bytes = block_size_bytes;
-    auto r = RunExperiment(point, opts);
-    if (!r.ok()) {
-      std::fprintf(stderr, "experiment failed: %s\n",
-                   r.status().ToString().c_str());
-      return 1;
+/// Parses `--threads=N` / `--threads N` from argv (0 = auto-detect).
+inline int ThreadsFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return std::atoi(argv[i] + 10);
     }
-    xs.push_back(nodes);
-    results.push_back(*r);
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
   }
-  PrintFigureTable(std::cout, title, "nodes", xs, results);
+  return 0;
+}
+
+/// Runs a figure grid through the sweep engine and prints its table.
+inline int RunFigureSweep(const std::string& title, const SweepGrid& grid,
+                          const std::vector<double>& x_values,
+                          const std::string& x_label, int num_threads) {
+  SweepOptions sweep_opts;
+  sweep_opts.num_threads = num_threads;
+  sweep_opts.experiment = DefaultExperimentOptions();
+  // Figures reproduce the calibrated measurement stream: the §5
+  // calibration was fit at the default base seed, and simulated medians
+  // are seed-sensitive. Parallelism stays byte-deterministic either way.
+  sweep_opts.derive_point_seeds = false;
+  SweepRunner runner(sweep_opts);
+
+  SweepReport report = runner.Run(grid);
+  if (!report.all_ok()) {
+    const std::vector<ExperimentPoint> points = grid.Expand();
+    for (size_t i = 0; i < report.results.size(); ++i) {
+      if (!report.results[i].ok()) {
+        std::fprintf(stderr, "experiment %s failed: %s\n",
+                     PointLabel(points[i]).c_str(),
+                     report.results[i].status().ToString().c_str());
+      }
+    }
+    return 1;
+  }
+  const std::vector<ExperimentResult> results = report.values();
+  PrintFigureTable(std::cout, title, x_label, x_values, results);
   PrintErrorSummary(std::cout, title + " — error summary",
                     SummarizeErrors(results));
+  PrintSweepStats(std::cout, results.size(), report.threads_used,
+                  report.wall_seconds, report.cache_stats.hits,
+                  report.cache_stats.lookups());
   return 0;
+}
+
+/// Runs a node sweep at fixed input size / job count (Figures 10-13, 15).
+inline int RunNodeSweepFigure(const std::string& title, double input_gb,
+                              int num_jobs, int64_t block_size_bytes,
+                              int num_threads = 0) {
+  const std::vector<int> nodes = {4, 6, 8};
+  SweepGrid grid;
+  grid.Nodes(nodes)
+      .InputGigabytes({input_gb})
+      .Jobs({num_jobs})
+      .BlockSizes({block_size_bytes});
+  return RunFigureSweep(title, grid,
+                        std::vector<double>(nodes.begin(), nodes.end()),
+                        "nodes", num_threads);
 }
 
 /// Runs a concurrency sweep at fixed nodes / input size (Figure 14).
 inline int RunJobSweepFigure(const std::string& title, int nodes,
-                             double input_gb) {
-  ExperimentOptions opts = DefaultExperimentOptions();
-  std::vector<double> xs;
-  std::vector<ExperimentResult> results;
-  for (int jobs : {1, 2, 3, 4}) {
-    ExperimentPoint point;
-    point.num_nodes = nodes;
-    point.input_bytes = static_cast<int64_t>(input_gb * kGiB);
-    point.num_jobs = jobs;
-    auto r = RunExperiment(point, opts);
-    if (!r.ok()) {
-      std::fprintf(stderr, "experiment failed: %s\n",
-                   r.status().ToString().c_str());
-      return 1;
-    }
-    xs.push_back(jobs);
-    results.push_back(*r);
-  }
-  PrintFigureTable(std::cout, title, "jobs", xs, results);
-  PrintErrorSummary(std::cout, title + " — error summary",
-                    SummarizeErrors(results));
-  return 0;
+                             double input_gb, int num_threads = 0) {
+  const std::vector<int> jobs = {1, 2, 3, 4};
+  SweepGrid grid;
+  grid.Nodes({nodes}).InputGigabytes({input_gb}).Jobs(jobs);
+  return RunFigureSweep(title, grid,
+                        std::vector<double>(jobs.begin(), jobs.end()),
+                        "jobs", num_threads);
 }
 
 }  // namespace mrperf::bench

@@ -6,15 +6,17 @@
 /// Question: how many nodes does a nightly WordCount-style workload need
 /// so that the average job response time stays under a target, given an
 /// expected concurrency level? Instead of standing up clusters of every
-/// size, sweep the analytic model over node counts and pick the knee.
+/// size, sweep the analytic model over node counts — all candidate sizes
+/// are solved concurrently through the engine's SweepRunner — and pick
+/// the knee.
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "engine/sweep_grid.h"
+#include "engine/sweep_runner.h"
 #include "experiments/experiment.h"
-#include "model/input.h"
-#include "model/model.h"
-#include "workload/wordcount.h"
 
 int main(int argc, char** argv) {
   using namespace mrperf;
@@ -29,26 +31,33 @@ int main(int argc, char** argv) {
   std::printf("%6s | %12s %12s | %s\n", "nodes", "Fork/join(s)",
               "Tripathi(s)", "meets target?");
 
-  const ModelOptions model_opts = DefaultExperimentOptions().model;
+  std::vector<int> node_counts;
+  for (int nodes = 2; nodes <= 32; nodes += 2) node_counts.push_back(nodes);
+
+  SweepGrid grid;
+  grid.Nodes(node_counts)
+      .InputGigabytes({input_gb})
+      .Jobs({concurrency});
+
+  SweepOptions sweep_opts;
+  sweep_opts.experiment = DefaultExperimentOptions();
+  SweepRunner runner(sweep_opts);
+  const std::vector<Result<ModelResult>> models =
+      runner.RunModels(grid.Expand());
+
   int chosen = -1;
-  for (int nodes = 2; nodes <= 32; nodes += 2) {
-    auto input = ModelInputFromHerodotou(
-        PaperCluster(nodes), PaperHadoopConfig(), WordCountProfile(),
-        static_cast<int64_t>(input_gb * kGiB), concurrency);
-    if (!input.ok()) {
-      std::fprintf(stderr, "input: %s\n", input.status().ToString().c_str());
-      return 1;
-    }
-    auto model = SolveModel(*input, model_opts);
+  for (size_t i = 0; i < models.size(); ++i) {
+    const auto& model = models[i];
     if (!model.ok()) {
-      std::fprintf(stderr, "model: %s\n", model.status().ToString().c_str());
+      std::fprintf(stderr, "model: %s\n",
+                   model.status().ToString().c_str());
       return 1;
     }
     const bool ok = model->forkjoin_response <= target_sec;
-    std::printf("%6d | %12.1f %12.1f | %s\n", nodes,
+    std::printf("%6d | %12.1f %12.1f | %s\n", node_counts[i],
                 model->forkjoin_response, model->tripathi_response,
                 ok ? "yes" : "no");
-    if (ok && chosen < 0) chosen = nodes;
+    if (ok && chosen < 0) chosen = node_counts[i];
   }
 
   if (chosen < 0) {

@@ -1,0 +1,95 @@
+#include "engine/sweep_grid.h"
+
+#include <utility>
+
+namespace mrperf {
+namespace {
+
+/// An unset axis contributes its single default value.
+template <typename T>
+size_t AxisSize(const std::vector<T>& axis) {
+  return axis.empty() ? 1 : axis.size();
+}
+
+}  // namespace
+
+SweepGrid& SweepGrid::Nodes(std::vector<int> values) {
+  nodes_ = std::move(values);
+  return *this;
+}
+
+SweepGrid& SweepGrid::InputBytes(std::vector<int64_t> values) {
+  input_bytes_ = std::move(values);
+  return *this;
+}
+
+SweepGrid& SweepGrid::Jobs(std::vector<int> values) {
+  jobs_ = std::move(values);
+  return *this;
+}
+
+SweepGrid& SweepGrid::BlockSizes(std::vector<int64_t> values) {
+  block_sizes_ = std::move(values);
+  return *this;
+}
+
+SweepGrid& SweepGrid::Reducers(std::vector<int> values) {
+  reducers_ = std::move(values);
+  return *this;
+}
+
+SweepGrid& SweepGrid::InputGigabytes(const std::vector<double>& gb) {
+  std::vector<int64_t> bytes;
+  bytes.reserve(gb.size());
+  for (double g : gb) {
+    bytes.push_back(static_cast<int64_t>(g * kGiB));
+  }
+  return InputBytes(std::move(bytes));
+}
+
+size_t SweepGrid::size() const {
+  return AxisSize(nodes_) * AxisSize(input_bytes_) * AxisSize(jobs_) *
+         AxisSize(block_sizes_) * AxisSize(reducers_);
+}
+
+std::vector<ExperimentPoint> SweepGrid::Expand() const {
+  const ExperimentPoint defaults;
+  std::vector<ExperimentPoint> points;
+  points.reserve(size());
+
+  const std::vector<int> nodes = nodes_.empty()
+                                     ? std::vector<int>{defaults.num_nodes}
+                                     : nodes_;
+  const std::vector<int64_t> inputs =
+      input_bytes_.empty() ? std::vector<int64_t>{defaults.input_bytes}
+                           : input_bytes_;
+  const std::vector<int> jobs =
+      jobs_.empty() ? std::vector<int>{defaults.num_jobs} : jobs_;
+  const std::vector<int64_t> blocks =
+      block_sizes_.empty() ? std::vector<int64_t>{defaults.block_size_bytes}
+                           : block_sizes_;
+  const std::vector<int> reducers =
+      reducers_.empty() ? std::vector<int>{defaults.num_reducers}
+                        : reducers_;
+
+  for (int n : nodes) {
+    for (int64_t in : inputs) {
+      for (int j : jobs) {
+        for (int64_t b : blocks) {
+          for (int r : reducers) {
+            ExperimentPoint p;
+            p.num_nodes = n;
+            p.input_bytes = in;
+            p.num_jobs = j;
+            p.block_size_bytes = b;
+            p.num_reducers = r;
+            points.push_back(p);
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace mrperf

@@ -1,0 +1,51 @@
+/// \file sweep_grid.h
+/// \brief Cartesian-product builder for experiment grids.
+///
+/// The paper's evaluation (§5, Figures 10–15) is a grid over cluster size,
+/// input size, concurrency, and block size. SweepGrid expands such grids
+/// into the flat, deterministically ordered point list the SweepRunner
+/// consumes: axes vary row-major in declaration order (nodes outermost,
+/// reducers innermost), so a grid always expands to the same sequence
+/// regardless of how it is evaluated.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "experiments/experiment.h"
+
+namespace mrperf {
+
+/// \brief Builder for cartesian products of ExperimentPoint axes.
+///
+/// Unset axes stay at the ExperimentPoint default (a single value), so a
+/// grid touching one axis is a 1-D sweep. Axis values are kept in the
+/// order given (duplicates allowed — e.g. repeated measurement designs).
+class SweepGrid {
+ public:
+  SweepGrid& Nodes(std::vector<int> values);
+  SweepGrid& InputBytes(std::vector<int64_t> values);
+  SweepGrid& Jobs(std::vector<int> values);
+  SweepGrid& BlockSizes(std::vector<int64_t> values);
+  SweepGrid& Reducers(std::vector<int> values);
+
+  /// Convenience: gigabyte inputs (the unit of §5.1's workloads).
+  SweepGrid& InputGigabytes(const std::vector<double>& gb);
+
+  /// Number of points the grid expands to (product of axis sizes).
+  size_t size() const;
+
+  /// Expands the cartesian product in row-major declaration order:
+  /// nodes ▸ input ▸ jobs ▸ block size ▸ reducers.
+  std::vector<ExperimentPoint> Expand() const;
+
+ private:
+  std::vector<int> nodes_;
+  std::vector<int64_t> input_bytes_;
+  std::vector<int> jobs_;
+  std::vector<int64_t> block_sizes_;
+  std::vector<int> reducers_;
+};
+
+}  // namespace mrperf

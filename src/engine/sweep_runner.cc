@@ -1,0 +1,128 @@
+#include "engine/sweep_runner.h"
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+namespace mrperf {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+}  // namespace
+
+bool SweepReport::all_ok() const {
+  for (const auto& r : results) {
+    if (!r.ok()) return false;
+  }
+  return true;
+}
+
+Status SweepReport::first_error() const {
+  for (const auto& r : results) {
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+std::vector<ExperimentResult> SweepReport::values() const {
+  std::vector<ExperimentResult> out;
+  out.reserve(results.size());
+  for (const auto& r : results) {
+    if (r.ok()) out.push_back(*r);
+  }
+  return out;
+}
+
+uint64_t PointSeed(uint64_t base_seed, size_t point_index) {
+  // SplitMix64 (Steele, Lea & Flood): full-avalanche mix of the master
+  // seed and the point index. Fixed constants, no platform dependence.
+  uint64_t z = base_seed + 0x9E3779B97F4A7C15ull *
+                               (static_cast<uint64_t>(point_index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_max_entries),
+      pool_(options_.num_threads > 0 ? options_.num_threads
+                                     : ThreadPool::DefaultThreadCount()) {}
+
+ExperimentOptions SweepRunner::PointOptions(size_t index) {
+  ExperimentOptions opts = options_.experiment;
+  if (options_.derive_point_seeds) {
+    opts.base_seed = PointSeed(options_.experiment.base_seed, index);
+  }
+  opts.model.mva_cache = options_.use_mva_cache ? &cache_ : nullptr;
+  return opts;
+}
+
+SweepReport SweepRunner::Run(const std::vector<ExperimentPoint>& points) {
+  std::vector<Task> tasks;
+  tasks.reserve(points.size());
+  for (const ExperimentPoint& point : points) {
+    Task task;
+    task.point = point;
+    task.options = options_.experiment;
+    task.derive_seed = options_.derive_point_seeds;
+    tasks.push_back(std::move(task));
+  }
+  return RunTasks(tasks);
+}
+
+SweepReport SweepRunner::Run(const SweepGrid& grid) {
+  return Run(grid.Expand());
+}
+
+SweepReport SweepRunner::RunTasks(const std::vector<Task>& tasks) {
+  const auto start = SteadyClock::now();
+
+  std::vector<std::future<Result<ExperimentResult>>> futures;
+  futures.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const ExperimentPoint point = tasks[i].point;
+    ExperimentOptions opts = tasks[i].options;
+    if (tasks[i].derive_seed) {
+      opts.base_seed = PointSeed(tasks[i].options.base_seed, i);
+    }
+    opts.model.mva_cache = options_.use_mva_cache ? &cache_ : nullptr;
+    futures.push_back(
+        pool_.Submit([point, opts] { return RunExperiment(point, opts); }));
+  }
+
+  SweepReport report;
+  report.results.reserve(tasks.size());
+  for (auto& f : futures) {
+    report.results.push_back(f.get());
+  }
+  report.wall_seconds = SecondsSince(start);
+  report.threads_used = pool_.thread_count();
+  report.cache_stats = cache_.stats();
+  return report;
+}
+
+std::vector<Result<ModelResult>> SweepRunner::RunModels(
+    const std::vector<ExperimentPoint>& points) {
+  std::vector<std::future<Result<ModelResult>>> futures;
+  futures.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ExperimentPoint point = points[i];
+    const ExperimentOptions opts = PointOptions(i);
+    futures.push_back(pool_.Submit(
+        [point, opts] { return RunModelPrediction(point, opts); }));
+  }
+  std::vector<Result<ModelResult>> out;
+  out.reserve(points.size());
+  for (auto& f : futures) {
+    out.push_back(f.get());
+  }
+  return out;
+}
+
+}  // namespace mrperf

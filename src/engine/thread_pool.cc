@@ -1,0 +1,60 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+
+namespace mrperf {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+int ThreadPool::DefaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && workers_.empty()) return;
+    shutting_down_ = true;
+  }
+  wake_workers_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+int64_t ThreadPool::tasks_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_completed_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_workers_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      // Drain the queue even when shutting down: accepted tasks hold
+      // futures someone may be waiting on.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task: exceptions land in the future, never here
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++tasks_completed_;
+    }
+  }
+}
+
+}  // namespace mrperf

@@ -1,0 +1,89 @@
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool with a shared task queue and futures.
+///
+/// The sweep engine fans embarrassingly parallel point evaluations (§5's
+/// experiment grids) out across cores. Tasks are arbitrary callables;
+/// their results and exceptions propagate through std::future. The pool
+/// guarantees that Shutdown() (and the destructor) drains every task that
+/// was accepted before the shutdown began — work is never silently
+/// dropped — and that Submit() after shutdown fails fast.
+
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mrperf {
+
+/// \brief Fixed worker count, FIFO task queue, future-based results.
+///
+/// Thread-safe: Submit() may be called concurrently from any thread,
+/// including from tasks running on the pool (the queue is unbounded, so
+/// recursive submission cannot deadlock — though a task *waiting* on a
+/// future of a queued task can starve; the sweep engine never does that).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Reasonable default worker count: hardware concurrency, at least 1.
+  static int DefaultThreadCount();
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown
+  /// by `fn` are captured and rethrown from future::get().
+  ///
+  /// Throws std::runtime_error if the pool has been shut down.
+  template <typename F>
+  auto Submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutting_down_) {
+        throw std::runtime_error("ThreadPool::Submit after Shutdown");
+      }
+      queue_.emplace([task] { (*task)(); });
+    }
+    wake_workers_.notify_one();
+    return result;
+  }
+
+  /// Stops accepting new tasks, runs every already-queued task to
+  /// completion, and joins the workers. Idempotent.
+  void Shutdown();
+
+  /// Tasks executed to completion so far (diagnostic).
+  int64_t tasks_completed() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_workers_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+  int64_t tasks_completed_ = 0;
+};
+
+}  // namespace mrperf

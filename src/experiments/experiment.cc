@@ -1,6 +1,7 @@
 #include "experiments/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/statistics.h"
 #include "model/input.h"
@@ -33,6 +34,28 @@ HadoopConfig ConfigFor(const ExperimentPoint& point) {
 }
 
 }  // namespace
+
+bool operator==(const ExperimentPoint& a, const ExperimentPoint& b) {
+  return a.num_nodes == b.num_nodes && a.input_bytes == b.input_bytes &&
+         a.num_jobs == b.num_jobs &&
+         a.block_size_bytes == b.block_size_bytes &&
+         a.num_reducers == b.num_reducers;
+}
+
+bool operator!=(const ExperimentPoint& a, const ExperimentPoint& b) {
+  return !(a == b);
+}
+
+std::string PointLabel(const ExperimentPoint& point) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "n%d %.1fGB j%d b%lldMB r%d",
+                point.num_nodes,
+                static_cast<double>(point.input_bytes) / kGiB,
+                point.num_jobs,
+                static_cast<long long>(point.block_size_bytes / kMiB),
+                point.num_reducers);
+  return buf;
+}
 
 ExperimentOptions DefaultExperimentOptions() {
   ExperimentOptions opts;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -25,6 +26,12 @@ struct ExperimentPoint {
   int64_t block_size_bytes = 128 * kMiB;
   int num_reducers = 2;
 };
+
+bool operator==(const ExperimentPoint& a, const ExperimentPoint& b);
+bool operator!=(const ExperimentPoint& a, const ExperimentPoint& b);
+
+/// \brief Compact human-readable label, e.g. "n4 1.0GB j1 b128MB r2".
+std::string PointLabel(const ExperimentPoint& point);
 
 /// \brief Run configuration.
 struct ExperimentOptions {

@@ -71,4 +71,22 @@ void PrintErrorSummary(std::ostream& os, const std::string& title,
   os.unsetf(std::ios_base::floatfield);
 }
 
+void PrintSweepStats(std::ostream& os, size_t num_points, int threads,
+                     double wall_seconds, int64_t cache_hits,
+                     int64_t cache_lookups) {
+  os << std::fixed << std::setprecision(2);
+  os << "[sweep] " << num_points << " points on " << threads
+     << (threads == 1 ? " worker, " : " workers, ") << wall_seconds
+     << " s wall";
+  if (cache_lookups > 0) {
+    const double rate =
+        100.0 * static_cast<double>(cache_hits) /
+        static_cast<double>(cache_lookups);
+    os << "; MVA cache " << cache_hits << "/" << cache_lookups
+       << " hits (" << std::setprecision(1) << rate << "%)";
+  }
+  os << "\n";
+  os.unsetf(std::ios_base::floatfield);
+}
+
 }  // namespace mrperf

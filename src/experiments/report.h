@@ -46,4 +46,11 @@ ErrorSummary SummarizeErrors(const std::vector<ExperimentResult>& results);
 void PrintErrorSummary(std::ostream& os, const std::string& title,
                        const ErrorSummary& summary);
 
+/// \brief Prints a one-line sweep execution summary (worker count,
+/// wall-clock, overlap-MVA cache effectiveness). Values are passed
+/// plainly so this layer stays independent of the engine.
+void PrintSweepStats(std::ostream& os, size_t num_points, int threads,
+                     double wall_seconds, int64_t cache_hits,
+                     int64_t cache_lookups);
+
 }  // namespace mrperf

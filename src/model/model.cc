@@ -110,8 +110,11 @@ Result<ModelResult> SolveModel(const ModelInput& input,
 
     // ---- A4: overlap-adjusted MVA --------------------------------------
     OverlapMvaProblem problem = BuildMvaProblem(input, timeline, overlap);
-    MRPERF_ASSIGN_OR_RETURN(OverlapMvaSolution mva,
-                            SolveOverlapMva(problem, options.mva));
+    MRPERF_ASSIGN_OR_RETURN(
+        OverlapMvaSolution mva,
+        options.mva_cache
+            ? options.mva_cache->SolveThrough(problem, options.mva)
+            : SolveOverlapMva(problem, options.mva));
 
     // New class response estimates (means over tasks of the class).
     double map_sum = 0.0, ss_sum = 0.0, mg_sum = 0.0;

@@ -31,6 +31,7 @@
 #include "model/overlap.h"
 #include "model/precedence_tree.h"
 #include "model/timeline.h"
+#include "queueing/mva_cache.h"
 #include "queueing/mva_overlap.h"
 
 namespace mrperf {
@@ -52,6 +53,13 @@ struct ModelOptions {
   EstimatorOptions estimator;
   OverlapOptions overlap;
   OverlapMvaOptions mva;
+  /// Optional shared memoization cache for the A4 overlap-MVA solves
+  /// (not owned; may be shared across threads). The sweep engine wires
+  /// one cache through every point of a sweep so identical fixed points
+  /// — period-2 placement cycles, repeated calibration points — are
+  /// solved once. A hit is bit-identical to recomputation, so enabling
+  /// the cache never changes results.
+  MvaSolveCache* mva_cache = nullptr;
   /// When false, a failure to converge returns Status::NotConverged
   /// instead of the best-effort estimate.
   bool allow_nonconverged = true;

@@ -1,0 +1,104 @@
+#include "queueing/mva_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mrperf {
+namespace {
+
+/// Appends the raw bytes of a trivially copyable value to `out`.
+template <typename T>
+void AppendBytes(std::string* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const char* p = reinterpret_cast<const char*>(&value);
+  out->append(p, sizeof(T));
+}
+
+void AppendDoubles(std::string* out, const std::vector<double>& values) {
+  AppendBytes(out, values.size());
+  if (!values.empty()) {
+    out->append(reinterpret_cast<const char*>(values.data()),
+                values.size() * sizeof(double));
+  }
+}
+
+}  // namespace
+
+MvaSolveCache::MvaSolveCache(int64_t max_entries)
+    : max_entries_(std::max<int64_t>(1, max_entries)) {}
+
+std::string MvaSolveCache::MakeKey(const OverlapMvaProblem& problem,
+                                   const OverlapMvaOptions& options) {
+  std::string key;
+  // Rough upfront estimate: demands + overlap rows dominate.
+  size_t doubles = problem.tasks.size() * problem.centers.size() +
+                   problem.overlap.size() * problem.overlap.size();
+  key.reserve(64 + doubles * sizeof(double));
+
+  AppendBytes(&key, options.tolerance);
+  AppendBytes(&key, options.max_iterations);
+  AppendBytes(&key, options.damping);
+
+  AppendBytes(&key, problem.centers.size());
+  for (const ServiceCenter& c : problem.centers) {
+    // Center names are labels only; they do not affect the solution.
+    AppendBytes(&key, c.type);
+    AppendBytes(&key, c.server_count);
+  }
+  AppendBytes(&key, problem.tasks.size());
+  for (const OverlapTask& t : problem.tasks) {
+    AppendDoubles(&key, t.demand);
+  }
+  AppendBytes(&key, problem.overlap.size());
+  for (const std::vector<double>& row : problem.overlap) {
+    AppendDoubles(&key, row);
+  }
+  return key;
+}
+
+std::optional<OverlapMvaSolution> MvaSolveCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void MvaSolveCache::Insert(const std::string& key,
+                           const OverlapMvaSolution& solution) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int64_t>(entries_.size()) >= max_entries_) return;
+  if (entries_.emplace(key, solution).second) {
+    ++stats_.insertions;
+  }
+}
+
+Result<OverlapMvaSolution> MvaSolveCache::SolveThrough(
+    const OverlapMvaProblem& problem, const OverlapMvaOptions& options) {
+  const std::string key = MakeKey(problem, options);
+  if (std::optional<OverlapMvaSolution> hit = Lookup(key)) {
+    return *std::move(hit);
+  }
+  Result<OverlapMvaSolution> solved = SolveOverlapMva(problem, options);
+  if (solved.ok()) Insert(key, *solved);
+  return solved;
+}
+
+MvaCacheStats MvaSolveCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MvaCacheStats snapshot = stats_;
+  snapshot.size = static_cast<int64_t>(entries_.size());
+  return snapshot;
+}
+
+void MvaSolveCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  stats_ = MvaCacheStats{};
+}
+
+}  // namespace mrperf

@@ -1,0 +1,81 @@
+/// \file mva_cache.h
+/// \brief Thread-safe memoization cache for overlap-MVA solves.
+///
+/// The modified-MVA loop (model.cc, activity A4) and sweep workloads solve
+/// many structurally identical overlap-MVA fixed points: a period-2
+/// placement cycle alternates between two exact problems, calibration
+/// sweeps re-solve the same model points under unchanged model knobs, and
+/// concurrent jobs with symmetric placement produce duplicate networks.
+/// Since SolveOverlapMva is a pure function of (problem, options), its
+/// solutions can be reused whenever the full problem bytes match.
+///
+/// Keys are the exact packed bytes of the problem and solver options (no
+/// lossy hashing), so a cache hit is bit-identical to recomputation and
+/// cannot perturb sweep determinism.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "queueing/mva_overlap.h"
+
+namespace mrperf {
+
+/// \brief Hit/miss counters (snapshot).
+struct MvaCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  /// Entries currently resident.
+  int64_t size = 0;
+
+  int64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    const int64_t n = lookups();
+    return n > 0 ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+/// \brief Bounded, thread-safe solution cache keyed on the full problem.
+///
+/// All methods are safe to call concurrently; a single cache is shared by
+/// every worker of a sweep. When the entry cap is reached further
+/// insertions are dropped (sweep working sets are front-loaded: the
+/// repeated problems of a point appear close together in time).
+class MvaSolveCache {
+ public:
+  /// \param max_entries cap on resident entries (>= 1).
+  explicit MvaSolveCache(int64_t max_entries = 4096);
+
+  /// Serializes the problem + options into an exact lookup key.
+  static std::string MakeKey(const OverlapMvaProblem& problem,
+                             const OverlapMvaOptions& options);
+
+  /// Returns the cached solution for `key`, if present.
+  std::optional<OverlapMvaSolution> Lookup(const std::string& key);
+
+  /// Stores `solution` under `key` (no-op when full or already present).
+  void Insert(const std::string& key, const OverlapMvaSolution& solution);
+
+  /// Convenience wrapper: lookup, else solve and insert. Forwards solver
+  /// errors unchanged; errors are never cached.
+  Result<OverlapMvaSolution> SolveThrough(const OverlapMvaProblem& problem,
+                                          const OverlapMvaOptions& options);
+
+  MvaCacheStats stats() const;
+
+  /// Drops all entries and resets counters.
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, OverlapMvaSolution> entries_;
+  int64_t max_entries_;
+  MvaCacheStats stats_;
+};
+
+}  // namespace mrperf

@@ -3,17 +3,6 @@
 #include <vector>
 
 namespace mrperf {
-namespace {
-
-/// Mixed-radix index for population vectors: vector n maps to
-/// sum_c n_c * stride_c with stride_c = prod_{c'<c} (N_{c'}+1).
-size_t IndexOf(const std::vector<int>& n, const std::vector<size_t>& stride) {
-  size_t idx = 0;
-  for (size_t c = 0; c < n.size(); ++c) idx += n[c] * stride[c];
-  return idx;
-}
-
-}  // namespace
 
 Result<MvaSolution> SolveMvaExact(const ClosedNetwork& net,
                                   size_t max_states) {

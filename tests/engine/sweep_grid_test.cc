@@ -1,0 +1,99 @@
+#include "engine/sweep_grid.h"
+
+#include <gtest/gtest.h>
+
+namespace mrperf {
+namespace {
+
+TEST(SweepGridTest, EmptyGridIsSingleDefaultPoint) {
+  SweepGrid grid;
+  EXPECT_EQ(grid.size(), 1u);
+  const auto points = grid.Expand();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0], ExperimentPoint{});
+}
+
+TEST(SweepGridTest, SizeIsProductOfAxisSizes) {
+  SweepGrid grid;
+  grid.Nodes({4, 6, 8})
+      .InputGigabytes({1.0, 5.0})
+      .Jobs({1, 2, 3, 4})
+      .BlockSizes({64 * kMiB, 128 * kMiB})
+      .Reducers({2});
+  EXPECT_EQ(grid.size(), 3u * 2u * 4u * 2u * 1u);
+  EXPECT_EQ(grid.Expand().size(), grid.size());
+}
+
+TEST(SweepGridTest, SingleAxisSweepKeepsOtherDefaults) {
+  SweepGrid grid;
+  grid.Nodes({4, 6, 8});
+  const auto points = grid.Expand();
+  ASSERT_EQ(points.size(), 3u);
+  const ExperimentPoint defaults;
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].input_bytes, defaults.input_bytes);
+    EXPECT_EQ(points[i].num_jobs, defaults.num_jobs);
+    EXPECT_EQ(points[i].block_size_bytes, defaults.block_size_bytes);
+    EXPECT_EQ(points[i].num_reducers, defaults.num_reducers);
+  }
+  EXPECT_EQ(points[0].num_nodes, 4);
+  EXPECT_EQ(points[1].num_nodes, 6);
+  EXPECT_EQ(points[2].num_nodes, 8);
+}
+
+TEST(SweepGridTest, ExpandsRowMajorInDeclarationOrder) {
+  SweepGrid grid;
+  grid.Nodes({4, 8}).Jobs({1, 2});
+  const auto points = grid.Expand();
+  ASSERT_EQ(points.size(), 4u);
+  // nodes outermost, jobs innermost.
+  EXPECT_EQ(points[0].num_nodes, 4);
+  EXPECT_EQ(points[0].num_jobs, 1);
+  EXPECT_EQ(points[1].num_nodes, 4);
+  EXPECT_EQ(points[1].num_jobs, 2);
+  EXPECT_EQ(points[2].num_nodes, 8);
+  EXPECT_EQ(points[2].num_jobs, 1);
+  EXPECT_EQ(points[3].num_nodes, 8);
+  EXPECT_EQ(points[3].num_jobs, 2);
+}
+
+TEST(SweepGridTest, ExpansionIsDeterministic) {
+  SweepGrid grid;
+  grid.Nodes({4, 6, 8}).InputGigabytes({1.0, 5.0}).Jobs({1, 4});
+  const auto a = grid.Expand();
+  const auto b = grid.Expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "index " << i;
+  }
+}
+
+TEST(SweepGridTest, InputGigabytesConverts) {
+  SweepGrid grid;
+  grid.InputGigabytes({1.0, 2.5});
+  const auto points = grid.Expand();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].input_bytes, 1 * kGiB);
+  EXPECT_EQ(points[1].input_bytes, static_cast<int64_t>(2.5 * kGiB));
+}
+
+TEST(SweepGridTest, DuplicateAxisValuesArePreserved) {
+  SweepGrid grid;
+  grid.Nodes({4, 4, 4});  // repeated-measurement design
+  EXPECT_EQ(grid.size(), 3u);
+  EXPECT_EQ(grid.Expand().size(), 3u);
+}
+
+TEST(SweepGridTest, FullFigureGridMatchesPaperEvaluation) {
+  // Figures 10-15 cover nodes × {1,5} GB × jobs × block size; the full
+  // cross product is 3 * 2 * 4 * 2 = 48 scenario points.
+  SweepGrid grid;
+  grid.Nodes({4, 6, 8})
+      .InputGigabytes({1.0, 5.0})
+      .Jobs({1, 2, 3, 4})
+      .BlockSizes({64 * kMiB, 128 * kMiB});
+  EXPECT_EQ(grid.size(), 48u);
+}
+
+}  // namespace
+}  // namespace mrperf

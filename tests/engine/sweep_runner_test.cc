@@ -1,0 +1,182 @@
+#include "engine/sweep_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mrperf {
+namespace {
+
+/// Small, fast grid: 4 points, one simulator repetition each.
+SweepOptions FastSweepOptions(int threads) {
+  SweepOptions opts;
+  opts.num_threads = threads;
+  opts.experiment = DefaultExperimentOptions();
+  opts.experiment.repetitions = 1;
+  return opts;
+}
+
+SweepGrid SmallGrid() {
+  SweepGrid grid;
+  grid.Nodes({2, 3}).InputGigabytes({0.25}).Jobs({1, 2});
+  return grid;
+}
+
+TEST(PointSeedTest, DeterministicAndDecorrelated) {
+  EXPECT_EQ(PointSeed(1234, 0), PointSeed(1234, 0));
+  std::set<uint64_t> seeds;
+  for (size_t i = 0; i < 1000; ++i) {
+    seeds.insert(PointSeed(1234, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions on a realistic sweep
+  EXPECT_NE(PointSeed(1234, 0), PointSeed(1235, 0));
+}
+
+TEST(SweepRunnerTest, ResultsArriveInPointOrder) {
+  SweepRunner runner(FastSweepOptions(2));
+  const auto points = SmallGrid().Expand();
+  SweepReport report = runner.Run(points);
+  ASSERT_EQ(report.results.size(), points.size());
+  ASSERT_TRUE(report.all_ok());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(report.results[i]->point, points[i]) << "index " << i;
+  }
+  EXPECT_EQ(report.threads_used, 2);
+  EXPECT_GE(report.wall_seconds, 0.0);
+}
+
+TEST(SweepRunnerTest, IdenticalResultsAtOneFourAndEightThreads) {
+  // The engine's core guarantee: worker count never changes results.
+  std::vector<SweepReport> reports;
+  for (int threads : {1, 4, 8}) {
+    SweepRunner runner(FastSweepOptions(threads));
+    reports.push_back(runner.Run(SmallGrid()));
+    ASSERT_TRUE(reports.back().all_ok());
+  }
+  for (size_t t = 1; t < reports.size(); ++t) {
+    ASSERT_EQ(reports[t].results.size(), reports[0].results.size());
+    for (size_t i = 0; i < reports[0].results.size(); ++i) {
+      const ExperimentResult& a = *reports[0].results[i];
+      const ExperimentResult& b = *reports[t].results[i];
+      // Bitwise equality, not tolerance: same seeds, same solves.
+      EXPECT_EQ(a.measured_sec, b.measured_sec) << "point " << i;
+      EXPECT_EQ(a.forkjoin_sec, b.forkjoin_sec) << "point " << i;
+      EXPECT_EQ(a.tripathi_sec, b.tripathi_sec) << "point " << i;
+      EXPECT_EQ(a.forkjoin_error, b.forkjoin_error) << "point " << i;
+      EXPECT_EQ(a.tripathi_error, b.tripathi_error) << "point " << i;
+    }
+  }
+}
+
+TEST(SweepRunnerTest, CacheDoesNotChangeResults) {
+  SweepOptions with_cache = FastSweepOptions(2);
+  SweepOptions without_cache = FastSweepOptions(2);
+  without_cache.use_mva_cache = false;
+  SweepRunner cached(with_cache);
+  SweepRunner uncached(without_cache);
+  const auto points = SmallGrid().Expand();
+  SweepReport a = cached.Run(points);
+  SweepReport b = uncached.Run(points);
+  ASSERT_TRUE(a.all_ok());
+  ASSERT_TRUE(b.all_ok());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(a.results[i]->forkjoin_sec, b.results[i]->forkjoin_sec);
+    EXPECT_EQ(a.results[i]->tripathi_sec, b.results[i]->tripathi_sec);
+  }
+  EXPECT_GT(a.cache_stats.lookups(), 0);
+  EXPECT_EQ(b.cache_stats.lookups(), 0);
+}
+
+TEST(SweepRunnerTest, PerPointSeedsDecorrelateMeasurements) {
+  // Two grid points identical in every axis: with derived seeds their
+  // simulated medians must come from different streams.
+  SweepGrid grid;
+  grid.Nodes({2, 2}).InputGigabytes({0.25});
+  SweepRunner runner(FastSweepOptions(1));
+  SweepReport report = runner.Run(grid);
+  ASSERT_TRUE(report.all_ok());
+  ASSERT_EQ(report.results.size(), 2u);
+  EXPECT_NE(report.results[0]->measured_sec,
+            report.results[1]->measured_sec);
+  // The model side sees identical inputs and must agree exactly.
+  EXPECT_EQ(report.results[0]->forkjoin_sec,
+            report.results[1]->forkjoin_sec);
+}
+
+TEST(SweepRunnerTest, PinnedSeedsReproduceSerialBehavior) {
+  SweepOptions opts = FastSweepOptions(2);
+  opts.derive_point_seeds = false;
+  SweepRunner runner(opts);
+  SweepGrid grid;
+  grid.Nodes({2, 2}).InputGigabytes({0.25});
+  SweepReport report = runner.Run(grid);
+  ASSERT_TRUE(report.all_ok());
+  EXPECT_EQ(report.results[0]->measured_sec,
+            report.results[1]->measured_sec);
+}
+
+TEST(SweepRunnerTest, InvalidPointsFailWithoutPoisoningTheSweep) {
+  SweepRunner runner(FastSweepOptions(2));
+  std::vector<ExperimentPoint> points = SmallGrid().Expand();
+  points[1].num_nodes = 0;  // invalid
+  SweepReport report = runner.Run(points);
+  ASSERT_EQ(report.results.size(), points.size());
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_TRUE(report.first_error().IsInvalidArgument());
+  EXPECT_FALSE(report.results[1].ok());
+  EXPECT_TRUE(report.results[0].ok());
+  EXPECT_TRUE(report.results[2].ok());
+  EXPECT_EQ(report.values().size(), points.size() - 1);
+}
+
+TEST(SweepRunnerTest, RunModelsSolvesEveryPoint) {
+  SweepRunner runner(FastSweepOptions(2));
+  const auto points = SmallGrid().Expand();
+  const auto models = runner.RunModels(points);
+  ASSERT_EQ(models.size(), points.size());
+  for (const auto& m : models) {
+    ASSERT_TRUE(m.ok());
+    EXPECT_GT(m->forkjoin_response, 0.0);
+    EXPECT_GT(m->tripathi_response, 0.0);
+  }
+}
+
+TEST(SweepRunnerTest, RunTasksHonorsPerTaskOptions) {
+  SweepRunner runner(FastSweepOptions(2));
+  SweepRunner::Task base;
+  base.point.num_nodes = 2;
+  base.point.input_bytes = kGiB / 4;
+  base.options = DefaultExperimentOptions();
+  base.options.repetitions = 1;
+
+  SweepRunner::Task pinned = base;
+  pinned.derive_seed = false;
+  // Same pinned task twice: identical streams, identical results.
+  SweepReport report = runner.RunTasks({pinned, pinned, base});
+  ASSERT_TRUE(report.all_ok());
+  EXPECT_EQ(report.results[0]->measured_sec,
+            report.results[1]->measured_sec);
+  // The derived-seed task runs a different stream.
+  EXPECT_NE(report.results[2]->measured_sec,
+            report.results[0]->measured_sec);
+}
+
+TEST(SweepRunnerTest, CacheHitsAccumulateAcrossRuns) {
+  // The runner's pool and cache persist: re-running the same grid should
+  // be answered almost entirely from cache.
+  SweepRunner runner(FastSweepOptions(2));
+  const auto points = SmallGrid().Expand();
+  SweepReport first = runner.Run(points);
+  ASSERT_TRUE(first.all_ok());
+  SweepReport second = runner.Run(points);
+  ASSERT_TRUE(second.all_ok());
+  EXPECT_GT(second.cache_stats.hits, first.cache_stats.hits);
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(first.results[i]->forkjoin_sec,
+              second.results[i]->forkjoin_sec);
+  }
+}
+
+}  // namespace
+}  // namespace mrperf

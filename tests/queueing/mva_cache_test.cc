@@ -1,0 +1,130 @@
+#include "queueing/mva_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mrperf {
+namespace {
+
+OverlapMvaProblem TwoTaskProblem(double overlap, double demand = 2.0) {
+  OverlapMvaProblem p;
+  p.centers = {{"cpu", CenterType::kQueueing, 1}};
+  p.tasks = {{{demand}}, {{demand}}};
+  p.overlap = {{0.0, overlap}, {overlap, 0.0}};
+  return p;
+}
+
+TEST(MvaCacheKeyTest, IdenticalProblemsShareAKey) {
+  const OverlapMvaOptions opts;
+  EXPECT_EQ(MvaSolveCache::MakeKey(TwoTaskProblem(0.5), opts),
+            MvaSolveCache::MakeKey(TwoTaskProblem(0.5), opts));
+}
+
+TEST(MvaCacheKeyTest, KeyCoversProblemAndOptions) {
+  const OverlapMvaOptions opts;
+  const std::string base = MvaSolveCache::MakeKey(TwoTaskProblem(0.5), opts);
+
+  EXPECT_NE(MvaSolveCache::MakeKey(TwoTaskProblem(0.6), opts), base);
+  EXPECT_NE(MvaSolveCache::MakeKey(TwoTaskProblem(0.5, 3.0), opts), base);
+
+  OverlapMvaProblem more_servers = TwoTaskProblem(0.5);
+  more_servers.centers[0].server_count = 2;
+  EXPECT_NE(MvaSolveCache::MakeKey(more_servers, opts), base);
+
+  OverlapMvaOptions tighter;
+  tighter.tolerance = 1e-12;
+  EXPECT_NE(MvaSolveCache::MakeKey(TwoTaskProblem(0.5), tighter), base);
+}
+
+TEST(MvaCacheKeyTest, CenterNamesDoNotAffectTheKey) {
+  const OverlapMvaOptions opts;
+  OverlapMvaProblem renamed = TwoTaskProblem(0.5);
+  renamed.centers[0].name = "other-label";
+  EXPECT_EQ(MvaSolveCache::MakeKey(renamed, opts),
+            MvaSolveCache::MakeKey(TwoTaskProblem(0.5), opts));
+}
+
+TEST(MvaCacheTest, SolveThroughMatchesDirectSolveExactly) {
+  MvaSolveCache cache;
+  const OverlapMvaProblem problem = TwoTaskProblem(0.7);
+  const OverlapMvaOptions opts;
+
+  auto direct = SolveOverlapMva(problem, opts);
+  ASSERT_TRUE(direct.ok());
+
+  auto miss = cache.SolveThrough(problem, opts);
+  ASSERT_TRUE(miss.ok());
+  auto hit = cache.SolveThrough(problem, opts);
+  ASSERT_TRUE(hit.ok());
+
+  for (size_t i = 0; i < direct->response.size(); ++i) {
+    EXPECT_EQ(miss->response[i], direct->response[i]);
+    EXPECT_EQ(hit->response[i], direct->response[i]);  // bit-identical
+  }
+  const MvaCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+  EXPECT_EQ(stats.size, 1);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(MvaCacheTest, ErrorsAreNotCached) {
+  MvaSolveCache cache;
+  OverlapMvaProblem bad = TwoTaskProblem(0.5);
+  bad.overlap[0][1] = 2.0;  // invalid: theta must be in [0, 1]
+  EXPECT_FALSE(cache.SolveThrough(bad, {}).ok());
+  EXPECT_EQ(cache.stats().insertions, 0);
+  EXPECT_EQ(cache.stats().size, 0);
+}
+
+TEST(MvaCacheTest, CapacityCapStopsInsertions) {
+  MvaSolveCache cache(/*max_entries=*/2);
+  for (double theta : {0.1, 0.2, 0.3, 0.4}) {
+    ASSERT_TRUE(cache.SolveThrough(TwoTaskProblem(theta), {}).ok());
+  }
+  EXPECT_EQ(cache.stats().size, 2);
+  // Evicted/uninserted problems still solve correctly.
+  auto again = cache.SolveThrough(TwoTaskProblem(0.4), {});
+  ASSERT_TRUE(again.ok());
+}
+
+TEST(MvaCacheTest, ClearResetsEntriesAndStats) {
+  MvaSolveCache cache;
+  ASSERT_TRUE(cache.SolveThrough(TwoTaskProblem(0.5), {}).ok());
+  cache.Clear();
+  const MvaCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.size, 0);
+  EXPECT_EQ(stats.lookups(), 0);
+  EXPECT_EQ(stats.insertions, 0);
+}
+
+TEST(MvaCacheTest, ConcurrentSolveThroughIsSafeAndConsistent) {
+  MvaSolveCache cache;
+  const OverlapMvaProblem problem = TwoTaskProblem(0.9);
+  auto direct = SolveOverlapMva(problem, {});
+  ASSERT_TRUE(direct.ok());
+
+  std::vector<std::thread> threads;
+  std::vector<double> responses(8, 0.0);
+  for (size_t t = 0; t < responses.size(); ++t) {
+    threads.emplace_back([&cache, &problem, &responses, t] {
+      for (int i = 0; i < 50; ++i) {
+        auto sol = cache.SolveThrough(problem, {});
+        ASSERT_TRUE(sol.ok());
+        responses[t] = sol->response[0];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (double r : responses) {
+    EXPECT_EQ(r, direct->response[0]);
+  }
+  EXPECT_EQ(cache.stats().lookups(), 8 * 50);
+  EXPECT_EQ(cache.stats().size, 1);
+}
+
+}  // namespace
+}  // namespace mrperf
