@@ -75,6 +75,10 @@ int main(int argc, char** argv) {
   PrintSweepStats(std::cout, tasks.size(), report.threads_used,
                   report.wall_seconds, report.cache_stats.hits,
                   report.cache_stats.lookups());
+  if (!bench::MaybeWriteCsv(bench::OutPathFromArgs(argc, argv),
+                            report.values())) {
+    return 1;
+  }
   std::printf(
       "\nExpected shape: the calibration was fit on WordCount only; the\n"
       "other job types stress different resource mixes. Errors stay within\n"

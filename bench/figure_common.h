@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/sweep_csv.h"
 #include "engine/sweep_grid.h"
 #include "engine/sweep_runner.h"
 #include "experiments/experiment.h"
@@ -33,10 +34,40 @@ inline int ThreadsFromArgs(int argc, char** argv) {
   return 0;
 }
 
-/// Runs a figure grid through the sweep engine and prints its table.
+/// Parses `--out=path` / `--out path` from argv ("" = don't persist).
+inline std::string OutPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      return std::string(argv[i] + 6);
+    }
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      return std::string(argv[i + 1]);
+    }
+  }
+  return std::string();
+}
+
+/// Persists sweep results to `out_path` when non-empty (sweep_csv.h);
+/// returns false (after printing the error) when the write fails.
+inline bool MaybeWriteCsv(const std::string& out_path,
+                          const std::vector<ExperimentResult>& results) {
+  if (out_path.empty()) return true;
+  const Status status = WriteSweepCsv(out_path, results);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", out_path.c_str(),
+                 status.ToString().c_str());
+    return false;
+  }
+  std::printf("wrote %zu rows to %s\n", results.size(), out_path.c_str());
+  return true;
+}
+
+/// Runs a figure grid through the sweep engine and prints its table;
+/// `out_path` optionally persists the series as CSV (--out=).
 inline int RunFigureSweep(const std::string& title, const SweepGrid& grid,
                           const std::vector<double>& x_values,
-                          const std::string& x_label, int num_threads) {
+                          const std::string& x_label, int num_threads,
+                          const std::string& out_path = std::string()) {
   SweepOptions sweep_opts;
   sweep_opts.num_threads = num_threads;
   sweep_opts.experiment = DefaultExperimentOptions();
@@ -65,13 +96,15 @@ inline int RunFigureSweep(const std::string& title, const SweepGrid& grid,
   PrintSweepStats(std::cout, results.size(), report.threads_used,
                   report.wall_seconds, report.cache_stats.hits,
                   report.cache_stats.lookups());
+  if (!MaybeWriteCsv(out_path, results)) return 1;
   return 0;
 }
 
 /// Runs a node sweep at fixed input size / job count (Figures 10-13, 15).
 inline int RunNodeSweepFigure(const std::string& title, double input_gb,
                               int num_jobs, int64_t block_size_bytes,
-                              int num_threads = 0) {
+                              int num_threads = 0,
+                              const std::string& out_path = std::string()) {
   const std::vector<int> nodes = {4, 6, 8};
   SweepGrid grid;
   grid.Nodes(nodes)
@@ -80,18 +113,19 @@ inline int RunNodeSweepFigure(const std::string& title, double input_gb,
       .BlockSizes({block_size_bytes});
   return RunFigureSweep(title, grid,
                         std::vector<double>(nodes.begin(), nodes.end()),
-                        "nodes", num_threads);
+                        "nodes", num_threads, out_path);
 }
 
 /// Runs a concurrency sweep at fixed nodes / input size (Figure 14).
 inline int RunJobSweepFigure(const std::string& title, int nodes,
-                             double input_gb, int num_threads = 0) {
+                             double input_gb, int num_threads = 0,
+                             const std::string& out_path = std::string()) {
   const std::vector<int> jobs = {1, 2, 3, 4};
   SweepGrid grid;
   grid.Nodes({nodes}).InputGigabytes({input_gb}).Jobs(jobs);
   return RunFigureSweep(title, grid,
                         std::vector<double>(jobs.begin(), jobs.end()),
-                        "jobs", num_threads);
+                        "jobs", num_threads, out_path);
 }
 
 }  // namespace mrperf::bench

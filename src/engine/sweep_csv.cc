@@ -1,0 +1,43 @@
+#include "engine/sweep_csv.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace mrperf {
+
+std::string FormatSweepCsv(const std::vector<ExperimentResult>& results) {
+  std::string out =
+      "nodes,input_bytes,jobs,block_size_bytes,reducers,measured_sec,"
+      "forkjoin_sec,tripathi_sec,forkjoin_error,tripathi_error,"
+      "model_iterations,model_converged\n";
+  char line[512];
+  for (const ExperimentResult& r : results) {
+    std::snprintf(line, sizeof(line),
+                  "%d,%" PRId64 ",%d,%" PRId64
+                  ",%d,%.17g,%.17g,%.17g,%.17g,%.17g,%d,%d\n",
+                  r.point.num_nodes, r.point.input_bytes, r.point.num_jobs,
+                  r.point.block_size_bytes, r.point.num_reducers,
+                  r.measured_sec, r.forkjoin_sec, r.tripathi_sec,
+                  r.forkjoin_error, r.tripathi_error, r.model_iterations,
+                  r.model_converged ? 1 : 0);
+    out += line;
+  }
+  return out;
+}
+
+Status WriteSweepCsv(const std::string& path,
+                     const std::vector<ExperimentResult>& results) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  file << FormatSweepCsv(results);
+  file.flush();
+  if (!file) {
+    return Status::Internal("failed writing sweep CSV to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace mrperf

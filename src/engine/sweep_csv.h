@@ -1,0 +1,31 @@
+/// \file sweep_csv.h
+/// \brief CSV persistence for sweep results, so cross-run comparisons
+/// (different machines, branches, calibrations) don't require re-running
+/// grids. One row per successful point with the full point coordinates,
+/// the measured/predicted responses and the signed relative errors —
+/// the same quantities the figure tables print.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "experiments/experiment.h"
+
+namespace mrperf {
+
+/// \brief Renders `results` as CSV (header + one row per result).
+///
+/// Columns: nodes,input_bytes,jobs,block_size_bytes,reducers,
+/// measured_sec,forkjoin_sec,tripathi_sec,forkjoin_error,tripathi_error,
+/// model_iterations,model_converged. Doubles are written with enough
+/// digits (%.17g) to round-trip bit-exactly, so two CSVs diff clean iff
+/// the sweeps agreed.
+std::string FormatSweepCsv(const std::vector<ExperimentResult>& results);
+
+/// \brief Writes FormatSweepCsv(results) to `path` (overwrites).
+Status WriteSweepCsv(const std::string& path,
+                     const std::vector<ExperimentResult>& results);
+
+}  // namespace mrperf

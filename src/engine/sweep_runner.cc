@@ -4,6 +4,8 @@
 #include <future>
 #include <utility>
 
+#include "queueing/mva_kernel.h"
+
 namespace mrperf {
 namespace {
 
@@ -92,8 +94,13 @@ SweepReport SweepRunner::RunTasks(const std::vector<Task>& tasks) {
       opts.base_seed = PointSeed(tasks[i].options.base_seed, i);
     }
     opts.model.mva_cache = options_.use_mva_cache ? &cache_ : nullptr;
-    futures.push_back(
-        pool_.Submit([point, opts] { return RunExperiment(point, opts); }));
+    futures.push_back(pool_.Submit([point, opts]() mutable {
+      // Resolved on the worker thread: each worker reuses one kernel
+      // scratch across every point it evaluates (and across sweeps), so
+      // grid sweeps stop reallocating solver buffers per point.
+      opts.model.mva_scratch = &ThreadLocalMvaScratch();
+      return RunExperiment(point, opts);
+    }));
   }
 
   SweepReport report;
@@ -113,9 +120,11 @@ std::vector<Result<ModelResult>> SweepRunner::RunModels(
   futures.reserve(points.size());
   for (size_t i = 0; i < points.size(); ++i) {
     const ExperimentPoint point = points[i];
-    const ExperimentOptions opts = PointOptions(i);
-    futures.push_back(pool_.Submit(
-        [point, opts] { return RunModelPrediction(point, opts); }));
+    ExperimentOptions opts = PointOptions(i);
+    futures.push_back(pool_.Submit([point, opts]() mutable {
+      opts.model.mva_scratch = &ThreadLocalMvaScratch();
+      return RunModelPrediction(point, opts);
+    }));
   }
   std::vector<Result<ModelResult>> out;
   out.reserve(points.size());

@@ -13,7 +13,10 @@
 ///  2. **Memoized solves.** One MvaSolveCache is threaded through every
 ///     model solve of the sweep, so structurally identical overlap-MVA
 ///     fixed points (period-2 cycles, repeated calibration points,
-///     symmetric concurrent jobs) are computed once.
+///     symmetric concurrent jobs) are computed once. Each worker also
+///     reuses a thread-local kernel scratch (mva_kernel.h) across all
+///     points it evaluates, so sweeps stop reallocating solver buffers
+///     per point.
 
 #pragma once
 

@@ -113,8 +113,9 @@ Result<ModelResult> SolveModel(const ModelInput& input,
     MRPERF_ASSIGN_OR_RETURN(
         OverlapMvaSolution mva,
         options.mva_cache
-            ? options.mva_cache->SolveThrough(problem, options.mva)
-            : SolveOverlapMva(problem, options.mva));
+            ? options.mva_cache->SolveThrough(problem, options.mva,
+                                              options.mva_scratch)
+            : SolveOverlapMva(problem, options.mva, options.mva_scratch));
 
     // New class response estimates (means over tasks of the class).
     double map_sum = 0.0, ss_sum = 0.0, mg_sum = 0.0;

@@ -60,6 +60,11 @@ struct ModelOptions {
   /// solved once. A hit is bit-identical to recomputation, so enabling
   /// the cache never changes results.
   MvaSolveCache* mva_cache = nullptr;
+  /// Optional reusable kernel buffers for the A4 solves (not owned; one
+  /// per thread — a scratch is not thread-safe). The sweep engine wires
+  /// a per-worker scratch through so grid sweeps stop reallocating
+  /// solver state on every point.
+  MvaKernelScratch* mva_scratch = nullptr;
   /// When false, a failure to converge returns Status::NotConverged
   /// instead of the best-effort estimate.
   bool allow_nonconverged = true;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "queueing/mva_kernel.h"
+
 namespace mrperf {
 
 Result<MvaSolution> SolveMvaApprox(const ClosedNetwork& net,
@@ -18,19 +20,25 @@ Result<MvaSolution> SolveMvaApprox(const ClosedNetwork& net,
   const size_t C = net.num_classes();
   const size_t K = net.num_centers();
 
+  // Iteration state in contiguous C×K buffers (mva_kernel.h), same
+  // layout as the overlap-MVA kernel scratch.
+  FlatMatrix queue;
+  queue.Reshape(C, K);
   // Initial guess: each class spreads its population uniformly.
-  std::vector<std::vector<double>> queue(C, std::vector<double>(K, 0.0));
   for (size_t c = 0; c < C; ++c) {
+    double* qc = queue.Row(c);
     for (size_t k = 0; k < K; ++k) {
-      queue[c][k] = static_cast<double>(net.population[c]) / K;
+      qc[k] = static_cast<double>(net.population[c]) / K;
     }
   }
 
-  std::vector<std::vector<double>> residence(C, std::vector<double>(K, 0.0));
+  FlatMatrix residence;
+  residence.Reshape(C, K);
   std::vector<double> throughput(C, 0.0);
 
-  int iter = 0;
-  for (; iter < options.max_iterations; ++iter) {
+  bool converged = false;
+  int iterations = 0;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
     double max_delta = 0.0;
     for (size_t c = 0; c < C; ++c) {
       const int pop = net.population[c];
@@ -38,54 +46,65 @@ Result<MvaSolution> SolveMvaApprox(const ClosedNetwork& net,
         throughput[c] = 0.0;
         continue;
       }
+      double* res = residence.Row(c);
       double response = 0.0;
       for (size_t k = 0; k < K; ++k) {
         const auto& center = net.centers[k];
         if (center.type == CenterType::kDelay) {
-          residence[c][k] = net.demand[c][k];
+          res[k] = net.demand[c][k];
         } else {
           double others = 0.0;
           for (size_t j = 0; j < C; ++j) {
             if (j == c) continue;
-            others += queue[j][k];
+            others += queue.At(j, k);
           }
           const double self =
-              (static_cast<double>(pop) - 1.0) / pop * queue[c][k];
-          residence[c][k] = net.demand[c][k] *
-                            (1.0 + (others + self) / center.server_count);
+              (static_cast<double>(pop) - 1.0) / pop * queue.At(c, k);
+          res[k] = net.demand[c][k] *
+                   (1.0 + (others + self) / center.server_count);
         }
-        response += residence[c][k];
+        response += res[k];
       }
       throughput[c] = pop / (net.think_time[c] + response);
     }
     for (size_t c = 0; c < C; ++c) {
+      double* qc = queue.Row(c);
+      const double* res = residence.Row(c);
       for (size_t k = 0; k < K; ++k) {
-        const double updated = throughput[c] * residence[c][k];
-        const double next =
-            queue[c][k] + options.damping * (updated - queue[c][k]);
-        max_delta = std::max(max_delta, std::abs(next - queue[c][k]));
-        queue[c][k] = next;
+        const double updated = throughput[c] * res[k];
+        const double next = qc[k] + options.damping * (updated - qc[k]);
+        max_delta = std::max(max_delta, std::abs(next - qc[k]));
+        qc[k] = next;
       }
     }
+    iterations = iter;
+    // An explicit flag: meeting tolerance on the final allowed
+    // iteration is convergence, not an iteration-budget failure.
     if (max_delta <= options.tolerance) {
-      ++iter;
+      converged = true;
       break;
     }
   }
-  if (iter >= options.max_iterations) {
+  if (!converged) {
     return Status::NotConverged(
         "approximate MVA did not converge within max_iterations");
   }
 
   MvaSolution sol;
-  sol.residence = residence;
-  sol.queue_length = queue;
+  sol.residence.resize(C);
+  sol.queue_length.resize(C);
+  for (size_t c = 0; c < C; ++c) {
+    const double* res = residence.Row(c);
+    const double* qc = queue.Row(c);
+    sol.residence[c].assign(res, res + K);
+    sol.queue_length[c].assign(qc, qc + K);
+  }
   sol.throughput = throughput;
   sol.response.assign(C, 0.0);
   sol.utilization.assign(K, 0.0);
-  sol.iterations = iter;
+  sol.iterations = iterations;
   for (size_t c = 0; c < C; ++c) {
-    for (size_t k = 0; k < K; ++k) sol.response[c] += residence[c][k];
+    for (size_t k = 0; k < K; ++k) sol.response[c] += sol.residence[c][k];
   }
   for (size_t k = 0; k < K; ++k) {
     double util = 0.0;

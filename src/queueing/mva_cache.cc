@@ -65,25 +65,34 @@ std::optional<OverlapMvaSolution> MvaSolveCache::Lookup(
     return std::nullopt;
   }
   ++stats_.hits;
-  return it->second;
+  // Refresh recency: splice the key to the front of the LRU list.
+  lru_.splice(lru_.begin(), lru_, it->second.recency);
+  return it->second.solution;
 }
 
 void MvaSolveCache::Insert(const std::string& key,
                            const OverlapMvaSolution& solution) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (static_cast<int64_t>(entries_.size()) >= max_entries_) return;
-  if (entries_.emplace(key, solution).second) {
-    ++stats_.insertions;
+  if (entries_.count(key) > 0) return;
+  if (static_cast<int64_t>(entries_.size()) >= max_entries_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
   }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{solution, lru_.begin()});
+  ++stats_.insertions;
 }
 
 Result<OverlapMvaSolution> MvaSolveCache::SolveThrough(
-    const OverlapMvaProblem& problem, const OverlapMvaOptions& options) {
+    const OverlapMvaProblem& problem, const OverlapMvaOptions& options,
+    MvaKernelScratch* scratch) {
   const std::string key = MakeKey(problem, options);
   if (std::optional<OverlapMvaSolution> hit = Lookup(key)) {
     return *std::move(hit);
   }
-  Result<OverlapMvaSolution> solved = SolveOverlapMva(problem, options);
+  Result<OverlapMvaSolution> solved =
+      SolveOverlapMva(problem, options, scratch);
   if (solved.ok()) Insert(key, *solved);
   return solved;
 }
@@ -98,6 +107,7 @@ MvaCacheStats MvaSolveCache::stats() const {
 void MvaSolveCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  lru_.clear();
   stats_ = MvaCacheStats{};
 }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -30,6 +31,8 @@ struct MvaCacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
   int64_t insertions = 0;
+  /// Least-recently-used entries displaced to make room.
+  int64_t evictions = 0;
   /// Entries currently resident.
   int64_t size = 0;
 
@@ -43,9 +46,12 @@ struct MvaCacheStats {
 /// \brief Bounded, thread-safe solution cache keyed on the full problem.
 ///
 /// All methods are safe to call concurrently; a single cache is shared by
-/// every worker of a sweep. When the entry cap is reached further
-/// insertions are dropped (sweep working sets are front-loaded: the
-/// repeated problems of a point appear close together in time).
+/// every worker of a sweep. When the entry cap is reached the
+/// least-recently-used entry is evicted (a Lookup hit refreshes
+/// recency), so long sweeps whose working set exceeds the cap keep
+/// hitting on their recent problems — the repeated fixed points of a
+/// point appear close together in time — instead of freezing the cache
+/// at whatever happened to be solved first.
 class MvaSolveCache {
  public:
   /// \param max_entries cap on resident entries (>= 1).
@@ -55,16 +61,20 @@ class MvaSolveCache {
   static std::string MakeKey(const OverlapMvaProblem& problem,
                              const OverlapMvaOptions& options);
 
-  /// Returns the cached solution for `key`, if present.
+  /// Returns the cached solution for `key`, if present, marking the
+  /// entry most-recently used.
   std::optional<OverlapMvaSolution> Lookup(const std::string& key);
 
-  /// Stores `solution` under `key` (no-op when full or already present).
+  /// Stores `solution` under `key`, evicting the least-recently-used
+  /// entry when full (no-op when the key is already present).
   void Insert(const std::string& key, const OverlapMvaSolution& solution);
 
   /// Convenience wrapper: lookup, else solve and insert. Forwards solver
-  /// errors unchanged; errors are never cached.
+  /// errors unchanged; errors are never cached. `scratch` (optional,
+  /// per-thread) is handed to the solver on a miss.
   Result<OverlapMvaSolution> SolveThrough(const OverlapMvaProblem& problem,
-                                          const OverlapMvaOptions& options);
+                                          const OverlapMvaOptions& options,
+                                          MvaKernelScratch* scratch = nullptr);
 
   MvaCacheStats stats() const;
 
@@ -72,8 +82,16 @@ class MvaSolveCache {
   void Clear();
 
  private:
+  struct Entry {
+    OverlapMvaSolution solution;
+    /// Position in lru_ (front == most recent).
+    std::list<std::string>::iterator recency;
+  };
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, OverlapMvaSolution> entries_;
+  std::unordered_map<std::string, Entry> entries_;
+  /// Keys ordered by recency of use; the back is the eviction victim.
+  std::list<std::string> lru_;
   int64_t max_entries_;
   MvaCacheStats stats_;
 };

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "queueing/mva_kernel.h"
+
 namespace mrperf {
 
 Result<MvaSolution> SolveMvaExact(const ClosedNetwork& net,
@@ -21,10 +23,12 @@ Result<MvaSolution> SolveMvaExact(const ClosedNetwork& net,
     }
   }
 
-  // total_queue[state][k]: total mean queue length at center k for the
-  // population vector encoded by `state`.
-  std::vector<std::vector<double>> total_queue(states,
-                                               std::vector<double>(K, 0.0));
+  // total_queue row `state`: total mean queue length per center for the
+  // population vector encoded by `state`. One contiguous states×K
+  // buffer (mva_kernel.h) — the recursion only ever touches row
+  // `state - stride[c]`, so rows of nearby states share cache lines.
+  FlatMatrix total_queue;
+  total_queue.Reshape(states, K);
 
   MvaSolution sol;
   sol.residence.assign(C, std::vector<double>(K, 0.0));
@@ -55,7 +59,8 @@ Result<MvaSolution> SolveMvaExact(const ClosedNetwork& net,
         for (size_t k = 0; k < K; ++k) residence[c][k] = 0.0;
         continue;
       }
-      const size_t prev = state - stride[c];  // index of n - e_c
+      // Row of n - e_c, already computed by the odometer order.
+      const double* prev = total_queue.Row(state - stride[c]);
       double response = 0.0;
       for (size_t k = 0; k < K; ++k) {
         const auto& center = net.centers[k];
@@ -63,14 +68,13 @@ Result<MvaSolution> SolveMvaExact(const ClosedNetwork& net,
           residence[c][k] = net.demand[c][k];
         } else {
           residence[c][k] =
-              net.demand[c][k] *
-              (1.0 + total_queue[prev][k] / center.server_count);
+              net.demand[c][k] * (1.0 + prev[k] / center.server_count);
         }
         response += residence[c][k];
       }
       throughput[c] = n[c] / (net.think_time[c] + response);
     }
-    auto& tq = total_queue[state];
+    double* tq = total_queue.Row(state);
     for (size_t k = 0; k < K; ++k) {
       tq[k] = 0.0;
       for (size_t c = 0; c < C; ++c) {

@@ -14,11 +14,16 @@
 
 namespace mrperf {
 
+/// \brief Default state-space cap for the exact recursion (callers that
+/// pre-screen feasibility should test against the same limit).
+inline constexpr size_t kExactMvaDefaultMaxStates = 50'000'000;
+
 /// \brief Solves `net` with the exact MVA recursion.
 ///
 /// Errors on invalid networks or when the state space
 /// ∏(N_c+1) exceeds `max_states` (guards accidental exponential blowup).
-Result<MvaSolution> SolveMvaExact(const ClosedNetwork& net,
-                                  size_t max_states = 50'000'000);
+Result<MvaSolution> SolveMvaExact(
+    const ClosedNetwork& net,
+    size_t max_states = kExactMvaDefaultMaxStates);
 
 }  // namespace mrperf

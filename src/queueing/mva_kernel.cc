@@ -1,0 +1,170 @@
+#include "queueing/mva_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+/// Emit SIMD variants (SSE2 baseline / AVX2) of the blocked product
+/// with runtime dispatch, so one portable binary uses wide vectors
+/// where the host has them. An avx512f clone measured *slower* here
+/// (GCC 12, Ice Lake-class host) and is deliberately omitted. The TU
+/// is compiled with -ffp-contract=off (CMakeLists), so no clone fuses
+/// multiply–add into FMA and every variant — and the scalar path —
+/// produces bit-identical results; vectorizing the k loop never
+/// reorders a per-(i,k) accumulator.
+#if defined(__x86_64__) && defined(__ELF__) && defined(__has_attribute)
+#if __has_attribute(target_clones)
+#define MRPERF_SIMD_CLONES __attribute__((target_clones("default", "avx2")))
+#endif
+#endif
+#ifndef MRPERF_SIMD_CLONES
+#define MRPERF_SIMD_CLONES
+#endif
+
+namespace mrperf {
+namespace {
+
+/// Crossover below which the scalar gather loop beats the blocked
+/// product (the separate interference pass + zeroing has fixed cost;
+/// measured on bench_mva_scaling, the blocked path wins from a few
+/// dozen tasks up and ties well before that).
+constexpr size_t kBlockedMinTasks = 16;
+
+/// i-tile height for the blocked product: tall enough to reuse each q
+/// row several times, short enough that the tile's interference rows
+/// stay resident in L1.
+constexpr size_t kTileRows = 8;
+
+/// Refreshes q[j][k] = residence[j][k] / response[j] (0 when idle). The
+/// division is hoisted to one reciprocal per row so the inner loop is a
+/// pure multiply both paths share.
+void RefreshQ(MvaKernelScratch& s) {
+  const size_t T = s.tasks();
+  const size_t K = s.centers();
+  for (size_t j = 0; j < T; ++j) {
+    const double* __restrict res = s.residence.Row(j);
+    double* __restrict qj = s.q.Row(j);
+    const double response = s.response[j];
+    const double inv_response = response > 0 ? 1.0 / response : 0.0;
+    for (size_t k = 0; k < K; ++k) {
+      qj[k] = res[k] * inv_response;
+    }
+  }
+}
+
+/// Applies the residence update for task i given its interference row,
+/// returning the row's response sum and folding |Δ| into *max_delta.
+/// The arithmetic (and its order) is shared by both paths, so they can
+/// only differ in how the interference term is accumulated — and both
+/// accumulate it in ascending-j order, making the paths bit-identical.
+double UpdateResidenceRow(MvaKernelScratch& s, size_t i,
+                          const double* interference, double damping,
+                          double* max_delta) {
+  const size_t K = s.centers();
+  const double* demand = s.demand.Row(i);
+  double* res = s.residence.Row(i);
+  double new_response = 0.0;
+  for (size_t k = 0; k < K; ++k) {
+    const double new_res =
+        s.is_delay[k]
+            ? demand[k]
+            : demand[k] * (1.0 + interference[k] * s.inv_servers[k]);
+    const double damped = res[k] + damping * (new_res - res[k]);
+    *max_delta = std::max(*max_delta, std::abs(damped - res[k]));
+    res[k] = damped;
+    new_response += damped;
+  }
+  return new_response;
+}
+
+/// One damped sweep with the original per-(i,k) gather loops.
+double ScalarSweep(MvaKernelScratch& s, double damping) {
+  const size_t T = s.tasks();
+  const size_t K = s.centers();
+  double max_delta = 0.0;
+  for (size_t i = 0; i < T; ++i) {
+    const double* theta = s.overlap.Row(i);
+    double* interference = s.interference.Row(i);
+    for (size_t k = 0; k < K; ++k) {
+      // Delay centers never read their interference term; skip the
+      // O(T) gather (the pre-kernel solver branched the same way).
+      if (s.is_delay[k]) continue;
+      double sum = 0.0;
+      for (size_t j = 0; j < T; ++j) {
+        if (j == i) continue;
+        sum += theta[j] * s.q.At(j, k);
+      }
+      interference[k] = sum;
+    }
+    s.response[i] =
+        UpdateResidenceRow(s, i, interference, damping, &max_delta);
+  }
+  return max_delta;
+}
+
+/// interference = θ · q as a blocked matrix product: for each i-tile
+/// the j loop streams θ rows and q rows contiguously and the k loop is
+/// a straight multiply–add the compiler vectorizes. Only this pure
+/// product is multiversioned — the branchy residence update vectorizes
+/// poorly and dilutes the clones when included.
+MRPERF_SIMD_CLONES
+void BlockedInterference(MvaKernelScratch& s) {
+  const size_t T = s.tasks();
+  const size_t K = s.centers();
+  std::fill(s.interference.data.begin(), s.interference.data.end(), 0.0);
+  for (size_t i0 = 0; i0 < T; i0 += kTileRows) {
+    const size_t i1 = std::min(i0 + kTileRows, T);
+    for (size_t j = 0; j < T; ++j) {
+      const double* __restrict qj = s.q.Row(j);
+      for (size_t i = i0; i < i1; ++i) {
+        const double w = s.overlap.At(i, j);
+        double* __restrict acc = s.interference.Row(i);
+        for (size_t k = 0; k < K; ++k) acc[k] += w * qj[k];
+      }
+    }
+  }
+}
+
+double BlockedSweep(MvaKernelScratch& s, double damping) {
+  const size_t T = s.tasks();
+  BlockedInterference(s);
+  double max_delta = 0.0;
+  for (size_t i = 0; i < T; ++i) {
+    s.response[i] = UpdateResidenceRow(s, i, s.interference.Row(i), damping,
+                                       &max_delta);
+  }
+  return max_delta;
+}
+
+}  // namespace
+
+MvaKernelPath ResolveMvaKernelPath(MvaKernelPath requested, size_t tasks) {
+  if (requested != MvaKernelPath::kAuto) return requested;
+  return tasks >= kBlockedMinTasks ? MvaKernelPath::kBlocked
+                                   : MvaKernelPath::kScalar;
+}
+
+MvaKernelResult RunOverlapMvaFixedPoint(MvaKernelScratch& scratch,
+                                        double tolerance, int max_iterations,
+                                        double damping, MvaKernelPath path) {
+  path = ResolveMvaKernelPath(path, scratch.tasks());
+  MvaKernelResult result;
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    RefreshQ(scratch);
+    const double max_delta = path == MvaKernelPath::kBlocked
+                                 ? BlockedSweep(scratch, damping)
+                                 : ScalarSweep(scratch, damping);
+    result.iterations = iter;
+    if (max_delta <= tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+MvaKernelScratch& ThreadLocalMvaScratch() {
+  static thread_local MvaKernelScratch scratch;
+  return scratch;
+}
+
+}  // namespace mrperf

@@ -1,0 +1,130 @@
+/// \file mva_kernel.h
+/// \brief Flat, cache-friendly compute kernel for the overlap-MVA fixed
+/// point (the hot path of the modified-MVA loop: O(tasks² × centers) per
+/// iteration, re-solved for every sweep point).
+///
+/// The solver state lives in contiguous row-major buffers instead of
+/// vector-of-vectors: `residence`, `q` and `interference` are T×K, the
+/// θ matrix is T×T with a zeroed diagonal. Two paths compute the
+/// per-iteration interference term Σ_{j≠i} θ_ij · q_{j,k}:
+///
+///  - **Scalar reference** — the original per-(i,k) gather loop, kept as
+///    the semantic baseline (and the faster choice for tiny problems).
+///  - **Blocked** — the whole term as a T×T · T×K matrix product in
+///    i-tiles, so the inner loop is a straight-line multiply–add over
+///    contiguous rows that the compiler auto-vectorizes.
+///
+/// Both paths accumulate every (i,k) element in ascending-j order and
+/// the packed diagonal is exactly 0.0 (adding +0.0 to the non-negative
+/// partial sums is a bitwise identity), so the two paths are
+/// **bit-for-bit identical** — asserted by tests/queueing/mva_kernel_test
+/// on the calibrated figure problems and on random instances. Path
+/// selection is therefore purely a performance choice and never
+/// perturbs golden figure series or MvaSolveCache keys.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mrperf {
+
+/// \brief Which interference kernel the overlap-MVA iteration uses.
+enum class MvaKernelPath {
+  /// Pick per problem size: blocked for large task counts, scalar below
+  /// the crossover. The default for all callers.
+  kAuto,
+  /// Original nested gather loops (reference semantics).
+  kScalar,
+  /// Blocked T×T · T×K product over contiguous rows (vectorizable).
+  kBlocked,
+};
+
+/// \brief Minimal contiguous row-major matrix used by the MVA solvers.
+///
+/// `Reshape` keeps the underlying capacity, so a reused matrix stops
+/// allocating once it has seen the largest problem of a sweep.
+struct FlatMatrix {
+  std::vector<double> data;
+  size_t rows = 0;
+  size_t cols = 0;
+
+  /// Zero-fills — some consumers (exact MVA's state-0 row, approx MVA's
+  /// empty-class rows) read rows they never write.
+  void Reshape(size_t r, size_t c) {
+    rows = r;
+    cols = c;
+    data.assign(r * c, 0.0);
+  }
+  /// Reshape without the O(r·c) zero pass: contents are unspecified and
+  /// every element must be written before it is read. The kernel pack
+  /// path qualifies (pack/RefreshQ/both sweeps overwrite everything),
+  /// which makes per-worker scratch reuse memset-free as well as
+  /// allocation-free.
+  void ReshapeUninit(size_t r, size_t c) {
+    rows = r;
+    cols = c;
+    data.resize(r * c);
+  }
+  double* Row(size_t r) { return data.data() + r * cols; }
+  const double* Row(size_t r) const { return data.data() + r * cols; }
+  double& At(size_t r, size_t c) { return data[r * cols + c]; }
+  double At(size_t r, size_t c) const { return data[r * cols + c]; }
+};
+
+/// \brief Reusable buffers for one overlap-MVA solve.
+///
+/// Packing a problem reshapes every buffer; reusing one scratch across
+/// solves (the sweep engine keeps one per worker thread) amortizes the
+/// allocations that otherwise dominate small problems. A scratch is not
+/// thread-safe: use one per thread.
+struct MvaKernelScratch {
+  // Problem, packed row-major (filled by PackOverlapMvaProblem).
+  FlatMatrix demand;   ///< T×K service demands.
+  FlatMatrix overlap;  ///< T×T θ matrix, diagonal forced to 0.0.
+  /// K; 1 / server_count, so the update loop multiplies instead of
+  /// dividing (exact for the power-of-two server counts clusters use;
+  /// otherwise within 1 ulp — far inside solver tolerance).
+  std::vector<double> inv_servers;
+  std::vector<uint8_t> is_delay;  ///< K; 1 for infinite-server centers.
+
+  // Iteration state / outputs.
+  FlatMatrix residence;     ///< T×K; final residence times.
+  FlatMatrix q;             ///< T×K; conditional location probabilities.
+  FlatMatrix interference;  ///< T×K; Σ_j θ_ij · q_{j,k} (blocked path).
+  std::vector<double> response;  ///< T; row sums of residence.
+
+  size_t tasks() const { return demand.rows; }
+  size_t centers() const { return demand.cols; }
+};
+
+/// \brief Outcome of the fixed-point iteration.
+struct MvaKernelResult {
+  /// True when max |Δresidence| ≤ tolerance was reached within the
+  /// iteration budget — including exactly on the final allowed
+  /// iteration (a sweep that meets tolerance is converged no matter
+  /// how many budget iterations remain).
+  bool converged = false;
+  /// Damped sweeps performed.
+  int iterations = 0;
+};
+
+/// \brief Resolves kAuto to a concrete path for a T-task problem.
+MvaKernelPath ResolveMvaKernelPath(MvaKernelPath requested, size_t tasks);
+
+/// \brief Runs the damped overlap-MVA fixed point on packed buffers.
+///
+/// Expects `scratch` packed by PackOverlapMvaProblem (mva_overlap.h);
+/// `residence` must hold the zero-contention initial guess (== demand)
+/// and `response` its row sums. On return `residence`/`response` hold
+/// the fixed point.
+MvaKernelResult RunOverlapMvaFixedPoint(MvaKernelScratch& scratch,
+                                        double tolerance, int max_iterations,
+                                        double damping, MvaKernelPath path);
+
+/// \brief Per-thread scratch singleton for solver callers that cannot
+/// thread an explicit scratch through (the sweep engine's workers).
+MvaKernelScratch& ThreadLocalMvaScratch();
+
+}  // namespace mrperf

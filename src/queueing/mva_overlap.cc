@@ -51,75 +51,74 @@ Status OverlapMvaProblem::Validate() const {
   return Status::OK();
 }
 
+void PackOverlapMvaProblem(const OverlapMvaProblem& problem,
+                           MvaKernelScratch* scratch) {
+  const size_t T = problem.tasks.size();
+  const size_t K = problem.centers.size();
+  // Uninitialized reshape: every element below is overwritten before
+  // use (q by RefreshQ, interference by either sweep's first pass).
+  scratch->demand.ReshapeUninit(T, K);
+  scratch->overlap.ReshapeUninit(T, T);
+  scratch->residence.ReshapeUninit(T, K);
+  scratch->q.ReshapeUninit(T, K);
+  scratch->interference.ReshapeUninit(T, K);
+  scratch->inv_servers.assign(K, 1.0);
+  scratch->is_delay.assign(K, 0);
+  scratch->response.assign(T, 0.0);
+
+  for (size_t k = 0; k < K; ++k) {
+    scratch->inv_servers[k] =
+        1.0 / static_cast<double>(problem.centers[k].server_count);
+    scratch->is_delay[k] = problem.centers[k].type == CenterType::kDelay;
+  }
+  for (size_t i = 0; i < T; ++i) {
+    double* demand = scratch->demand.Row(i);
+    double* residence = scratch->residence.Row(i);
+    double* theta = scratch->overlap.Row(i);
+    // Start from zero contention: residence == raw demand.
+    double response = 0.0;
+    for (size_t k = 0; k < K; ++k) {
+      demand[k] = problem.tasks[i].demand[k];
+      residence[k] = demand[k];
+      response += demand[k];
+    }
+    scratch->response[i] = response;
+    for (size_t j = 0; j < T; ++j) theta[j] = problem.overlap[i][j];
+    // The solver ignores self-overlap; a hard 0.0 lets the blocked
+    // product include j == i as an exact no-op.
+    theta[i] = 0.0;
+  }
+}
+
 Result<OverlapMvaSolution> SolveOverlapMva(const OverlapMvaProblem& problem,
-                                           const OverlapMvaOptions& options) {
+                                           const OverlapMvaOptions& options,
+                                           MvaKernelScratch* scratch) {
   MRPERF_RETURN_NOT_OK(problem.Validate());
   if (options.damping <= 0 || options.damping > 1) {
     return Status::InvalidArgument("damping must be in (0, 1]");
   }
-  const size_t T = problem.tasks.size();
-  const size_t K = problem.centers.size();
+  MvaKernelScratch local;
+  MvaKernelScratch& s = scratch ? *scratch : local;
+  PackOverlapMvaProblem(problem, &s);
 
-  // Start from zero contention: residence == raw demand.
-  std::vector<std::vector<double>> residence(T);
-  std::vector<double> response(T, 0.0);
-  for (size_t i = 0; i < T; ++i) {
-    residence[i] = problem.tasks[i].demand;
-    for (double r : residence[i]) response[i] += r;
-  }
-
-  // q[j][k]: conditional probability that active task j is at center k.
-  std::vector<std::vector<double>> q(T, std::vector<double>(K, 0.0));
-  auto refresh_q = [&]() {
-    for (size_t j = 0; j < T; ++j) {
-      for (size_t k = 0; k < K; ++k) {
-        q[j][k] = response[j] > 0 ? residence[j][k] / response[j] : 0.0;
-      }
-    }
-  };
-
-  int iter = 0;
-  for (; iter < options.max_iterations; ++iter) {
-    refresh_q();
-    double max_delta = 0.0;
-    for (size_t i = 0; i < T; ++i) {
-      double new_response = 0.0;
-      for (size_t k = 0; k < K; ++k) {
-        const auto& center = problem.centers[k];
-        double new_res;
-        if (center.type == CenterType::kDelay) {
-          new_res = problem.tasks[i].demand[k];
-        } else {
-          double interference = 0.0;
-          for (size_t j = 0; j < T; ++j) {
-            if (j == i) continue;
-            interference += problem.overlap[i][j] * q[j][k];
-          }
-          new_res = problem.tasks[i].demand[k] *
-                    (1.0 + interference / center.server_count);
-        }
-        const double damped =
-            residence[i][k] + options.damping * (new_res - residence[i][k]);
-        max_delta = std::max(max_delta, std::abs(damped - residence[i][k]));
-        residence[i][k] = damped;
-        new_response += damped;
-      }
-      response[i] = new_response;
-    }
-    if (max_delta <= options.tolerance) {
-      ++iter;
-      break;
-    }
-  }
-  if (iter >= options.max_iterations) {
+  const MvaKernelResult run =
+      RunOverlapMvaFixedPoint(s, options.tolerance, options.max_iterations,
+                              options.damping, options.kernel);
+  if (!run.converged) {
     return Status::NotConverged(
         "overlap MVA did not converge within max_iterations");
   }
 
+  const size_t T = problem.tasks.size();
+  const size_t K = problem.centers.size();
   OverlapMvaSolution sol;
-  sol.residence = std::move(residence);
-  sol.response = std::move(response);
-  sol.iterations = iter;
+  sol.residence.resize(T);
+  for (size_t i = 0; i < T; ++i) {
+    const double* row = s.residence.Row(i);
+    sol.residence[i].assign(row, row + K);
+  }
+  sol.response = s.response;
+  sol.iterations = run.iterations;
   return sol;
 }
 

@@ -21,6 +21,7 @@
 
 #include "common/status.h"
 #include "queueing/closed_network.h"
+#include "queueing/mva_kernel.h"
 
 namespace mrperf {
 
@@ -48,6 +49,11 @@ struct OverlapMvaOptions {
   /// Under-relaxation in (0,1]; the default 0.5 is robust for the strongly
   /// coupled systems produced by many-map-task jobs.
   double damping = 0.5;
+  /// Interference kernel (mva_kernel.h). The paths are bit-for-bit
+  /// identical, so this is purely a performance knob; kAuto picks the
+  /// blocked path for large task counts. Deliberately excluded from
+  /// MvaSolveCache keys.
+  MvaKernelPath kernel = MvaKernelPath::kAuto;
 };
 
 /// \brief Per-task solution.
@@ -60,7 +66,19 @@ struct OverlapMvaSolution {
 };
 
 /// \brief Solves the overlap-adjusted MVA fixed point.
+///
+/// \param scratch optional reusable kernel buffers (one per thread); when
+/// null a solve-local scratch is used. Reusing a scratch across solves
+/// (as the sweep engine does per worker) eliminates the per-solve
+/// allocations that dominate small problems.
 Result<OverlapMvaSolution> SolveOverlapMva(
-    const OverlapMvaProblem& problem, const OverlapMvaOptions& options = {});
+    const OverlapMvaProblem& problem, const OverlapMvaOptions& options = {},
+    MvaKernelScratch* scratch = nullptr);
+
+/// \brief Packs `problem` into row-major kernel buffers: demands and the
+/// θ matrix (diagonal forced to 0.0), center metadata, and the
+/// zero-contention starting point (residence == demand).
+void PackOverlapMvaProblem(const OverlapMvaProblem& problem,
+                           MvaKernelScratch* scratch);
 
 }  // namespace mrperf

@@ -1,0 +1,98 @@
+#include "engine/sweep_csv.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mrperf {
+namespace {
+
+ExperimentResult MakeResult(int nodes, double measured, double forkjoin) {
+  ExperimentResult r;
+  r.point.num_nodes = nodes;
+  r.point.input_bytes = 1073741824;  // 1 GiB
+  r.point.num_jobs = 2;
+  r.point.block_size_bytes = 134217728;  // 128 MiB
+  r.point.num_reducers = 2;
+  r.measured_sec = measured;
+  r.forkjoin_sec = forkjoin;
+  r.tripathi_sec = forkjoin * 1.1;
+  r.forkjoin_error = (forkjoin - measured) / measured;
+  r.tripathi_error = (forkjoin * 1.1 - measured) / measured;
+  r.model_iterations = 17;
+  r.model_converged = true;
+  return r;
+}
+
+TEST(SweepCsvTest, HeaderAndRowShape) {
+  const std::string csv = FormatSweepCsv({MakeResult(4, 100.0, 110.0)});
+  std::istringstream lines(csv);
+  std::string header, row, extra;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row));
+  EXPECT_FALSE(std::getline(lines, extra));
+
+  EXPECT_EQ(header,
+            "nodes,input_bytes,jobs,block_size_bytes,reducers,measured_sec,"
+            "forkjoin_sec,tripathi_sec,forkjoin_error,tripathi_error,"
+            "model_iterations,model_converged");
+  // Same number of columns in header and row.
+  const auto count_commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count_commas(header), count_commas(row));
+  EXPECT_EQ(row.substr(0, 2), "4,");
+  EXPECT_NE(row.find("1073741824"), std::string::npos);
+  EXPECT_NE(row.find(",17,1"), std::string::npos);
+}
+
+TEST(SweepCsvTest, DoublesRoundTripExactly) {
+  // %.17g must reproduce the stored double exactly, so two CSVs diff
+  // clean iff the sweeps agreed bit-for-bit.
+  const double measured = 100.0 / 3.0;
+  const double forkjoin = 110.0 / 7.0;
+  const std::string csv = FormatSweepCsv({MakeResult(4, measured, forkjoin)});
+  std::istringstream lines(csv);
+  std::string header, row;
+  std::getline(lines, header);
+  std::getline(lines, row);
+  // Columns 6 and 7 (1-based) hold measured_sec / forkjoin_sec.
+  std::istringstream fields(row);
+  std::string field;
+  for (int i = 0; i < 6; ++i) std::getline(fields, field, ',');
+  EXPECT_EQ(std::stod(field), measured);
+  std::getline(fields, field, ',');
+  EXPECT_EQ(std::stod(field), forkjoin);
+}
+
+TEST(SweepCsvTest, EmptyResultsYieldHeaderOnly) {
+  const std::string csv = FormatSweepCsv({});
+  EXPECT_EQ(csv.find('\n'), csv.size() - 1);  // exactly one line
+}
+
+TEST(SweepCsvTest, WriteCreatesReadableFile) {
+  const std::string path = ::testing::TempDir() + "sweep_csv_test_out.csv";
+  const std::vector<ExperimentResult> results = {
+      MakeResult(4, 100.0, 110.0), MakeResult(8, 80.0, 85.0)};
+  ASSERT_TRUE(WriteSweepCsv(path, results).ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), FormatSweepCsv(results));
+  std::remove(path.c_str());
+}
+
+TEST(SweepCsvTest, UnwritablePathReturnsError) {
+  EXPECT_FALSE(
+      WriteSweepCsv("/nonexistent-dir/deeply/nested/out.csv", {}).ok());
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,89 @@
+/// Golden kernel-path tests at the model level: the full modified-MVA
+/// loop (timeline → overlap factors → A4 overlap-MVA → estimators) must
+/// produce bit-for-bit identical predictions whichever interference
+/// kernel the A4 solves use, on the calibrated problems behind the
+/// Figure 10–15 series. This pins the calibrated figure series against
+/// kernel regressions: any reordering of the blocked product's floating
+/// point would show up here as a bit difference.
+
+#include <gtest/gtest.h>
+
+#include "experiments/experiment.h"
+#include "queueing/mva_kernel.h"
+
+namespace mrperf {
+namespace {
+
+ExperimentPoint Point(int nodes, double gb, int jobs,
+                      int64_t block = 128 * kMiB) {
+  ExperimentPoint p;
+  p.num_nodes = nodes;
+  p.input_bytes = static_cast<int64_t>(gb * kGiB);
+  p.num_jobs = jobs;
+  p.block_size_bytes = block;
+  return p;
+}
+
+Result<ModelResult> Predict(const ExperimentPoint& point,
+                            MvaKernelPath path,
+                            MvaKernelScratch* scratch = nullptr) {
+  ExperimentOptions opts = DefaultExperimentOptions();
+  opts.model.mva.kernel = path;
+  opts.model.mva_scratch = scratch;
+  return RunModelPrediction(point, opts);
+}
+
+void ExpectBitIdenticalModel(const ModelResult& a, const ModelResult& b) {
+  EXPECT_EQ(a.forkjoin_response, b.forkjoin_response);
+  EXPECT_EQ(a.tripathi_response, b.tripathi_response);
+  EXPECT_EQ(a.map_response, b.map_response);
+  EXPECT_EQ(a.shuffle_sort_response, b.shuffle_sort_response);
+  EXPECT_EQ(a.merge_response, b.merge_response);
+  EXPECT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.forkjoin_job_responses.size(), b.forkjoin_job_responses.size());
+  for (size_t j = 0; j < a.forkjoin_job_responses.size(); ++j) {
+    EXPECT_EQ(a.forkjoin_job_responses[j], b.forkjoin_job_responses[j]);
+    EXPECT_EQ(a.tripathi_job_responses[j], b.tripathi_job_responses[j]);
+  }
+}
+
+TEST(ModelKernelGoldenTest, FigureSeriesPointsAgreeAcrossKernelPaths) {
+  // One representative point per figure family: node sweeps at 1 GB and
+  // 5 GB (Figures 10–13), the concurrency sweep (Figure 14), and the
+  // 64 MB-block variant (Figure 15).
+  const ExperimentPoint points[] = {
+      Point(4, 1.0, 1),               // Figure 10
+      Point(6, 1.0, 4),               // Figure 11
+      Point(8, 5.0, 1),               // Figure 12
+      Point(4, 5.0, 4),               // Figure 13 / 14
+      Point(4, 5.0, 1, 64 * kMiB),    // Figure 15
+  };
+  for (const ExperimentPoint& point : points) {
+    auto scalar = Predict(point, MvaKernelPath::kScalar);
+    auto blocked = Predict(point, MvaKernelPath::kBlocked);
+    auto auto_path = Predict(point, MvaKernelPath::kAuto);
+    ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+    ASSERT_TRUE(blocked.ok()) << blocked.status().ToString();
+    ASSERT_TRUE(auto_path.ok()) << auto_path.status().ToString();
+    ExpectBitIdenticalModel(*scalar, *blocked);
+    ExpectBitIdenticalModel(*scalar, *auto_path);
+  }
+}
+
+TEST(ModelKernelGoldenTest, ScratchReuseDoesNotPerturbPredictions) {
+  // The sweep engine reuses one scratch per worker across points of
+  // different sizes; predictions must match scratch-free solves.
+  MvaKernelScratch scratch;
+  const ExperimentPoint points[] = {Point(8, 5.0, 4), Point(4, 1.0, 1),
+                                    Point(6, 5.0, 2)};
+  for (const ExperimentPoint& point : points) {
+    auto fresh = Predict(point, MvaKernelPath::kAuto);
+    auto reused = Predict(point, MvaKernelPath::kAuto, &scratch);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_TRUE(reused.ok());
+    ExpectBitIdenticalModel(*fresh, *reused);
+  }
+}
+
+}  // namespace
+}  // namespace mrperf

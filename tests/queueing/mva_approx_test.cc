@@ -124,6 +124,27 @@ TEST(MvaApproxTest, DelayCenterResidenceEqualsDemand) {
   EXPECT_NEAR(sol->residence[0][1], 7.0, 1e-9);
 }
 
+TEST(MvaApproxTest, ConvergingOnFinalAllowedIterationIsNotAFailure) {
+  // Regression (same off-by-one as the overlap solver): meeting
+  // tolerance exactly on the last allowed iteration must count as
+  // convergence, not trip the iteration-budget failure check.
+  const ClosedNetwork net = PaperStyleNetwork(2);
+  auto unconstrained = SolveMvaApprox(net);
+  ASSERT_TRUE(unconstrained.ok());
+  ASSERT_GT(unconstrained->iterations, 1);
+
+  ApproxMvaOptions exact_budget;
+  exact_budget.max_iterations = unconstrained->iterations;
+  auto sol = SolveMvaApprox(net, exact_budget);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_EQ(sol->iterations, unconstrained->iterations);
+
+  exact_budget.max_iterations = unconstrained->iterations - 1;
+  auto failed = SolveMvaApprox(net, exact_budget);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsNotConverged());
+}
+
 TEST(MvaApproxTest, ScalesToLargePopulations) {
   // The whole point of the approximation: populations far beyond the
   // exact recursion's reach.

@@ -80,15 +80,63 @@ TEST(MvaCacheTest, ErrorsAreNotCached) {
   EXPECT_EQ(cache.stats().size, 0);
 }
 
-TEST(MvaCacheTest, CapacityCapStopsInsertions) {
+TEST(MvaCacheTest, LruEvictionKeepsMostRecentEntries) {
   MvaSolveCache cache(/*max_entries=*/2);
   for (double theta : {0.1, 0.2, 0.3, 0.4}) {
     ASSERT_TRUE(cache.SolveThrough(TwoTaskProblem(theta), {}).ok());
   }
-  EXPECT_EQ(cache.stats().size, 2);
-  // Evicted/uninserted problems still solve correctly.
-  auto again = cache.SolveThrough(TwoTaskProblem(0.4), {});
+  MvaCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.size, 2);
+  EXPECT_EQ(stats.insertions, 4);
+  EXPECT_EQ(stats.evictions, 2);
+
+  // The two most recent problems are resident; the two oldest were
+  // evicted in LRU order.
+  const OverlapMvaOptions opts;
+  EXPECT_TRUE(cache.Lookup(MvaSolveCache::MakeKey(TwoTaskProblem(0.4), opts))
+                  .has_value());
+  EXPECT_TRUE(cache.Lookup(MvaSolveCache::MakeKey(TwoTaskProblem(0.3), opts))
+                  .has_value());
+  EXPECT_FALSE(
+      cache.Lookup(MvaSolveCache::MakeKey(TwoTaskProblem(0.1), opts))
+          .has_value());
+  EXPECT_FALSE(
+      cache.Lookup(MvaSolveCache::MakeKey(TwoTaskProblem(0.2), opts))
+          .has_value());
+  // Evicted problems still solve correctly (re-inserted on miss).
+  auto again = cache.SolveThrough(TwoTaskProblem(0.1), {});
   ASSERT_TRUE(again.ok());
+}
+
+TEST(MvaCacheTest, LookupRefreshesRecency) {
+  MvaSolveCache cache(/*max_entries=*/2);
+  ASSERT_TRUE(cache.SolveThrough(TwoTaskProblem(0.1), {}).ok());
+  ASSERT_TRUE(cache.SolveThrough(TwoTaskProblem(0.2), {}).ok());
+  // Touch 0.1 so 0.2 becomes the LRU victim.
+  ASSERT_TRUE(cache.SolveThrough(TwoTaskProblem(0.1), {}).ok());
+  ASSERT_TRUE(cache.SolveThrough(TwoTaskProblem(0.3), {}).ok());
+
+  const OverlapMvaOptions opts;
+  EXPECT_TRUE(cache.Lookup(MvaSolveCache::MakeKey(TwoTaskProblem(0.1), opts))
+                  .has_value());
+  EXPECT_FALSE(
+      cache.Lookup(MvaSolveCache::MakeKey(TwoTaskProblem(0.2), opts))
+          .has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(MvaCacheTest, EvictedEntriesComeBackBitIdentical) {
+  // A solution that is evicted and re-solved must match the original
+  // bits — eviction can change performance, never results.
+  MvaSolveCache cache(/*max_entries=*/1);
+  auto first = cache.SolveThrough(TwoTaskProblem(0.6), {});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(cache.SolveThrough(TwoTaskProblem(0.7), {}).ok());  // evicts
+  auto second = cache.SolveThrough(TwoTaskProblem(0.6), {});
+  ASSERT_TRUE(second.ok());
+  for (size_t i = 0; i < first->response.size(); ++i) {
+    EXPECT_EQ(first->response[i], second->response[i]);
+  }
 }
 
 TEST(MvaCacheTest, ClearResetsEntriesAndStats) {
@@ -124,6 +172,46 @@ TEST(MvaCacheTest, ConcurrentSolveThroughIsSafeAndConsistent) {
   }
   EXPECT_EQ(cache.stats().lookups(), 8 * 50);
   EXPECT_EQ(cache.stats().size, 1);
+}
+
+TEST(MvaCacheTest, ConcurrentEvictionUnderContentionStaysConsistent) {
+  // Hammer a tiny cache with a working set 8x its capacity from many
+  // threads: every result must still be correct, the size must respect
+  // the cap, and the counters must balance (entries resident ==
+  // insertions - evictions).
+  constexpr int kCap = 4;
+  constexpr int kProblems = 32;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 30;
+  MvaSolveCache cache(/*max_entries=*/kCap);
+
+  std::vector<double> expected(kProblems);
+  for (int p = 0; p < kProblems; ++p) {
+    auto direct = SolveOverlapMva(TwoTaskProblem(0.01 * (p + 1)), {});
+    ASSERT_TRUE(direct.ok());
+    expected[p] = direct->response[0];
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &expected, t] {
+      // Each thread walks the problems at a different stride so the
+      // interleavings collide on insert/evict/lookup.
+      for (int i = 0; i < kRounds * kProblems; ++i) {
+        const int p = (i * (t + 1) + t) % kProblems;
+        auto sol = cache.SolveThrough(TwoTaskProblem(0.01 * (p + 1)), {});
+        ASSERT_TRUE(sol.ok());
+        ASSERT_EQ(sol->response[0], expected[p]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const MvaCacheStats stats = cache.stats();
+  EXPECT_LE(stats.size, kCap);
+  EXPECT_EQ(stats.size, stats.insertions - stats.evictions);
+  EXPECT_EQ(stats.lookups(), int64_t{kThreads} * kRounds * kProblems);
+  EXPECT_GT(stats.evictions, 0);
 }
 
 }  // namespace

@@ -148,5 +148,29 @@ TEST(OverlapMvaTest, ReportsIterationCount) {
   EXPECT_GT(sol->iterations, 0);
 }
 
+TEST(OverlapMvaTest, ConvergingOnFinalAllowedIterationIsNotAFailure) {
+  // Regression: the pre-kernel solver's `++iter; break;` on convergence
+  // made a solve that met tolerance exactly on its last allowed
+  // iteration satisfy `iter >= max_iterations` and falsely return
+  // NotConverged. Learn the natural iteration count, then grant exactly
+  // that budget: the solve must succeed.
+  auto unconstrained = SolveOverlapMva(TwoTaskProblem(0.7));
+  ASSERT_TRUE(unconstrained.ok());
+  ASSERT_GT(unconstrained->iterations, 1);
+
+  OverlapMvaOptions exact_budget;
+  exact_budget.max_iterations = unconstrained->iterations;
+  auto sol = SolveOverlapMva(TwoTaskProblem(0.7), exact_budget);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_EQ(sol->iterations, unconstrained->iterations);
+
+  // One iteration less genuinely does not converge.
+  exact_budget.max_iterations = unconstrained->iterations - 1;
+  auto failed = SolveOverlapMva(TwoTaskProblem(0.7), exact_budget);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsNotConverged())
+      << failed.status().ToString();
+}
+
 }  // namespace
 }  // namespace mrperf
