@@ -9,5 +9,6 @@ int main(int argc, char** argv) {
       "Figure 10: Input 1GB; #jobs 1", /*input_gb=*/1.0, /*num_jobs=*/1,
       /*block_size_bytes=*/128 * mrperf::kMiB,
       mrperf::bench::ThreadsFromArgs(argc, argv),
-      mrperf::bench::OutPathFromArgs(argc, argv));
+      mrperf::bench::OutPathFromArgs(argc, argv),
+      mrperf::bench::JsonOutPathFromArgs(argc, argv));
 }

@@ -8,5 +8,6 @@ int main(int argc, char** argv) {
       "Figure 12: Input 5GB; #jobs 1", /*input_gb=*/5.0, /*num_jobs=*/1,
       /*block_size_bytes=*/128 * mrperf::kMiB,
       mrperf::bench::ThreadsFromArgs(argc, argv),
-      mrperf::bench::OutPathFromArgs(argc, argv));
+      mrperf::bench::OutPathFromArgs(argc, argv),
+      mrperf::bench::JsonOutPathFromArgs(argc, argv));
 }

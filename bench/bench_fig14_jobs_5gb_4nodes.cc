@@ -7,5 +7,6 @@ int main(int argc, char** argv) {
   return mrperf::bench::RunJobSweepFigure(
       "Figure 14: #Nodes 4; Input 5GB", /*nodes=*/4, /*input_gb=*/5.0,
       mrperf::bench::ThreadsFromArgs(argc, argv),
-      mrperf::bench::OutPathFromArgs(argc, argv));
+      mrperf::bench::OutPathFromArgs(argc, argv),
+      mrperf::bench::JsonOutPathFromArgs(argc, argv));
 }

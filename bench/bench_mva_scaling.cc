@@ -1,23 +1,33 @@
 /// Microbenchmark for the §4.3 complexity analysis and the solver-kernel
 /// paths. The MVA algorithm is O(C²N²K); the overlap-MVA interference
 /// term O(T²K) per iteration is the hot path of every sweep point. This
-/// bench sweeps task counts for both kernel paths (scalar reference vs
-/// blocked, mva_kernel.h), reports the blocked speedup, and sweeps
-/// population for the exact/approximate MVA solvers.
+/// bench sweeps task counts over the three kernel paths (scalar
+/// reference vs blocked vs group-compressed, mva_kernel.h), reports the
+/// blocked and grouped speedups, and sweeps population for the
+/// exact/approximate MVA solvers. The grouped cells use the bench's
+/// fixed 8 equivalence classes, so tasks-per-class grows with T — at
+/// T = 256 that is 32 members/class, the regime the timeline produces.
 ///
 /// Self-contained timing (no Google Benchmark) so CI can run it as a
 /// perf-smoke gate:
 ///
 ///   bench_mva_scaling --smoke      small grid; exit 1 on any solver
-///                                  error or scalar/blocked mismatch
+///                                  error, scalar/blocked bit mismatch,
+///                                  or grouped-vs-reference tolerance
+///                                  breach
 ///   bench_mva_scaling              full sweep (default min 200 ms/cell)
 ///   --min-ms=N --max-tasks=T      timing budget / largest task count
+///   --json-out=PATH               machine-readable per-T medians
+///                                  (BENCH_mva_scaling.json in CI) for
+///                                  cross-run perf-trajectory diffing
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -28,6 +38,12 @@
 
 namespace mrperf {
 namespace {
+
+/// Equivalence classes of the grouped cells (tasks/class = T/8).
+constexpr int kBenchGroups = 8;
+
+/// Agreement bound for grouped vs per-task reference responses.
+constexpr double kGroupedRelTol = 1e-8;
 
 /// The bench-standard overlap problem: 4 nodes × (cpu, disk) centers,
 /// tasks striped across nodes, dense θ = 0.8.
@@ -51,6 +67,31 @@ OverlapMvaProblem BuildOverlapProblem(int tasks) {
   return p;
 }
 
+/// The same network group-compressed: `groups` classes striped across
+/// the 4 nodes with `tasks / groups` members each, homogeneous θ = 0.8
+/// (intra and inter) — the structure the timeline's task waves produce.
+GroupedOverlapMvaProblem BuildGroupedProblem(int tasks, int groups) {
+  GroupedOverlapMvaProblem p;
+  for (int n = 0; n < 4; ++n) {
+    const std::string id = std::to_string(n);
+    p.centers.push_back({"cpu" + id, CenterType::kQueueing, 4});
+    p.centers.push_back({"disk" + id, CenterType::kQueueing, 1});
+  }
+  const size_t K = p.centers.size();
+  const int per_group = tasks / groups;
+  for (int g = 0; g < groups; ++g) {
+    OverlapTaskGroup group;
+    group.count = per_group;
+    group.demand.assign(K, 0.0);
+    group.demand[(g % 4) * 2] = 8.0;
+    group.demand[(g % 4) * 2 + 1] = 2.0;
+    p.groups.push_back(std::move(group));
+    for (int c = 0; c < per_group; ++c) p.task_group.push_back(g);
+  }
+  p.overlap.assign(groups, std::vector<double>(groups, 0.8));
+  return p;
+}
+
 ClosedNetwork BuildClosedNetwork(int population) {
   ClosedNetwork net;
   net.centers = {{"cpu", CenterType::kQueueing, 4},
@@ -67,21 +108,30 @@ double NowSeconds() {
       .count();
 }
 
-/// Runs `fn` repeatedly for at least `min_ms`, returns seconds/call.
-/// `fn` returns false on solver error, which aborts the bench.
+/// Times `fn` as the MEDIAN seconds/call over 5 samples that together
+/// run for at least `min_ms` (medians resist scheduler noise, and the
+/// JSON perf trajectory wants a robust statistic). `fn` returns false on
+/// solver error, which aborts the bench.
 template <typename Fn>
 bool TimeIt(Fn&& fn, double min_ms, double* seconds_per_call) {
   // Warm-up (also populates reused scratch buffers).
   if (!fn()) return false;
-  int calls = 0;
-  const double start = NowSeconds();
-  double elapsed = 0.0;
-  do {
-    if (!fn()) return false;
-    ++calls;
-    elapsed = NowSeconds() - start;
-  } while (elapsed * 1000.0 < min_ms);
-  *seconds_per_call = elapsed / calls;
+  constexpr int kSamples = 5;
+  double samples[kSamples];
+  const double budget_ms = min_ms / kSamples;
+  for (int s = 0; s < kSamples; ++s) {
+    int calls = 0;
+    const double start = NowSeconds();
+    double elapsed = 0.0;
+    do {
+      if (!fn()) return false;
+      ++calls;
+      elapsed = NowSeconds() - start;
+    } while (elapsed * 1000.0 < budget_ms);
+    samples[s] = elapsed / calls;
+  }
+  std::sort(samples, samples + kSamples);
+  *seconds_per_call = samples[kSamples / 2];
   return true;
 }
 
@@ -90,24 +140,46 @@ bool BitwiseEqual(const OverlapMvaSolution& a, const OverlapMvaSolution& b) {
   return a.residence == b.residence;
 }
 
+/// Relative agreement check for the grouped path against a per-task
+/// reference solve of the same compressed problem.
+bool WithinRelTol(const OverlapMvaSolution& ref,
+                  const OverlapMvaSolution& got) {
+  if (ref.response.size() != got.response.size()) return false;
+  for (size_t i = 0; i < ref.response.size(); ++i) {
+    const double tol =
+        kGroupedRelTol * std::max(1.0, std::abs(ref.response[i]));
+    if (std::abs(ref.response[i] - got.response[i]) > tol) return false;
+  }
+  return true;
+}
+
 struct OverlapRow {
   int tasks = 0;
+  int groups = 0;
   double scalar_us = 0.0;
   double blocked_us = 0.0;
+  double grouped_us = 0.0;
   int iterations = 0;
-  double speedup() const { return scalar_us / blocked_us; }
+  double blocked_speedup() const { return scalar_us / blocked_us; }
+  double grouped_speedup() const { return blocked_us / grouped_us; }
 };
 
-/// Times scalar vs blocked on one problem size; verifies the paths are
-/// bit-for-bit identical and both converge. Returns false on failure.
+/// Times scalar vs blocked vs grouped on one problem size; verifies the
+/// per-task paths are bit-for-bit identical and the grouped path agrees
+/// with its per-task reference within tolerance. Returns false on
+/// failure.
 bool RunOverlapCell(int tasks, double min_ms, OverlapRow* row) {
   const OverlapMvaProblem p = BuildOverlapProblem(tasks);
+  const int groups = std::min(kBenchGroups, tasks);
+  const GroupedOverlapMvaProblem gp = BuildGroupedProblem(tasks, groups);
   MvaKernelScratch scratch;
 
   OverlapMvaOptions scalar_opts;
   scalar_opts.kernel = MvaKernelPath::kScalar;
   OverlapMvaOptions blocked_opts;
   blocked_opts.kernel = MvaKernelPath::kBlocked;
+  OverlapMvaOptions grouped_opts;
+  grouped_opts.kernel = MvaKernelPath::kGrouped;
 
   auto scalar_sol = SolveOverlapMva(p, scalar_opts, &scratch);
   auto blocked_sol = SolveOverlapMva(p, blocked_opts, &scratch);
@@ -124,8 +196,28 @@ bool RunOverlapCell(int tasks, double min_ms, OverlapRow* row) {
                  tasks);
     return false;
   }
+  // Grouped path vs its per-task reference on the compressed problem.
+  auto grouped_ref = SolveGroupedOverlapMva(gp, scalar_opts, &scratch);
+  auto grouped_sol = SolveGroupedOverlapMva(gp, grouped_opts, &scratch);
+  if (!grouped_ref.ok() || !grouped_sol.ok()) {
+    std::fprintf(
+        stderr, "grouped overlap MVA failed at T=%d/G=%d: %s\n", tasks,
+        groups,
+        (!grouped_ref.ok() ? grouped_ref.status() : grouped_sol.status())
+            .ToString()
+            .c_str());
+    return false;
+  }
+  if (!WithinRelTol(*grouped_ref, *grouped_sol)) {
+    std::fprintf(stderr,
+                 "grouped path outside tolerance at T=%d/G=%d "
+                 "(must match the per-task reference)\n",
+                 tasks, groups);
+    return false;
+  }
 
   row->tasks = tasks;
+  row->groups = groups;
   row->iterations = scalar_sol->iterations;
   const auto solve_scalar = [&] {
     return SolveOverlapMva(p, scalar_opts, &scratch).ok();
@@ -133,11 +225,51 @@ bool RunOverlapCell(int tasks, double min_ms, OverlapRow* row) {
   const auto solve_blocked = [&] {
     return SolveOverlapMva(p, blocked_opts, &scratch).ok();
   };
+  const auto solve_grouped = [&] {
+    return SolveGroupedOverlapMva(gp, grouped_opts, &scratch).ok();
+  };
   double sec = 0.0;
   if (!TimeIt(solve_scalar, min_ms, &sec)) return false;
   row->scalar_us = sec * 1e6;
   if (!TimeIt(solve_blocked, min_ms, &sec)) return false;
   row->blocked_us = sec * 1e6;
+  if (!TimeIt(solve_grouped, min_ms, &sec)) return false;
+  row->grouped_us = sec * 1e6;
+  return true;
+}
+
+/// Writes the overlap rows as a JSON array (CI uploads this as the
+/// BENCH_mva_scaling.json artifact; %.17g doubles round-trip exactly).
+bool WriteScalingJson(const std::string& path,
+                      const std::vector<OverlapRow>& rows) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  std::string out = "[";
+  char line[512];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const OverlapRow& r = rows[i];
+    std::snprintf(
+        line, sizeof(line),
+        "%s\n  {\"tasks\": %d, \"groups\": %d, \"tasks_per_group\": %d, "
+        "\"iterations\": %d, \"scalar_ns\": %.17g, \"blocked_ns\": %.17g, "
+        "\"grouped_ns\": %.17g, \"blocked_speedup\": %.17g, "
+        "\"grouped_speedup_vs_blocked\": %.17g}",
+        i == 0 ? "" : ",", r.tasks, r.groups, r.tasks / r.groups,
+        r.iterations, r.scalar_us * 1e3, r.blocked_us * 1e3,
+        r.grouped_us * 1e3, r.blocked_speedup(), r.grouped_speedup());
+    out += line;
+  }
+  out += rows.empty() ? "]\n" : "\n]\n";
+  file << out;
+  file.flush();
+  if (!file) {
+    std::fprintf(stderr, "failed writing '%s'\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %zu rows to %s\n", rows.size(), path.c_str());
   return true;
 }
 
@@ -182,7 +314,8 @@ bool RunClosedNetworkSweep(const std::vector<int>& populations,
   return true;
 }
 
-int Run(bool smoke, double min_ms, int max_tasks) {
+int Run(bool smoke, double min_ms, int max_tasks,
+        const std::string& json_path) {
   std::vector<int> task_counts;
   if (smoke) {
     task_counts = {8, 64};
@@ -199,17 +332,24 @@ int Run(bool smoke, double min_ms, int max_tasks) {
 
   std::printf("overlap-MVA kernel scaling (%s)\n",
               smoke ? "smoke grid" : "full grid");
-  std::printf("%-8s | %12s | %12s | %8s | %6s\n", "tasks", "scalar us",
-              "blocked us", "speedup", "iters");
+  std::printf("%-8s | %6s | %12s | %12s | %12s | %8s | %8s | %6s\n",
+              "tasks", "groups", "scalar us", "blocked us", "grouped us",
+              "blk spd", "grp spd", "iters");
   bool speedup_ok = true;
+  std::vector<OverlapRow> rows;
   for (int tasks : task_counts) {
     OverlapRow row;
     if (!RunOverlapCell(tasks, min_ms, &row)) return 1;
-    std::printf("%-8d | %12.2f | %12.2f | %7.2fx | %6d\n", row.tasks,
-                row.scalar_us, row.blocked_us, row.speedup(),
+    std::printf("%-8d | %6d | %12.2f | %12.2f | %12.2f | %7.2fx | %7.2fx "
+                "| %6d\n",
+                row.tasks, row.groups, row.scalar_us, row.blocked_us,
+                row.grouped_us, row.blocked_speedup(), row.grouped_speedup(),
                 row.iterations);
-    if (tasks >= 64 && row.speedup() < 2.0) speedup_ok = false;
+    if (tasks >= 64 && row.blocked_speedup() < 2.0) speedup_ok = false;
+    if (tasks >= 256 && row.grouped_speedup() < 5.0) speedup_ok = false;
+    rows.push_back(row);
   }
+  if (!json_path.empty() && !WriteScalingJson(json_path, rows)) return 1;
   const std::vector<int> populations =
       smoke ? std::vector<int>{4, 16}
             : std::vector<int>{2, 4, 8, 16, 32, 64, 128, 256, 512};
@@ -218,9 +358,13 @@ int Run(bool smoke, double min_ms, int max_tasks) {
     // Informational outside CI: the smoke gate only fails on solver
     // errors, since shared runners make wall-clock ratios noisy.
     std::fprintf(stderr,
-                 "note: blocked speedup below 2x at T >= 64 on this run\n");
+                 "note: blocked speedup below 2x at T >= 64 or grouped "
+                 "speedup below 5x at T >= 256 on this run\n");
   }
-  std::printf("\nall solver statuses OK; kernel paths bit-identical\n");
+  std::printf(
+      "\nall solver statuses OK; per-task paths bit-identical; grouped "
+      "path within %g of reference\n",
+      kGroupedRelTol);
   return 0;
 }
 
@@ -231,6 +375,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   double min_ms = 0.0;  // 0 = use the mode default below
   int max_tasks = 256;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -238,14 +383,17 @@ int main(int argc, char** argv) {
       min_ms = std::atof(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--max-tasks=", 12) == 0) {
       max_tasks = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_path = argv[i] + 11;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--min-ms=N] [--max-tasks=T]\n",
+                   "usage: %s [--smoke] [--min-ms=N] [--max-tasks=T] "
+                   "[--json-out=PATH]\n",
                    argv[0]);
       return 2;
     }
   }
   // An explicit --min-ms wins regardless of flag order.
   if (min_ms <= 0.0) min_ms = smoke ? 20.0 : 200.0;
-  return mrperf::Run(smoke, min_ms, max_tasks);
+  return mrperf::Run(smoke, min_ms, max_tasks, json_path);
 }

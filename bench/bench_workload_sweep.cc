@@ -6,8 +6,12 @@
 /// on 1 GB single-job points. All workload × nodes cells are evaluated
 /// concurrently through the engine's SweepRunner (--threads=N, default
 /// auto), which is also this bench's parallel-speedup yardstick.
+/// `--progress` streams per-point completion (and the MVA-cache hit
+/// rate) to stderr while the sweep runs; `--out=` / `--json-out=`
+/// persist the results as CSV / JSON.
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "engine/sweep_runner.h"
@@ -52,6 +56,20 @@ int main(int argc, char** argv) {
 
   SweepOptions sweep_opts;
   sweep_opts.num_threads = bench::ThreadsFromArgs(argc, argv);
+  bool show_progress = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--progress") == 0) show_progress = true;
+  }
+  if (show_progress) {
+    sweep_opts.progress = [](const SweepProgress& p) {
+      std::fprintf(stderr,
+                   "\rpoint %zu/%zu done (MVA cache: %lld/%lld hits)",
+                   p.points_done, p.points_total,
+                   static_cast<long long>(p.cache.hits),
+                   static_cast<long long>(p.cache.lookups()));
+      if (p.points_done == p.points_total) std::fprintf(stderr, "\n");
+    };
+  }
   SweepRunner runner(sweep_opts);
   SweepReport report = runner.RunTasks(tasks);
   if (!report.all_ok()) {
@@ -77,6 +95,10 @@ int main(int argc, char** argv) {
                   report.cache_stats.lookups());
   if (!bench::MaybeWriteCsv(bench::OutPathFromArgs(argc, argv),
                             report.values())) {
+    return 1;
+  }
+  if (!bench::MaybeWriteJson(bench::JsonOutPathFromArgs(argc, argv),
+                             report.values())) {
     return 1;
   }
   std::printf(

@@ -15,6 +15,7 @@
 
 #include "engine/sweep_csv.h"
 #include "engine/sweep_grid.h"
+#include "engine/sweep_json.h"
 #include "engine/sweep_runner.h"
 #include "experiments/experiment.h"
 #include "experiments/report.h"
@@ -34,17 +35,30 @@ inline int ThreadsFromArgs(int argc, char** argv) {
   return 0;
 }
 
-/// Parses `--out=path` / `--out path` from argv ("" = don't persist).
-inline std::string OutPathFromArgs(int argc, char** argv) {
+/// Parses `<flag>=path` / `<flag> path` from argv ("" = absent).
+inline std::string PathFlagFromArgs(int argc, char** argv,
+                                    const char* flag) {
+  const size_t flag_len = std::strlen(flag);
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--out=", 6) == 0) {
-      return std::string(argv[i] + 6);
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=') {
+      return std::string(argv[i] + flag_len + 1);
     }
-    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
       return std::string(argv[i + 1]);
     }
   }
   return std::string();
+}
+
+/// Parses `--out=path` / `--out path` from argv ("" = don't persist).
+inline std::string OutPathFromArgs(int argc, char** argv) {
+  return PathFlagFromArgs(argc, argv, "--out");
+}
+
+/// Parses `--json-out=path` / `--json-out path` ("" = don't persist).
+inline std::string JsonOutPathFromArgs(int argc, char** argv) {
+  return PathFlagFromArgs(argc, argv, "--json-out");
 }
 
 /// Persists sweep results to `out_path` when non-empty (sweep_csv.h);
@@ -62,12 +76,30 @@ inline bool MaybeWriteCsv(const std::string& out_path,
   return true;
 }
 
+/// Persists sweep results as JSON when `json_path` is non-empty
+/// (sweep_json.h); returns false (after printing) when the write fails.
+inline bool MaybeWriteJson(const std::string& json_path,
+                           const std::vector<ExperimentResult>& results) {
+  if (json_path.empty()) return true;
+  const Status status = WriteSweepJson(json_path, results);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),
+                 status.ToString().c_str());
+    return false;
+  }
+  std::printf("wrote %zu records to %s\n", results.size(),
+              json_path.c_str());
+  return true;
+}
+
 /// Runs a figure grid through the sweep engine and prints its table;
-/// `out_path` optionally persists the series as CSV (--out=).
+/// `out_path` / `json_path` optionally persist the series as CSV
+/// (--out=) and JSON (--json-out=).
 inline int RunFigureSweep(const std::string& title, const SweepGrid& grid,
                           const std::vector<double>& x_values,
                           const std::string& x_label, int num_threads,
-                          const std::string& out_path = std::string()) {
+                          const std::string& out_path = std::string(),
+                          const std::string& json_path = std::string()) {
   SweepOptions sweep_opts;
   sweep_opts.num_threads = num_threads;
   sweep_opts.experiment = DefaultExperimentOptions();
@@ -97,6 +129,7 @@ inline int RunFigureSweep(const std::string& title, const SweepGrid& grid,
                   report.wall_seconds, report.cache_stats.hits,
                   report.cache_stats.lookups());
   if (!MaybeWriteCsv(out_path, results)) return 1;
+  if (!MaybeWriteJson(json_path, results)) return 1;
   return 0;
 }
 
@@ -104,7 +137,8 @@ inline int RunFigureSweep(const std::string& title, const SweepGrid& grid,
 inline int RunNodeSweepFigure(const std::string& title, double input_gb,
                               int num_jobs, int64_t block_size_bytes,
                               int num_threads = 0,
-                              const std::string& out_path = std::string()) {
+                              const std::string& out_path = std::string(),
+                              const std::string& json_path = std::string()) {
   const std::vector<int> nodes = {4, 6, 8};
   SweepGrid grid;
   grid.Nodes(nodes)
@@ -113,19 +147,20 @@ inline int RunNodeSweepFigure(const std::string& title, double input_gb,
       .BlockSizes({block_size_bytes});
   return RunFigureSweep(title, grid,
                         std::vector<double>(nodes.begin(), nodes.end()),
-                        "nodes", num_threads, out_path);
+                        "nodes", num_threads, out_path, json_path);
 }
 
 /// Runs a concurrency sweep at fixed nodes / input size (Figure 14).
 inline int RunJobSweepFigure(const std::string& title, int nodes,
                              double input_gb, int num_threads = 0,
-                             const std::string& out_path = std::string()) {
+                             const std::string& out_path = std::string(),
+                             const std::string& json_path = std::string()) {
   const std::vector<int> jobs = {1, 2, 3, 4};
   SweepGrid grid;
   grid.Nodes({nodes}).InputGigabytes({input_gb}).Jobs(jobs);
   return RunFigureSweep(title, grid,
                         std::vector<double>(jobs.begin(), jobs.end()),
-                        "jobs", num_threads, out_path);
+                        "jobs", num_threads, out_path, json_path);
 }
 
 }  // namespace mrperf::bench

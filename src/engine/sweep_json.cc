@@ -1,0 +1,47 @@
+#include "engine/sweep_json.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace mrperf {
+
+std::string FormatSweepJson(const std::vector<ExperimentResult>& results) {
+  std::string out = "[";
+  char line[640];
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    std::snprintf(
+        line, sizeof(line),
+        "%s\n  {\"nodes\": %d, \"input_bytes\": %" PRId64
+        ", \"jobs\": %d, \"block_size_bytes\": %" PRId64
+        ", \"reducers\": %d, \"measured_sec\": %.17g, "
+        "\"forkjoin_sec\": %.17g, \"tripathi_sec\": %.17g, "
+        "\"forkjoin_error\": %.17g, \"tripathi_error\": %.17g, "
+        "\"model_iterations\": %d, \"model_converged\": %s}",
+        i == 0 ? "" : ",", r.point.num_nodes, r.point.input_bytes,
+        r.point.num_jobs, r.point.block_size_bytes, r.point.num_reducers,
+        r.measured_sec, r.forkjoin_sec, r.tripathi_sec, r.forkjoin_error,
+        r.tripathi_error, r.model_iterations,
+        r.model_converged ? "true" : "false");
+    out += line;
+  }
+  out += results.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+Status WriteSweepJson(const std::string& path,
+                      const std::vector<ExperimentResult>& results) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  file << FormatSweepJson(results);
+  file.flush();
+  if (!file) {
+    return Status::Internal("failed writing sweep JSON to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace mrperf

@@ -1,0 +1,30 @@
+/// \file sweep_json.h
+/// \brief JSON persistence for sweep results — the machine-readable
+/// sibling of sweep_csv.h for consumers that want typed records (CI
+/// artifact diffing, notebooks, dashboards) instead of a flat table.
+/// One object per successful point with the same quantities the CSV
+/// writer emits; doubles carry enough digits (%.17g) to round-trip
+/// bit-exactly, so two files compare equal iff the sweeps agreed.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "experiments/experiment.h"
+
+namespace mrperf {
+
+/// \brief Renders `results` as a JSON array (one object per result).
+///
+/// Keys per object: nodes, input_bytes, jobs, block_size_bytes,
+/// reducers, measured_sec, forkjoin_sec, tripathi_sec, forkjoin_error,
+/// tripathi_error, model_iterations, model_converged.
+std::string FormatSweepJson(const std::vector<ExperimentResult>& results);
+
+/// \brief Writes FormatSweepJson(results) to `path` (overwrites).
+Status WriteSweepJson(const std::string& path,
+                      const std::vector<ExperimentResult>& results);
+
+}  // namespace mrperf

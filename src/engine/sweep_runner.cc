@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <utility>
 
 #include "queueing/mva_kernel.h"
@@ -16,6 +18,38 @@ double SecondsSince(SteadyClock::time_point start) {
 }
 
 }  // namespace
+
+/// Counts completed points and invokes the user callback under a mutex,
+/// so observers see serialized, completion-ordered snapshots whatever
+/// the worker count. Shared (by value) with every worker lambda: if an
+/// exception unwinds the Run* frame while pool tasks are still
+/// in-flight, the last task keeps the reporter alive — a stack-local
+/// would be destroyed under them. The callback and cache are copied /
+/// owned by the runner, which outlives its pool.
+class SweepRunner::ProgressReporter {
+ public:
+  ProgressReporter(std::function<void(const SweepProgress&)> callback,
+                   size_t total, const MvaSolveCache& cache)
+      : callback_(std::move(callback)), total_(total), cache_(cache) {}
+
+  /// No-op when no callback is configured.
+  void PointDone() {
+    if (!callback_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    SweepProgress progress;
+    progress.points_done = ++done_;
+    progress.points_total = total_;
+    progress.cache = cache_.stats();
+    callback_(progress);
+  }
+
+ private:
+  const std::function<void(const SweepProgress&)> callback_;
+  const size_t total_;
+  const MvaSolveCache& cache_;
+  std::mutex mu_;
+  size_t done_ = 0;
+};
 
 bool SweepReport::all_ok() const {
   for (const auto& r : results) {
@@ -85,6 +119,8 @@ SweepReport SweepRunner::Run(const SweepGrid& grid) {
 SweepReport SweepRunner::RunTasks(const std::vector<Task>& tasks) {
   const auto start = SteadyClock::now();
 
+  auto reporter = std::make_shared<ProgressReporter>(options_.progress,
+                                                     tasks.size(), cache_);
   std::vector<std::future<Result<ExperimentResult>>> futures;
   futures.reserve(tasks.size());
   for (size_t i = 0; i < tasks.size(); ++i) {
@@ -94,12 +130,14 @@ SweepReport SweepRunner::RunTasks(const std::vector<Task>& tasks) {
       opts.base_seed = PointSeed(tasks[i].options.base_seed, i);
     }
     opts.model.mva_cache = options_.use_mva_cache ? &cache_ : nullptr;
-    futures.push_back(pool_.Submit([point, opts]() mutable {
+    futures.push_back(pool_.Submit([point, opts, reporter]() mutable {
       // Resolved on the worker thread: each worker reuses one kernel
       // scratch across every point it evaluates (and across sweeps), so
       // grid sweeps stop reallocating solver buffers per point.
       opts.model.mva_scratch = &ThreadLocalMvaScratch();
-      return RunExperiment(point, opts);
+      Result<ExperimentResult> result = RunExperiment(point, opts);
+      reporter->PointDone();
+      return result;
     }));
   }
 
@@ -116,14 +154,18 @@ SweepReport SweepRunner::RunTasks(const std::vector<Task>& tasks) {
 
 std::vector<Result<ModelResult>> SweepRunner::RunModels(
     const std::vector<ExperimentPoint>& points) {
+  auto reporter = std::make_shared<ProgressReporter>(options_.progress,
+                                                     points.size(), cache_);
   std::vector<std::future<Result<ModelResult>>> futures;
   futures.reserve(points.size());
   for (size_t i = 0; i < points.size(); ++i) {
     const ExperimentPoint point = points[i];
     ExperimentOptions opts = PointOptions(i);
-    futures.push_back(pool_.Submit([point, opts]() mutable {
+    futures.push_back(pool_.Submit([point, opts, reporter]() mutable {
       opts.model.mva_scratch = &ThreadLocalMvaScratch();
-      return RunModelPrediction(point, opts);
+      Result<ModelResult> result = RunModelPrediction(point, opts);
+      reporter->PointDone();
+      return result;
     }));
   }
   std::vector<Result<ModelResult>> out;

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -30,6 +31,16 @@
 #include "queueing/mva_cache.h"
 
 namespace mrperf {
+
+/// \brief Snapshot handed to SweepOptions::progress after each point.
+struct SweepProgress {
+  /// Points completed so far (successful or failed), 1-based by the
+  /// time of the first call.
+  size_t points_done = 0;
+  size_t points_total = 0;
+  /// Shared MVA-cache counters at this moment.
+  MvaCacheStats cache;
+};
 
 /// \brief Sweep-wide configuration.
 struct SweepOptions {
@@ -48,6 +59,12 @@ struct SweepOptions {
   /// Share one overlap-MVA memo cache across all points of a sweep.
   bool use_mva_cache = true;
   int64_t cache_max_entries = 4096;
+  /// Optional progress observer, invoked once per completed point of
+  /// Run/RunTasks/RunModels with (points done, total, cache stats).
+  /// Calls come from worker threads but are serialized (never
+  /// concurrent) and completion-ordered: points_done is 1, 2, …, total.
+  /// Keep the callback cheap — it runs inside the fan-out.
+  std::function<void(const SweepProgress&)> progress;
 };
 
 /// \brief Outcome of one sweep; results are in point order.
@@ -117,6 +134,10 @@ class SweepRunner {
   /// Experiment options for model-only point i: per-point seed +
   /// shared cache (Run/RunTasks wire these per task instead).
   ExperimentOptions PointOptions(size_t index);
+
+  /// Serialized bookkeeping for SweepOptions::progress; one per Run*
+  /// invocation (runners are externally synchronized).
+  class ProgressReporter;
 
   SweepOptions options_;
   MvaSolveCache cache_;

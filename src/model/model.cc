@@ -9,38 +9,70 @@ namespace {
 /// Index of a node's center in the per-node center layout.
 enum Center { kCpu = 0, kDisk = 1, kNet = 2 };
 
-/// Builds the overlap-MVA problem for the current timeline: per-node CPU /
-/// disk / network stations, each task placing demand only on its node.
+/// Per-node CPU / disk / network stations shared by both problem builders.
+std::vector<ServiceCenter> MakeCenters(const ModelInput& input) {
+  std::vector<ServiceCenter> centers;
+  centers.reserve(static_cast<size_t>(input.num_nodes) * 3);
+  for (int n = 0; n < input.num_nodes; ++n) {
+    centers.push_back(ServiceCenter{"cpu" + std::to_string(n),
+                                    CenterType::kQueueing,
+                                    input.cpu_per_node});
+    centers.push_back(ServiceCenter{"disk" + std::to_string(n),
+                                    CenterType::kQueueing,
+                                    input.disk_per_node});
+    centers.push_back(
+        ServiceCenter{"net" + std::to_string(n), CenterType::kQueueing, 1});
+  }
+  return centers;
+}
+
+/// Places one task's (or class representative's) demand on its node.
+std::vector<double> PlaceDemand(size_t num_centers, int node,
+                                const ClassDemand& demand) {
+  std::vector<double> placed(num_centers, 0.0);
+  const size_t base = static_cast<size_t>(node) * 3;
+  placed[base + kCpu] = demand.cpu;
+  placed[base + kDisk] = demand.disk;
+  placed[base + kNet] = demand.network;
+  // The MVA requires positive total demand per task; zero-cost tasks
+  // (possible for degenerate profiles) get a negligible placeholder.
+  if (demand.Total() <= 0) placed[base + kCpu] = 1e-12;
+  return placed;
+}
+
+/// Builds the per-task overlap-MVA problem for the current timeline
+/// (reference-oracle path: one row per task, dense T×T θ).
 OverlapMvaProblem BuildMvaProblem(const ModelInput& input,
                                   const Timeline& timeline,
                                   const OverlapFactors& overlap) {
   OverlapMvaProblem problem;
-  problem.centers.reserve(static_cast<size_t>(input.num_nodes) * 3);
-  for (int n = 0; n < input.num_nodes; ++n) {
-    problem.centers.push_back(ServiceCenter{
-        "cpu" + std::to_string(n), CenterType::kQueueing,
-        input.cpu_per_node});
-    problem.centers.push_back(ServiceCenter{
-        "disk" + std::to_string(n), CenterType::kQueueing,
-        input.disk_per_node});
-    problem.centers.push_back(
-        ServiceCenter{"net" + std::to_string(n), CenterType::kQueueing, 1});
-  }
+  problem.centers = MakeCenters(input);
   const size_t K = problem.centers.size();
   problem.tasks.reserve(timeline.tasks.size());
   for (const auto& t : timeline.tasks) {
-    OverlapTask task;
-    task.demand.assign(K, 0.0);
-    const size_t base = static_cast<size_t>(t.node) * 3;
-    task.demand[base + kCpu] = t.demand.cpu;
-    task.demand[base + kDisk] = t.demand.disk;
-    task.demand[base + kNet] = t.demand.network;
-    // The MVA requires positive total demand per task; zero-cost tasks
-    // (possible for degenerate profiles) get a negligible placeholder.
-    if (t.demand.Total() <= 0) task.demand[base + kCpu] = 1e-12;
-    problem.tasks.push_back(std::move(task));
+    problem.tasks.push_back(OverlapTask{PlaceDemand(K, t.node, t.demand)});
   }
   problem.overlap = overlap.theta;
+  return problem;
+}
+
+/// Builds the group-compressed A4 problem straight from the timeline's
+/// equivalence classes: one demand row per class, G×G θ blocks, and the
+/// task→class map for expanding the solution back to tasks.
+GroupedOverlapMvaProblem BuildGroupedMvaProblem(
+    const ModelInput& input, GroupedOverlapFactors&& overlap) {
+  GroupedOverlapMvaProblem problem;
+  problem.centers = MakeCenters(input);
+  const size_t K = problem.centers.size();
+  problem.groups.reserve(overlap.groups.size());
+  for (const OverlapGroup& g : overlap.groups) {
+    OverlapTaskGroup group;
+    group.count = g.count;
+    group.demand = PlaceDemand(K, g.node, g.demand);
+    problem.groups.push_back(std::move(group));
+  }
+  problem.overlap = std::move(overlap.theta);
+  problem.task_group = std::move(overlap.task_group);
   return problem;
 }
 
@@ -75,6 +107,20 @@ Result<ModelResult> SolveModel(const ModelInput& input,
   TreeOptions tree_opts;
   tree_opts.balance = options.balance_tree;
 
+  // A4 solver configuration. Problems built below are valid by
+  // construction (θ clamped to [0,1], demands placed non-negative with a
+  // positive-total placeholder, centers from validated input), so the
+  // per-solve O(T²)/O(G²) re-validation of the hot loop is skipped —
+  // full validation stays at the public API entries.
+  OverlapMvaOptions mva_opts = options.mva;
+  mva_opts.assume_valid = true;
+  // kScalar/kBlocked pin the per-task reference pipeline (dense θ, one
+  // MVA row per task); kAuto/kGrouped run the group-compressed pipeline,
+  // which solves the same fixed point over task equivalence classes.
+  const bool grouped_pipeline =
+      options.mva.kernel == MvaKernelPath::kAuto ||
+      options.mva.kernel == MvaKernelPath::kGrouped;
+
   ModelResult result;
   double prev_fj = -1.0;
   double prev_tri = -1.0;
@@ -104,18 +150,41 @@ Result<ModelResult> SolveModel(const ModelInput& input,
     MRPERF_ASSIGN_OR_RETURN(Timeline timeline,
                             BuildTimeline(input, durations));
 
-    // ---- A3: overlap factors -------------------------------------------
-    MRPERF_ASSIGN_OR_RETURN(OverlapFactors overlap,
-                            ComputeOverlapFactors(timeline, options.overlap));
-
-    // ---- A4: overlap-adjusted MVA --------------------------------------
-    OverlapMvaProblem problem = BuildMvaProblem(input, timeline, overlap);
-    MRPERF_ASSIGN_OR_RETURN(
-        OverlapMvaSolution mva,
-        options.mva_cache
-            ? options.mva_cache->SolveThrough(problem, options.mva,
-                                              options.mva_scratch)
-            : SolveOverlapMva(problem, options.mva, options.mva_scratch));
+    // ---- A3 + A4: overlap factors and the overlap-adjusted MVA ---------
+    double mean_alpha = 0.0;
+    double mean_beta = 0.0;
+    OverlapMvaSolution mva;
+    if (grouped_pipeline) {
+      // Group-compressed path: θ as G×G blocks over the timeline's task
+      // equivalence classes, the fixed point in O(G²K) per iteration,
+      // solutions expanded back to per-task rows.
+      MRPERF_ASSIGN_OR_RETURN(
+          GroupedOverlapFactors overlap,
+          ComputeGroupedOverlapFactors(timeline, options.overlap));
+      mean_alpha = overlap.mean_alpha;
+      mean_beta = overlap.mean_beta;
+      GroupedOverlapMvaProblem problem =
+          BuildGroupedMvaProblem(input, std::move(overlap));
+      MRPERF_ASSIGN_OR_RETURN(
+          mva, options.mva_cache
+                   ? options.mva_cache->SolveThrough(problem, mva_opts,
+                                                     options.mva_scratch)
+                   : SolveGroupedOverlapMva(problem, mva_opts,
+                                            options.mva_scratch));
+    } else {
+      MRPERF_ASSIGN_OR_RETURN(
+          OverlapFactors overlap,
+          ComputeOverlapFactors(timeline, options.overlap));
+      mean_alpha = overlap.mean_alpha;
+      mean_beta = overlap.mean_beta;
+      OverlapMvaProblem problem = BuildMvaProblem(input, timeline, overlap);
+      MRPERF_ASSIGN_OR_RETURN(
+          mva, options.mva_cache
+                   ? options.mva_cache->SolveThrough(problem, mva_opts,
+                                                     options.mva_scratch)
+                   : SolveOverlapMva(problem, mva_opts,
+                                     options.mva_scratch));
+    }
 
     // New class response estimates (means over tasks of the class).
     double map_sum = 0.0, ss_sum = 0.0, mg_sum = 0.0;
@@ -190,8 +259,8 @@ Result<ModelResult> SolveModel(const ModelInput& input,
     result.map_response = cls.map;
     result.shuffle_sort_response = cls.shuffle_sort;
     result.merge_response = cls.merge;
-    result.mean_alpha = overlap.mean_alpha;
-    result.mean_beta = overlap.mean_beta;
+    result.mean_alpha = mean_alpha;
+    result.mean_beta = mean_beta;
     result.tree_depth = max_depth;
     result.timeline = std::move(timeline);
 

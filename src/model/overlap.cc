@@ -1,6 +1,8 @@
 #include "model/overlap.h"
 
 #include <algorithm>
+#include <map>
+#include <tuple>
 
 namespace mrperf {
 
@@ -34,6 +36,80 @@ Result<OverlapFactors> ComputeOverlapFactors(const Timeline& timeline,
       } else {
         beta_sum += frac;
         ++beta_count;
+      }
+    }
+  }
+  out.mean_alpha = alpha_count ? alpha_sum / alpha_count : 0.0;
+  out.mean_beta = beta_count ? beta_sum / beta_count : 0.0;
+  return out;
+}
+
+Result<GroupedOverlapFactors> ComputeGroupedOverlapFactors(
+    const Timeline& timeline, const OverlapOptions& options) {
+  if (options.alpha_scale < 0 || options.beta_scale < 0) {
+    return Status::InvalidArgument("overlap scales must be >= 0");
+  }
+  const size_t T = timeline.tasks.size();
+  if (T == 0) {
+    return Status::InvalidArgument("timeline has no tasks");
+  }
+  GroupedOverlapFactors out;
+  out.task_group.reserve(T);
+
+  // Group tasks by the attributes that determine their θ row and demand
+  // vector. Exact double comparison is deliberate: the compression must
+  // only merge tasks whose dense rows would be bitwise equal.
+  using GroupKey = std::tuple<int, int, double, double, double, double,
+                              double>;
+  std::map<GroupKey, int> index;
+  for (size_t i = 0; i < T; ++i) {
+    const TimelineTask& t = timeline.tasks[i];
+    const GroupKey key = std::make_tuple(t.job, t.node, t.interval.start,
+                                         t.interval.end, t.demand.cpu,
+                                         t.demand.disk, t.demand.network);
+    auto [it, inserted] =
+        index.emplace(key, static_cast<int>(out.groups.size()));
+    if (inserted) {
+      OverlapGroup g;
+      g.job = t.job;
+      g.node = t.node;
+      g.interval = t.interval;
+      g.demand = t.demand;
+      g.count = 0;
+      g.first_task = static_cast<int>(i);
+      out.groups.push_back(g);
+    }
+    ++out.groups[it->second].count;
+    out.task_group.push_back(it->second);
+  }
+
+  const size_t G = out.groups.size();
+  out.theta.assign(G, std::vector<double>(G, 0.0));
+  double alpha_sum = 0.0, beta_sum = 0.0;
+  size_t alpha_count = 0, beta_count = 0;
+  for (size_t g = 0; g < G; ++g) {
+    const OverlapGroup& a = out.groups[g];
+    for (size_t h = 0; h < G; ++h) {
+      const OverlapGroup& b = out.groups[h];
+      // Same interval arithmetic as the dense path, once per block
+      // instead of once per ordered task pair.
+      const double frac = OverlapFraction(a.interval, b.interval);
+      const bool same_job = a.job == b.job;
+      const double scale =
+          same_job ? options.alpha_scale : options.beta_scale;
+      out.theta[g][h] = std::clamp(frac * scale, 0.0, 1.0);
+      // Ordered member pairs represented by this block (g == h covers
+      // the intra-class pairs, hence count·(count−1)).
+      const size_t pairs =
+          g == h ? static_cast<size_t>(a.count) * (a.count - 1)
+                 : static_cast<size_t>(a.count) * b.count;
+      if (pairs == 0) continue;
+      if (same_job) {
+        alpha_sum += frac * static_cast<double>(pairs);
+        alpha_count += pairs;
+      } else {
+        beta_sum += frac * static_cast<double>(pairs);
+        beta_count += pairs;
       }
     }
   }

@@ -40,4 +40,45 @@ struct OverlapFactors {
 Result<OverlapFactors> ComputeOverlapFactors(
     const Timeline& timeline, const OverlapOptions& options = {});
 
+/// \brief One equivalence class of timeline tasks: identical
+/// (job, node, interval, demand), hence identical θ rows and identical
+/// MVA demand vectors. The timeline produces tasks in large such classes
+/// (every map of one job/wave/node), which is what the group-compressed
+/// A4 solve exploits.
+struct OverlapGroup {
+  int job = -1;
+  int node = -1;
+  Interval interval;
+  ClassDemand demand;
+  /// Number of member tasks.
+  int count = 0;
+  /// Timeline index of the first member (groups are ordered by it).
+  int first_task = -1;
+};
+
+/// \brief Group-compressed overlap matrix: G×G blocks instead of T×T.
+struct GroupedOverlapFactors {
+  /// Classes in order of first appearance in the timeline.
+  std::vector<OverlapGroup> groups;
+  /// task_group[i]: class of timeline.tasks[i].
+  std::vector<int> task_group;
+  /// theta[g][h] (h ≠ g): overlap of a member of h onto a member of g,
+  /// scaled by alpha/beta and clamped to [0, 1] exactly like the dense
+  /// matrix. theta[g][g]: overlap between two *distinct* members of g
+  /// (the intra-class factor — NOT a diagonal to be ignored).
+  std::vector<std::vector<double>> theta;
+  /// Mean intra-/inter-job factors over ordered task pairs — the same
+  /// quantities the dense path reports, computed with count weights.
+  double mean_alpha = 0.0;
+  double mean_beta = 0.0;
+};
+
+/// \brief Computes the group-compressed overlap factors in
+/// O(T·log G + G²) instead of the dense O(T²). The θ block values are
+/// bit-identical to the dense entries for the corresponding task pairs
+/// (same interval arithmetic on identical intervals); only the mean
+/// diagnostics may differ in the last ulps (count-weighted summation).
+Result<GroupedOverlapFactors> ComputeGroupedOverlapFactors(
+    const Timeline& timeline, const OverlapOptions& options = {});
+
 }  // namespace mrperf

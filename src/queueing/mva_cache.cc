@@ -27,6 +27,28 @@ void AppendDoubles(std::string* out, const std::vector<double>& values) {
 MvaSolveCache::MvaSolveCache(int64_t max_entries)
     : max_entries_(std::max<int64_t>(1, max_entries)) {}
 
+namespace {
+
+/// Options + centers prefix shared by the per-task and grouped keys.
+/// `assume_valid` and `kernel` are deliberately excluded: neither
+/// affects which solution a key maps to (grouped-kernel solves are
+/// segregated by the grouped key's tag instead).
+void AppendKeyPrefix(std::string* key, const OverlapMvaOptions& options,
+                     const std::vector<ServiceCenter>& centers) {
+  AppendBytes(key, options.tolerance);
+  AppendBytes(key, options.max_iterations);
+  AppendBytes(key, options.damping);
+
+  AppendBytes(key, centers.size());
+  for (const ServiceCenter& c : centers) {
+    // Center names are labels only; they do not affect the solution.
+    AppendBytes(key, c.type);
+    AppendBytes(key, c.server_count);
+  }
+}
+
+}  // namespace
+
 std::string MvaSolveCache::MakeKey(const OverlapMvaProblem& problem,
                                    const OverlapMvaOptions& options) {
   std::string key;
@@ -35,19 +57,32 @@ std::string MvaSolveCache::MakeKey(const OverlapMvaProblem& problem,
                    problem.overlap.size() * problem.overlap.size();
   key.reserve(64 + doubles * sizeof(double));
 
-  AppendBytes(&key, options.tolerance);
-  AppendBytes(&key, options.max_iterations);
-  AppendBytes(&key, options.damping);
-
-  AppendBytes(&key, problem.centers.size());
-  for (const ServiceCenter& c : problem.centers) {
-    // Center names are labels only; they do not affect the solution.
-    AppendBytes(&key, c.type);
-    AppendBytes(&key, c.server_count);
-  }
+  key.push_back('T');  // per-task problem; solution has one row per task
+  AppendKeyPrefix(&key, options, problem.centers);
   AppendBytes(&key, problem.tasks.size());
   for (const OverlapTask& t : problem.tasks) {
     AppendDoubles(&key, t.demand);
+  }
+  AppendBytes(&key, problem.overlap.size());
+  for (const std::vector<double>& row : problem.overlap) {
+    AppendDoubles(&key, row);
+  }
+  return key;
+}
+
+std::string MvaSolveCache::MakeKey(const GroupedOverlapMvaProblem& problem,
+                                   const OverlapMvaOptions& options) {
+  std::string key;
+  size_t doubles = problem.groups.size() * problem.centers.size() +
+                   problem.overlap.size() * problem.overlap.size();
+  key.reserve(64 + doubles * sizeof(double));
+
+  key.push_back('G');  // grouped problem; solution has one row per class
+  AppendKeyPrefix(&key, options, problem.centers);
+  AppendBytes(&key, problem.groups.size());
+  for (const OverlapTaskGroup& g : problem.groups) {
+    AppendBytes(&key, g.count);
+    AppendDoubles(&key, g.demand);
   }
   AppendBytes(&key, problem.overlap.size());
   for (const std::vector<double>& row : problem.overlap) {
@@ -87,14 +122,46 @@ void MvaSolveCache::Insert(const std::string& key,
 Result<OverlapMvaSolution> MvaSolveCache::SolveThrough(
     const OverlapMvaProblem& problem, const OverlapMvaOptions& options,
     MvaKernelScratch* scratch) {
-  const std::string key = MakeKey(problem, options);
+  // Validate once at entry; the hot loop below (hits, the miss solve)
+  // never re-walks the O(T²) overlap matrix.
+  if (!options.assume_valid) {
+    MRPERF_RETURN_NOT_OK(problem.Validate());
+  }
+  OverlapMvaOptions opts = options;
+  opts.assume_valid = true;
+  const std::string key = MakeKey(problem, opts);
   if (std::optional<OverlapMvaSolution> hit = Lookup(key)) {
     return *std::move(hit);
   }
-  Result<OverlapMvaSolution> solved =
-      SolveOverlapMva(problem, options, scratch);
+  Result<OverlapMvaSolution> solved = SolveOverlapMva(problem, opts, scratch);
   if (solved.ok()) Insert(key, *solved);
   return solved;
+}
+
+Result<OverlapMvaSolution> MvaSolveCache::SolveThrough(
+    const GroupedOverlapMvaProblem& problem, const OverlapMvaOptions& options,
+    MvaKernelScratch* scratch) {
+  if (!options.assume_valid) {
+    MRPERF_RETURN_NOT_OK(problem.Validate());
+  }
+  OverlapMvaOptions opts = options;
+  opts.assume_valid = true;
+  const MvaKernelPath path = ResolveGroupedMvaKernelPath(
+      opts.kernel, problem.TotalTasks(), problem.groups.size());
+  if (path != MvaKernelPath::kGrouped) {
+    // Reference-oracle paths run (and cache) at per-task granularity so
+    // their hits stay bit-identical to dense recomputation.
+    return SolveThrough(problem.Expand(), opts, scratch);
+  }
+  const std::string key = MakeKey(problem, opts);
+  if (std::optional<OverlapMvaSolution> hit = Lookup(key)) {
+    return ExpandGroupedMvaSolution(*hit, problem.task_group);
+  }
+  Result<OverlapMvaSolution> group_sol =
+      SolveGroupedOverlapMvaGroupLevel(problem, opts, scratch);
+  if (!group_sol.ok()) return group_sol;
+  Insert(key, *group_sol);
+  return ExpandGroupedMvaSolution(*group_sol, problem.task_group);
 }
 
 MvaCacheStats MvaSolveCache::stats() const {

@@ -12,6 +12,15 @@
 /// Keys are the exact packed bytes of the problem and solver options (no
 /// lossy hashing), so a cache hit is bit-identical to recomputation and
 /// cannot perturb sweep determinism.
+///
+/// Group-compressed problems (GroupedOverlapMvaProblem) are keyed on the
+/// compressed representation — O(G²) bytes instead of O(T²) — and their
+/// solutions are stored at group granularity and expanded per lookup.
+/// Two consequences: key construction and comparison stop scaling with
+/// the square of the task count, and any two problems with the same
+/// compressed form (a period-2 A4 placement cycle, symmetric concurrent
+/// jobs that collapse to the same classes) hit by construction even when
+/// their member orderings differ.
 
 #pragma once
 
@@ -61,6 +70,14 @@ class MvaSolveCache {
   static std::string MakeKey(const OverlapMvaProblem& problem,
                              const OverlapMvaOptions& options);
 
+  /// Compressed key for a grouped problem: centers, per-class
+  /// (count, demand) and the G×G θ blocks — `task_group` is excluded,
+  /// since it only orders the expansion of the shared group-level
+  /// solution. Tagged so grouped keys can never collide with per-task
+  /// keys (their cached solutions have different shapes).
+  static std::string MakeKey(const GroupedOverlapMvaProblem& problem,
+                             const OverlapMvaOptions& options);
+
   /// Returns the cached solution for `key`, if present, marking the
   /// entry most-recently used.
   std::optional<OverlapMvaSolution> Lookup(const std::string& key);
@@ -71,10 +88,20 @@ class MvaSolveCache {
 
   /// Convenience wrapper: lookup, else solve and insert. Forwards solver
   /// errors unchanged; errors are never cached. `scratch` (optional,
-  /// per-thread) is handed to the solver on a miss.
+  /// per-thread) is handed to the solver on a miss. Validates the
+  /// problem ONCE at entry (unless options.assume_valid) — hits and the
+  /// miss solve never re-validate.
   Result<OverlapMvaSolution> SolveThrough(const OverlapMvaProblem& problem,
                                           const OverlapMvaOptions& options,
                                           MvaKernelScratch* scratch = nullptr);
+
+  /// Grouped SolveThrough: stores/reuses the group-level solution under
+  /// the compressed key and expands it through `problem.task_group` per
+  /// call. When options.kernel resolves to a per-task reference path,
+  /// delegates to the dense SolveThrough on the expanded problem.
+  Result<OverlapMvaSolution> SolveThrough(
+      const GroupedOverlapMvaProblem& problem,
+      const OverlapMvaOptions& options, MvaKernelScratch* scratch = nullptr);
 
   MvaCacheStats stats() const;
 

@@ -135,12 +135,50 @@ double BlockedSweep(MvaKernelScratch& s, double damping) {
   return max_delta;
 }
 
+/// One grouped sweep over G rows: the blocked product on the
+/// count-weighted W matrix, then the residence update with the q-row
+/// refresh fused in — q for the next iteration is written while the
+/// freshly damped residence row is still hot, eliminating the separate
+/// RefreshQ pass of the per-task kernel. The fused refresh computes
+/// exactly what RefreshQ would at the top of the next iteration, so the
+/// iteration sequence matches the per-task kernel's step for step.
+double GroupedSweep(MvaKernelScratch& s, double damping) {
+  const size_t G = s.tasks();
+  const size_t K = s.centers();
+  BlockedInterference(s);
+  double max_delta = 0.0;
+  for (size_t g = 0; g < G; ++g) {
+    const double response =
+        UpdateResidenceRow(s, g, s.interference.Row(g), damping, &max_delta);
+    s.response[g] = response;
+    const double inv_response = response > 0 ? 1.0 / response : 0.0;
+    const double* __restrict res = s.residence.Row(g);
+    double* __restrict qg = s.q.Row(g);
+    for (size_t k = 0; k < K; ++k) qg[k] = res[k] * inv_response;
+  }
+  return max_delta;
+}
+
 }  // namespace
 
 MvaKernelPath ResolveMvaKernelPath(MvaKernelPath requested, size_t tasks) {
+  // Per-task problems carry no group structure; grouped degenerates to
+  // the blocked product it is built from.
+  if (requested == MvaKernelPath::kGrouped) return MvaKernelPath::kBlocked;
   if (requested != MvaKernelPath::kAuto) return requested;
   return tasks >= kBlockedMinTasks ? MvaKernelPath::kBlocked
                                    : MvaKernelPath::kScalar;
+}
+
+MvaKernelPath ResolveGroupedMvaKernelPath(MvaKernelPath requested,
+                                          size_t tasks, size_t groups) {
+  if (requested == MvaKernelPath::kAuto) {
+    // Any real compression wins: per-iteration cost is O(G²K) vs O(T²K)
+    // and the expansion back to tasks is a single O(TK) pass.
+    return groups < tasks ? MvaKernelPath::kGrouped
+                          : ResolveMvaKernelPath(requested, tasks);
+  }
+  return requested;
 }
 
 MvaKernelResult RunOverlapMvaFixedPoint(MvaKernelScratch& scratch,
@@ -153,6 +191,24 @@ MvaKernelResult RunOverlapMvaFixedPoint(MvaKernelScratch& scratch,
     const double max_delta = path == MvaKernelPath::kBlocked
                                  ? BlockedSweep(scratch, damping)
                                  : ScalarSweep(scratch, damping);
+    result.iterations = iter;
+    if (max_delta <= tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+MvaKernelResult RunGroupedOverlapMvaFixedPoint(MvaKernelScratch& scratch,
+                                               double tolerance,
+                                               int max_iterations,
+                                               double damping) {
+  // No leading RefreshQ: the pack initialized q from the starting
+  // residence, and every sweep refreshes q for the next one.
+  MvaKernelResult result;
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    const double max_delta = GroupedSweep(scratch, damping);
     result.iterations = iter;
     if (max_delta <= tolerance) {
       result.converged = true;

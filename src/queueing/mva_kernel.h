@@ -5,7 +5,7 @@
 ///
 /// The solver state lives in contiguous row-major buffers instead of
 /// vector-of-vectors: `residence`, `q` and `interference` are T×K, the
-/// θ matrix is T×T with a zeroed diagonal. Two paths compute the
+/// θ matrix is T×T with a zeroed diagonal. Three paths compute the
 /// per-iteration interference term Σ_{j≠i} θ_ij · q_{j,k}:
 ///
 ///  - **Scalar reference** — the original per-(i,k) gather loop, kept as
@@ -13,14 +13,27 @@
 ///  - **Blocked** — the whole term as a T×T · T×K matrix product in
 ///    i-tiles, so the inner loop is a straight-line multiply–add over
 ///    contiguous rows that the compiler auto-vectorizes.
+///  - **Grouped** — the same blocked product over G task *equivalence
+///    classes* instead of T tasks. The timeline emits map/reduce tasks
+///    in large batches with identical intervals, demands and θ rows;
+///    all members of such a class stay identical through every
+///    fixed-point iteration, so the iteration runs exactly on G×K
+///    buffers with a count-weighted θ matrix (one member interferes
+///    with `count−1` siblings at the intra-class factor). Per-iteration
+///    cost drops from O(T²K) to O(G²K) and the q-row refresh is fused
+///    into the residence update (no separate RefreshQ pass).
 ///
-/// Both paths accumulate every (i,k) element in ascending-j order and
-/// the packed diagonal is exactly 0.0 (adding +0.0 to the non-negative
-/// partial sums is a bitwise identity), so the two paths are
-/// **bit-for-bit identical** — asserted by tests/queueing/mva_kernel_test
-/// on the calibrated figure problems and on random instances. Path
-/// selection is therefore purely a performance choice and never
-/// perturbs golden figure series or MvaSolveCache keys.
+/// The scalar and blocked paths accumulate every (i,k) element in
+/// ascending-j order and the packed diagonal is exactly 0.0 (adding
+/// +0.0 to the non-negative partial sums is a bitwise identity), so
+/// those two paths are **bit-for-bit identical** — asserted by
+/// tests/queueing/mva_kernel_test on the calibrated figure problems and
+/// on random instances. The grouped path collapses sibling summands
+/// into one `count·θ·q` multiply, which reorders floating point: it
+/// matches the per-task reference within solver tolerance (and is
+/// bit-identical when every class is a singleton, where the weighted
+/// matrix degenerates to θ itself). MvaSolveCache therefore keys
+/// grouped solves separately from per-task solves.
 
 #pragma once
 
@@ -39,6 +52,11 @@ enum class MvaKernelPath {
   kScalar,
   /// Blocked T×T · T×K product over contiguous rows (vectorizable).
   kBlocked,
+  /// Group-compressed fixed point: the blocked product over G task
+  /// equivalence classes with count-weighted θ and a fused q refresh.
+  /// Only meaningful for grouped problems (mva_overlap.h); a per-task
+  /// solve asked for kGrouped degenerates to kBlocked.
+  kGrouped,
 };
 
 /// \brief Minimal contiguous row-major matrix used by the MVA solvers.
@@ -111,7 +129,17 @@ struct MvaKernelResult {
 };
 
 /// \brief Resolves kAuto to a concrete path for a T-task problem.
+/// kGrouped resolves to kBlocked here: a per-task problem carries no
+/// group structure (it is all singleton classes, where grouped and
+/// blocked coincide bit-for-bit).
 MvaKernelPath ResolveMvaKernelPath(MvaKernelPath requested, size_t tasks);
+
+/// \brief Resolves the path for a grouped problem with `tasks` members
+/// in `groups` classes. kAuto picks kGrouped whenever the compression is
+/// real (groups < tasks) and falls back to the per-task resolution when
+/// every class is a singleton.
+MvaKernelPath ResolveGroupedMvaKernelPath(MvaKernelPath requested,
+                                          size_t tasks, size_t groups);
 
 /// \brief Runs the damped overlap-MVA fixed point on packed buffers.
 ///
@@ -122,6 +150,20 @@ MvaKernelPath ResolveMvaKernelPath(MvaKernelPath requested, size_t tasks);
 MvaKernelResult RunOverlapMvaFixedPoint(MvaKernelScratch& scratch,
                                         double tolerance, int max_iterations,
                                         double damping, MvaKernelPath path);
+
+/// \brief Runs the group-compressed fixed point on packed G-row buffers.
+///
+/// Expects `scratch` packed by PackGroupedOverlapMvaProblem
+/// (mva_overlap.h): `overlap` holds the count-weighted G×G matrix
+/// W[g][h] = count_h·θ_gh (h ≠ g) with diagonal (count_g−1)·θ_gg, and
+/// `q` the refreshed rows of the zero-contention starting point. Each
+/// sweep runs the blocked interference product over the G rows and
+/// refreshes every q row inside the residence update (fused RefreshQ),
+/// so an iteration is one pass over G×K state instead of two.
+MvaKernelResult RunGroupedOverlapMvaFixedPoint(MvaKernelScratch& scratch,
+                                               double tolerance,
+                                               int max_iterations,
+                                               double damping);
 
 /// \brief Per-thread scratch singleton for solver callers that cannot
 /// thread an explicit scratch through (the sweep engine's workers).

@@ -42,6 +42,48 @@ struct OverlapMvaProblem {
   Status Validate() const;
 };
 
+/// \brief One task equivalence class of a group-compressed problem: all
+/// members share one demand vector and one θ row/column block.
+struct OverlapTaskGroup {
+  /// Service demand of ONE member at each center.
+  std::vector<double> demand;
+  /// Number of identical members (>= 1).
+  int count = 1;
+};
+
+/// \brief Group-compressed problem description.
+///
+/// The timeline emits tasks in large equivalence classes (every map of
+/// one job/wave/node has the same interval, demand vector and θ row).
+/// This representation stores one row per class plus multiplicities, so
+/// the θ blocks are G×G instead of T×T and the fixed point runs in
+/// O(G²K) per iteration. The compression is exact: members of a class
+/// start identical (residence == demand) and receive identical updates,
+/// so the grouped fixed point is the per-task fixed point restricted to
+/// the identical-member manifold.
+struct GroupedOverlapMvaProblem {
+  std::vector<ServiceCenter> centers;
+  std::vector<OverlapTaskGroup> groups;
+  /// overlap[g][h] (h ≠ g): θ of one member of class h onto a member of
+  /// class g. overlap[g][g]: θ between two *distinct* members of g (the
+  /// diagonal is meaningful here, unlike the per-task matrix).
+  std::vector<std::vector<double>> overlap;
+  /// Optional expansion map: task_group[i] = class of original task i.
+  /// Size must be the total member count, with exactly groups[g].count
+  /// entries equal to g. When empty, solutions stay at one row per
+  /// class.
+  std::vector<int> task_group;
+
+  /// Total member count Σ groups[g].count.
+  size_t TotalTasks() const;
+  /// O(G² + T) structural validation.
+  Status Validate() const;
+  /// Materializes the equivalent per-task problem (reference oracle):
+  /// tasks in task_group order when the map is present, else class by
+  /// class.
+  OverlapMvaProblem Expand() const;
+};
+
 /// \brief Solver options.
 struct OverlapMvaOptions {
   double tolerance = 1e-10;
@@ -49,11 +91,20 @@ struct OverlapMvaOptions {
   /// Under-relaxation in (0,1]; the default 0.5 is robust for the strongly
   /// coupled systems produced by many-map-task jobs.
   double damping = 0.5;
-  /// Interference kernel (mva_kernel.h). The paths are bit-for-bit
-  /// identical, so this is purely a performance knob; kAuto picks the
-  /// blocked path for large task counts. Deliberately excluded from
-  /// MvaSolveCache keys.
+  /// Interference kernel (mva_kernel.h). Scalar and blocked are
+  /// bit-for-bit identical; the grouped kernel matches them within
+  /// solver tolerance (bit-identical when every class is a singleton).
+  /// kAuto picks grouped when a grouped problem actually compresses,
+  /// else blocked for large task counts. Deliberately excluded from
+  /// MvaSolveCache keys; grouped solves are keyed separately by their
+  /// compressed representation.
   MvaKernelPath kernel = MvaKernelPath::kAuto;
+  /// Skip the O(T²) / O(G²) problem validation: the caller guarantees a
+  /// problem valid by construction (model.cc's BuildMvaProblem, or a
+  /// problem already validated at an API entry point — MvaSolveCache
+  /// validates once per SolveThrough and never re-validates on hits or
+  /// the miss solve). Never affects results; not part of cache keys.
+  bool assume_valid = false;
 };
 
 /// \brief Per-task solution.
@@ -80,5 +131,37 @@ Result<OverlapMvaSolution> SolveOverlapMva(
 /// zero-contention starting point (residence == demand).
 void PackOverlapMvaProblem(const OverlapMvaProblem& problem,
                            MvaKernelScratch* scratch);
+
+/// \brief Solves a group-compressed problem and returns the PER-TASK
+/// solution (groups expanded through `problem.task_group`; one row per
+/// class when the map is empty).
+///
+/// The kernel path (options.kernel, resolved by
+/// ResolveGroupedMvaKernelPath) picks between the O(G²K) grouped fixed
+/// point and the per-task reference oracles on the expanded problem;
+/// kAuto compresses whenever G < T.
+Result<OverlapMvaSolution> SolveGroupedOverlapMva(
+    const GroupedOverlapMvaProblem& problem,
+    const OverlapMvaOptions& options = {}, MvaKernelScratch* scratch = nullptr);
+
+/// \brief Group-level solve: one residence/response row per class, no
+/// expansion. Always runs the grouped kernel — used by MvaSolveCache to
+/// store solutions at G rows instead of T.
+Result<OverlapMvaSolution> SolveGroupedOverlapMvaGroupLevel(
+    const GroupedOverlapMvaProblem& problem,
+    const OverlapMvaOptions& options = {}, MvaKernelScratch* scratch = nullptr);
+
+/// \brief Expands a group-level solution to per-task rows via
+/// `task_group` (returns the input unchanged when the map is empty).
+OverlapMvaSolution ExpandGroupedMvaSolution(
+    const OverlapMvaSolution& group_solution,
+    const std::vector<int>& task_group);
+
+/// \brief Packs a grouped `problem` for RunGroupedOverlapMvaFixedPoint:
+/// per-class demands, the count-weighted W matrix (W[g][h] = count_h·θ_gh
+/// off-diagonal, (count_g−1)·θ_gg on it), the zero-contention starting
+/// point and its refreshed q rows.
+void PackGroupedOverlapMvaProblem(const GroupedOverlapMvaProblem& problem,
+                                  MvaKernelScratch* scratch);
 
 }  // namespace mrperf

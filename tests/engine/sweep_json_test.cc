@@ -1,0 +1,93 @@
+#include "engine/sweep_json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace mrperf {
+namespace {
+
+ExperimentResult SampleResult() {
+  ExperimentResult r;
+  r.point.num_nodes = 6;
+  r.point.input_bytes = 5 * kGiB;
+  r.point.num_jobs = 4;
+  r.point.block_size_bytes = 64 * kMiB;
+  r.point.num_reducers = 2;
+  r.measured_sec = 123.456;
+  r.forkjoin_sec = 117.0;
+  r.tripathi_sec = 130.5;
+  r.forkjoin_error = -0.0523;
+  r.tripathi_error = 0.0571;
+  r.model_iterations = 17;
+  r.model_converged = true;
+  return r;
+}
+
+TEST(SweepJsonTest, EmptyResultsProduceEmptyArray) {
+  EXPECT_EQ(FormatSweepJson({}), "[]\n");
+}
+
+TEST(SweepJsonTest, RecordsCarryAllFields) {
+  const std::string json = FormatSweepJson({SampleResult()});
+  EXPECT_NE(json.find("\"nodes\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"input_bytes\": 5368709120"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"block_size_bytes\": 67108864"), std::string::npos);
+  EXPECT_NE(json.find("\"reducers\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"measured_sec\": 123.456"), std::string::npos);
+  EXPECT_NE(json.find("\"model_iterations\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\"model_converged\": true"), std::string::npos);
+  // Valid array shape: one object, no trailing comma.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.find(",\n  {"), std::string::npos);
+}
+
+TEST(SweepJsonTest, DoublesRoundTripBitExactly) {
+  ExperimentResult r = SampleResult();
+  r.measured_sec = 1.0 / 3.0;
+  const std::string json = FormatSweepJson({r});
+  const size_t pos = json.find("\"measured_sec\": ");
+  ASSERT_NE(pos, std::string::npos);
+  double parsed = 0.0;
+  ASSERT_EQ(
+      std::sscanf(json.c_str() + pos + strlen("\"measured_sec\": "), "%lf",
+                  &parsed),
+      1);
+  EXPECT_EQ(parsed, 1.0 / 3.0);  // bitwise, thanks to %.17g
+}
+
+TEST(SweepJsonTest, MultipleRecordsAreCommaSeparated) {
+  ExperimentResult a = SampleResult();
+  ExperimentResult b = SampleResult();
+  b.point.num_nodes = 8;
+  b.model_converged = false;
+  const std::string json = FormatSweepJson({a, b});
+  EXPECT_NE(json.find("\"nodes\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"nodes\": 8"), std::string::npos);
+  EXPECT_NE(json.find("},\n  {"), std::string::npos);
+  EXPECT_NE(json.find("\"model_converged\": false"), std::string::npos);
+}
+
+TEST(SweepJsonTest, WriteCreatesReadableFile) {
+  const std::string path = ::testing::TempDir() + "sweep_json_test.json";
+  ASSERT_TRUE(WriteSweepJson(path, {SampleResult()}).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), FormatSweepJson({SampleResult()}));
+  std::remove(path.c_str());
+}
+
+TEST(SweepJsonTest, WriteToBadPathFails) {
+  EXPECT_FALSE(
+      WriteSweepJson("/nonexistent-dir/impossible.json", {SampleResult()})
+          .ok());
+}
+
+}  // namespace
+}  // namespace mrperf

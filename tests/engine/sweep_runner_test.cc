@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -160,6 +161,65 @@ TEST(SweepRunnerTest, RunTasksHonorsPerTaskOptions) {
   // The derived-seed task runs a different stream.
   EXPECT_NE(report.results[2]->measured_sec,
             report.results[0]->measured_sec);
+}
+
+TEST(SweepRunnerTest, ProgressReportsEveryPointInCompletionOrder) {
+  SweepOptions opts = FastSweepOptions(4);
+  std::mutex mu;
+  std::vector<SweepProgress> seen;
+  opts.progress = [&](const SweepProgress& p) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(p);
+  };
+  SweepRunner runner(opts);
+  const auto points = SmallGrid().Expand();
+  SweepReport report = runner.Run(points);
+  ASSERT_TRUE(report.all_ok());
+  // One serialized call per point, counting 1..N with a fixed total.
+  ASSERT_EQ(seen.size(), points.size());
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].points_done, i + 1);
+    EXPECT_EQ(seen[i].points_total, points.size());
+  }
+  // Cache stats are live snapshots: lookups never decrease.
+  for (size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_GE(seen[i].cache.lookups(), seen[i - 1].cache.lookups());
+  }
+}
+
+TEST(SweepRunnerTest, ProgressCoversRunModels) {
+  SweepOptions opts = FastSweepOptions(2);
+  std::mutex mu;
+  size_t calls = 0;
+  size_t last_total = 0;
+  opts.progress = [&](const SweepProgress& p) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++calls;
+    last_total = p.points_total;
+  };
+  SweepRunner runner(opts);
+  const auto points = SmallGrid().Expand();
+  const auto models = runner.RunModels(points);
+  ASSERT_EQ(models.size(), points.size());
+  EXPECT_EQ(calls, points.size());
+  EXPECT_EQ(last_total, points.size());
+}
+
+TEST(SweepRunnerTest, ProgressCallbackDoesNotPerturbResults) {
+  SweepOptions quiet = FastSweepOptions(2);
+  SweepOptions noisy = FastSweepOptions(2);
+  noisy.progress = [](const SweepProgress&) {};
+  SweepRunner a(quiet);
+  SweepRunner b(noisy);
+  const auto points = SmallGrid().Expand();
+  SweepReport ra = a.Run(points);
+  SweepReport rb = b.Run(points);
+  ASSERT_TRUE(ra.all_ok());
+  ASSERT_TRUE(rb.all_ok());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(ra.results[i]->forkjoin_sec, rb.results[i]->forkjoin_sec);
+    EXPECT_EQ(ra.results[i]->measured_sec, rb.results[i]->measured_sec);
+  }
 }
 
 TEST(SweepRunnerTest, CacheHitsAccumulateAcrossRuns) {

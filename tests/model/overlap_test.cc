@@ -1,5 +1,8 @@
 #include "model/overlap.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace mrperf {
@@ -108,6 +111,106 @@ TEST(OverlapTest, SingleJobHasNoBeta) {
   auto f = ComputeOverlapFactors(tl);
   ASSERT_TRUE(f.ok());
   EXPECT_DOUBLE_EQ(f->mean_beta, 0.0);
+}
+
+/// Timeline with repeated (job, node, interval, demand) classes: 2 jobs
+/// × 2 waves × 3 identical tasks per wave, plus one odd task.
+Timeline WavedTimeline() {
+  Timeline tl;
+  auto add = [&tl](int job, int node, double s, double e, double cpu) {
+    TimelineTask t;
+    t.job = job;
+    t.cls = TaskClass::kMap;
+    t.index = static_cast<int>(tl.tasks.size());
+    t.node = node;
+    t.interval = {s, e};
+    t.demand = {cpu, 0.5, 0.0};
+    tl.tasks.push_back(t);
+  };
+  for (int job = 0; job < 2; ++job) {
+    for (int wave = 0; wave < 2; ++wave) {
+      for (int i = 0; i < 3; ++i) {
+        add(job, wave, 10.0 * wave, 10.0 * wave + 8.0, 2.0);
+      }
+    }
+  }
+  add(1, 0, 5.0, 25.0, 7.0);  // singleton class
+  tl.job_first_start = {0.0, 0.0};
+  tl.job_end = {18.0, 25.0};
+  tl.makespan = 25.0;
+  return tl;
+}
+
+TEST(OverlapGroupingTest, GroupsCollapseIdenticalTasks) {
+  const Timeline tl = WavedTimeline();
+  auto g = ComputeGroupedOverlapFactors(tl);
+  ASSERT_TRUE(g.ok());
+  // 2 jobs × 2 waves + the singleton = 5 classes for 13 tasks.
+  EXPECT_EQ(g->groups.size(), 5u);
+  EXPECT_LE(g->groups.size(), tl.tasks.size());  // G ≤ T invariant
+  ASSERT_EQ(g->task_group.size(), tl.tasks.size());
+  size_t total = 0;
+  for (const OverlapGroup& group : g->groups) {
+    EXPECT_GE(group.count, 1);
+    total += static_cast<size_t>(group.count);
+    // The representative matches its first member.
+    const TimelineTask& rep = tl.tasks[group.first_task];
+    EXPECT_EQ(rep.job, group.job);
+    EXPECT_EQ(rep.node, group.node);
+    EXPECT_EQ(rep.interval, group.interval);
+  }
+  EXPECT_EQ(total, tl.tasks.size());
+  for (size_t i = 0; i < tl.tasks.size(); ++i) {
+    const int gi = g->task_group[i];
+    ASSERT_GE(gi, 0);
+    ASSERT_LT(static_cast<size_t>(gi), g->groups.size());
+    EXPECT_EQ(tl.tasks[i].interval, g->groups[gi].interval);
+    EXPECT_EQ(tl.tasks[i].job, g->groups[gi].job);
+  }
+}
+
+TEST(OverlapGroupingTest, BlockValuesMatchDenseFactorsBitwise) {
+  // θ blocks reuse the dense path's interval arithmetic on identical
+  // intervals, so every expanded entry equals the dense entry exactly.
+  const Timeline tl = WavedTimeline();
+  OverlapOptions opts;
+  opts.alpha_scale = 0.8;
+  opts.beta_scale = 0.6;
+  auto dense = ComputeOverlapFactors(tl, opts);
+  auto grouped = ComputeGroupedOverlapFactors(tl, opts);
+  ASSERT_TRUE(dense.ok());
+  ASSERT_TRUE(grouped.ok());
+  for (size_t i = 0; i < tl.tasks.size(); ++i) {
+    for (size_t j = 0; j < tl.tasks.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(dense->theta[i][j],
+                grouped->theta[grouped->task_group[i]]
+                              [grouped->task_group[j]])
+          << i << "," << j;
+    }
+  }
+  // Means are count-weighted re-summations of the same fractions.
+  EXPECT_NEAR(dense->mean_alpha, grouped->mean_alpha,
+              1e-12 * std::max(1.0, dense->mean_alpha));
+  EXPECT_NEAR(dense->mean_beta, grouped->mean_beta,
+              1e-12 * std::max(1.0, dense->mean_beta));
+}
+
+TEST(OverlapGroupingTest, DistinctTasksStaySingletons) {
+  // All-distinct intervals: G == T and every count is 1.
+  const Timeline tl = TwoJobTimeline();
+  auto g = ComputeGroupedOverlapFactors(tl);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->groups.size(), tl.tasks.size());
+  for (const OverlapGroup& group : g->groups) EXPECT_EQ(group.count, 1);
+}
+
+TEST(OverlapGroupingTest, RejectsEmptyTimelineAndNegativeScales) {
+  Timeline tl;
+  EXPECT_FALSE(ComputeGroupedOverlapFactors(tl).ok());
+  OverlapOptions opts;
+  opts.beta_scale = -1.0;
+  EXPECT_FALSE(ComputeGroupedOverlapFactors(TwoJobTimeline(), opts).ok());
 }
 
 }  // namespace
