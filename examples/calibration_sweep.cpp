@@ -25,13 +25,16 @@
 int main(int argc, char** argv) {
   using namespace mrperf;
 
+  const auto point = [](int nodes, int64_t input_bytes, int jobs) {
+    ExperimentPoint p;
+    p.num_nodes = nodes;
+    p.input_bytes = input_bytes;
+    p.num_jobs = jobs;
+    return p;
+  };
   const std::vector<ExperimentPoint> points = {
-      {.num_nodes = 4, .input_bytes = 1 * kGiB, .num_jobs = 1},
-      {.num_nodes = 8, .input_bytes = 1 * kGiB, .num_jobs = 1},
-      {.num_nodes = 4, .input_bytes = 5 * kGiB, .num_jobs = 1},
-      {.num_nodes = 8, .input_bytes = 5 * kGiB, .num_jobs = 1},
-      {.num_nodes = 4, .input_bytes = 1 * kGiB, .num_jobs = 4},
-      {.num_nodes = 4, .input_bytes = 5 * kGiB, .num_jobs = 4},
+      point(4, 1 * kGiB, 1), point(8, 1 * kGiB, 1), point(4, 5 * kGiB, 1),
+      point(8, 5 * kGiB, 1), point(4, 1 * kGiB, 4), point(4, 5 * kGiB, 4),
   };
   const char* labels[] = {"1GBx1j n4", "1GBx1j n8", "5GBx1j n4",
                           "5GBx1j n8", "1GBx4j n4", "5GBx4j n4"};

@@ -8,13 +8,25 @@ namespace mrperf {
 Result<RunningStats> RunningStats::FromMoments(size_t count, double mean,
                                                double variance, double min,
                                                double max) {
-  if (count > 0 && (variance < 0 || min > max || mean < min || mean > max)) {
-    return Status::InvalidArgument("inconsistent aggregate moments");
+  if (count > 0) {
+    // Each ordering guard below compares false for NaN operands, so
+    // non-finite moments must be rejected explicitly — a NaN mean or
+    // variance would otherwise slip through and poison every later
+    // Merge() (NaN propagates through the pooled-moment update).
+    if (!std::isfinite(mean) || !std::isfinite(variance) ||
+        !std::isfinite(min) || !std::isfinite(max)) {
+      return Status::InvalidArgument("non-finite aggregate moments");
+    }
+    if (variance < 0 || min > max || mean < min || mean > max) {
+      return Status::InvalidArgument("inconsistent aggregate moments");
+    }
   }
   RunningStats s;
   s.count_ = count;
   s.mean_ = count ? mean : 0.0;
-  s.m2_ = variance * static_cast<double>(count);
+  // count == 0 must zero m2_ explicitly like the other fields: the
+  // moments are unchecked in that case, and NaN * 0.0 is NaN.
+  s.m2_ = count ? variance * static_cast<double>(count) : 0.0;
   s.min_ = count ? min : 0.0;
   s.max_ = count ? max : 0.0;
   return s;

@@ -15,7 +15,7 @@ class RunningStats {
  public:
   /// Reconstructs an accumulator from previously exported aggregates
   /// (used by persistence layers). Errors when count > 0 with
-  /// inconsistent min/max/variance.
+  /// non-finite or inconsistent mean/min/max/variance.
   static Result<RunningStats> FromMoments(size_t count, double mean,
                                           double variance, double min,
                                           double max);

@@ -4,22 +4,35 @@
 #include <cstdio>
 #include <fstream>
 
+#include "engine/sweep_format.h"
+#include "experiments/scenario.h"
+
 namespace mrperf {
 
 std::string FormatSweepCsv(const std::vector<ExperimentResult>& results) {
   std::string out =
-      "nodes,input_bytes,jobs,block_size_bytes,reducers,measured_sec,"
-      "forkjoin_sec,tripathi_sec,forkjoin_error,tripathi_error,"
-      "model_iterations,model_converged\n";
-  char line[512];
+      "nodes,input_bytes,jobs,block_size_bytes,reducers,scheduler,profile,"
+      "cluster,measured_sec,forkjoin_sec,tripathi_sec,forkjoin_error,"
+      "tripathi_error,model_iterations,model_converged\n";
+  char line[256];
   for (const ExperimentResult& r : results) {
-    std::snprintf(line, sizeof(line),
-                  "%d,%" PRId64 ",%d,%" PRId64
-                  ",%d,%.17g,%.17g,%.17g,%.17g,%.17g,%d,%d\n",
-                  r.point.num_nodes, r.point.input_bytes, r.point.num_jobs,
-                  r.point.block_size_bytes, r.point.num_reducers,
-                  r.measured_sec, r.forkjoin_sec, r.tripathi_sec,
-                  r.forkjoin_error, r.tripathi_error, r.model_iterations,
+    const ScenarioSpec& sc = r.point.scenario;
+    std::snprintf(line, sizeof(line), "%d,%" PRId64 ",%d,%" PRId64 ",%d,",
+                  PointNodeCount(r.point), r.point.input_bytes,
+                  r.point.num_jobs, r.point.block_size_bytes,
+                  r.point.num_reducers);
+    out += line;
+    out += SchedulerKindToString(sc.scheduler);
+    out += ',';
+    out += sc.profile.empty() ? "default" : sc.profile;
+    out += ',';
+    out += ClusterShapeLabel(sc.cluster);
+    for (double value : {r.measured_sec, r.forkjoin_sec, r.tripathi_sec,
+                         r.forkjoin_error, r.tripathi_error}) {
+      out += ',';
+      AppendCsvDouble(out, value);
+    }
+    std::snprintf(line, sizeof(line), ",%d,%d\n", r.model_iterations,
                   r.model_converged ? 1 : 0);
     out += line;
   }

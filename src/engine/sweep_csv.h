@@ -17,11 +17,18 @@ namespace mrperf {
 
 /// \brief Renders `results` as CSV (header + one row per result).
 ///
-/// Columns: nodes,input_bytes,jobs,block_size_bytes,reducers,
-/// measured_sec,forkjoin_sec,tripathi_sec,forkjoin_error,tripathi_error,
-/// model_iterations,model_converged. Doubles are written with enough
-/// digits (%.17g) to round-trip bit-exactly, so two CSVs diff clean iff
-/// the sweeps agreed.
+/// Columns: nodes,input_bytes,jobs,block_size_bytes,reducers,scheduler,
+/// profile,cluster,measured_sec,forkjoin_sec,tripathi_sec,forkjoin_error,
+/// tripathi_error,model_iterations,model_converged. `nodes` is the
+/// effective node count (PointNodeCount — a scenario cluster shape
+/// supersedes the grid's num_nodes). The scenario columns hold the
+/// scheduler kind ("capacity"/"tetris"), the workload profile name
+/// ("default" when the options' profile applies) and the cluster shape
+/// label ("uniform" or ClusterShapeLabel) — all comma-free, so no
+/// quoting is needed. Finite doubles are written with enough digits
+/// (%.17g) to round-trip bit-exactly, so two CSVs diff clean iff the
+/// sweeps agreed; non-finite values print as the sign-normalized tokens
+/// nan/inf/-inf (never glibc's "-nan").
 std::string FormatSweepCsv(const std::vector<ExperimentResult>& results);
 
 /// \brief Writes FormatSweepCsv(results) to `path` (overwrites).

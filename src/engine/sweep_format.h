@@ -1,0 +1,46 @@
+/// \file sweep_format.h
+/// \brief Shared numeric formatting for the sweep serializers.
+///
+/// Doubles print with %.17g so values round-trip bit-exactly, but %.17g
+/// renders non-finite values as bare `nan` / `inf` tokens — invalid JSON
+/// (whenever a solve fails or an error ratio divides by zero) and
+/// platform-dependent CSV (glibc prints `-nan` for negative-sign NaNs).
+/// These helpers pin the non-finite representations instead.
+
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace mrperf {
+
+/// \brief Appends `value` as a JSON number: %.17g when finite, `null`
+/// otherwise (JSON has no NaN/Infinity literals).
+inline void AppendJsonDouble(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+/// \brief Appends `value` as a CSV cell: %.17g when finite, else the
+/// sign-normalized tokens `nan` / `inf` / `-inf`.
+inline void AppendCsvDouble(std::string& out, double value) {
+  if (std::isnan(value)) {
+    out += "nan";
+    return;
+  }
+  if (std::isinf(value)) {
+    out += value > 0 ? "inf" : "-inf";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+}  // namespace mrperf

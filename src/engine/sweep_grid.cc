@@ -5,13 +5,37 @@
 namespace mrperf {
 namespace {
 
-/// An unset axis contributes its single default value.
+/// An unset axis contributes its single default value. An explicitly
+/// empty vector is treated identically (documented in sweep_grid.h): the
+/// alternative — silently expanding to a 0-point grid — turns a stray
+/// empty config into a sweep that runs nothing and reports success.
 template <typename T>
 size_t AxisSize(const std::vector<T>& axis) {
   return axis.empty() ? 1 : axis.size();
 }
 
+/// The axis values to iterate: the given ones, or the single default.
+template <typename T>
+std::vector<T> AxisOrDefault(const std::vector<T>& axis, T fallback) {
+  return axis.empty() ? std::vector<T>{std::move(fallback)} : axis;
+}
+
 }  // namespace
+
+SweepGrid& SweepGrid::Schedulers(std::vector<SchedulerKind> values) {
+  schedulers_ = std::move(values);
+  return *this;
+}
+
+SweepGrid& SweepGrid::Profiles(std::vector<std::string> values) {
+  profiles_ = std::move(values);
+  return *this;
+}
+
+SweepGrid& SweepGrid::ClusterShapes(std::vector<ClusterShape> values) {
+  cluster_shapes_ = std::move(values);
+  return *this;
+}
 
 SweepGrid& SweepGrid::Nodes(std::vector<int> values) {
   nodes_ = std::move(values);
@@ -48,8 +72,10 @@ SweepGrid& SweepGrid::InputGigabytes(const std::vector<double>& gb) {
 }
 
 size_t SweepGrid::size() const {
-  return AxisSize(nodes_) * AxisSize(input_bytes_) * AxisSize(jobs_) *
-         AxisSize(block_sizes_) * AxisSize(reducers_);
+  return AxisSize(schedulers_) * AxisSize(profiles_) *
+         AxisSize(cluster_shapes_) * AxisSize(nodes_) *
+         AxisSize(input_bytes_) * AxisSize(jobs_) * AxisSize(block_sizes_) *
+         AxisSize(reducers_);
 }
 
 std::vector<ExperimentPoint> SweepGrid::Expand() const {
@@ -57,33 +83,42 @@ std::vector<ExperimentPoint> SweepGrid::Expand() const {
   std::vector<ExperimentPoint> points;
   points.reserve(size());
 
-  const std::vector<int> nodes = nodes_.empty()
-                                     ? std::vector<int>{defaults.num_nodes}
-                                     : nodes_;
+  const std::vector<SchedulerKind> schedulers =
+      AxisOrDefault(schedulers_, defaults.scenario.scheduler);
+  const std::vector<std::string> profiles =
+      AxisOrDefault(profiles_, defaults.scenario.profile);
+  const std::vector<ClusterShape> shapes =
+      AxisOrDefault(cluster_shapes_, defaults.scenario.cluster);
+  const std::vector<int> nodes = AxisOrDefault(nodes_, defaults.num_nodes);
   const std::vector<int64_t> inputs =
-      input_bytes_.empty() ? std::vector<int64_t>{defaults.input_bytes}
-                           : input_bytes_;
-  const std::vector<int> jobs =
-      jobs_.empty() ? std::vector<int>{defaults.num_jobs} : jobs_;
+      AxisOrDefault(input_bytes_, defaults.input_bytes);
+  const std::vector<int> jobs = AxisOrDefault(jobs_, defaults.num_jobs);
   const std::vector<int64_t> blocks =
-      block_sizes_.empty() ? std::vector<int64_t>{defaults.block_size_bytes}
-                           : block_sizes_;
+      AxisOrDefault(block_sizes_, defaults.block_size_bytes);
   const std::vector<int> reducers =
-      reducers_.empty() ? std::vector<int>{defaults.num_reducers}
-                        : reducers_;
+      AxisOrDefault(reducers_, defaults.num_reducers);
 
-  for (int n : nodes) {
-    for (int64_t in : inputs) {
-      for (int j : jobs) {
-        for (int64_t b : blocks) {
-          for (int r : reducers) {
-            ExperimentPoint p;
-            p.num_nodes = n;
-            p.input_bytes = in;
-            p.num_jobs = j;
-            p.block_size_bytes = b;
-            p.num_reducers = r;
-            points.push_back(p);
+  for (const SchedulerKind sched : schedulers) {
+    for (const std::string& profile : profiles) {
+      for (const ClusterShape& shape : shapes) {
+        for (int n : nodes) {
+          for (int64_t in : inputs) {
+            for (int j : jobs) {
+              for (int64_t b : blocks) {
+                for (int r : reducers) {
+                  ExperimentPoint p;
+                  p.scenario.scheduler = sched;
+                  p.scenario.profile = profile;
+                  p.scenario.cluster = shape;
+                  p.num_nodes = n;
+                  p.input_bytes = in;
+                  p.num_jobs = j;
+                  p.block_size_bytes = b;
+                  p.num_reducers = r;
+                  points.push_back(std::move(p));
+                }
+              }
+            }
           }
         }
       }

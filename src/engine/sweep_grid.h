@@ -4,13 +4,20 @@
 /// The paper's evaluation (§5, Figures 10–15) is a grid over cluster size,
 /// input size, concurrency, and block size. SweepGrid expands such grids
 /// into the flat, deterministically ordered point list the SweepRunner
-/// consumes: axes vary row-major in declaration order (nodes outermost,
-/// reducers innermost), so a grid always expands to the same sequence
-/// regardless of how it is evaluated.
+/// consumes: axes vary row-major in declaration order (scenario axes
+/// outermost, reducers innermost), so a grid always expands to the same
+/// sequence regardless of how it is evaluated.
+///
+/// Beyond the paper's numeric knobs, scenario axes sweep the model's
+/// structural parameters: scheduler policy (capacity vs Tetris, §4.2.2),
+/// named workload profiles, and heterogeneous cluster shapes. Unset
+/// scenario axes default to the paper baseline, so pre-scenario grids
+/// expand byte-identically.
 
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "experiments/experiment.h"
@@ -20,10 +27,25 @@ namespace mrperf {
 /// \brief Builder for cartesian products of ExperimentPoint axes.
 ///
 /// Unset axes stay at the ExperimentPoint default (a single value), so a
-/// grid touching one axis is a 1-D sweep. Axis values are kept in the
-/// order given (duplicates allowed — e.g. repeated measurement designs).
+/// grid touching one axis is a 1-D sweep. Passing an explicitly empty
+/// vector is identical to never setting the axis: it contributes the
+/// single default value, NOT a zero-point grid — `size()` and `Expand()`
+/// agree on this for every axis (pinned by sweep_grid_test). Axis values
+/// are kept in the order given (duplicates allowed — e.g. repeated
+/// measurement designs).
 class SweepGrid {
  public:
+  // --- scenario axes (outermost) ---------------------------------------
+  /// RM scheduler policies (default: capacity FIFO, the paper baseline).
+  SweepGrid& Schedulers(std::vector<SchedulerKind> values);
+  /// Named workload profiles (WorkloadProfileByName; default: "" = the
+  /// experiment options' profile).
+  SweepGrid& Profiles(std::vector<std::string> values);
+  /// Cluster shapes; an empty shape inside the axis means the uniform
+  /// paper cluster of the point's num_nodes (default: uniform only).
+  SweepGrid& ClusterShapes(std::vector<ClusterShape> values);
+
+  // --- numeric axes (§5.1) ----------------------------------------------
   SweepGrid& Nodes(std::vector<int> values);
   SweepGrid& InputBytes(std::vector<int64_t> values);
   SweepGrid& Jobs(std::vector<int> values);
@@ -37,10 +59,14 @@ class SweepGrid {
   size_t size() const;
 
   /// Expands the cartesian product in row-major declaration order:
-  /// nodes ▸ input ▸ jobs ▸ block size ▸ reducers.
+  /// scheduler ▸ profile ▸ cluster shape ▸ nodes ▸ input ▸ jobs ▸
+  /// block size ▸ reducers.
   std::vector<ExperimentPoint> Expand() const;
 
  private:
+  std::vector<SchedulerKind> schedulers_;
+  std::vector<std::string> profiles_;
+  std::vector<ClusterShape> cluster_shapes_;
   std::vector<int> nodes_;
   std::vector<int64_t> input_bytes_;
   std::vector<int> jobs_;

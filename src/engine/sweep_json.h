@@ -3,8 +3,11 @@
 /// sibling of sweep_csv.h for consumers that want typed records (CI
 /// artifact diffing, notebooks, dashboards) instead of a flat table.
 /// One object per successful point with the same quantities the CSV
-/// writer emits; doubles carry enough digits (%.17g) to round-trip
-/// bit-exactly, so two files compare equal iff the sweeps agreed.
+/// writer emits; finite doubles carry enough digits (%.17g) to
+/// round-trip bit-exactly, so two files compare equal iff the sweeps
+/// agreed. Non-finite values (failed solves, zero-division error ratios)
+/// are emitted as JSON `null` — JSON has no NaN/Infinity literals, and a
+/// bare `nan` token would make the whole file unparseable.
 
 #pragma once
 
@@ -18,9 +21,13 @@ namespace mrperf {
 
 /// \brief Renders `results` as a JSON array (one object per result).
 ///
-/// Keys per object: nodes, input_bytes, jobs, block_size_bytes,
-/// reducers, measured_sec, forkjoin_sec, tripathi_sec, forkjoin_error,
-/// tripathi_error, model_iterations, model_converged.
+/// Keys per object: nodes (the effective count, PointNodeCount — a
+/// scenario cluster shape supersedes the grid's num_nodes),
+/// input_bytes, jobs, block_size_bytes, reducers, scheduler, profile,
+/// cluster (scenario strings — scheduler kind, profile name or
+/// "default", ClusterShapeLabel), measured_sec, forkjoin_sec,
+/// tripathi_sec, forkjoin_error, tripathi_error, model_iterations,
+/// model_converged.
 std::string FormatSweepJson(const std::vector<ExperimentResult>& results);
 
 /// \brief Writes FormatSweepJson(results) to `path` (overwrites).

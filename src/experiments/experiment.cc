@@ -26,11 +26,31 @@ Status ValidatePoint(const ExperimentPoint& point) {
   if (point.num_reducers < 0) {
     return Status::InvalidArgument("num_reducers must be >= 0");
   }
-  return Status::OK();
+  return ValidateScenario(point.scenario);
 }
 
 HadoopConfig ConfigFor(const ExperimentPoint& point) {
   return PaperHadoopConfig(point.block_size_bytes, point.num_reducers);
+}
+
+/// Cluster for the point: the uniform paper cluster, or — with a
+/// scenario cluster shape — its node groups (num_nodes then follows the
+/// shape's total so every consumer sees a consistent count).
+ClusterConfig ClusterFor(const ExperimentPoint& point) {
+  ClusterConfig cluster = PaperCluster(point.num_nodes);
+  if (!point.scenario.cluster.empty()) {
+    cluster.node_groups = point.scenario.cluster;
+    cluster.num_nodes = cluster.TotalNodes();
+  }
+  return cluster;
+}
+
+/// Workload profile for the point: the scenario's named profile, or the
+/// experiment options' profile when the scenario leaves it unset.
+Result<JobProfile> ProfileFor(const ExperimentPoint& point,
+                              const ExperimentOptions& options) {
+  if (point.scenario.profile.empty()) return options.profile;
+  return WorkloadProfileByName(point.scenario.profile);
 }
 
 }  // namespace
@@ -39,22 +59,35 @@ bool operator==(const ExperimentPoint& a, const ExperimentPoint& b) {
   return a.num_nodes == b.num_nodes && a.input_bytes == b.input_bytes &&
          a.num_jobs == b.num_jobs &&
          a.block_size_bytes == b.block_size_bytes &&
-         a.num_reducers == b.num_reducers;
+         a.num_reducers == b.num_reducers && a.scenario == b.scenario;
 }
 
 bool operator!=(const ExperimentPoint& a, const ExperimentPoint& b) {
   return !(a == b);
 }
 
+int PointNodeCount(const ExperimentPoint& point) {
+  if (point.scenario.cluster.empty()) return point.num_nodes;
+  int total = 0;
+  for (const ClusterNodeGroup& g : point.scenario.cluster) {
+    total += g.count;
+  }
+  return total;
+}
+
 std::string PointLabel(const ExperimentPoint& point) {
   char buf[96];
   std::snprintf(buf, sizeof(buf), "n%d %.1fGB j%d b%lldMB r%d",
-                point.num_nodes,
+                PointNodeCount(point),
                 static_cast<double>(point.input_bytes) / kGiB,
                 point.num_jobs,
                 static_cast<long long>(point.block_size_bytes / kMiB),
                 point.num_reducers);
-  return buf;
+  std::string label = buf;
+  if (!point.scenario.IsDefault()) {
+    label += " [" + ScenarioLabel(point.scenario) + "]";
+  }
+  return label;
 }
 
 ExperimentOptions DefaultExperimentOptions() {
@@ -78,18 +111,21 @@ Result<double> RunSimulatedMeasurement(const ExperimentPoint& point,
   if (options.repetitions < 1) {
     return Status::InvalidArgument("repetitions must be >= 1");
   }
-  const ClusterConfig cluster = PaperCluster(point.num_nodes);
+  const ClusterConfig cluster = ClusterFor(point);
   const HadoopConfig config = ConfigFor(point);
+  MRPERF_ASSIGN_OR_RETURN(const JobProfile profile,
+                          ProfileFor(point, options));
 
   std::vector<double> means;
   means.reserve(options.repetitions);
   for (int rep = 0; rep < options.repetitions; ++rep) {
     SimOptions sim_opts = options.sim;
     sim_opts.seed = options.base_seed + static_cast<uint64_t>(rep) * 7919;
+    sim_opts.scheduler = point.scenario.scheduler;
     ClusterSimulator sim(cluster, sim_opts);
     for (int j = 0; j < point.num_jobs; ++j) {
       SimJobSpec spec;
-      spec.profile = options.profile;
+      spec.profile = profile;
       spec.config = config;
       spec.input_bytes = point.input_bytes;
       spec.submit_time = 0.0;  // §5.1: jobs executed simultaneously
@@ -104,12 +140,17 @@ Result<double> RunSimulatedMeasurement(const ExperimentPoint& point,
 Result<ModelResult> RunModelPrediction(const ExperimentPoint& point,
                                        const ExperimentOptions& options) {
   MRPERF_RETURN_NOT_OK(ValidatePoint(point));
-  const ClusterConfig cluster = PaperCluster(point.num_nodes);
+  const ClusterConfig cluster = ClusterFor(point);
   const HadoopConfig config = ConfigFor(point);
+  MRPERF_ASSIGN_OR_RETURN(const JobProfile profile,
+                          ProfileFor(point, options));
+  // The analytic model always assumes the capacity scheduler's FIFO
+  // placement (§4.2.2); under a Tetris scenario the measured-vs-model gap
+  // quantifies how far that assumption carries.
   MRPERF_ASSIGN_OR_RETURN(
       ModelInput input,
-      ModelInputFromHerodotou(cluster, config, options.profile,
-                              point.input_bytes, point.num_jobs));
+      ModelInputFromHerodotou(cluster, config, profile, point.input_bytes,
+                              point.num_jobs));
   return SolveModel(input, options.model);
 }
 

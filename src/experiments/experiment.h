@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "experiments/scenario.h"
 #include "hadoop/config.h"
 #include "hadoop/job_profile.h"
 #include "model/model.h"
@@ -18,19 +19,31 @@
 
 namespace mrperf {
 
-/// \brief One point of the evaluation grid (§5.1 parameters).
+/// \brief One point of the evaluation grid: the paper's numeric §5.1
+/// parameters plus the scenario axes (scheduler × workload profile ×
+/// cluster shape) the paper held fixed. A default scenario reproduces
+/// the paper baseline byte-identically; a non-empty scenario.cluster
+/// overrides num_nodes with the shape's total node count.
 struct ExperimentPoint {
   int num_nodes = 4;
   int64_t input_bytes = 1 * kGiB;
   int num_jobs = 1;
   int64_t block_size_bytes = 128 * kMiB;
   int num_reducers = 2;
+  ScenarioSpec scenario;
 };
 
 bool operator==(const ExperimentPoint& a, const ExperimentPoint& b);
 bool operator!=(const ExperimentPoint& a, const ExperimentPoint& b);
 
-/// \brief Compact human-readable label, e.g. "n4 1.0GB j1 b128MB r2".
+/// \brief Nodes the point actually runs on: the scenario cluster
+/// shape's total when one is set (num_nodes is superseded then), else
+/// num_nodes. Labels and serializers report this count.
+int PointNodeCount(const ExperimentPoint& point);
+
+/// \brief Compact human-readable label, e.g. "n4 1.0GB j1 b128MB r2";
+/// non-default scenarios append their label, e.g. "… [tetris/terasort/
+/// 2x65536MBx12c+2x16384MBx4c]".
 std::string PointLabel(const ExperimentPoint& point);
 
 /// \brief Run configuration.
@@ -39,8 +52,12 @@ struct ExperimentOptions {
   /// takes the median (§5.1).
   int repetitions = 5;
   uint64_t base_seed = 1234;
+  /// Simulator knobs. `sim.scheduler` is superseded per point by
+  /// ExperimentPoint::scenario.scheduler (default: capacity FIFO).
   SimOptions sim;
   ModelOptions model;
+  /// Workload profile, superseded per point by a non-empty
+  /// ExperimentPoint::scenario.profile.
   JobProfile profile;
 };
 

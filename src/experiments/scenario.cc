@@ -1,0 +1,88 @@
+#include "experiments/scenario.h"
+
+#include <cstdio>
+
+#include "workload/wordcount.h"
+
+namespace mrperf {
+
+bool ScenarioSpec::IsDefault() const {
+  return scheduler == SchedulerKind::kCapacityFifo && profile.empty() &&
+         cluster.empty();
+}
+
+bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
+  return a.scheduler == b.scheduler && a.profile == b.profile &&
+         a.cluster == b.cluster;
+}
+
+bool operator!=(const ScenarioSpec& a, const ScenarioSpec& b) {
+  return !(a == b);
+}
+
+const char* SchedulerKindToString(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kCapacityFifo:
+      return "capacity";
+    case SchedulerKind::kTetrisPacking:
+      return "tetris";
+  }
+  return "?";
+}
+
+Result<SchedulerKind> SchedulerKindFromString(const std::string& name) {
+  if (name == "capacity") return SchedulerKind::kCapacityFifo;
+  if (name == "tetris") return SchedulerKind::kTetrisPacking;
+  return Status::InvalidArgument("unknown scheduler kind: '" + name + "'");
+}
+
+Result<JobProfile> WorkloadProfileByName(const std::string& name) {
+  if (name == "wordcount") return WordCountProfile();
+  if (name == "terasort") return TeraSortProfile();
+  if (name == "grep") return GrepProfile();
+  if (name == "inverted-index") return InvertedIndexProfile();
+  return Status::InvalidArgument("unknown workload profile: '" + name +
+                                 "' (known: wordcount, terasort, grep, "
+                                 "inverted-index)");
+}
+
+std::vector<std::string> KnownWorkloadProfileNames() {
+  return {"wordcount", "terasort", "grep", "inverted-index"};
+}
+
+std::string ClusterShapeLabel(const ClusterShape& shape) {
+  if (shape.empty()) return "uniform";
+  std::string label;
+  char buf[64];
+  for (const ClusterNodeGroup& g : shape) {
+    std::snprintf(buf, sizeof(buf), "%s%dx%lldMBx%dc",
+                  label.empty() ? "" : "+", g.count,
+                  static_cast<long long>(g.capacity.memory_bytes / kMiB),
+                  g.capacity.vcores);
+    label += buf;
+  }
+  return label;
+}
+
+std::string ScenarioLabel(const ScenarioSpec& scenario) {
+  std::string label = SchedulerKindToString(scenario.scheduler);
+  label += '/';
+  label += scenario.profile.empty() ? "default" : scenario.profile;
+  label += '/';
+  label += ClusterShapeLabel(scenario.cluster);
+  return label;
+}
+
+Status ValidateScenario(const ScenarioSpec& scenario) {
+  if (!scenario.profile.empty()) {
+    MRPERF_ASSIGN_OR_RETURN(JobProfile profile,
+                            WorkloadProfileByName(scenario.profile));
+    MRPERF_RETURN_NOT_OK(profile.Validate());
+  }
+  for (const ClusterNodeGroup& g : scenario.cluster) {
+    MRPERF_RETURN_NOT_OK(ValidateNodeGroup(g));
+  }
+  return Status::OK();
+}
+
+}  // namespace mrperf

@@ -1,0 +1,74 @@
+/// \file scenario.h
+/// \brief Scenario descriptor for experiment points: the non-numeric
+/// evaluation axes the paper holds fixed (§5.1) but the model itself is
+/// parameterized by — scheduler policy (§4.2.2 container placement),
+/// per-workload profiles, and heterogeneous cluster shapes. A
+/// default-constructed ScenarioSpec reproduces the paper's baseline
+/// (capacity scheduler, the experiment options' profile, uniform paper
+/// cluster) byte-identically, so pre-scenario grids are unchanged.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hadoop/config.h"
+#include "hadoop/job_profile.h"
+#include "sim/cluster_sim.h"
+
+namespace mrperf {
+
+/// \brief A heterogeneous cluster shape: node groups in declaration
+/// order (node indices are assigned group by group). Empty = uniform
+/// paper cluster of the experiment point's num_nodes.
+using ClusterShape = std::vector<ClusterNodeGroup>;
+
+/// \brief Scenario axes of one experiment point.
+struct ScenarioSpec {
+  /// RM scheduler policy driven by the simulator. The analytic model
+  /// always assumes the capacity scheduler's FIFO placement (§4.2.2), so
+  /// a Tetris scenario measures the model's error under a scheduler the
+  /// paper never evaluated.
+  SchedulerKind scheduler = SchedulerKind::kCapacityFifo;
+  /// Named workload profile (see WorkloadProfileByName); "" keeps the
+  /// profile configured in ExperimentOptions (the paper's WordCount).
+  std::string profile;
+  /// Heterogeneous cluster shape; empty keeps the uniform paper cluster
+  /// of the point's num_nodes.
+  ClusterShape cluster;
+
+  /// True for a default-constructed spec (the paper baseline).
+  bool IsDefault() const;
+};
+
+bool operator==(const ScenarioSpec& a, const ScenarioSpec& b);
+bool operator!=(const ScenarioSpec& a, const ScenarioSpec& b);
+
+/// \brief "capacity" / "tetris".
+const char* SchedulerKindToString(SchedulerKind kind);
+
+/// \brief Inverse of SchedulerKindToString; errors on unknown names.
+Result<SchedulerKind> SchedulerKindFromString(const std::string& name);
+
+/// \brief Resolves a named workload profile: "wordcount", "terasort",
+/// "grep", "inverted-index" (the Shi et al. taxonomy spanned by
+/// workload/wordcount.h). Errors on unknown names.
+Result<JobProfile> WorkloadProfileByName(const std::string& name);
+
+/// \brief The names WorkloadProfileByName accepts, in a stable order.
+std::vector<std::string> KnownWorkloadProfileNames();
+
+/// \brief Compact label, e.g. "uniform" or "2x65536MBx12c+2x16384MBx4c".
+/// Contains no commas or spaces, so it embeds into CSV cells unquoted.
+std::string ClusterShapeLabel(const ClusterShape& shape);
+
+/// \brief Compact scenario label, e.g. "tetris/terasort/2x65536MBx12c".
+/// Default components print as "capacity", "default" and "uniform".
+std::string ScenarioLabel(const ScenarioSpec& scenario);
+
+/// \brief Validates the scenario: resolvable profile name (or empty) and
+/// a well-formed cluster shape (positive counts/capacities).
+Status ValidateScenario(const ScenarioSpec& scenario);
+
+}  // namespace mrperf

@@ -6,11 +6,19 @@
 namespace mrperf {
 
 int HadoopConfig::MaxMapsPerNode() const {
-  return static_cast<int>(node_capacity_bytes / map_container_bytes);
+  return MaxMapsFor(node_capacity_bytes);
 }
 
 int HadoopConfig::MaxReducesPerNode() const {
-  return static_cast<int>(node_capacity_bytes / reduce_container_bytes);
+  return MaxReducesFor(node_capacity_bytes);
+}
+
+int HadoopConfig::MaxMapsFor(int64_t node_memory_bytes) const {
+  return static_cast<int>(node_memory_bytes / map_container_bytes);
+}
+
+int HadoopConfig::MaxReducesFor(int64_t node_memory_bytes) const {
+  return static_cast<int>(node_memory_bytes / reduce_container_bytes);
 }
 
 int HadoopConfig::NumMapTasks(int64_t input_bytes) const {
@@ -70,12 +78,56 @@ Status NodeHardware::Validate() const {
   return Status::OK();
 }
 
-Status ClusterConfig::Validate() const {
-  if (num_nodes < 1) {
-    return Status::InvalidArgument("num_nodes must be >= 1");
+bool operator==(const ClusterNodeGroup& a, const ClusterNodeGroup& b) {
+  return a.count == b.count && a.capacity == b.capacity;
+}
+
+bool operator!=(const ClusterNodeGroup& a, const ClusterNodeGroup& b) {
+  return !(a == b);
+}
+
+Status ValidateNodeGroup(const ClusterNodeGroup& group) {
+  if (group.count < 1) {
+    return Status::InvalidArgument("node group count must be >= 1");
   }
-  if (node_capacity_bytes <= 0) {
-    return Status::InvalidArgument("node_capacity_bytes must be positive");
+  if (group.capacity.memory_bytes <= 0 || group.capacity.vcores < 1) {
+    return Status::InvalidArgument(
+        "node group capacity must have positive memory and >= 1 vcore");
+  }
+  return Status::OK();
+}
+
+int ClusterConfig::TotalNodes() const {
+  if (node_groups.empty()) return num_nodes;
+  int total = 0;
+  for (const ClusterNodeGroup& g : node_groups) total += g.count;
+  return total;
+}
+
+Resource ClusterConfig::NodeCapacity(int node_index) const {
+  if (node_groups.empty()) {
+    return Resource{node_capacity_bytes, node.cpu_cores};
+  }
+  int offset = node_index;
+  for (const ClusterNodeGroup& g : node_groups) {
+    if (offset < g.count) return g.capacity;
+    offset -= g.count;
+  }
+  return Resource{};  // out of range; Validate() guards real callers
+}
+
+Status ClusterConfig::Validate() const {
+  if (node_groups.empty()) {
+    if (num_nodes < 1) {
+      return Status::InvalidArgument("num_nodes must be >= 1");
+    }
+    if (node_capacity_bytes <= 0) {
+      return Status::InvalidArgument("node_capacity_bytes must be positive");
+    }
+  } else {
+    for (const ClusterNodeGroup& g : node_groups) {
+      MRPERF_RETURN_NOT_OK(ValidateNodeGroup(g));
+    }
   }
   return node.Validate();
 }

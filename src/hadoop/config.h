@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
+#include "yarn/resources.h"
 
 namespace mrperf {
 
@@ -68,6 +70,10 @@ struct HadoopConfig {
   int MaxMapsPerNode() const;
   /// Containers per node available to reduce tasks.
   int MaxReducesPerNode() const;
+  /// The same §4.3 sizing rule applied to an arbitrary NodeManager
+  /// memory (heterogeneous node groups advertise their own).
+  int MaxMapsFor(int64_t node_memory_bytes) const;
+  int MaxReducesFor(int64_t node_memory_bytes) const;
 
   /// Number of map tasks for a given input size.
   int NumMapTasks(int64_t input_bytes) const;
@@ -91,13 +97,46 @@ struct NodeHardware {
   Status Validate() const;
 };
 
-/// \brief Cluster description: homogeneous nodes (paper §4.1 assumption).
+/// \brief One group of identical nodes in a (possibly heterogeneous)
+/// cluster: `count` NodeManagers, each advertising `capacity` (memory +
+/// vcores) to the ResourceManager.
+struct ClusterNodeGroup {
+  int count = 0;
+  Resource capacity;
+};
+
+bool operator==(const ClusterNodeGroup& a, const ClusterNodeGroup& b);
+bool operator!=(const ClusterNodeGroup& a, const ClusterNodeGroup& b);
+
+/// \brief Validates one node group: count >= 1, positive memory, >= 1
+/// vcore. Shared by ClusterConfig::Validate and ValidateScenario so the
+/// rules cannot drift.
+Status ValidateNodeGroup(const ClusterNodeGroup& group);
+
+/// \brief Cluster description. The paper assumes homogeneous nodes
+/// (§4.1); `node_groups` generalizes that to a heterogeneous cluster of
+/// mixed-capacity node groups while keeping the uniform case (empty
+/// groups) byte-identical to the original single-node-type behavior.
 struct ClusterConfig {
   int num_nodes = 4;
   NodeHardware node;
   /// NodeManager-advertised memory per node, bytes. Kept consistent with
   /// HadoopConfig::node_capacity_bytes by the experiment drivers.
   int64_t node_capacity_bytes = 8192 * kMiB;
+  /// Heterogeneous cluster spec: node groups, in declaration order,
+  /// replace the single implicit uniform node type. Node indices are
+  /// assigned group by group (group 0's nodes come first). Empty (the
+  /// default) means uniform: `num_nodes` nodes advertising
+  /// {node_capacity_bytes, node.cpu_cores}. Hardware rates (`node`)
+  /// remain cluster-wide either way.
+  std::vector<ClusterNodeGroup> node_groups;
+
+  /// Nodes in the cluster: `num_nodes` when uniform, else the sum of the
+  /// group counts (num_nodes is ignored when groups are set).
+  int TotalNodes() const;
+
+  /// Advertised capacity of node `node_index` (see node_groups ordering).
+  Resource NodeCapacity(int node_index) const;
 
   Status Validate() const;
 };

@@ -247,19 +247,31 @@ Result<StaticJobEstimate> HerodotouModel::EstimateJob(
       MapOutputBytes(split) * static_cast<int64_t>(est.num_map_tasks);
   // With node-local maps, a 1/numNodes fraction of each reducer's input is
   // local on average.
+  const int total_nodes = cluster_.TotalNodes();
   const double remote_fraction =
-      cluster_.num_nodes > 1
-          ? 1.0 - 1.0 / static_cast<double>(cluster_.num_nodes)
-          : 0.0;
+      total_nodes > 1 ? 1.0 - 1.0 / static_cast<double>(total_nodes) : 0.0;
   MRPERF_ASSIGN_OR_RETURN(
       est.reduce_task,
       CostReduceTask(total_map_out, std::max(1, est.num_reduce_tasks),
                      remote_fraction));
 
   // §4.2.1: "we will give all available resources to the map tasks and then
-  // to the reduce tasks" — wave-serialized static estimate.
-  const int map_slots = cluster_.num_nodes * config_.MaxMapsPerNode();
-  const int reduce_slots = cluster_.num_nodes * config_.MaxReducesPerNode();
+  // to the reduce tasks" — wave-serialized static estimate. Heterogeneous
+  // clusters sum per-group container counts from the advertised memory.
+  int map_slots = 0;
+  int reduce_slots = 0;
+  if (cluster_.node_groups.empty()) {
+    map_slots = cluster_.num_nodes * config_.MaxMapsPerNode();
+    reduce_slots = cluster_.num_nodes * config_.MaxReducesPerNode();
+  } else {
+    for (const ClusterNodeGroup& g : cluster_.node_groups) {
+      map_slots += g.count * config_.MaxMapsFor(g.capacity.memory_bytes);
+      reduce_slots +=
+          g.count * config_.MaxReducesFor(g.capacity.memory_bytes);
+    }
+    map_slots = std::max(1, map_slots);
+    reduce_slots = std::max(1, reduce_slots);
+  }
   est.map_waves = (est.num_map_tasks + map_slots - 1) / map_slots;
   est.reduce_waves =
       est.num_reduce_tasks > 0

@@ -100,15 +100,10 @@ Result<ModelInput> JobHistory::BuildModelInput(const ClusterConfig& cluster,
     return Status::FailedPrecondition("no map-task history recorded");
   }
   ModelInput in;
-  in.num_nodes = cluster.num_nodes;
-  in.cpu_per_node = cluster.node.cpu_cores;
-  in.disk_per_node = cluster.node.disks;
+  MRPERF_RETURN_NOT_OK(ApplyClusterShape(cluster, config, in));
   in.num_jobs = num_jobs;
   in.map_tasks = map_tasks;
   in.reduce_tasks = reduce_tasks;
-  in.max_maps_per_node = config.MaxMapsPerNode();
-  in.max_reduces_per_node = config.MaxReducesPerNode();
-  in.slow_start = config.slowstart_enabled;
 
   in.map_demand = {map.cpu_demand.mean(), map.disk_demand.mean(),
                    map.network_demand.mean()};
@@ -125,10 +120,9 @@ Result<ModelInput> JobHistory::BuildModelInput(const ClusterConfig& cluster,
                                     ss.disk_demand.mean(), 0.0};
     // The recorded network demand of a shuffle-sort covers all remote
     // segments; express it per remote map as Algorithm 1 expects.
+    const int total_nodes = cluster.TotalNodes();
     const double mean_remote_maps =
-        cluster.num_nodes > 1
-            ? map_tasks * (1.0 - 1.0 / cluster.num_nodes)
-            : 0.0;
+        total_nodes > 1 ? map_tasks * (1.0 - 1.0 / total_nodes) : 0.0;
     in.shuffle_per_remote_map_sec =
         mean_remote_maps > 0 ? ss.network_demand.mean() / mean_remote_maps
                              : 0.0;

@@ -35,6 +35,18 @@ Status ModelInput::Validate() const {
   if (max_maps_per_node < 1 || max_reduces_per_node < 1) {
     return Status::InvalidArgument("container caps must be >= 1");
   }
+  for (const ModelNodeGroup& g : node_groups) {
+    if (g.count < 1) {
+      return Status::InvalidArgument("node group count must be >= 1");
+    }
+    if (g.cpu < 1 || g.disk < 1) {
+      return Status::InvalidArgument("node group cpu/disk must be >= 1");
+    }
+    if (g.slots < 1) {
+      return Status::InvalidArgument(
+          "node group must fit at least one container slot");
+    }
+  }
   if (map_demand.Total() <= 0) {
     return Status::InvalidArgument("map demand must be positive");
   }
@@ -61,6 +73,69 @@ int ModelInput::SlotsPerNode() const {
   return std::max(max_maps_per_node, max_reduces_per_node);
 }
 
+namespace {
+
+/// Walks the group list to the group containing `node`; falls back to
+/// nullptr for uniform clusters or out-of-range indices.
+const ModelNodeGroup* GroupOf(const std::vector<ModelNodeGroup>& groups,
+                              int node) {
+  int offset = node;
+  for (const ModelNodeGroup& g : groups) {
+    if (offset < g.count) return &g;
+    offset -= g.count;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int ModelInput::NodeCount() const {
+  if (node_groups.empty()) return num_nodes;
+  int total = 0;
+  for (const ModelNodeGroup& g : node_groups) total += g.count;
+  return total;
+}
+
+int ModelInput::NodeCpu(int node) const {
+  const ModelNodeGroup* g = GroupOf(node_groups, node);
+  return g ? g->cpu : cpu_per_node;
+}
+
+int ModelInput::NodeDisk(int node) const {
+  const ModelNodeGroup* g = GroupOf(node_groups, node);
+  return g ? g->disk : disk_per_node;
+}
+
+int ModelInput::NodeSlots(int node) const {
+  const ModelNodeGroup* g = GroupOf(node_groups, node);
+  return g ? g->slots : SlotsPerNode();
+}
+
+Status ApplyClusterShape(const ClusterConfig& cluster,
+                         const HadoopConfig& config, ModelInput& in) {
+  in.num_nodes = cluster.TotalNodes();
+  in.cpu_per_node = cluster.node.cpu_cores;
+  in.disk_per_node = cluster.node.disks;
+  in.max_maps_per_node = config.MaxMapsPerNode();
+  in.max_reduces_per_node = config.MaxReducesPerNode();
+  in.slow_start = config.slowstart_enabled;
+  in.node_groups.clear();
+  for (const ClusterNodeGroup& g : cluster.node_groups) {
+    ModelNodeGroup mg;
+    mg.count = g.count;
+    mg.cpu = g.capacity.vcores;
+    mg.disk = cluster.node.disks;
+    mg.slots = std::max(config.MaxMapsFor(g.capacity.memory_bytes),
+                        config.MaxReducesFor(g.capacity.memory_bytes));
+    if (mg.slots < 1) {
+      return Status::InvalidArgument(
+          "node group capacity must fit at least one container");
+    }
+    in.node_groups.push_back(mg);
+  }
+  return Status::OK();
+}
+
 Result<ModelInput> ModelInputFromHerodotou(const ClusterConfig& cluster,
                                            const HadoopConfig& config,
                                            const JobProfile& profile,
@@ -72,15 +147,10 @@ Result<ModelInput> ModelInputFromHerodotou(const ClusterConfig& cluster,
                           model.EstimateJob(input_bytes));
 
   ModelInput in;
-  in.num_nodes = cluster.num_nodes;
-  in.cpu_per_node = cluster.node.cpu_cores;
-  in.disk_per_node = cluster.node.disks;
+  MRPERF_RETURN_NOT_OK(ApplyClusterShape(cluster, config, in));
   in.num_jobs = num_jobs;
   in.map_tasks = est.num_map_tasks;
   in.reduce_tasks = est.num_reduce_tasks;
-  in.max_maps_per_node = config.MaxMapsPerNode();
-  in.max_reduces_per_node = config.MaxReducesPerNode();
-  in.slow_start = config.slowstart_enabled;
 
   const MapTaskCost& mc = est.map_task;
   in.map_demand.cpu = mc.read.cpu + mc.map.cpu + mc.collect.cpu +
@@ -111,8 +181,9 @@ Result<ModelInput> ModelInputFromHerodotou(const ClusterConfig& cluster,
 
     // Initial responses: static phase totals; the shuffle-sort initial
     // estimate includes the placement-averaged network leg.
+    const int total_nodes = cluster.TotalNodes();
     const double remote_fraction =
-        cluster.num_nodes > 1 ? 1.0 - 1.0 / cluster.num_nodes : 0.0;
+        total_nodes > 1 ? 1.0 - 1.0 / total_nodes : 0.0;
     in.init_shuffle_sort_response =
         in.shuffle_sort_local_demand.Total() +
         remote_fraction * est.num_map_tasks * in.shuffle_per_remote_map_sec;

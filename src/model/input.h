@@ -10,6 +10,8 @@
 
 #pragma once
 
+#include <vector>
+
 #include "common/status.h"
 #include "hadoop/config.h"
 #include "hadoop/herodotou_model.h"
@@ -32,12 +34,27 @@ struct ClassDemand {
   double Total() const { return cpu + disk + network; }
 };
 
+/// \brief One group of identical nodes as the model sees it: service
+/// center multiplicities and timeline container slots per node. Mirrors
+/// ClusterNodeGroup after container sizing is applied.
+struct ModelNodeGroup {
+  int count = 1;  ///< nodes in this group
+  int cpu = 1;    ///< PS-CPU servers per node (advertised vcores)
+  int disk = 1;   ///< disk servers per node
+  int slots = 1;  ///< timeline container slots per node
+};
+
 /// \brief Everything the model needs about one workload (Table 2).
 struct ModelInput {
   // --- configuration parameters ---------------------------------------
   int num_nodes = 4;        ///< numNodes
   int cpu_per_node = 12;    ///< cpuPerNode
   int disk_per_node = 1;    ///< diskPerNode
+  /// Heterogeneous cluster spec: node groups in declaration order (node
+  /// indices are assigned group by group). Empty (the default) means the
+  /// homogeneous cluster of the scalar fields above — the paper's §4.1
+  /// assumption, and byte-identical to the pre-scenario behavior.
+  std::vector<ModelNodeGroup> node_groups;
 
   // --- workload parameters ---------------------------------------------
   int num_jobs = 1;         ///< N concurrent homogeneous jobs
@@ -69,9 +86,28 @@ struct ModelInput {
 
   /// Container slots per node usable by the timeline: the cluster is a
   /// continuum, so any task may use any slot (§1: "no static partitioning
-  /// of resources per map and reduce tasks").
+  /// of resources per map and reduce tasks"). Uniform-cluster value;
+  /// heterogeneous clusters use NodeSlots(node).
   int SlotsPerNode() const;
+
+  /// Nodes in the cluster: num_nodes when node_groups is empty, else the
+  /// sum of group counts (num_nodes is ignored when groups are set).
+  int NodeCount() const;
+  /// Per-node service-center multiplicities and slot counts (see
+  /// node_groups ordering); uniform clusters return the scalar fields.
+  int NodeCpu(int node) const;
+  int NodeDisk(int node) const;
+  int NodeSlots(int node) const;
 };
+
+/// \brief Fills the cluster-shape fields of `in` — num_nodes, per-node
+/// cpu/disk, container caps, slow start and (for heterogeneous clusters)
+/// node_groups with the §4.3 container sizing applied per group. Shared
+/// by every ModelInput builder so heterogeneous clusters cannot be
+/// silently modeled as uniform. Errors when a group's capacity fits no
+/// container.
+Status ApplyClusterShape(const ClusterConfig& cluster,
+                         const HadoopConfig& config, ModelInput& in);
 
 /// \brief Builds a ModelInput from the Herodotou static model (§4.2.1's
 /// recommended initialization): class demands from the per-phase cost

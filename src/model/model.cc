@@ -10,16 +10,18 @@ namespace {
 enum Center { kCpu = 0, kDisk = 1, kNet = 2 };
 
 /// Per-node CPU / disk / network stations shared by both problem builders.
+/// Heterogeneous clusters get per-node multiplicities from their group.
 std::vector<ServiceCenter> MakeCenters(const ModelInput& input) {
+  const int num_nodes = input.NodeCount();
   std::vector<ServiceCenter> centers;
-  centers.reserve(static_cast<size_t>(input.num_nodes) * 3);
-  for (int n = 0; n < input.num_nodes; ++n) {
+  centers.reserve(static_cast<size_t>(num_nodes) * 3);
+  for (int n = 0; n < num_nodes; ++n) {
     centers.push_back(ServiceCenter{"cpu" + std::to_string(n),
                                     CenterType::kQueueing,
-                                    input.cpu_per_node});
+                                    input.NodeCpu(n)});
     centers.push_back(ServiceCenter{"disk" + std::to_string(n),
                                     CenterType::kQueueing,
-                                    input.disk_per_node});
+                                    input.NodeDisk(n)});
     centers.push_back(
         ServiceCenter{"net" + std::to_string(n), CenterType::kQueueing, 1});
   }
@@ -137,10 +139,11 @@ Result<ModelResult> SolveModel(const ModelInput& input,
     // Split the shuffle-sort response into its node-local base and the
     // per-remote-map penalty (Algorithm 1 line 16), inflating the transfer
     // term with the current network-contention estimate.
+    const int num_nodes = input.NodeCount();
     const double mean_remote_maps =
-        input.num_nodes > 1
+        num_nodes > 1
             ? input.map_tasks *
-                  (1.0 - 1.0 / static_cast<double>(input.num_nodes))
+                  (1.0 - 1.0 / static_cast<double>(num_nodes))
             : 0.0;
     durations.shuffle_per_remote_map =
         input.shuffle_per_remote_map_sec * cls.net_inflation;

@@ -42,11 +42,16 @@ Result<ResourceReport> EstimateResources(const ModelInput& input,
   }
 
   if (report.makespan > 0) {
-    const double cpu_capacity =
-        static_cast<double>(input.num_nodes) * input.cpu_per_node;
-    const double disk_capacity =
-        static_cast<double>(input.num_nodes) * input.disk_per_node;
-    const double net_capacity = static_cast<double>(input.num_nodes);
+    const int num_nodes = input.NodeCount();
+    int64_t cpu_servers = 0;
+    int64_t disk_servers = 0;
+    for (int n = 0; n < num_nodes; ++n) {
+      cpu_servers += input.NodeCpu(n);
+      disk_servers += input.NodeDisk(n);
+    }
+    const double cpu_capacity = static_cast<double>(cpu_servers);
+    const double disk_capacity = static_cast<double>(disk_servers);
+    const double net_capacity = static_cast<double>(num_nodes);
     report.cpu_utilization =
         report.total.cpu_seconds / (report.makespan * cpu_capacity);
     report.disk_utilization =
@@ -88,11 +93,15 @@ Result<ResourceReport> MeasureResources(const ClusterConfig& cluster,
   }
 
   if (report.makespan > 0) {
-    const double cpu_capacity =
-        static_cast<double>(cluster.num_nodes) * cluster.node.cpu_cores;
+    const int num_nodes = cluster.TotalNodes();
+    int64_t cpu_servers = 0;
+    for (int n = 0; n < num_nodes; ++n) {
+      cpu_servers += cluster.NodeCapacity(n).vcores;
+    }
+    const double cpu_capacity = static_cast<double>(cpu_servers);
     const double disk_capacity =
-        static_cast<double>(cluster.num_nodes) * cluster.node.disks;
-    const double net_capacity = static_cast<double>(cluster.num_nodes);
+        static_cast<double>(num_nodes) * cluster.node.disks;
+    const double net_capacity = static_cast<double>(num_nodes);
     report.cpu_utilization =
         report.total.cpu_seconds / (report.makespan * cpu_capacity);
     report.disk_utilization =

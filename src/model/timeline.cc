@@ -12,19 +12,41 @@ struct Slot {
   double free_at = 0.0;
 };
 
+/// Occupancy-rate comparison for the §4.2.2 tie-break ("assign containers
+/// to the nodes with the lowest value"): busy time normalized by the
+/// node's slot count, so mixed-capacity clusters fill big nodes
+/// proportionally. Equal slot counts compare raw busy time — exactly the
+/// pre-scenario comparison, keeping uniform clusters byte-identical;
+/// unequal counts cross-multiply to avoid division rounding.
+bool LowerOccupancyRate(double busy_a, int slots_a, double busy_b,
+                        int slots_b) {
+  if (slots_a == slots_b) return busy_a < busy_b;
+  return busy_a * slots_b < busy_b * slots_a;
+}
+
+bool EqualOccupancyRate(double busy_a, int slots_a, double busy_b,
+                        int slots_b) {
+  if (slots_a == slots_b) return busy_a == busy_b;
+  return busy_a * slots_b == busy_b * slots_a;
+}
+
 /// Picks the slot matching the paper's `i := min(TL)` rule: the node whose
-/// earliest slot frees first; ties broken by lower node occupancy (total
-/// busy time), then lower node id.
+/// earliest slot frees first; ties broken by lower node occupancy rate
+/// (§4.2.2, busy time per slot), then lower node id.
 size_t PickSlot(const std::vector<Slot>& slots,
-                const std::vector<double>& node_busy) {
+                const std::vector<double>& node_busy,
+                const std::vector<int>& node_slots) {
   size_t best = 0;
   for (size_t s = 1; s < slots.size(); ++s) {
     const Slot& a = slots[s];
     const Slot& b = slots[best];
     if (a.free_at < b.free_at ||
         (a.free_at == b.free_at &&
-         (node_busy[a.node] < node_busy[b.node] ||
-          (node_busy[a.node] == node_busy[b.node] && a.node < b.node)))) {
+         (LowerOccupancyRate(node_busy[a.node], node_slots[a.node],
+                             node_busy[b.node], node_slots[b.node]) ||
+          (EqualOccupancyRate(node_busy[a.node], node_slots[a.node],
+                              node_busy[b.node], node_slots[b.node]) &&
+           a.node < b.node)))) {
       best = s;
     }
   }
@@ -62,15 +84,16 @@ Result<Timeline> BuildTimeline(const ModelInput& input,
         "reduce subtask durations must be positive");
   }
 
-  const int slots_per_node = input.SlotsPerNode();
+  const int num_nodes = input.NodeCount();
+  std::vector<int> node_slots(num_nodes, 0);
   std::vector<Slot> slots;
-  slots.reserve(static_cast<size_t>(input.num_nodes) * slots_per_node);
-  for (int n = 0; n < input.num_nodes; ++n) {
-    for (int s = 0; s < slots_per_node; ++s) {
+  for (int n = 0; n < num_nodes; ++n) {
+    node_slots[n] = input.NodeSlots(n);
+    for (int s = 0; s < node_slots[n]; ++s) {
       slots.push_back(Slot{n, 0.0});
     }
   }
-  std::vector<double> node_busy(input.num_nodes, 0.0);
+  std::vector<double> node_busy(num_nodes, 0.0);
 
   Timeline tl;
   tl.job_first_start.assign(input.num_jobs, std::numeric_limits<double>::max());
@@ -86,7 +109,7 @@ Result<Timeline> BuildTimeline(const ModelInput& input,
     double first_map_end = std::numeric_limits<double>::max();
     double last_map_end = 0.0;
     for (int m = 0; m < input.map_tasks; ++m) {
-      const size_t s = PickSlot(slots, node_busy);
+      const size_t s = PickSlot(slots, node_busy, node_slots);
       Slot& slot = slots[s];
       TimelineTask task;
       task.job = job;
@@ -112,7 +135,7 @@ Result<Timeline> BuildTimeline(const ModelInput& input,
 
     // ---- reduce tasks (lines 12-21) ------------------------------------
     for (int r = 0; r < input.reduce_tasks; ++r) {
-      const size_t s = PickSlot(slots, node_busy);
+      const size_t s = PickSlot(slots, node_busy, node_slots);
       Slot& slot = slots[s];
       const int node = slot.node;
       const double start = std::max(slot.free_at, border);

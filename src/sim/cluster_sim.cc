@@ -113,12 +113,16 @@ struct ClusterSimulator::Impl {
     }
     nodes.clear();
     stations.clear();
-    for (int i = 0; i < cluster.num_nodes; ++i) {
-      nodes.emplace_back(
-          i, Resource{cluster.node_capacity_bytes, cluster.node.cpu_cores});
+    const int total_nodes = cluster.TotalNodes();
+    for (int i = 0; i < total_nodes; ++i) {
+      // Mixed-capacity clusters: each node advertises its group's
+      // capacity, and its PS-CPU station concurrency follows the
+      // advertised vcores (uniform clusters keep node.cpu_cores).
+      const Resource capacity = cluster.NodeCapacity(i);
+      nodes.emplace_back(i, capacity);
       std::array<std::unique_ptr<PsResource>, 3> st;
       st[0] = std::make_unique<PsResource>(
-          &queue, "cpu" + std::to_string(i), cluster.node.cpu_cores);
+          &queue, "cpu" + std::to_string(i), capacity.vcores);
       st[1] = std::make_unique<PsResource>(
           &queue, "disk" + std::to_string(i), cluster.node.disks);
       st[2] = std::make_unique<PsResource>(&queue,
@@ -154,12 +158,13 @@ struct ClusterSimulator::Impl {
                                             job.spec.config.block_size_bytes);
     MRPERF_ASSIGN_OR_RETURN(job.map_cost, job.model->CostMapTask(split));
     job.map_output_bytes = job.map_cost.output_bytes;
+    const int total_nodes = cluster.TotalNodes();
     if (num_reduces > 0) {
       // Placement-independent parts only; the shuffle itself is simulated
       // segment-by-segment, so remote_fraction here only sets the record's
       // nominal demand split and is refined at fetch time.
       const double remote_fraction =
-          cluster.num_nodes > 1 ? 1.0 - 1.0 / cluster.num_nodes : 0.0;
+          total_nodes > 1 ? 1.0 - 1.0 / total_nodes : 0.0;
       MRPERF_ASSIGN_OR_RETURN(
           job.reduce_cost,
           job.model->CostReduceTask(job.map_output_bytes * num_maps,
@@ -176,7 +181,7 @@ struct ClusterSimulator::Impl {
     // Input splits spread uniformly over nodes (HDFS default placement).
     plan.map_preferred_nodes.resize(num_maps);
     for (int i = 0; i < num_maps; ++i) {
-      plan.map_preferred_nodes[i] = i % cluster.num_nodes;
+      plan.map_preferred_nodes[i] = i % total_nodes;
     }
     const int64_t app_id = static_cast<int64_t>(jobs.size());
     job.am = std::make_unique<AppMaster>(app_id, plan, job.spec.config);
@@ -568,17 +573,18 @@ struct ClusterSimulator::Impl {
     }
     result.makespan = makespan;
     if (makespan > 0) {
+      const int total_nodes = cluster.TotalNodes();
       double cpu = 0, disk = 0, net = 0;
-      for (int i = 0; i < cluster.num_nodes; ++i) {
+      for (int i = 0; i < total_nodes; ++i) {
         cpu += StationOf(i, Res::kCpu).BusyIntegral() /
-               (makespan * cluster.node.cpu_cores);
+               (makespan * cluster.NodeCapacity(i).vcores);
         disk += StationOf(i, Res::kDisk).BusyIntegral() /
                 (makespan * cluster.node.disks);
         net += StationOf(i, Res::kNet).BusyIntegral() / makespan;
       }
-      result.cpu_utilization = cpu / cluster.num_nodes;
-      result.disk_utilization = disk / cluster.num_nodes;
-      result.network_utilization = net / cluster.num_nodes;
+      result.cpu_utilization = cpu / total_nodes;
+      result.disk_utilization = disk / total_nodes;
+      result.network_utilization = net / total_nodes;
     }
     return result;
   }

@@ -1,6 +1,7 @@
 #include "common/statistics.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -60,6 +61,66 @@ TEST(RunningStatsTest, MergeWithEmpty) {
   empty.Merge(a);
   EXPECT_EQ(empty.count(), 2u);
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, FromMomentsRoundTripsExportedAggregates) {
+  RunningStats s;
+  for (double x : {3.0, 1.0, 4.0, 1.0, 5.0, 9.0}) s.Add(x);
+  auto restored =
+      RunningStats::FromMoments(s.count(), s.mean(), s.variance(), s.min(),
+                                s.max());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->count(), s.count());
+  EXPECT_DOUBLE_EQ(restored->mean(), s.mean());
+  EXPECT_NEAR(restored->variance(), s.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(restored->min(), s.min());
+  EXPECT_DOUBLE_EQ(restored->max(), s.max());
+}
+
+TEST(RunningStatsTest, FromMomentsRejectsNonFiniteMoments) {
+  // Regression: NaN compares false in every ordering guard, so a NaN
+  // mean/variance used to slip through and poison downstream merges.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(RunningStats::FromMoments(3, nan, 1.0, 0.0, 2.0).ok());
+  EXPECT_FALSE(RunningStats::FromMoments(3, 1.0, nan, 0.0, 2.0).ok());
+  EXPECT_FALSE(RunningStats::FromMoments(3, 1.0, 1.0, nan, 2.0).ok());
+  EXPECT_FALSE(RunningStats::FromMoments(3, 1.0, 1.0, 0.0, nan).ok());
+  EXPECT_FALSE(RunningStats::FromMoments(3, inf, 1.0, 0.0, 2.0).ok());
+  EXPECT_FALSE(RunningStats::FromMoments(3, 1.0, inf, 0.0, 2.0).ok());
+  EXPECT_FALSE(RunningStats::FromMoments(3, 1.0, 1.0, -inf, 2.0).ok());
+  EXPECT_FALSE(RunningStats::FromMoments(3, 1.0, 1.0, 0.0, inf).ok());
+  // count == 0 stays permissive (all moments ignored), as before — and
+  // the ignored moments must not leak into later accumulation via m2_.
+  auto empty = RunningStats::FromMoments(0, nan, nan, nan, nan);
+  ASSERT_TRUE(empty.ok());
+  empty->Add(1.0);
+  empty->Add(2.0);
+  EXPECT_DOUBLE_EQ(empty->mean(), 1.5);
+  EXPECT_TRUE(std::isfinite(empty->variance()));
+}
+
+TEST(RunningStatsTest, MergeOfRestoredMomentsStaysFinite) {
+  // Property alongside Merge: restoring any finite aggregate and merging
+  // it keeps every statistic finite — rejected non-finite moments can
+  // no longer poison the pooled update.
+  RunningStats base;
+  for (double x : {10.0, 20.0, 30.0}) base.Add(x);
+  for (double mean : {-5.0, 0.0, 7.5}) {
+    for (double variance : {0.0, 2.25}) {
+      auto restored =
+          RunningStats::FromMoments(4, mean, variance, mean - 3.0,
+                                    mean + 3.0);
+      ASSERT_TRUE(restored.ok());
+      RunningStats merged = base;
+      merged.Merge(*restored);
+      EXPECT_EQ(merged.count(), base.count() + 4);
+      EXPECT_TRUE(std::isfinite(merged.mean()));
+      EXPECT_TRUE(std::isfinite(merged.variance()));
+      EXPECT_TRUE(std::isfinite(merged.min()));
+      EXPECT_TRUE(std::isfinite(merged.max()));
+    }
+  }
 }
 
 TEST(VectorStatsTest, MeanAndVariance) {

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,9 +39,10 @@ TEST(SweepCsvTest, HeaderAndRowShape) {
   EXPECT_FALSE(std::getline(lines, extra));
 
   EXPECT_EQ(header,
-            "nodes,input_bytes,jobs,block_size_bytes,reducers,measured_sec,"
-            "forkjoin_sec,tripathi_sec,forkjoin_error,tripathi_error,"
-            "model_iterations,model_converged");
+            "nodes,input_bytes,jobs,block_size_bytes,reducers,scheduler,"
+            "profile,cluster,measured_sec,forkjoin_sec,tripathi_sec,"
+            "forkjoin_error,tripathi_error,model_iterations,"
+            "model_converged");
   // Same number of columns in header and row.
   const auto count_commas = [](const std::string& s) {
     return std::count(s.begin(), s.end(), ',');
@@ -48,6 +50,8 @@ TEST(SweepCsvTest, HeaderAndRowShape) {
   EXPECT_EQ(count_commas(header), count_commas(row));
   EXPECT_EQ(row.substr(0, 2), "4,");
   EXPECT_NE(row.find("1073741824"), std::string::npos);
+  // Default scenario renders as capacity/default/uniform.
+  EXPECT_NE(row.find(",capacity,default,uniform,"), std::string::npos);
   EXPECT_NE(row.find(",17,1"), std::string::npos);
 }
 
@@ -61,13 +65,43 @@ TEST(SweepCsvTest, DoublesRoundTripExactly) {
   std::string header, row;
   std::getline(lines, header);
   std::getline(lines, row);
-  // Columns 6 and 7 (1-based) hold measured_sec / forkjoin_sec.
+  // Columns 9 and 10 (1-based, after the scenario columns) hold
+  // measured_sec / forkjoin_sec.
   std::istringstream fields(row);
   std::string field;
-  for (int i = 0; i < 6; ++i) std::getline(fields, field, ',');
+  for (int i = 0; i < 9; ++i) std::getline(fields, field, ',');
   EXPECT_EQ(std::stod(field), measured);
   std::getline(fields, field, ',');
   EXPECT_EQ(std::stod(field), forkjoin);
+}
+
+TEST(SweepCsvTest, ScenarioColumnsCarryTheScenario) {
+  // num_nodes 9 is superseded by the shape's 4 total nodes: the nodes
+  // column must report the count the point actually ran on.
+  ExperimentResult r = MakeResult(9, 100.0, 110.0);
+  r.point.scenario.scheduler = SchedulerKind::kTetrisPacking;
+  r.point.scenario.profile = "terasort";
+  r.point.scenario.cluster = {ClusterNodeGroup{2, Resource{64 * kGiB, 12}},
+                              ClusterNodeGroup{2, Resource{16 * kGiB, 4}}};
+  const std::string csv = FormatSweepCsv({r});
+  EXPECT_NE(
+      csv.find(",tetris,terasort,2x65536MBx12c+2x16384MBx4c,"),
+      std::string::npos);
+  EXPECT_NE(csv.find("\n4,"), std::string::npos);
+  EXPECT_EQ(csv.find("\n9,"), std::string::npos);
+}
+
+TEST(SweepCsvTest, NonFiniteValuesAreSignNormalizedTokens) {
+  // A failed solve or zero-division error ratio must not leak glibc's
+  // "-nan" (platform-dependent) into the CSV.
+  ExperimentResult r = MakeResult(4, 100.0, 110.0);
+  r.measured_sec = std::numeric_limits<double>::quiet_NaN();
+  r.forkjoin_sec = -std::numeric_limits<double>::quiet_NaN();
+  r.tripathi_sec = std::numeric_limits<double>::infinity();
+  r.forkjoin_error = -std::numeric_limits<double>::infinity();
+  const std::string csv = FormatSweepCsv({r});
+  EXPECT_NE(csv.find(",nan,nan,inf,-inf,"), std::string::npos);
+  EXPECT_EQ(csv.find("-nan"), std::string::npos);
 }
 
 TEST(SweepCsvTest, EmptyResultsYieldHeaderOnly) {

@@ -84,6 +84,73 @@ TEST(SweepGridTest, DuplicateAxisValuesArePreserved) {
   EXPECT_EQ(grid.Expand().size(), 3u);
 }
 
+TEST(SweepGridTest, ExplicitlyEmptyAxisFallsBackToTheDefaultValue) {
+  // Pinned behavior (documented in sweep_grid.h): an empty axis vector
+  // is identical to never setting the axis — it contributes the single
+  // default value, NOT a zero-point grid.
+  SweepGrid grid;
+  grid.Nodes({})
+      .InputBytes({})
+      .Jobs({})
+      .BlockSizes({})
+      .Reducers({})
+      .Schedulers({})
+      .Profiles({})
+      .ClusterShapes({});
+  EXPECT_EQ(grid.size(), 1u);
+  const auto points = grid.Expand();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0], ExperimentPoint{});
+
+  // Mixing an empty axis into a populated grid keeps the other axes.
+  SweepGrid mixed;
+  mixed.Nodes({4, 6}).Jobs({});
+  EXPECT_EQ(mixed.size(), 2u);
+  EXPECT_EQ(mixed.Expand().size(), 2u);
+}
+
+TEST(SweepGridTest, ScenarioAxesExpandRowMajorOutermost) {
+  const ClusterShape two_tier = {ClusterNodeGroup{2, Resource{64 * kGiB, 12}},
+                                 ClusterNodeGroup{2, Resource{16 * kGiB, 4}}};
+  SweepGrid grid;
+  grid.Schedulers(
+          {SchedulerKind::kCapacityFifo, SchedulerKind::kTetrisPacking})
+      .Profiles({"wordcount", "terasort"})
+      .ClusterShapes({{}, two_tier})
+      .Nodes({4, 8});
+  EXPECT_EQ(grid.size(), 16u);
+  const auto points = grid.Expand();
+  ASSERT_EQ(points.size(), 16u);
+  // scheduler outermost ▸ profile ▸ cluster shape ▸ nodes innermost.
+  EXPECT_EQ(points[0].scenario.scheduler, SchedulerKind::kCapacityFifo);
+  EXPECT_EQ(points[0].scenario.profile, "wordcount");
+  EXPECT_TRUE(points[0].scenario.cluster.empty());
+  EXPECT_EQ(points[0].num_nodes, 4);
+  EXPECT_EQ(points[1].num_nodes, 8);
+  EXPECT_EQ(points[2].scenario.cluster, two_tier);
+  EXPECT_EQ(points[4].scenario.profile, "terasort");
+  EXPECT_EQ(points[8].scenario.scheduler, SchedulerKind::kTetrisPacking);
+  EXPECT_EQ(points[15].scenario.scheduler, SchedulerKind::kTetrisPacking);
+  EXPECT_EQ(points[15].scenario.profile, "terasort");
+  EXPECT_EQ(points[15].scenario.cluster, two_tier);
+  EXPECT_EQ(points[15].num_nodes, 8);
+}
+
+TEST(SweepGridTest, UnsetScenarioAxesExpandIdenticallyToPreScenarioGrids) {
+  // A grid that never touches the scenario axes must expand to the same
+  // sequence as before the scenario axes existed: every point carries
+  // the default (paper baseline) scenario.
+  SweepGrid grid;
+  grid.Nodes({4, 6, 8}).InputGigabytes({1.0, 5.0}).Jobs({1, 4});
+  const auto points = grid.Expand();
+  ASSERT_EQ(points.size(), 12u);
+  for (const auto& p : points) {
+    EXPECT_TRUE(p.scenario.IsDefault());
+  }
+  EXPECT_EQ(points[0].num_nodes, 4);
+  EXPECT_EQ(points[11].num_nodes, 8);
+}
+
 TEST(SweepGridTest, FullFigureGridMatchesPaperEvaluation) {
   // Figures 10-15 cover nodes × {1,5} GB × jobs × block size; the full
   // cross product is 3 * 2 * 4 * 2 = 48 scenario points.

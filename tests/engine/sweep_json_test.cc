@@ -1,7 +1,10 @@
 #include "engine/sweep_json.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -9,6 +12,144 @@
 
 namespace mrperf {
 namespace {
+
+// ---- minimal JSON parser (validation only) ----------------------------
+// Just enough grammar for the sweep serializer's output — objects,
+// arrays, strings, numbers, true/false/null. Bare nan/inf tokens (the
+// pre-fix output for non-finite doubles) fail the value parse, so
+// "parses" is the round-trip regression the serializer must keep.
+
+bool ParseJsonValue(const std::string& s, size_t& i);
+
+void SkipWs(const std::string& s, size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+bool ParseLiteral(const std::string& s, size_t& i, const char* lit) {
+  const size_t n = std::strlen(lit);
+  if (s.compare(i, n, lit) != 0) return false;
+  i += n;
+  return true;
+}
+
+bool ParseJsonString(const std::string& s, size_t& i) {
+  if (i >= s.size() || s[i] != '"') return false;
+  for (++i; i < s.size(); ++i) {
+    if (s[i] == '\\') {
+      ++i;
+    } else if (s[i] == '"') {
+      ++i;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseJsonNumber(const std::string& s, size_t& i) {
+  const size_t start = i;
+  if (i < s.size() && s[i] == '-') ++i;
+  size_t digits = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+    ++i;
+    ++digits;
+  }
+  if (digits == 0) return false;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  }
+  return i > start;
+}
+
+bool ParseJsonObject(const std::string& s, size_t& i) {
+  if (s[i] != '{') return false;
+  ++i;
+  SkipWs(s, i);
+  if (i < s.size() && s[i] == '}') {
+    ++i;
+    return true;
+  }
+  while (i < s.size()) {
+    SkipWs(s, i);
+    if (!ParseJsonString(s, i)) return false;
+    SkipWs(s, i);
+    if (i >= s.size() || s[i] != ':') return false;
+    ++i;
+    if (!ParseJsonValue(s, i)) return false;
+    SkipWs(s, i);
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+bool ParseJsonArray(const std::string& s, size_t& i) {
+  if (s[i] != '[') return false;
+  ++i;
+  SkipWs(s, i);
+  if (i < s.size() && s[i] == ']') {
+    ++i;
+    return true;
+  }
+  while (i < s.size()) {
+    if (!ParseJsonValue(s, i)) return false;
+    SkipWs(s, i);
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < s.size() && s[i] == ']') {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+bool ParseJsonValue(const std::string& s, size_t& i) {
+  SkipWs(s, i);
+  if (i >= s.size()) return false;
+  switch (s[i]) {
+    case '{':
+      return ParseJsonObject(s, i);
+    case '[':
+      return ParseJsonArray(s, i);
+    case '"':
+      return ParseJsonString(s, i);
+    case 't':
+      return ParseLiteral(s, i, "true");
+    case 'f':
+      return ParseLiteral(s, i, "false");
+    case 'n':
+      return ParseLiteral(s, i, "null");
+    default:
+      return ParseJsonNumber(s, i);
+  }
+}
+
+bool IsValidJson(const std::string& s) {
+  size_t i = 0;
+  if (!ParseJsonValue(s, i)) return false;
+  SkipWs(s, i);
+  return i == s.size();
+}
 
 ExperimentResult SampleResult() {
   ExperimentResult r;
@@ -58,6 +199,50 @@ TEST(SweepJsonTest, DoublesRoundTripBitExactly) {
                   &parsed),
       1);
   EXPECT_EQ(parsed, 1.0 / 3.0);  // bitwise, thanks to %.17g
+}
+
+TEST(SweepJsonTest, OutputIsParseableJson) {
+  EXPECT_TRUE(IsValidJson(FormatSweepJson({})));
+  EXPECT_TRUE(
+      IsValidJson(FormatSweepJson({SampleResult(), SampleResult()})));
+}
+
+TEST(SweepJsonTest, ScenarioFieldsCarryTheScenario) {
+  ExperimentResult r = SampleResult();
+  r.point.scenario.scheduler = SchedulerKind::kTetrisPacking;
+  r.point.scenario.profile = "grep";
+  r.point.scenario.cluster = {ClusterNodeGroup{4, Resource{8 * kGiB, 8}}};
+  const std::string json = FormatSweepJson({r});
+  EXPECT_TRUE(IsValidJson(json));
+  EXPECT_NE(json.find("\"scheduler\": \"tetris\""), std::string::npos);
+  EXPECT_NE(json.find("\"profile\": \"grep\""), std::string::npos);
+  EXPECT_NE(json.find("\"cluster\": \"4x8192MBx8c\""), std::string::npos);
+  // Default scenarios keep the baseline labels.
+  const std::string base = FormatSweepJson({SampleResult()});
+  EXPECT_NE(base.find("\"scheduler\": \"capacity\""), std::string::npos);
+  EXPECT_NE(base.find("\"profile\": \"default\""), std::string::npos);
+  EXPECT_NE(base.find("\"cluster\": \"uniform\""), std::string::npos);
+}
+
+TEST(SweepJsonTest, NonFiniteValuesSerializeAsNullAndStayParseable) {
+  // Regression: %.17g used to print bare nan/inf tokens, producing
+  // invalid JSON whenever a solve failed or an error ratio divided by
+  // zero.
+  ExperimentResult r = SampleResult();
+  r.measured_sec = std::numeric_limits<double>::quiet_NaN();
+  r.forkjoin_sec = std::numeric_limits<double>::infinity();
+  r.tripathi_sec = -std::numeric_limits<double>::infinity();
+  r.forkjoin_error = -std::numeric_limits<double>::quiet_NaN();
+  const std::string json = FormatSweepJson({r});
+  EXPECT_NE(json.find("\"measured_sec\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"forkjoin_sec\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"tripathi_sec\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"forkjoin_error\": null"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_TRUE(IsValidJson(json));
+  // Finite fields keep their round-trip representation.
+  EXPECT_NE(json.find("\"tripathi_error\": "), std::string::npos);
 }
 
 TEST(SweepJsonTest, MultipleRecordsAreCommaSeparated) {

@@ -70,6 +70,66 @@ TEST(SweepRunnerTest, IdenticalResultsAtOneFourAndEightThreads) {
   }
 }
 
+TEST(SweepRunnerTest, UniformClusterShapeScenarioReproducesSeedSeries) {
+  // Acceptance gate for the scenario axes: a grid that pins the scenario
+  // axes to the paper baseline — uniform shape, capacity scheduler,
+  // "wordcount" — must reproduce the pre-scenario grid's series
+  // byte-identically (this is the same grid family as fig10-15, shrunk
+  // to stay fast).
+  SweepGrid seed_grid = SmallGrid();
+  SweepGrid scenario_grid = SmallGrid();
+  scenario_grid.Schedulers({SchedulerKind::kCapacityFifo})
+      .Profiles({"wordcount"})
+      .ClusterShapes({{}});
+
+  SweepOptions opts = FastSweepOptions(4);
+  opts.derive_point_seeds = false;  // the figure benches' configuration
+  SweepRunner seed_runner(opts);
+  SweepRunner scenario_runner(opts);
+  const SweepReport a = seed_runner.Run(seed_grid);
+  const SweepReport b = scenario_runner.Run(scenario_grid);
+  ASSERT_TRUE(a.all_ok());
+  ASSERT_TRUE(b.all_ok());
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i]->measured_sec, b.results[i]->measured_sec);
+    EXPECT_EQ(a.results[i]->forkjoin_sec, b.results[i]->forkjoin_sec);
+    EXPECT_EQ(a.results[i]->tripathi_sec, b.results[i]->tripathi_sec);
+    EXPECT_EQ(a.results[i]->forkjoin_error, b.results[i]->forkjoin_error);
+    EXPECT_EQ(a.results[i]->tripathi_error, b.results[i]->tripathi_error);
+  }
+}
+
+TEST(SweepRunnerTest, ScenarioGridIsThreadCountInvariant) {
+  // The determinism guarantee extends to the scenario axes: a scheduler
+  // x profile x cluster-shape grid is byte-identical at any worker
+  // count.
+  SweepGrid grid;
+  grid.Schedulers(
+          {SchedulerKind::kCapacityFifo, SchedulerKind::kTetrisPacking})
+      .Profiles({"grep"})
+      .ClusterShapes({{},
+                      {ClusterNodeGroup{1, Resource{64 * kGiB, 12}},
+                       ClusterNodeGroup{1, Resource{16 * kGiB, 4}}}})
+      .Nodes({2})
+      .InputGigabytes({0.25});
+  std::vector<SweepReport> reports;
+  for (int threads : {1, 4}) {
+    SweepRunner runner(FastSweepOptions(threads));
+    reports.push_back(runner.Run(grid));
+    ASSERT_TRUE(reports.back().all_ok())
+        << reports.back().first_error().ToString();
+  }
+  ASSERT_EQ(reports[0].results.size(), 4u);
+  for (size_t i = 0; i < reports[0].results.size(); ++i) {
+    const ExperimentResult& a = *reports[0].results[i];
+    const ExperimentResult& b = *reports[1].results[i];
+    EXPECT_EQ(a.measured_sec, b.measured_sec) << "point " << i;
+    EXPECT_EQ(a.forkjoin_sec, b.forkjoin_sec) << "point " << i;
+    EXPECT_EQ(a.tripathi_sec, b.tripathi_sec) << "point " << i;
+  }
+}
+
 TEST(SweepRunnerTest, CacheDoesNotChangeResults) {
   SweepOptions with_cache = FastSweepOptions(2);
   SweepOptions without_cache = FastSweepOptions(2);

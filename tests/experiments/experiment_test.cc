@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "experiments/report.h"
+#include "workload/wordcount.h"
 
 namespace mrperf {
 namespace {
@@ -65,6 +66,100 @@ TEST(ExperimentTest, ZeroRepetitionsRejected) {
   ExperimentOptions opts = FastOptions();
   opts.repetitions = 0;
   EXPECT_FALSE(RunSimulatedMeasurement(ExperimentPoint(), opts).ok());
+}
+
+TEST(ExperimentTest, ExplicitUniformScenarioReproducesBaselineByteExactly) {
+  // The scenario axes default to the paper baseline, and spelling that
+  // baseline out (capacity scheduler, "wordcount" = the options' default
+  // profile, uniform shape matching PaperCluster(4)) must reproduce the
+  // seed fig10-15 pipeline bit-for-bit — simulator and both estimators.
+  const ExperimentOptions opts = FastOptions();
+  ExperimentPoint base;
+  base.num_nodes = 4;
+
+  ExperimentPoint scenario = base;
+  scenario.scenario.scheduler = SchedulerKind::kCapacityFifo;
+  scenario.scenario.profile = "wordcount";
+  const ClusterConfig paper = PaperCluster(4);
+  scenario.scenario.cluster = {ClusterNodeGroup{
+      4, Resource{paper.node_capacity_bytes, paper.node.cpu_cores}}};
+
+  auto a = RunExperiment(base, opts);
+  auto b = RunExperiment(scenario, opts);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->measured_sec, b->measured_sec);
+  EXPECT_EQ(a->forkjoin_sec, b->forkjoin_sec);
+  EXPECT_EQ(a->tripathi_sec, b->tripathi_sec);
+  EXPECT_EQ(a->forkjoin_error, b->forkjoin_error);
+  EXPECT_EQ(a->tripathi_error, b->tripathi_error);
+  EXPECT_EQ(a->model_iterations, b->model_iterations);
+}
+
+TEST(ExperimentTest, HeterogeneousScenarioRunsEndToEnd) {
+  ExperimentPoint point;
+  point.num_nodes = 4;  // overridden by the shape's 3 total nodes
+  point.scenario.cluster = {ClusterNodeGroup{1, Resource{64 * kGiB, 12}},
+                            ClusterNodeGroup{2, Resource{16 * kGiB, 4}}};
+  auto r = RunExperiment(point, FastOptions());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->measured_sec, 0.0);
+  EXPECT_GT(r->forkjoin_sec, 0.0);
+  EXPECT_GT(r->tripathi_sec, 0.0);
+
+  // The mixed cluster is a different system than the uniform one.
+  ExperimentPoint uniform;
+  uniform.num_nodes = 3;
+  auto u = RunExperiment(uniform, FastOptions());
+  ASSERT_TRUE(u.ok());
+  EXPECT_NE(r->measured_sec, u->measured_sec);
+}
+
+TEST(ExperimentTest, TetrisScenarioUsesTheTetrisScheduler) {
+  // Same point, different scheduler axis: the simulated measurement must
+  // differ (packing + SRTF reorders containers), while the analytic
+  // model — which always assumes capacity FIFO — stays identical.
+  ExperimentPoint capacity;
+  capacity.num_jobs = 2;
+  ExperimentPoint tetris = capacity;
+  tetris.scenario.scheduler = SchedulerKind::kTetrisPacking;
+  const ExperimentOptions opts = FastOptions();
+  auto a = RunSimulatedMeasurement(capacity, opts);
+  auto b = RunSimulatedMeasurement(tetris, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  auto ma = RunModelPrediction(capacity, opts);
+  auto mb = RunModelPrediction(tetris, opts);
+  ASSERT_TRUE(ma.ok());
+  ASSERT_TRUE(mb.ok());
+  EXPECT_EQ(ma->forkjoin_response, mb->forkjoin_response);
+  EXPECT_EQ(ma->tripathi_response, mb->tripathi_response);
+}
+
+TEST(ExperimentTest, NamedProfileScenarioOverridesOptionsProfile) {
+  ExperimentPoint wordcount;
+  ExperimentPoint terasort;
+  terasort.scenario.profile = "terasort";
+  const ExperimentOptions opts = FastOptions();
+  auto a = RunModelPrediction(wordcount, opts);
+  auto b = RunModelPrediction(terasort, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->forkjoin_response, b->forkjoin_response);
+
+  ExperimentPoint bad;
+  bad.scenario.profile = "no-such-profile";
+  EXPECT_FALSE(RunExperiment(bad, opts).ok());
+}
+
+TEST(ExperimentTest, PointLabelShowsNonDefaultScenario) {
+  ExperimentPoint point;
+  EXPECT_EQ(PointLabel(point).find('['), std::string::npos);
+  point.scenario.scheduler = SchedulerKind::kTetrisPacking;
+  point.scenario.profile = "grep";
+  EXPECT_NE(PointLabel(point).find("[tetris/grep/uniform]"),
+            std::string::npos);
 }
 
 TEST(ReportTest, SummarizeErrors) {

@@ -1,0 +1,100 @@
+#include "experiments/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/wordcount.h"
+
+namespace mrperf {
+namespace {
+
+TEST(ScenarioTest, DefaultSpecIsTheBaseline) {
+  const ScenarioSpec spec;
+  EXPECT_TRUE(spec.IsDefault());
+  EXPECT_EQ(spec.scheduler, SchedulerKind::kCapacityFifo);
+  EXPECT_TRUE(spec.profile.empty());
+  EXPECT_TRUE(spec.cluster.empty());
+  EXPECT_TRUE(ValidateScenario(spec).ok());
+  EXPECT_EQ(ScenarioLabel(spec), "capacity/default/uniform");
+}
+
+TEST(ScenarioTest, EqualityCoversEveryAxis) {
+  ScenarioSpec a;
+  ScenarioSpec b;
+  EXPECT_EQ(a, b);
+  b.scheduler = SchedulerKind::kTetrisPacking;
+  EXPECT_NE(a, b);
+  b = a;
+  b.profile = "terasort";
+  EXPECT_NE(a, b);
+  b = a;
+  b.cluster = {ClusterNodeGroup{2, Resource{64 * kGiB, 12}}};
+  EXPECT_NE(a, b);
+}
+
+TEST(ScenarioTest, SchedulerKindRoundTripsThroughStrings) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kCapacityFifo, SchedulerKind::kTetrisPacking}) {
+    auto parsed = SchedulerKindFromString(SchedulerKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(SchedulerKindFromString("fair").ok());
+  EXPECT_FALSE(SchedulerKindFromString("").ok());
+}
+
+TEST(ScenarioTest, KnownProfileNamesResolve) {
+  for (const std::string& name : KnownWorkloadProfileNames()) {
+    auto profile = WorkloadProfileByName(name);
+    ASSERT_TRUE(profile.ok()) << name;
+    EXPECT_EQ(profile->name, name);
+    EXPECT_TRUE(profile->Validate().ok()) << name;
+  }
+  EXPECT_FALSE(WorkloadProfileByName("does-not-exist").ok());
+  EXPECT_FALSE(WorkloadProfileByName("").ok());
+}
+
+TEST(ScenarioTest, ClusterShapeLabels) {
+  EXPECT_EQ(ClusterShapeLabel({}), "uniform");
+  const ClusterShape two_tier = {ClusterNodeGroup{2, Resource{64 * kGiB, 12}},
+                                 ClusterNodeGroup{2, Resource{16 * kGiB, 4}}};
+  EXPECT_EQ(ClusterShapeLabel(two_tier), "2x65536MBx12c+2x16384MBx4c");
+  // Labels embed into CSV cells unquoted.
+  EXPECT_EQ(ClusterShapeLabel(two_tier).find(','), std::string::npos);
+  EXPECT_EQ(ClusterShapeLabel(two_tier).find(' '), std::string::npos);
+}
+
+TEST(ScenarioTest, ValidateRejectsBadShapesAndProfiles) {
+  ScenarioSpec spec;
+  spec.profile = "no-such-workload";
+  EXPECT_FALSE(ValidateScenario(spec).ok());
+
+  spec = ScenarioSpec{};
+  spec.cluster = {ClusterNodeGroup{0, Resource{64 * kGiB, 12}}};
+  EXPECT_FALSE(ValidateScenario(spec).ok());
+  spec.cluster = {ClusterNodeGroup{2, Resource{0, 12}}};
+  EXPECT_FALSE(ValidateScenario(spec).ok());
+  spec.cluster = {ClusterNodeGroup{2, Resource{64 * kGiB, 0}}};
+  EXPECT_FALSE(ValidateScenario(spec).ok());
+}
+
+TEST(ScenarioTest, ClusterConfigGroupHelpers) {
+  ClusterConfig cluster = PaperCluster(4);
+  EXPECT_EQ(cluster.TotalNodes(), 4);
+  EXPECT_EQ(cluster.NodeCapacity(0),
+            (Resource{cluster.node_capacity_bytes, cluster.node.cpu_cores}));
+
+  cluster.node_groups = {ClusterNodeGroup{2, Resource{64 * kGiB, 12}},
+                         ClusterNodeGroup{3, Resource{16 * kGiB, 4}}};
+  EXPECT_EQ(cluster.TotalNodes(), 5);
+  EXPECT_EQ(cluster.NodeCapacity(0), (Resource{64 * kGiB, 12}));
+  EXPECT_EQ(cluster.NodeCapacity(1), (Resource{64 * kGiB, 12}));
+  EXPECT_EQ(cluster.NodeCapacity(2), (Resource{16 * kGiB, 4}));
+  EXPECT_EQ(cluster.NodeCapacity(4), (Resource{16 * kGiB, 4}));
+  EXPECT_TRUE(cluster.Validate().ok());
+
+  cluster.node_groups[0].count = 0;
+  EXPECT_FALSE(cluster.Validate().ok());
+}
+
+}  // namespace
+}  // namespace mrperf

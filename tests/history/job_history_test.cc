@@ -74,6 +74,31 @@ TEST(JobHistoryTest, BuildsValidModelInput) {
   EXPECT_GE(in->init_map_response, in->map_demand.Total() - 1e-6);
 }
 
+TEST(JobHistoryTest, BuildsHeterogeneousModelInputFromNodeGroups) {
+  // Regression: a heterogeneous ClusterConfig must propagate its node
+  // groups into the ModelInput (shared ApplyClusterShape), not be
+  // silently modeled as a uniform cluster of the stale num_nodes.
+  JobHistory history;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    ASSERT_TRUE(history.AddRun(RunOnce(4, 1 * kGiB, seed)).ok());
+  }
+  ClusterConfig cluster = PaperCluster(4);
+  cluster.node_groups = {ClusterNodeGroup{1, Resource{64 * kGiB, 12}},
+                         ClusterNodeGroup{2, Resource{16 * kGiB, 4}}};
+  auto in = history.BuildModelInput(cluster, PaperHadoopConfig(),
+                                    /*map_tasks=*/8, /*reduce_tasks=*/2,
+                                    /*num_jobs=*/1);
+  ASSERT_TRUE(in.ok()) << in.status().ToString();
+  EXPECT_EQ(in->num_nodes, 3);
+  EXPECT_EQ(in->NodeCount(), 3);
+  ASSERT_EQ(in->node_groups.size(), 2u);
+  EXPECT_EQ(in->NodeCpu(0), 12);
+  EXPECT_EQ(in->NodeCpu(1), 4);
+  EXPECT_EQ(in->NodeSlots(0), 32);  // 64 GiB / 2 GiB containers
+  EXPECT_EQ(in->NodeSlots(2), 8);   // 16 GiB / 2 GiB containers
+  EXPECT_TRUE(in->Validate().ok());
+}
+
 TEST(JobHistoryTest, ModelSolvesFromSampleInitialization) {
   // The §4.2.1 alternative initialization end-to-end: history -> input ->
   // converged model.

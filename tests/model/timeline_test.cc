@@ -187,6 +187,80 @@ TEST(TimelineTest, MapOnlyJob) {
   EXPECT_EQ(tl->tasks.size(), 4u);
 }
 
+TEST(TimelineTest, HeterogeneousGroupsFillByLowestOccupancyRate) {
+  // Golden §4.2.2 placement over mixed-capacity node groups: node 0 has
+  // 3 slots, nodes 1-2 have 1 slot each. At t = 0 all five slots are
+  // free, so the first three picks tie on free_at AND on occupancy rate
+  // (0 busy everywhere) — the node-id tie-break walks nodes 0, 1, 2.
+  // Pick 4 then lands on node 0 again: its rate 10/3 is the lowest
+  // (nodes 1-2 sit at 10/1), i.e. the big node absorbs the extra task.
+  ModelInput in = SmallInput(3, 4, 0);
+  in.node_groups = {ModelNodeGroup{1, 4, 1, 3}, ModelNodeGroup{2, 4, 1, 1}};
+  auto tl = BuildTimeline(in, SmallDurations());
+  ASSERT_TRUE(tl.ok());
+  ASSERT_EQ(tl->tasks.size(), 4u);
+  EXPECT_EQ(tl->tasks[0].node, 0);
+  EXPECT_EQ(tl->tasks[1].node, 1);
+  EXPECT_EQ(tl->tasks[2].node, 2);
+  EXPECT_EQ(tl->tasks[3].node, 0);
+  // All four start immediately: the fourth map uses node 0's spare slot
+  // instead of queueing behind a busy 1-slot node.
+  for (const auto& t : tl->tasks) {
+    EXPECT_DOUBLE_EQ(t.interval.start, 0.0);
+  }
+}
+
+TEST(TimelineTest, HeterogeneousCapacityBeatsNodeIdOnTies) {
+  // Two groups, equal busy time, different slot counts: the node with
+  // more slots has the lower occupancy rate and must win the tie even
+  // against a lower node id. 2 maps seed both nodes with one task each
+  // (node-id tie-break); map 3 then compares rates 10/1 vs 10/2 and
+  // picks node 1, the bigger node.
+  ModelInput in = SmallInput(2, 3, 0);
+  in.node_groups = {ModelNodeGroup{1, 4, 1, 1}, ModelNodeGroup{1, 4, 1, 2}};
+  auto tl = BuildTimeline(in, SmallDurations());
+  ASSERT_TRUE(tl.ok());
+  ASSERT_EQ(tl->tasks.size(), 3u);
+  EXPECT_EQ(tl->tasks[0].node, 0);
+  EXPECT_EQ(tl->tasks[1].node, 1);
+  EXPECT_EQ(tl->tasks[2].node, 1);
+  EXPECT_DOUBLE_EQ(tl->tasks[2].interval.start, 0.0);
+}
+
+TEST(TimelineTest, UniformGroupsMatchScalarClusterExactly) {
+  // A node_groups spec describing the same homogeneous cluster as the
+  // scalar fields must reproduce the scalar timeline bit-for-bit (the
+  // uniform tie-break compares raw busy time, exactly as before).
+  ModelInput scalar = SmallInput(3, 7, 2, 2);
+  ModelInput grouped = scalar;
+  grouped.node_groups = {
+      ModelNodeGroup{3, scalar.cpu_per_node, scalar.disk_per_node,
+                     scalar.SlotsPerNode()}};
+  auto tl_scalar = BuildTimeline(scalar, SmallDurations());
+  auto tl_grouped = BuildTimeline(grouped, SmallDurations());
+  ASSERT_TRUE(tl_scalar.ok());
+  ASSERT_TRUE(tl_grouped.ok());
+  ASSERT_EQ(tl_scalar->tasks.size(), tl_grouped->tasks.size());
+  for (size_t i = 0; i < tl_scalar->tasks.size(); ++i) {
+    const TimelineTask& a = tl_scalar->tasks[i];
+    const TimelineTask& b = tl_grouped->tasks[i];
+    EXPECT_EQ(a.node, b.node) << "task " << i;
+    EXPECT_EQ(a.interval.start, b.interval.start) << "task " << i;
+    EXPECT_EQ(a.interval.end, b.interval.end) << "task " << i;
+  }
+  EXPECT_EQ(tl_scalar->makespan, tl_grouped->makespan);
+}
+
+TEST(TimelineTest, RejectsInvalidNodeGroups) {
+  ModelInput in = SmallInput(3, 4, 1);
+  in.node_groups = {ModelNodeGroup{0, 4, 1, 2}};
+  EXPECT_FALSE(BuildTimeline(in, SmallDurations()).ok());
+  in.node_groups = {ModelNodeGroup{1, 4, 1, 0}};
+  EXPECT_FALSE(BuildTimeline(in, SmallDurations()).ok());
+  in.node_groups = {ModelNodeGroup{1, 0, 1, 2}};
+  EXPECT_FALSE(BuildTimeline(in, SmallDurations()).ok());
+}
+
 TEST(TimelineTest, RejectsInvalidDurations) {
   ModelInput in = SmallInput(2, 4, 1);
   TaskDurations d = SmallDurations();

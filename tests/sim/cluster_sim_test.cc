@@ -198,6 +198,54 @@ TEST(ClusterSimTest, UtilizationsInRange) {
   EXPECT_LE(r->network_utilization, 1.0);
 }
 
+TEST(ClusterSimTest, HeterogeneousGroupsMatchUniformWhenShapesAgree) {
+  // A node_groups spec describing PaperCluster(4)'s uniform nodes must
+  // reproduce the uniform trace bit-for-bit (same NodeStates, same PS
+  // station concurrencies, same event order under one seed).
+  auto run = [](const ClusterConfig& cluster) {
+    ClusterSimulator sim(cluster, FastSim(21));
+    EXPECT_TRUE(sim.SubmitJob(WordCountJob(1 * kGiB)).ok());
+    auto r = sim.Run();
+    EXPECT_TRUE(r.ok());
+    return *r;
+  };
+  const ClusterConfig uniform = PaperCluster(4);
+  ClusterConfig grouped = uniform;
+  grouped.node_groups = {ClusterNodeGroup{
+      4, Resource{uniform.node_capacity_bytes, uniform.node.cpu_cores}}};
+  const SimResult a = run(uniform);
+  const SimResult b = run(grouped);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.MeanJobResponse(), b.MeanJobResponse());
+  EXPECT_EQ(a.cpu_utilization, b.cpu_utilization);
+}
+
+TEST(ClusterSimTest, MixedCapacityClusterPlacesMoreWorkOnBigNodes) {
+  // 1 big node (4x memory, 3x vcores) + 2 small nodes: every task still
+  // completes, and the big node runs at least as many containers as
+  // either small one (the schedulers fill by occupancy / packing score
+  // over the advertised capacities).
+  ClusterConfig cluster = PaperCluster(3);
+  cluster.node_groups = {ClusterNodeGroup{1, Resource{64 * kGiB, 12}},
+                         ClusterNodeGroup{2, Resource{16 * kGiB, 4}}};
+  ClusterSimulator sim(cluster, FastSim(5));
+  ASSERT_TRUE(sim.SubmitJob(WordCountJob(2 * kGiB, 4)).ok());
+  auto r = sim.Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->job_response_times.size(), 1u);
+  EXPECT_EQ(r->tasks.size(), 20u);  // 16 maps + 4 reduces
+  int per_node[3] = {0, 0, 0};
+  for (const auto& t : r->tasks) {
+    ASSERT_GE(t.node, 0);
+    ASSERT_LT(t.node, 3);
+    ++per_node[t.node];
+  }
+  EXPECT_GE(per_node[0], per_node[1]);
+  EXPECT_GE(per_node[0], per_node[2]);
+}
+
 TEST(ClusterSimTest, InvalidSubmissionsRejected) {
   ClusterSimulator sim(PaperCluster(2), FastSim());
   SimJobSpec spec = WordCountJob(1 * kGiB);
