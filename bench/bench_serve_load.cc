@@ -1,0 +1,494 @@
+/// Closed-loop load generator and acceptance gate for predictd, the
+/// online prediction daemon (src/serve/). Spawns a real predictd child
+/// process, then drives four phases over TCP:
+///
+///  1. **Determinism gate.** A mixed scenario batch (schedulers,
+///     profiles, heterogeneous clusters, model-only) is served and every
+///     response must be byte-identical to an offline SweepRunner
+///     evaluation of the same request — the serving analogue of
+///     bench_scenario_sweep --smoke. Holds at any worker count because
+///     request seeds never depend on batch composition.
+///  2. **Coalescing gate.** A pipelined duplicate burst must be served
+///     with fewer evaluations than requests (in-flight coalescing) and a
+///     nonzero MVA-cache hit rate.
+///  3. **Load phase.** Closed-loop clients measure end-to-end latency;
+///     p50/p95/p99 + throughput go to BENCH_serve_load.json for the CI
+///     perf trajectory. Also checks malformed lines get structured
+///     errors without dropping the connection.
+///  4. **Drain gate.** Requests are admitted, SIGTERM is sent, and every
+///     admitted request must still receive its response before the child
+///     exits 0.
+///
+/// Flags: --predictd=PATH (default ./predictd), --threads=N (server
+/// workers, default 4), --connections=C (default 4), --requests=M per
+/// connection in the load phase (default 10), --json-out=PATH, --smoke
+/// (CI sizing: fewer load requests).
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/statistics.h"
+#include "engine/sweep_format.h"
+#include "engine/sweep_runner.h"
+#include "figure_common.h"
+#include "serve/client.h"
+#include "serve/json.h"
+#include "serve/request.h"
+
+namespace {
+
+using namespace mrperf;
+using SteadyClock = std::chrono::steady_clock;
+
+struct ChildServer {
+  pid_t pid = -1;
+  int port = 0;
+};
+
+bool SpawnPredictd(const std::string& path, int threads,
+                   ChildServer* child) {
+  int out_pipe[2];
+  if (pipe(out_pipe) != 0) {
+    std::fprintf(stderr, "pipe() failed: %s\n", std::strerror(errno));
+    return false;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "fork() failed: %s\n", std::strerror(errno));
+    return false;
+  }
+  if (pid == 0) {
+    dup2(out_pipe[1], STDOUT_FILENO);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    const std::string threads_flag = "--threads=" + std::to_string(threads);
+    execl(path.c_str(), path.c_str(), "--port=0", threads_flag.c_str(),
+          static_cast<char*>(nullptr));
+    std::fprintf(stderr, "execl(%s) failed: %s\n", path.c_str(),
+                 std::strerror(errno));
+    _exit(127);
+  }
+  close(out_pipe[1]);
+  // First stdout line announces the bound port.
+  std::string line;
+  char c;
+  while (read(out_pipe[0], &c, 1) == 1 && c != '\n') line += c;
+  close(out_pipe[0]);
+  int port = 0;
+  if (std::sscanf(line.c_str(), "predictd listening on 127.0.0.1:%d",
+                  &port) != 1 ||
+      port <= 0) {
+    std::fprintf(stderr, "unexpected predictd banner: '%s'\n",
+                 line.c_str());
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+    return false;
+  }
+  child->pid = pid;
+  child->port = port;
+  return true;
+}
+
+void KillChild(ChildServer* child) {
+  if (child->pid > 0) {
+    kill(child->pid, SIGKILL);
+    waitpid(child->pid, nullptr, 0);
+    child->pid = -1;
+  }
+}
+
+/// Extracts stats.<key> from a stats response line.
+double StatsField(const std::string& response, const std::string& key) {
+  Result<JsonValue> parsed = ParseJson(response);
+  if (!parsed.ok()) return -1.0;
+  const JsonValue* stats = parsed->Find("stats");
+  if (stats == nullptr) return -1.0;
+  const JsonValue* field = stats->Find(key);
+  if (field == nullptr || !field->is_number()) return -1.0;
+  return field->number_value();
+}
+
+double CacheField(const std::string& response, const std::string& key) {
+  Result<JsonValue> parsed = ParseJson(response);
+  if (!parsed.ok()) return -1.0;
+  const JsonValue* stats = parsed->Find("stats");
+  const JsonValue* cache = stats ? stats->Find("cache") : nullptr;
+  const JsonValue* field = cache ? cache->Find(key) : nullptr;
+  if (field == nullptr || !field->is_number()) return -1.0;
+  return field->number_value();
+}
+
+/// The mixed scenario batch of phase 1/3: ids must stay unique.
+std::vector<std::string> ScenarioMix() {
+  return {
+      R"({"id":"a0","kind":"predict","nodes":2,"input_gb":0.25,)"
+      R"("jobs":1,"repetitions":2})",
+      R"({"id":"a1","nodes":3,"input_gb":0.25,"jobs":2,"repetitions":2})",
+      R"({"id":"a2","nodes":2,"input_gb":0.5,"repetitions":2,)"
+      R"("profile":"terasort"})",
+      R"({"id":"a3","nodes":2,"input_gb":0.25,"scheduler":"tetris",)"
+      R"("repetitions":2})",
+      R"({"id":"a4","nodes":4,"input_gb":0.25,"jobs":2,"repetitions":2,)"
+      R"("cluster":"1x65536MBx12c+1x16384MBx4c"})",
+      R"({"id":"a5","nodes":2,"input_gb":0.25,"model_only":true})",
+      R"({"id":"a6","nodes":2,"input_gb":0.25,"repetitions":2,)"
+      R"("reducers":4})",
+      R"({"id":"a7","nodes":3,"input_gb":0.5,"repetitions":2,)"
+      R"("profile":"grep","seed":777})",
+  };
+}
+
+/// Offline oracle: evaluates the same requests through a local
+/// SweepRunner and renders the byte-exact expected responses.
+bool OfflineExpectedResponses(const std::vector<std::string>& lines,
+                              std::vector<std::string>* expected) {
+  const ExperimentOptions base = DefaultExperimentOptions();
+  std::vector<SweepRunner::Task> tasks;
+  std::vector<std::optional<std::string>> ids;
+  for (const std::string& line : lines) {
+    Result<ServeRequest> parsed = ParseServeRequest(line);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "offline parse of '%s' failed: %s\n",
+                   line.c_str(), parsed.status().ToString().c_str());
+      return false;
+    }
+    tasks.push_back(TaskForRequest(parsed->predict, base));
+    ids.push_back(parsed->id);
+  }
+  SweepOptions sweep;
+  sweep.experiment = base;
+  SweepRunner runner(sweep);
+  const SweepReport report = runner.RunTasks(tasks);
+  if (!report.all_ok()) {
+    std::fprintf(stderr, "offline evaluation failed: %s\n",
+                 report.first_error().ToString().c_str());
+    return false;
+  }
+  expected->clear();
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    expected->push_back(MakePredictResponse(ids[i], *report.results[i]));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads = [&] {
+    const int t = bench::ThreadsFromArgs(argc, argv);
+    return t > 0 ? t : 4;
+  }();
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  std::string predictd_path =
+      bench::PathFlagFromArgs(argc, argv, "--predictd");
+  if (predictd_path.empty()) predictd_path = "./predictd";
+  const std::string json_out = bench::JsonOutPathFromArgs(argc, argv);
+  int connections = 4;
+  if (const std::string c = bench::PathFlagFromArgs(argc, argv,
+                                                    "--connections");
+      !c.empty()) {
+    connections = std::max(1, std::atoi(c.c_str()));
+  }
+  int requests_per_connection = smoke ? 5 : 10;
+  if (const std::string r =
+          bench::PathFlagFromArgs(argc, argv, "--requests");
+      !r.empty()) {
+    requests_per_connection = std::max(1, std::atoi(r.c_str()));
+  }
+
+  ChildServer child;
+  if (!SpawnPredictd(predictd_path, threads, &child)) return 1;
+  std::printf("predictd up on port %d (pid %d, %d workers)\n", child.port,
+              static_cast<int>(child.pid), threads);
+
+  // ---- Phase 1: determinism gate --------------------------------------
+  const std::vector<std::string> mix = ScenarioMix();
+  std::vector<std::string> expected;
+  if (!OfflineExpectedResponses(mix, &expected)) {
+    KillChild(&child);
+    return 1;
+  }
+  {
+    PredictClient client;
+    if (Status s = client.Connect("127.0.0.1", child.port); !s.ok()) {
+      std::fprintf(stderr, "connect: %s\n", s.ToString().c_str());
+      KillChild(&child);
+      return 1;
+    }
+    for (const std::string& line : mix) client.SendLine(line);  // pipelined
+    for (size_t i = 0; i < mix.size(); ++i) {
+      Result<std::string> response = client.ReadLine();
+      if (!response.ok() || *response != expected[i]) {
+        std::fprintf(stderr,
+                     "determinism gate FAILED for request %zu\n  sent: "
+                     "%s\n  got:  %s\n  want: %s\n",
+                     i, mix[i].c_str(),
+                     response.ok() ? response->c_str()
+                                   : response.status().ToString().c_str(),
+                     expected[i].c_str());
+        KillChild(&child);
+        return 1;
+      }
+    }
+  }
+  std::printf("determinism: %zu served responses byte-identical to "
+              "offline SweepRunner\n",
+              mix.size());
+
+  // ---- Phase 2: duplicate burst / coalescing gate ---------------------
+  PredictClient stats_client;
+  if (Status s = stats_client.Connect("127.0.0.1", child.port); !s.ok()) {
+    std::fprintf(stderr, "stats connect: %s\n", s.ToString().c_str());
+    KillChild(&child);
+    return 1;
+  }
+  Result<std::string> stats_before =
+      stats_client.Call(R"({"kind":"stats"})");
+  if (!stats_before.ok()) {
+    std::fprintf(stderr, "stats call failed\n");
+    KillChild(&child);
+    return 1;
+  }
+  constexpr int kBurst = 32;
+  {
+    PredictClient client;
+    client.Connect("127.0.0.1", child.port);
+    // Fresh point (not in phase 1), duplicated: coalescing, then cache.
+    for (int i = 0; i < kBurst; ++i) {
+      client.SendLine(R"({"id":"dup)" + std::to_string(i) +
+                      R"(","nodes":3,"input_gb":0.25,"jobs":2,)"
+                      R"("repetitions":2,"profile":"terasort"})");
+    }
+    std::string first_result;
+    for (int i = 0; i < kBurst; ++i) {
+      Result<std::string> response = client.ReadLine();
+      if (!response.ok() ||
+          response->find("\"ok\": true") == std::string::npos) {
+        std::fprintf(stderr, "burst response %d failed\n", i);
+        KillChild(&child);
+        return 1;
+      }
+      // Identical result bytes for every duplicate, whatever its id.
+      const size_t at = response->find("\"result\": ");
+      const std::string result = response->substr(at);
+      if (i == 0) {
+        first_result = result;
+      } else if (result != first_result) {
+        std::fprintf(stderr, "burst responses diverged at %d\n", i);
+        KillChild(&child);
+        return 1;
+      }
+    }
+  }
+  Result<std::string> stats_after = stats_client.Call(R"({"kind":"stats"})");
+  if (!stats_after.ok()) {
+    KillChild(&child);
+    return 1;
+  }
+  const double burst_requests = StatsField(*stats_after, "requests_total") -
+                                StatsField(*stats_before, "requests_total");
+  const double burst_evals =
+      StatsField(*stats_after, "evaluations_total") -
+      StatsField(*stats_before, "evaluations_total");
+  const double cache_hit_rate = CacheField(*stats_after, "hit_rate");
+  std::printf(
+      "coalescing: %d duplicate requests -> %.0f evaluations "
+      "(coalesced_total %.0f, cache hit rate %.3f)\n",
+      kBurst, burst_evals, StatsField(*stats_after, "coalesced_total"),
+      cache_hit_rate);
+  if (burst_requests != kBurst || burst_evals >= kBurst ||
+      burst_evals < 1.0) {
+    std::fprintf(stderr,
+                 "coalescing gate FAILED: %.0f requests, %.0f "
+                 "evaluations\n",
+                 burst_requests, burst_evals);
+    KillChild(&child);
+    return 1;
+  }
+  if (!(cache_hit_rate > 0.0)) {
+    std::fprintf(stderr, "cache gate FAILED: hit rate %.3f\n",
+                 cache_hit_rate);
+    KillChild(&child);
+    return 1;
+  }
+
+  // ---- Phase 3: closed-loop load + malformed-line check ---------------
+  std::vector<double> latencies_ms;
+  double wall_seconds = 0.0;
+  {
+    std::vector<std::thread> clients;
+    std::vector<std::vector<double>> per_client(
+        static_cast<size_t>(connections));
+    const auto start = SteadyClock::now();
+    for (int c = 0; c < connections; ++c) {
+      clients.emplace_back([&, c] {
+        PredictClient client;
+        if (!client.Connect("127.0.0.1", child.port).ok()) return;
+        for (int r = 0; r < requests_per_connection; ++r) {
+          const std::string& line =
+              mix[static_cast<size_t>(c + r) % mix.size()];
+          const auto t0 = SteadyClock::now();
+          Result<std::string> response = client.Call(line);
+          if (!response.ok()) return;
+          per_client[static_cast<size_t>(c)].push_back(
+              std::chrono::duration<double, std::milli>(
+                  SteadyClock::now() - t0)
+                  .count());
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    wall_seconds =
+        std::chrono::duration<double>(SteadyClock::now() - start).count();
+    for (const auto& v : per_client) {
+      latencies_ms.insert(latencies_ms.end(), v.begin(), v.end());
+    }
+  }
+  const size_t load_total =
+      static_cast<size_t>(connections) *
+      static_cast<size_t>(requests_per_connection);
+  if (latencies_ms.size() != load_total) {
+    std::fprintf(stderr, "load phase FAILED: %zu/%zu responses\n",
+                 latencies_ms.size(), load_total);
+    KillChild(&child);
+    return 1;
+  }
+  const double p50 = Percentile(latencies_ms, 50).ValueOr(0);
+  const double p95 = Percentile(latencies_ms, 95).ValueOr(0);
+  const double p99 = Percentile(latencies_ms, 99).ValueOr(0);
+  const double throughput =
+      wall_seconds > 0 ? static_cast<double>(load_total) / wall_seconds : 0;
+  std::printf(
+      "load: %zu requests over %d connections in %.2fs -> %.1f req/s, "
+      "latency p50/p95/p99 = %.1f/%.1f/%.1f ms\n",
+      load_total, connections, wall_seconds, throughput, p50, p95, p99);
+
+  {
+    // Malformed lines are answered, not disconnected.
+    PredictClient client;
+    client.Connect("127.0.0.1", child.port);
+    Result<std::string> garbage = client.Call("this is not json");
+    if (!garbage.ok() ||
+        garbage->find("\"code\": \"parse_error\"") == std::string::npos) {
+      std::fprintf(stderr, "malformed-line check FAILED\n");
+      KillChild(&child);
+      return 1;
+    }
+    Result<std::string> still_alive = client.Call(mix[0]);
+    if (!still_alive.ok() ||
+        still_alive->find("\"ok\": true") == std::string::npos) {
+      std::fprintf(stderr, "connection did not survive malformed line\n");
+      KillChild(&child);
+      return 1;
+    }
+  }
+
+  // ---- Phase 4: SIGTERM drain gate ------------------------------------
+  constexpr int kDrainRequests = 8;
+  {
+    const double admitted_before =
+        StatsField(*stats_client.Call(R"({"kind":"stats"})"), /*key=*/
+                   "requests_total");
+    PredictClient client;
+    client.Connect("127.0.0.1", child.port);
+    for (int i = 0; i < kDrainRequests; ++i) {
+      // Fresh points the cache has not seen, so the drain has real work.
+      client.SendLine(R"({"id":"d)" + std::to_string(i) +
+                      R"(","nodes":)" + std::to_string(5 + i % 4) +
+                      R"(,"input_gb":0.25,"jobs":3,"repetitions":2,)"
+                      R"("profile":"inverted-index"})");
+    }
+    // Wait until all are admitted (visible in requests_total), then pull
+    // the plug: the drain must still answer every one of them.
+    for (int spin = 0;; ++spin) {
+      const double admitted = StatsField(
+          *stats_client.Call(R"({"kind":"stats"})"), "requests_total");
+      if (admitted - admitted_before >= kDrainRequests) break;
+      if (spin > 2000) {
+        std::fprintf(stderr, "drain gate: requests never admitted\n");
+        KillChild(&child);
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    kill(child.pid, SIGTERM);
+    for (int i = 0; i < kDrainRequests; ++i) {
+      Result<std::string> response = client.ReadLine();
+      if (!response.ok() ||
+          response->find("\"ok\": true") == std::string::npos) {
+        std::fprintf(stderr, "drain gate FAILED: response %d missing "
+                             "after SIGTERM (%s)\n",
+                     i,
+                     response.ok()
+                         ? response->c_str()
+                         : response.status().ToString().c_str());
+        KillChild(&child);
+        return 1;
+      }
+    }
+    // After the drain the server closes the session.
+    Result<std::string> eof = client.ReadLine();
+    if (eof.ok()) {
+      std::fprintf(stderr, "expected EOF after drain, got: %s\n",
+                   eof->c_str());
+      KillChild(&child);
+      return 1;
+    }
+  }
+  int wait_status = 0;
+  if (waitpid(child.pid, &wait_status, 0) != child.pid ||
+      !WIFEXITED(wait_status) || WEXITSTATUS(wait_status) != 0) {
+    std::fprintf(stderr, "predictd did not exit cleanly (status %d)\n",
+                 wait_status);
+    return 1;
+  }
+  child.pid = -1;
+  std::printf("drain: %d admitted requests answered after SIGTERM, "
+              "clean exit\n",
+              kDrainRequests);
+
+  // ---- Persist the perf trajectory ------------------------------------
+  if (!json_out.empty()) {
+    std::string out = "{\"requests\": " + std::to_string(load_total) +
+                      ", \"connections\": " + std::to_string(connections) +
+                      ", \"threads\": " + std::to_string(threads) +
+                      ", \"wall_seconds\": ";
+    AppendJsonDouble(out, wall_seconds);
+    out += ", \"throughput_rps\": ";
+    AppendJsonDouble(out, throughput);
+    out += ", \"latency_ms\": {\"p50\": ";
+    AppendJsonDouble(out, p50);
+    out += ", \"p95\": ";
+    AppendJsonDouble(out, p95);
+    out += ", \"p99\": ";
+    AppendJsonDouble(out, p99);
+    out += "}, \"burst\": {\"requests\": " + std::to_string(kBurst) +
+           ", \"evaluations\": ";
+    AppendJsonDouble(out, burst_evals);
+    out += ", \"cache_hit_rate\": ";
+    AppendJsonDouble(out, cache_hit_rate);
+    out += "}}\n";
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  std::printf("bench_serve_load: all gates passed\n");
+  return 0;
+}

@@ -3,11 +3,22 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace mrperf {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Serializes line emission. stdio promises per-call atomicity, but the
+/// server logs from many connection/dispatcher threads at once and the
+/// guarantee we actually need — one fully formatted line per write, never
+/// interleaved fragments — should not depend on the libc. Leaked on
+/// purpose (trivially destructible type): loggers run until process exit.
+std::mutex& EmitMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -40,8 +51,24 @@ void Logger::Log(LogLevel level, const char* file, int line,
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line,
-               msg.c_str());
+  // Format the whole line first, then emit it with a single write under a
+  // mutex: concurrent threads never interleave fragments of their lines.
+  // Built by append (no fixed buffer): __FILE__ can be an arbitrarily
+  // deep absolute path and the "[LEVEL file:line] " framing must never
+  // truncate mid-path.
+  std::string formatted;
+  formatted.reserve(msg.size() + 64);
+  formatted += '[';
+  formatted += LevelName(level);
+  formatted += ' ';
+  formatted += file;
+  formatted += ':';
+  formatted += std::to_string(line);
+  formatted += "] ";
+  formatted += msg;
+  formatted += '\n';
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fwrite(formatted.data(), 1, formatted.size(), stderr);
 }
 
 namespace internal {

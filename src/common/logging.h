@@ -27,7 +27,10 @@ class Logger {
   static void SetLevel(LogLevel level);
   static LogLevel GetLevel();
 
-  /// Emits one log line (used by the MRPERF_LOG macro).
+  /// Emits one log line (used by the MRPERF_LOG macro). Lines are
+  /// emitted atomically — the fully formatted line goes out in a single
+  /// serialized write — so concurrent threads (the serving subsystem's
+  /// connection handlers and dispatcher) never interleave fragments.
   static void Log(LogLevel level, const char* file, int line,
                   const std::string& msg);
 };

@@ -10,50 +10,55 @@
 
 namespace mrperf {
 
+void AppendSweepResultJsonObject(std::string& out,
+                                 const ExperimentResult& r) {
+  const ScenarioSpec& sc = r.point.scenario;
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "{\"nodes\": %d, \"input_bytes\": %" PRId64
+                ", \"jobs\": %d, \"block_size_bytes\": %" PRId64
+                ", \"reducers\": %d, ",
+                PointNodeCount(r.point), r.point.input_bytes,
+                r.point.num_jobs, r.point.block_size_bytes,
+                r.point.num_reducers);
+  out += line;
+  // Scenario strings are unbounded (a shape label grows with its group
+  // list), so they are appended rather than pushed through the fixed
+  // snprintf buffer. The values contain no characters needing JSON
+  // escaping: scheduler/profile names are from fixed registries and
+  // shape labels are digit/x/MB/c/+ only.
+  out += "\"scheduler\": \"";
+  out += SchedulerKindToString(sc.scheduler);
+  out += "\", \"profile\": \"";
+  out += sc.profile.empty() ? "default" : sc.profile;
+  out += "\", \"cluster\": \"";
+  out += ClusterShapeLabel(sc.cluster);
+  out += "\", ";
+  const std::pair<const char*, double> doubles[] = {
+      {"measured_sec", r.measured_sec},
+      {"forkjoin_sec", r.forkjoin_sec},
+      {"tripathi_sec", r.tripathi_sec},
+      {"forkjoin_error", r.forkjoin_error},
+      {"tripathi_error", r.tripathi_error},
+  };
+  for (const auto& [key, value] : doubles) {
+    out += '"';
+    out += key;
+    out += "\": ";
+    AppendJsonDouble(out, value);
+    out += ", ";
+  }
+  std::snprintf(line, sizeof(line),
+                "\"model_iterations\": %d, \"model_converged\": %s}",
+                r.model_iterations, r.model_converged ? "true" : "false");
+  out += line;
+}
+
 std::string FormatSweepJson(const std::vector<ExperimentResult>& results) {
   std::string out = "[";
-  char line[192];
   for (size_t i = 0; i < results.size(); ++i) {
-    const ExperimentResult& r = results[i];
-    const ScenarioSpec& sc = r.point.scenario;
-    std::snprintf(line, sizeof(line),
-                  "%s\n  {\"nodes\": %d, \"input_bytes\": %" PRId64
-                  ", \"jobs\": %d, \"block_size_bytes\": %" PRId64
-                  ", \"reducers\": %d, ",
-                  i == 0 ? "" : ",", PointNodeCount(r.point),
-                  r.point.input_bytes, r.point.num_jobs,
-                  r.point.block_size_bytes, r.point.num_reducers);
-    out += line;
-    // Scenario strings are unbounded (a shape label grows with its group
-    // list), so they are appended rather than pushed through the fixed
-    // snprintf buffer. The values contain no characters needing JSON
-    // escaping: scheduler/profile names are from fixed registries and
-    // shape labels are digit/x/MB/c/+ only.
-    out += "\"scheduler\": \"";
-    out += SchedulerKindToString(sc.scheduler);
-    out += "\", \"profile\": \"";
-    out += sc.profile.empty() ? "default" : sc.profile;
-    out += "\", \"cluster\": \"";
-    out += ClusterShapeLabel(sc.cluster);
-    out += "\", ";
-    const std::pair<const char*, double> doubles[] = {
-        {"measured_sec", r.measured_sec},
-        {"forkjoin_sec", r.forkjoin_sec},
-        {"tripathi_sec", r.tripathi_sec},
-        {"forkjoin_error", r.forkjoin_error},
-        {"tripathi_error", r.tripathi_error},
-    };
-    for (const auto& [key, value] : doubles) {
-      out += '"';
-      out += key;
-      out += "\": ";
-      AppendJsonDouble(out, value);
-      out += ", ";
-    }
-    std::snprintf(line, sizeof(line),
-                  "\"model_iterations\": %d, \"model_converged\": %s}",
-                  r.model_iterations, r.model_converged ? "true" : "false");
-    out += line;
+    out += i == 0 ? "\n  " : ",\n  ";
+    AppendSweepResultJsonObject(out, results[i]);
   }
   out += results.empty() ? "]\n" : "\n]\n";
   return out;

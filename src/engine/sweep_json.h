@@ -19,6 +19,13 @@
 
 namespace mrperf {
 
+/// \brief Appends one result as a single-line JSON object — the exact
+/// bytes FormatSweepJson emits for that result (modulo the array's
+/// indentation/separators). The serving layer builds its predict
+/// responses from this helper, so a served result compares byte-equal
+/// to the same point's offline sweep serialization.
+void AppendSweepResultJsonObject(std::string& out, const ExperimentResult& r);
+
 /// \brief Renders `results` as a JSON array (one object per result).
 ///
 /// Keys per object: nodes (the effective count, PointNodeCount — a

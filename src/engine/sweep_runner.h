@@ -130,6 +130,19 @@ class SweepRunner {
   int thread_count() const { return pool_.thread_count(); }
   MvaCacheStats cache_stats() const { return cache_.stats(); }
 
+  /// Atomically snapshots and resets the shared cache's counters
+  /// (entries stay resident) so a long-lived consumer — the serving
+  /// layer — can report per-window hit rates. See
+  /// MvaSolveCache::ResetStats.
+  MvaCacheStats ResetCacheStats() { return cache_.ResetStats(); }
+
+  /// Shuts the worker pool down: queued evaluations drain, then any
+  /// later Run*/RunTasks throws std::runtime_error from the pool's
+  /// Submit. The serving layer uses this for fast teardown and converts
+  /// that exception into clean `shutting_down` rejections; batch code
+  /// normally just lets the destructor do it.
+  void Shutdown() { pool_.Shutdown(); }
+
  private:
   /// Experiment options for model-only point i: per-point seed +
   /// shared cache (Run/RunTasks wire these per task instead).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 
 #include "common/statistics.h"
 #include "model/input.h"
@@ -158,8 +159,13 @@ Result<ExperimentResult> RunExperiment(const ExperimentPoint& point,
                                        const ExperimentOptions& options) {
   ExperimentResult out;
   out.point = point;
-  MRPERF_ASSIGN_OR_RETURN(out.measured_sec,
-                          RunSimulatedMeasurement(point, options));
+  const bool model_only = options.repetitions == 0;
+  if (model_only) {
+    out.measured_sec = std::numeric_limits<double>::quiet_NaN();
+  } else {
+    MRPERF_ASSIGN_OR_RETURN(out.measured_sec,
+                            RunSimulatedMeasurement(point, options));
+  }
   MRPERF_ASSIGN_OR_RETURN(ModelResult model,
                           RunModelPrediction(point, options));
   out.forkjoin_sec = model.forkjoin_response;
@@ -167,6 +173,13 @@ Result<ExperimentResult> RunExperiment(const ExperimentPoint& point,
   out.model_iterations = model.iterations;
   out.model_converged = model.converged;
   out.tree_depth = model.tree_depth;
+  if (model_only) {
+    // No measurement to compare against: the errors are undefined, and
+    // the serializers' non-finite rule turns them into JSON null.
+    out.forkjoin_error = std::numeric_limits<double>::quiet_NaN();
+    out.tripathi_error = std::numeric_limits<double>::quiet_NaN();
+    return out;
+  }
   MRPERF_ASSIGN_OR_RETURN(
       out.forkjoin_error,
       SignedRelativeError(out.forkjoin_sec, out.measured_sec));

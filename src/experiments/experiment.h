@@ -49,7 +49,10 @@ std::string PointLabel(const ExperimentPoint& point);
 /// \brief Run configuration.
 struct ExperimentOptions {
   /// Simulator repetitions; the paper repeats each experiment 5 times and
-  /// takes the median (§5.1).
+  /// takes the median (§5.1). 0 makes RunExperiment model-only (the
+  /// serving layer's "model" mode): the simulator is skipped and
+  /// measured_sec plus both error fields come back NaN — which the sweep
+  /// serializers emit as JSON null / CSV nan.
   int repetitions = 5;
   uint64_t base_seed = 1234;
   /// Simulator knobs. `sim.scheduler` is superseded per point by

@@ -1,6 +1,7 @@
 #include "experiments/scenario.h"
 
 #include <cstdio>
+#include <cstring>
 
 #include "workload/wordcount.h"
 
@@ -62,6 +63,61 @@ std::string ClusterShapeLabel(const ClusterShape& shape) {
     label += buf;
   }
   return label;
+}
+
+namespace {
+
+/// Parses a decimal int64 in [1, limit] from `s` starting at `i`,
+/// leaving `i` one past the last digit. Returns -1 on no digits or
+/// overflow past `limit`.
+int64_t ParseLabelInt(const std::string& s, size_t& i, int64_t limit) {
+  if (i >= s.size() || s[i] < '0' || s[i] > '9') return -1;
+  int64_t value = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    value = value * 10 + (s[i] - '0');
+    if (value > limit) return -1;
+    ++i;
+  }
+  return value;
+}
+
+bool ConsumeLabelToken(const std::string& s, size_t& i, const char* token) {
+  const size_t len = std::strlen(token);
+  if (s.compare(i, len, token) != 0) return false;
+  i += len;
+  return true;
+}
+
+}  // namespace
+
+Result<ClusterShape> ClusterShapeFromLabel(const std::string& label) {
+  if (label.empty() || label == "uniform") return ClusterShape{};
+  ClusterShape shape;
+  size_t i = 0;
+  while (true) {
+    ClusterNodeGroup group;
+    const int64_t count = ParseLabelInt(label, i, 1 << 20);
+    const bool sep1 = count > 0 && ConsumeLabelToken(label, i, "x");
+    const int64_t mem_mb = sep1 ? ParseLabelInt(label, i, kGiB) : -1;
+    const bool sep2 = mem_mb > 0 && ConsumeLabelToken(label, i, "MBx");
+    const int64_t vcores = sep2 ? ParseLabelInt(label, i, 1 << 16) : -1;
+    if (vcores <= 0 || !ConsumeLabelToken(label, i, "c")) {
+      return Status::InvalidArgument(
+          "malformed cluster shape label: '" + label +
+          "' (expected \"uniform\" or '+'-joined "
+          "\"<count>x<memMB>MBx<vcores>c\" groups)");
+    }
+    group.count = static_cast<int>(count);
+    group.capacity.memory_bytes = mem_mb * kMiB;
+    group.capacity.vcores = static_cast<int>(vcores);
+    shape.push_back(group);
+    if (i == label.size()) break;
+    if (!ConsumeLabelToken(label, i, "+")) {
+      return Status::InvalidArgument("malformed cluster shape label: '" +
+                                     label + "' (trailing garbage)");
+    }
+  }
+  return shape;
 }
 
 std::string ScenarioLabel(const ScenarioSpec& scenario) {

@@ -63,6 +63,13 @@ std::vector<std::string> KnownWorkloadProfileNames();
 /// Contains no commas or spaces, so it embeds into CSV cells unquoted.
 std::string ClusterShapeLabel(const ClusterShape& shape);
 
+/// \brief Inverse of ClusterShapeLabel — "uniform" (or "") parses to the
+/// empty shape, otherwise '+'-joined "<count>x<memMB>MBx<vcores>c"
+/// groups. The serving wire protocol uses this label as its cluster
+/// field, so ClusterShapeFromLabel(ClusterShapeLabel(s)) == s for every
+/// valid shape. Errors on malformed labels or non-positive fields.
+Result<ClusterShape> ClusterShapeFromLabel(const std::string& label);
+
 /// \brief Compact scenario label, e.g. "tetris/terasort/2x65536MBx12c".
 /// Default components print as "capacity", "default" and "uniform".
 std::string ScenarioLabel(const ScenarioSpec& scenario);

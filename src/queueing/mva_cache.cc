@@ -171,6 +171,14 @@ MvaCacheStats MvaSolveCache::stats() const {
   return snapshot;
 }
 
+MvaCacheStats MvaSolveCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MvaCacheStats snapshot = stats_;
+  snapshot.size = static_cast<int64_t>(entries_.size());
+  stats_ = MvaCacheStats{};  // size is recomputed by stats() from entries_
+  return snapshot;
+}
+
 void MvaSolveCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();

@@ -105,6 +105,15 @@ class MvaSolveCache {
 
   MvaCacheStats stats() const;
 
+  /// Resets the hit/miss/insertion/eviction counters to zero while
+  /// leaving every cached entry resident (stats().size is unaffected —
+  /// it always reflects the live entry count), returning the counters
+  /// as they stood at the reset. Snapshot-and-reset is atomic, so a
+  /// long-lived server can fold windows into cumulative totals without
+  /// losing concurrent lookups — and without throwing away its warm
+  /// cache.
+  MvaCacheStats ResetStats();
+
   /// Drops all entries and resets counters.
   void Clear();
 

@@ -1,0 +1,91 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mrperf {
+
+PredictClient::~PredictClient() { Close(); }
+
+Status PredictClient::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket(): ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("invalid IPv4 address: '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    Close();
+    return Status::Internal("connect(" + host + ":" + std::to_string(port) +
+                            "): " + err);
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status PredictClient::SendLine(const std::string& line) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  std::string framed = line;
+  framed += '\n';
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent,
+                             framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Internal(std::string("send(): ") +
+                              std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> PredictClient::ReadLine() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::Internal(std::string("read(): ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) return Status::NotFound("connection closed");
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<std::string> PredictClient::Call(const std::string& line) {
+  MRPERF_RETURN_NOT_OK(SendLine(line));
+  return ReadLine();
+}
+
+void PredictClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace mrperf

@@ -1,0 +1,46 @@
+/// \file client.h
+/// \brief Minimal blocking client for the predictd wire protocol, used
+/// by bench_serve_load, the server tests and the CI smoke job. One
+/// TCP connection, newline-delimited request/response lines; requests
+/// may be pipelined (send many, then read responses in order).
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+
+namespace mrperf {
+
+/// \brief Blocking line-oriented client (single-threaded use).
+class PredictClient {
+ public:
+  PredictClient() = default;
+  ~PredictClient();
+
+  PredictClient(const PredictClient&) = delete;
+  PredictClient& operator=(const PredictClient&) = delete;
+
+  /// Connects to an IPv4 host:port.
+  Status Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request line ('\n' appended).
+  Status SendLine(const std::string& line);
+
+  /// Blocks for the next response line. NotFound("connection closed")
+  /// on a clean EOF — which is how a drained server ends the session.
+  Result<std::string> ReadLine();
+
+  /// SendLine + ReadLine (no pipelining).
+  Result<std::string> Call(const std::string& line);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace mrperf

@@ -1,0 +1,92 @@
+/// \file json.h
+/// \brief Minimal dependency-free JSON reader for the serving wire
+/// protocol (serve/request.h).
+///
+/// Parses one JSON text into a JsonValue tree: null / bool / number
+/// (double) / string / array / object. Scope is deliberately small —
+/// requests are single-line objects of scalars — but parsing is strict
+/// (RFC 8259 grammar, \uXXXX escapes incl. surrogate pairs, bounded
+/// nesting) so a malformed request always yields a structured error
+/// instead of undefined behavior. Serialization stays with the sweep
+/// writers (engine/sweep_json.h, serve/request.h): responses are built
+/// directly as strings, never through this tree.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrperf {
+
+/// \brief Message prefix of every ParseJson error. The wire layer keys
+/// its parse_error-vs-invalid_argument classification on this prefix
+/// (RequestErrorCode in serve/request.h), so the producer and consumer
+/// share one definition instead of a rewordable literal.
+inline constexpr char kJsonParseErrorPrefix[] = "JSON parse error";
+
+/// \brief One parsed JSON value (a tree; children owned by value).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Value accessors; calling the wrong one for the type is a
+  /// programming error (checked by the caller via the predicates).
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return items_; }
+
+  /// Object members in declaration order (duplicate keys: last wins,
+  /// matching common parsers; the request layer documents this).
+  const std::vector<std::pair<std::string, JsonValue>>& object_members()
+      const {
+    return members_;
+  }
+
+  /// Member lookup; nullptr when `key` is absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+
+  /// \name Construction helpers used by the parser.
+  /// @{
+  static JsonValue MakeNull();
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+  /// @}
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// \brief Parses exactly one JSON text (leading/trailing whitespace
+/// allowed, nothing else after the value). Errors are InvalidArgument
+/// with a position-annotated message.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// \brief Appends `s` JSON-escaped (quotes, backslash, control chars)
+/// wrapped in double quotes. Used by the response builders.
+void AppendJsonString(std::string& out, const std::string& s);
+
+}  // namespace mrperf

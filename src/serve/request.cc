@@ -1,0 +1,337 @@
+#include "serve/request.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "engine/sweep_json.h"
+#include "experiments/scenario.h"
+#include "serve/json.h"
+
+namespace mrperf {
+namespace {
+
+/// JSON numbers are doubles: integers at or beyond 2^53 no longer
+/// round-trip exactly, so the wire rejects them instead of silently
+/// evaluating a perturbed knob.
+constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+
+/// Cap on per-request simulator repetitions: one request must not be
+/// able to monopolize the worker pool for minutes. Offline sweeps that
+/// need more go through the batch binaries.
+constexpr int kMaxRepetitions = 100;
+
+Status FieldError(const std::string& key, const std::string& what) {
+  return Status::InvalidArgument("field '" + key + "' " + what);
+}
+
+/// The one non-JSON-layer message that still classifies as parse_error:
+/// valid JSON whose root is not an object is a framing problem, not a
+/// bad field. Shared by ParseServeRequest and RequestErrorCode.
+constexpr char kNotAnObjectMessage[] = "request must be a JSON object";
+
+Result<int64_t> IntegerField(const JsonValue& v, const std::string& key,
+                             int64_t min_value, int64_t max_value) {
+  if (!v.is_number()) return FieldError(key, "must be a number");
+  const double d = v.number_value();
+  if (std::floor(d) != d || std::fabs(d) >= kMaxExactInteger) {
+    return FieldError(key, "must be an exactly representable integer");
+  }
+  const int64_t value = static_cast<int64_t>(d);
+  if (value < min_value || value > max_value) {
+    return FieldError(key, "must be in [" + std::to_string(min_value) +
+                               ", " + std::to_string(max_value) + "]");
+  }
+  return value;
+}
+
+Result<std::string> StringField(const JsonValue& v, const std::string& key) {
+  if (!v.is_string()) return FieldError(key, "must be a string");
+  return v.string_value();
+}
+
+Result<bool> BoolField(const JsonValue& v, const std::string& key) {
+  if (!v.is_bool()) return FieldError(key, "must be a boolean");
+  return v.bool_value();
+}
+
+}  // namespace
+
+const char* ServeErrorCodeName(ServeErrorCode code) {
+  switch (code) {
+    case ServeErrorCode::kParseError:
+      return "parse_error";
+    case ServeErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ServeErrorCode::kOverloaded:
+      return "overloaded";
+    case ServeErrorCode::kShuttingDown:
+      return "shutting_down";
+    case ServeErrorCode::kNotConverged:
+      return "not_converged";
+    case ServeErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+ServeErrorCode ServeErrorCodeFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+      return ServeErrorCode::kInvalidArgument;
+    case StatusCode::kNotConverged:
+      return ServeErrorCode::kNotConverged;
+    default:
+      return ServeErrorCode::kInternal;
+  }
+}
+
+ServeErrorCode RequestErrorCode(const Status& parse_status) {
+  const std::string& msg = parse_status.message();
+  if (msg.compare(0, std::strlen(kJsonParseErrorPrefix),
+                  kJsonParseErrorPrefix) == 0 ||
+      msg == kNotAnObjectMessage) {
+    return ServeErrorCode::kParseError;
+  }
+  return ServeErrorCode::kInvalidArgument;
+}
+
+Result<ServeRequest> ParseServeRequest(const std::string& line) {
+  MRPERF_ASSIGN_OR_RETURN(const JsonValue root, ParseJson(line));
+  if (!root.is_object()) {
+    return Status::InvalidArgument(kNotAnObjectMessage);
+  }
+
+  ServeRequest request;
+  if (const JsonValue* kind = root.Find("kind")) {
+    MRPERF_ASSIGN_OR_RETURN(const std::string name,
+                            StringField(*kind, "kind"));
+    if (name == "predict") {
+      request.kind = ServeRequest::Kind::kPredict;
+    } else if (name == "stats") {
+      request.kind = ServeRequest::Kind::kStats;
+    } else {
+      return Status::InvalidArgument(
+          "unknown request kind: '" + name +
+          "' (known: \"predict\", \"stats\")");
+    }
+  }
+  if (const JsonValue* id = root.Find("id")) {
+    MRPERF_ASSIGN_OR_RETURN(std::string value, StringField(*id, "id"));
+    request.id = std::move(value);
+  }
+
+  const bool is_predict = request.kind == ServeRequest::Kind::kPredict;
+  bool saw_model_only = false;
+  bool model_only = false;
+  bool saw_repetitions = false;
+  bool saw_input_gb = false;
+  bool saw_input_bytes = false;
+  bool saw_block_mb = false;
+  bool saw_block_bytes = false;
+
+  for (const auto& [key, value] : root.object_members()) {
+    if (key == "kind" || key == "id") continue;  // handled above
+    if (!is_predict) {
+      if (key == "reset_window") {
+        MRPERF_ASSIGN_OR_RETURN(request.stats.reset_window,
+                                BoolField(value, key));
+        continue;
+      }
+      return Status::InvalidArgument("unknown stats-request field: '" + key +
+                                     "'");
+    }
+    ExperimentPoint& point = request.predict.point;
+    if (key == "nodes") {
+      MRPERF_ASSIGN_OR_RETURN(const int64_t v,
+                              IntegerField(value, key, 1, 1 << 20));
+      point.num_nodes = static_cast<int>(v);
+    } else if (key == "input_gb") {
+      if (!value.is_number() || value.number_value() <= 0.0) {
+        return FieldError(key, "must be a positive number");
+      }
+      saw_input_gb = true;
+      const double bytes = value.number_value() * static_cast<double>(kGiB);
+      // Bound-check before llround: out-of-range arguments make llround
+      // unspecified, and the byte count must stay exactly representable
+      // (same cap as input_bytes).
+      if (!(bytes < kMaxExactInteger)) {
+        return FieldError(key, "is too large (byte count must stay below "
+                               "2^53)");
+      }
+      point.input_bytes = static_cast<int64_t>(std::llround(bytes));
+      if (point.input_bytes <= 0) {
+        return FieldError(key, "must round to a positive byte count");
+      }
+    } else if (key == "input_bytes") {
+      saw_input_bytes = true;
+      MRPERF_ASSIGN_OR_RETURN(
+          point.input_bytes,
+          IntegerField(value, key, 1,
+                       static_cast<int64_t>(kMaxExactInteger) - 1));
+    } else if (key == "jobs") {
+      MRPERF_ASSIGN_OR_RETURN(const int64_t v,
+                              IntegerField(value, key, 1, 1 << 20));
+      point.num_jobs = static_cast<int>(v);
+    } else if (key == "block_mb") {
+      saw_block_mb = true;
+      MRPERF_ASSIGN_OR_RETURN(const int64_t v,
+                              IntegerField(value, key, 1, kMiB));
+      point.block_size_bytes = v * kMiB;
+    } else if (key == "block_size_bytes") {
+      saw_block_bytes = true;
+      MRPERF_ASSIGN_OR_RETURN(
+          point.block_size_bytes,
+          IntegerField(value, key, 1,
+                       static_cast<int64_t>(kMaxExactInteger) - 1));
+    } else if (key == "reducers") {
+      MRPERF_ASSIGN_OR_RETURN(const int64_t v,
+                              IntegerField(value, key, 0, 1 << 20));
+      point.num_reducers = static_cast<int>(v);
+    } else if (key == "scheduler") {
+      MRPERF_ASSIGN_OR_RETURN(const std::string name,
+                              StringField(value, key));
+      MRPERF_ASSIGN_OR_RETURN(point.scenario.scheduler,
+                              SchedulerKindFromString(name));
+    } else if (key == "profile") {
+      MRPERF_ASSIGN_OR_RETURN(std::string name, StringField(value, key));
+      // "default" is the wire spelling of "the service's configured
+      // profile" (what sweep_json emits for an unset profile), so the
+      // two spellings canonicalize identically.
+      if (name == "default") name.clear();
+      if (!name.empty()) {
+        MRPERF_ASSIGN_OR_RETURN(const JobProfile profile,
+                                WorkloadProfileByName(name));
+        (void)profile;
+      }
+      point.scenario.profile = std::move(name);
+    } else if (key == "cluster") {
+      MRPERF_ASSIGN_OR_RETURN(const std::string label,
+                              StringField(value, key));
+      MRPERF_ASSIGN_OR_RETURN(point.scenario.cluster,
+                              ClusterShapeFromLabel(label));
+    } else if (key == "repetitions") {
+      saw_repetitions = true;
+      MRPERF_ASSIGN_OR_RETURN(const int64_t v,
+                              IntegerField(value, key, 0, kMaxRepetitions));
+      request.predict.repetitions = static_cast<int>(v);
+    } else if (key == "seed") {
+      MRPERF_ASSIGN_OR_RETURN(
+          const int64_t v,
+          IntegerField(value, key, 0,
+                       static_cast<int64_t>(kMaxExactInteger) - 1));
+      request.predict.seed = static_cast<uint64_t>(v);
+    } else if (key == "model_only") {
+      saw_model_only = true;
+      MRPERF_ASSIGN_OR_RETURN(model_only, BoolField(value, key));
+    } else {
+      return Status::InvalidArgument("unknown predict-request field: '" +
+                                     key + "'");
+    }
+  }
+
+  if (saw_input_gb && saw_input_bytes) {
+    return Status::InvalidArgument(
+        "'input_gb' and 'input_bytes' are aliases — set only one");
+  }
+  if (saw_block_mb && saw_block_bytes) {
+    return Status::InvalidArgument(
+        "'block_mb' and 'block_size_bytes' are aliases — set only one");
+  }
+  if (saw_model_only && model_only) {
+    if (saw_repetitions && request.predict.repetitions != 0) {
+      return Status::InvalidArgument(
+          "'model_only': true conflicts with nonzero 'repetitions'");
+    }
+    // Wire sugar: model_only is repetitions == 0, so both spellings
+    // canonicalize to the same evaluation.
+    request.predict.repetitions = 0;
+  }
+  return request;
+}
+
+std::string CanonicalPredictKey(const PredictRequest& request) {
+  const ExperimentPoint& p = request.point;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%d|i=%lld|j=%d|b=%lld|r=%d|reps=%d|seed=%llu|s=",
+                p.num_nodes, static_cast<long long>(p.input_bytes),
+                p.num_jobs, static_cast<long long>(p.block_size_bytes),
+                p.num_reducers, request.repetitions,
+                static_cast<unsigned long long>(request.seed));
+  std::string key = buf;
+  key += SchedulerKindToString(p.scenario.scheduler);
+  key += "|p=";
+  key += p.scenario.profile;  // "" = the service's configured profile
+  key += "|c=";
+  key += ClusterShapeLabel(p.scenario.cluster);
+  return key;
+}
+
+SweepRunner::Task TaskForRequest(const PredictRequest& request,
+                                 const ExperimentOptions& base_options) {
+  SweepRunner::Task task;
+  task.point = request.point;
+  task.options = base_options;
+  task.options.repetitions = request.repetitions;
+  task.options.base_seed = request.seed;
+  // The request carries the full seed; deriving by batch index would
+  // make results depend on micro-batch composition.
+  task.derive_seed = false;
+  return task;
+}
+
+namespace {
+
+void AppendResponseHead(std::string& out,
+                        const std::optional<std::string>& id, bool ok) {
+  out += "{\"id\": ";
+  if (id.has_value()) {
+    AppendJsonString(out, *id);
+  } else {
+    out += "null";
+  }
+  out += ok ? ", \"ok\": true, " : ", \"ok\": false, ";
+}
+
+}  // namespace
+
+std::string MakePredictResponse(const std::optional<std::string>& id,
+                                const ExperimentResult& result) {
+  std::string out;
+  out.reserve(512);
+  AppendResponseHead(out, id, /*ok=*/true);
+  out += "\"result\": ";
+  AppendSweepResultJsonObject(out, result);
+  out += '}';
+  return out;
+}
+
+std::string MakeErrorResponse(const std::optional<std::string>& id,
+                              ServeErrorCode code,
+                              const std::string& message) {
+  std::string out;
+  out.reserve(128 + message.size());
+  AppendResponseHead(out, id, /*ok=*/false);
+  out += "\"error\": {\"code\": \"";
+  out += ServeErrorCodeName(code);
+  out += "\", \"message\": ";
+  AppendJsonString(out, message);
+  out += "}}";
+  return out;
+}
+
+std::string MakeStatsResponse(const std::optional<std::string>& id,
+                              const std::string& stats_json) {
+  std::string out;
+  out.reserve(64 + stats_json.size());
+  AppendResponseHead(out, id, /*ok=*/true);
+  out += "\"stats\": ";
+  out += stats_json;
+  out += '}';
+  return out;
+}
+
+}  // namespace mrperf

@@ -1,0 +1,138 @@
+/// \file request.h
+/// \brief Wire protocol of the prediction service: newline-delimited
+/// JSON requests and responses.
+///
+/// One request per line. A predict request names a grid point — numeric
+/// knobs plus the scenario axes — and evaluation controls:
+///
+///   {"kind": "predict", "id": "r1", "nodes": 4, "input_gb": 1.0,
+///    "jobs": 1, "block_mb": 128, "reducers": 2,
+///    "scheduler": "capacity", "profile": "wordcount",
+///    "cluster": "2x65536MBx12c+2x16384MBx4c",
+///    "repetitions": 5, "seed": 1234, "model_only": false}
+///
+/// Every field except "kind" is optional; omitted fields take the
+/// defaults above (the paper baseline, ExperimentPoint's defaults).
+/// "input_bytes" / "block_size_bytes" are exact-byte alternatives to
+/// the convenience "input_gb" / "block_mb" (setting both forms of one
+/// knob is an error). "cluster" is the compact ClusterShapeLabel form
+/// ("uniform" = the point's uniform paper cluster). A stats request is
+/// {"kind": "stats"} with optional "reset_window" (see serve/stats.h).
+///
+/// **Canonicalization.** Two predict requests that denote the same
+/// evaluation — whatever their key order, whitespace, or spelled-out
+/// defaults — parse to the same PredictRequest and therefore the same
+/// CanonicalPredictKey. The service coalesces in-flight duplicates on
+/// that key, and the shared MVA cache makes repeats of a key
+/// cache-hit dominated.
+///
+/// **Determinism.** The evaluation seed comes from the request (default
+/// 1234, the offline default), never from batch position, so a served
+/// response is byte-identical to an offline SweepRunner evaluation of
+/// the same point regardless of how requests were batched or coalesced
+/// (bench_serve_load gates on this).
+///
+/// Responses are single-line JSON. Success:
+///   {"id": "r1", "ok": true, "result": { ...sweep_json object... }}
+/// with the result object bytes exactly as engine/sweep_json.h writes
+/// them (non-finite doubles are JSON null). Errors never disconnect:
+///   {"id": null, "ok": false,
+///    "error": {"code": "invalid_argument", "message": "..."}}
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "engine/sweep_runner.h"
+#include "experiments/experiment.h"
+
+namespace mrperf {
+
+/// \brief Machine-readable error category on the wire.
+enum class ServeErrorCode {
+  kParseError,        // not valid JSON / not an object / bad field type
+  kInvalidArgument,   // well-formed but semantically invalid
+  kOverloaded,        // admission queue full — retry later
+  kShuttingDown,      // server draining; request was not evaluated
+  kNotConverged,      // model solve failed to converge
+  kInternal,          // anything else
+};
+
+/// \brief Wire name, e.g. "invalid_argument".
+const char* ServeErrorCodeName(ServeErrorCode code);
+
+/// \brief Maps a Status from the evaluation stack onto a wire code.
+ServeErrorCode ServeErrorCodeFromStatus(const Status& status);
+
+/// \brief A parsed predict request (defaults = the paper baseline).
+struct PredictRequest {
+  ExperimentPoint point;
+  /// Simulator repetitions; 0 = model-only (measured/error fields null).
+  int repetitions = 5;
+  /// Simulator base seed (must be < 2^53 — JSON numbers are doubles).
+  uint64_t seed = 1234;
+};
+
+/// \brief A parsed stats request.
+struct StatsRequest {
+  /// Fold the cache-stats window into the cumulative counters and start
+  /// a fresh window (see MvaSolveCache::ResetStats).
+  bool reset_window = false;
+};
+
+/// \brief One parsed request line.
+struct ServeRequest {
+  enum class Kind { kPredict, kStats };
+  Kind kind = Kind::kPredict;
+  /// Echoed verbatim in the response ("id": null when absent).
+  std::optional<std::string> id;
+  PredictRequest predict;
+  StatsRequest stats;
+};
+
+/// \brief Parses one request line. Strict: unknown keys, wrong field
+/// types, conflicting aliases and out-of-range values are errors, so a
+/// typo can never silently evaluate the wrong point. The returned
+/// Status code distinguishes parse errors (InvalidArgument from the
+/// JSON layer) from semantic ones; both map onto structured error
+/// responses, never disconnects.
+Result<ServeRequest> ParseServeRequest(const std::string& line);
+
+/// \brief Classifies a ParseServeRequest failure for the wire:
+/// kParseError when the line was not even a JSON object (the JSON
+/// layer's kJsonParseErrorPrefix, or a non-object root), otherwise
+/// kInvalidArgument (well-formed JSON, bad fields). Lives beside the
+/// message producers so the mapping cannot drift silently; pinned by
+/// request_test.
+ServeErrorCode RequestErrorCode(const Status& parse_status);
+
+/// \brief Canonical identity of a predict request's evaluation: equal
+/// iff the requests evaluate the same point under the same controls.
+/// In-flight requests with equal keys share one evaluation.
+std::string CanonicalPredictKey(const PredictRequest& request);
+
+/// \brief The SweepRunner task a predict request denotes, under the
+/// service's base experiment options. Seed and repetitions come from
+/// the request with derive_seed pinned false, so the task's result is
+/// independent of micro-batch composition — the offline determinism
+/// oracle builds the identical task.
+SweepRunner::Task TaskForRequest(const PredictRequest& request,
+                                 const ExperimentOptions& base_options);
+
+/// \brief Builds the success response line (no trailing newline):
+/// {"id": <id>, "ok": true, "result": <sweep_json object>}.
+std::string MakePredictResponse(const std::optional<std::string>& id,
+                                const ExperimentResult& result);
+
+/// \brief Builds a structured error response line (no trailing newline).
+std::string MakeErrorResponse(const std::optional<std::string>& id,
+                              ServeErrorCode code,
+                              const std::string& message);
+
+/// \brief Envelope for a stats payload (serve/stats.h renders the body).
+std::string MakeStatsResponse(const std::optional<std::string>& id,
+                              const std::string& stats_json);
+
+}  // namespace mrperf

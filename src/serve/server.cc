@@ -1,0 +1,265 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "serve/request.h"
+
+namespace mrperf {
+namespace {
+
+/// Writes all of `data` (+ '\n') to `fd`; false on any write error.
+/// MSG_NOSIGNAL: a client that disconnected mid-response must surface
+/// as EPIPE here, not as a process-killing SIGPIPE.
+bool WriteLine(int fd, const std::string& data) {
+  std::string framed = data;
+  framed += '\n';
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+PredictServer::PredictServer(PredictServerOptions options)
+    : options_(std::move(options)) {}
+
+PredictServer::~PredictServer() { DrainAndStop(); }
+
+Status PredictServer::Start() {
+  service_ = std::make_unique<PredictService>(options_.service);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket(): ") +
+                            std::strerror(errno));
+  }
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("invalid IPv4 listen address: '" +
+                                   options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind(" + options_.host + ":" +
+                            std::to_string(options_.port) + "): " + err);
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen(): " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void PredictServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listening socket was shut down (DrainAndStop) or broke; either
+      // way this loop is done.
+      return;
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    auto conn = std::make_unique<Connection>();
+    Connection* raw = conn.get();
+    raw->fd = fd;
+    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
+    raw->writer = std::thread([this, raw] { WriterLoop(raw); });
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      connections_.push_back(std::move(conn));
+    }
+    ReapFinishedConnections();
+  }
+}
+
+void PredictServer::ReaderLoop(Connection* conn) {
+  std::string buffer;
+  char chunk[4096];
+  bool overlong = false;
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error: client is done sending
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      if (nl - start > options_.max_line_bytes) {
+        overlong = true;
+        break;
+      }
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();  // telnet
+      if (line.empty()) continue;  // blank keep-alive lines are ignored
+      std::future<std::string> response = service_->Submit(line);
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->responses.push_back(std::move(response));
+      }
+      conn->cv.notify_one();
+    }
+    if (overlong) break;
+    buffer.erase(0, start);
+    if (buffer.size() > options_.max_line_bytes) {
+      // No newline within the cap: same verdict as an oversized
+      // complete line — a broken client, not a request. Answer once,
+      // then stop reading from this connection.
+      overlong = true;
+      break;
+    }
+  }
+  if (overlong) {
+    // Counted through the service so /stats still reconciles with the
+    // responses actually written.
+    std::future<std::string> response = service_->RejectRequestError(
+        std::nullopt, ServeErrorCode::kParseError,
+        "request line exceeds " + std::to_string(options_.max_line_bytes) +
+            " bytes");
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->responses.push_back(std::move(response));
+    }
+    conn->cv.notify_one();
+    ::shutdown(conn->fd, SHUT_RD);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->reader_done = true;
+  }
+  conn->cv.notify_all();
+}
+
+void PredictServer::WriterLoop(Connection* conn) {
+  // Only this thread writes, so write-failure state is thread-local;
+  // remaining futures are still drained (their promises are owed a
+  // consumer) even once writes stop.
+  bool write_failed = false;
+  for (;;) {
+    std::future<std::string> next;
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      conn->cv.wait(lock, [conn] {
+        return !conn->responses.empty() || conn->reader_done;
+      });
+      if (conn->responses.empty()) break;  // reader_done and flushed
+      next = std::move(conn->responses.front());
+      conn->responses.pop_front();
+    }
+    // Blocks until the (possibly batched/coalesced) evaluation
+    // finishes; responses go out strictly in request order.
+    const std::string response = next.get();
+    if (!write_failed && !WriteLine(conn->fd, response)) {
+      write_failed = true;
+      // The client stopped listening; stop reading more requests too.
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  // Conversation over (reader finished, responses flushed): half-close
+  // the write side so the client sees EOF now — the fd itself is closed
+  // when the connection is reaped.
+  ::shutdown(conn->fd, SHUT_WR);
+  conn->finished.store(true);
+}
+
+void PredictServer::ReapFinishedConnections() {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection* conn = it->get();
+    if (!conn->finished.load()) {
+      ++it;
+      continue;
+    }
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+    ::close(conn->fd);
+    it = connections_.erase(it);
+  }
+}
+
+void PredictServer::DrainAndStop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  stopping_.store(true);
+  if (listen_fd_ >= 0) {
+    // Unblocks the accept loop (Linux: accept returns EINVAL after
+    // shutdown on a listening socket).
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  if (service_) {
+    // Every admitted request finishes evaluating; post-drain arrivals
+    // resolve immediately as shutting_down rejections.
+    service_->Drain();
+  }
+
+  // Half-close read sides so idle readers see EOF; writers then flush
+  // the (all ready) remaining responses and exit.
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (const auto& conn : connections_) {
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  std::vector<std::unique_ptr<Connection>> remaining;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    remaining.swap(connections_);
+  }
+  for (const auto& conn : remaining) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+    ::close(conn->fd);
+  }
+  MRPERF_LOG(Info) << "predict server on port " << port_
+                   << " drained and stopped";
+}
+
+}  // namespace mrperf

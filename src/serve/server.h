@@ -1,0 +1,110 @@
+/// \file server.h
+/// \brief predictd's TCP transport: newline-delimited JSON over POSIX
+/// sockets, one reader/writer thread pair per connection, pipelined.
+///
+/// The transport is deliberately thin: every request line goes straight
+/// to PredictService::Submit (which owns batching, coalescing and
+/// backpressure), and responses are written back **in request order**
+/// per connection (HTTP/1.1-style pipelining) — a client may therefore
+/// stream many request lines without waiting, which is what lets
+/// duplicates coalesce and batches form. Malformed lines produce
+/// structured error responses, never disconnects; only an oversized
+/// line (no newline within max_line_bytes) terminates its connection,
+/// after an error response.
+///
+/// Shutdown (DrainAndStop, wired to SIGTERM by predictd): stop
+/// accepting connections, drain the service — every admitted request
+/// is evaluated and its response written — then half-close each
+/// connection's read side, flush remaining responses, and tear down.
+/// Requests arriving during the drain get `shutting_down` rejections
+/// (still as ordered responses), never silent drops.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/service.h"
+
+namespace mrperf {
+
+/// \brief Server configuration.
+struct PredictServerOptions {
+  /// IPv4 listen address. The default binds loopback only: predictd is
+  /// an internal service; fronting proxies own external exposure.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Maximum request-line length, newline included.
+  size_t max_line_bytes = 1 << 16;
+  PredictServiceOptions service;
+};
+
+/// \brief Listening server that fronts one PredictService.
+class PredictServer {
+ public:
+  explicit PredictServer(PredictServerOptions options);
+  /// DrainAndStop() if still running.
+  ~PredictServer();
+
+  PredictServer(const PredictServer&) = delete;
+  PredictServer& operator=(const PredictServer&) = delete;
+
+  /// Binds, listens and starts accepting. Errors (bad host, port in
+  /// use) are returned, not logged-and-ignored.
+  Status Start();
+
+  /// Port actually bound (resolves port 0); valid after Start().
+  int port() const { return port_; }
+
+  /// The underlying service (stats snapshots, drain control, tests).
+  PredictService& service() { return *service_; }
+
+  /// Graceful shutdown; see file comment. Idempotent, blocks until all
+  /// connection threads are joined.
+  void DrainAndStop();
+
+ private:
+  /// One accepted connection: a reader thread submitting lines and a
+  /// writer thread emitting responses in request order.
+  struct Connection {
+    int fd = -1;
+    std::thread reader;
+    std::thread writer;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::future<std::string>> responses;
+    bool reader_done = false;
+    /// Both loops exited; the connection is joinable for reaping.
+    std::atomic<bool> finished{false};
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(Connection* conn);
+  void WriterLoop(Connection* conn);
+  /// Joins and releases connections whose threads have exited.
+  void ReapFinishedConnections();
+
+  PredictServerOptions options_;
+  std::unique_ptr<PredictService> service_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  // guarded by stop_mu_
+  std::mutex stop_mu_;
+
+  std::mutex connections_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace mrperf

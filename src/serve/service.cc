@@ -1,0 +1,294 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mrperf {
+namespace {
+
+SweepOptions SweepOptionsFor(const PredictServiceOptions& options) {
+  SweepOptions sweep;
+  sweep.num_threads = options.num_threads;
+  sweep.experiment = options.experiment;
+  sweep.use_mva_cache = true;
+  sweep.cache_max_entries = options.cache_max_entries;
+  // Irrelevant to RunTasks (every task pins derive_seed = false), set
+  // for clarity: seeds always come from the request.
+  sweep.derive_point_seeds = false;
+  return sweep;
+}
+
+MvaCacheStats SumCacheStats(const MvaCacheStats& folded,
+                            const MvaCacheStats& window) {
+  MvaCacheStats total;
+  total.hits = folded.hits + window.hits;
+  total.misses = folded.misses + window.misses;
+  total.insertions = folded.insertions + window.insertions;
+  total.evictions = folded.evictions + window.evictions;
+  total.size = window.size;  // resident entries are not window-scoped
+  return total;
+}
+
+}  // namespace
+
+PredictService::PredictService(PredictServiceOptions options)
+    : options_(std::move(options)), runner_(SweepOptionsFor(options_)) {
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+PredictService::~PredictService() { Drain(); }
+
+std::future<std::string> PredictService::RejectRequestError(
+    const std::optional<std::string>& id, ServeErrorCode code,
+    const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++request_errors_total_;
+  }
+  return ImmediateResponse(MakeErrorResponse(id, code, message));
+}
+
+std::future<std::string> PredictService::ImmediateResponse(
+    std::string response) {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  promise.set_value(std::move(response));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++responses_total_;
+  return future;
+}
+
+std::future<std::string> PredictService::Submit(
+    const std::string& request_line) {
+  Result<ServeRequest> parsed = ParseServeRequest(request_line);
+  if (!parsed.ok()) {
+    return RejectRequestError(std::nullopt,
+                              RequestErrorCode(parsed.status()),
+                              parsed.status().message());
+  }
+  ServeRequest& request = *parsed;
+
+  if (request.kind == ServeRequest::Kind::kStats) {
+    const ServeStatsSnapshot snapshot = Stats(request.stats.reset_window);
+    return ImmediateResponse(
+        MakeStatsResponse(request.id, FormatServeStatsJson(snapshot)));
+  }
+
+  Waiter waiter;
+  waiter.id = request.id;
+  waiter.admitted = Clock::now();
+  std::future<std::string> future = waiter.promise.get_future();
+
+  std::string rejection;
+  bool rejected_shutdown = false;
+  bool rejected_overload = false;
+  bool coalesced = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      rejection = MakeErrorResponse(
+          request.id, ServeErrorCode::kShuttingDown,
+          "server is draining; request was not admitted");
+      rejected_shutdown = true;
+    } else {
+      std::string key = CanonicalPredictKey(request.predict);
+      auto it = pending_.find(key);
+      if (it != pending_.end()) {
+        // Coalesce: share the queued/in-flight evaluation of this key.
+        it->second->waiters.push_back(std::move(waiter));
+        coalesced = true;
+      } else if (static_cast<int64_t>(queue_.size()) >=
+                 std::max(1, options_.max_queue)) {
+        rejection = MakeErrorResponse(
+            request.id, ServeErrorCode::kOverloaded,
+            "admission queue full (" + std::to_string(options_.max_queue) +
+                " evaluations queued); retry later");
+        rejected_overload = true;
+      } else {
+        auto evaluation = std::make_shared<Evaluation>();
+        evaluation->request = request.predict;
+        evaluation->key = std::move(key);
+        evaluation->waiters.push_back(std::move(waiter));
+        pending_.emplace(evaluation->key, evaluation);
+        queue_.push_back(std::move(evaluation));
+      }
+    }
+  }
+
+  if (!rejection.empty()) {
+    waiter.promise.set_value(std::move(rejection));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++responses_total_;
+    if (rejected_shutdown) ++rejected_shutdown_total_;
+    if (rejected_overload) ++rejected_overload_total_;
+    return future;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++requests_total_;
+    if (coalesced) ++coalesced_total_;
+  }
+  if (!coalesced) work_cv_.notify_one();
+  return future;
+}
+
+void PredictService::DispatcherLoop() {
+  for (;;) {
+    std::vector<EvaluationPtr> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (draining_) return;  // fully drained
+        continue;
+      }
+      const size_t batch_size =
+          std::min(queue_.size(),
+                   static_cast<size_t>(std::max(1, options_.max_batch)));
+      batch.reserve(batch_size);
+      for (size_t i = 0; i < batch_size; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      // The popped evaluations stay in pending_, so duplicates arriving
+      // during the evaluation still coalesce onto them.
+    }
+    if (options_.dispatch_hook) options_.dispatch_hook(batch.size());
+
+    std::vector<SweepRunner::Task> tasks;
+    tasks.reserve(batch.size());
+    for (const EvaluationPtr& evaluation : batch) {
+      tasks.push_back(
+          TaskForRequest(evaluation->request, options_.experiment));
+    }
+
+    SweepReport report;
+    bool pool_down = false;
+    try {
+      report = runner_.RunTasks(tasks);
+    } catch (const std::exception&) {
+      // ThreadPool::Submit after Shutdown — the pool was torn down with
+      // batches still queued. Every waiter gets a clean structured
+      // shutting_down rejection instead of a dropped connection.
+      pool_down = true;
+    }
+
+    if (!pool_down) {
+      // Counted before any waiter resolves, so a client that observed
+      // its response also observes the evaluation in /stats.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      evaluations_total_ += static_cast<int64_t>(batch.size());
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      std::vector<Waiter> waiters;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        waiters = std::move(batch[i]->waiters);
+        pending_.erase(batch[i]->key);
+      }
+      FulfillWaiters(std::move(waiters),
+                     pool_down ? nullptr : &report.results[i], pool_down);
+    }
+  }
+}
+
+void PredictService::FulfillWaiters(std::vector<Waiter> waiters,
+                                    const Result<ExperimentResult>* result,
+                                    bool pool_down) {
+  for (Waiter& waiter : waiters) {
+    std::string response;
+    if (pool_down) {
+      response = MakeErrorResponse(
+          waiter.id, ServeErrorCode::kShuttingDown,
+          "worker pool shut down before the evaluation ran");
+    } else if (result->ok()) {
+      response = MakePredictResponse(waiter.id, **result);
+    } else {
+      response =
+          MakeErrorResponse(waiter.id, ServeErrorCodeFromStatus(
+                                           result->status()),
+                            result->status().ToString());
+    }
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() -
+                                                  waiter.admitted)
+            .count();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++responses_total_;
+      if (pool_down) {
+        ++rejected_shutdown_total_;
+      } else {
+        // Latency covers evaluated requests only; rejections would
+        // drag the percentiles toward zero.
+        latency_.Add(latency_ms);
+      }
+    }
+    waiter.promise.set_value(std::move(response));
+  }
+}
+
+void PredictService::BeginDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void PredictService::Drain() {
+  BeginDrain();
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void PredictService::ShutdownWorkerPool() { runner_.Shutdown(); }
+
+ServeStatsSnapshot PredictService::Stats(bool reset_window) {
+  ServeStatsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.queue_depth = static_cast<int64_t>(queue_.size());
+    snapshot.draining = draining_;
+  }
+  snapshot.threads = runner_.thread_count();
+  // ResetCacheStats is an atomic snapshot-and-reset, so no lookup is
+  // ever lost between the window we report and the fresh one.
+  const MvaCacheStats window =
+      reset_window ? runner_.ResetCacheStats() : runner_.cache_stats();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  snapshot.requests_total = requests_total_;
+  snapshot.evaluations_total = evaluations_total_;
+  snapshot.coalesced_total = coalesced_total_;
+  snapshot.rejected_overload_total = rejected_overload_total_;
+  snapshot.rejected_shutdown_total = rejected_shutdown_total_;
+  snapshot.request_errors_total = request_errors_total_;
+  snapshot.responses_total = responses_total_;
+  snapshot.latency_count = latency_.count();
+  snapshot.latency_mean_ms = latency_.mean_ms();
+  snapshot.latency_min_ms = latency_.min_ms();
+  snapshot.latency_max_ms = latency_.max_ms();
+  snapshot.latency_p50_ms = latency_.PercentileMs(50);
+  snapshot.latency_p95_ms = latency_.PercentileMs(95);
+  snapshot.latency_p99_ms = latency_.PercentileMs(99);
+  snapshot.cache_window = window;
+  snapshot.cache = SumCacheStats(cache_folded_, window);
+  if (reset_window) {
+    cache_folded_ = SumCacheStats(cache_folded_, window);
+    cache_folded_.size = 0;  // live size is never folded
+  }
+  return snapshot;
+}
+
+int64_t PredictService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+bool PredictService::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+}  // namespace mrperf

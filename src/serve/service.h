@@ -1,0 +1,183 @@
+/// \file service.h
+/// \brief The prediction service: request scheduling over the sweep
+/// engine, independent of any transport.
+///
+/// PredictService is the serving analogue of a SweepRunner sweep with
+/// requests arriving online instead of as a grid:
+///
+///  - **Bounded admission with backpressure.** Predict requests enter a
+///    bounded queue; when it is full the request is rejected immediately
+///    with a structured `overloaded` error — never silently dropped.
+///  - **Micro-batching.** A single dispatcher thread pops up to
+///    `max_batch` queued evaluations and fans them out through one
+///    SweepRunner::RunTasks call on the shared worker pool, so bursts
+///    amortize pool wakeups exactly like an offline sweep.
+///  - **In-flight coalescing.** Requests whose CanonicalPredictKey
+///    matches a queued or currently evaluating request attach to that
+///    evaluation instead of consuming a queue slot — the serving
+///    analogue of the MVA cache's key dedup, one layer up. Each waiter
+///    still receives its own response (its own id, its own latency).
+///  - **Shared solver state.** One process-wide MvaSolveCache (inside
+///    the runner) serves every connection, so steady traffic over
+///    popular scenarios is cache-hit dominated; per-worker kernel
+///    scratch is reused across requests as in batch sweeps.
+///
+/// Determinism: request seeds are carried by the request itself
+/// (TaskForRequest pins derive_seed off), so a response is
+/// byte-identical to an offline evaluation of the same request no
+/// matter how requests were batched, coalesced, or interleaved.
+///
+/// Lifecycle: BeginDrain() stops admission (new predicts get
+/// `shutting_down` rejections); Drain() additionally waits until every
+/// admitted request has been answered. If the worker pool is shut down
+/// while batches remain (ShutdownWorkerPool, or a racing teardown), the
+/// dispatcher converts the pool's Submit-after-Shutdown exception into
+/// clean `shutting_down` rejection responses — every accepted request
+/// always gets exactly one response.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/sweep_runner.h"
+#include "serve/request.h"
+#include "serve/stats.h"
+
+namespace mrperf {
+
+/// \brief Service configuration.
+struct PredictServiceOptions {
+  /// Worker threads of the evaluation pool; 0 = hardware concurrency.
+  int num_threads = 0;
+  /// Admission bound: distinct queued evaluations (coalesced duplicates
+  /// attach for free). Beyond this, requests are rejected `overloaded`.
+  int max_queue = 256;
+  /// Micro-batch cap: queued evaluations dispatched per RunTasks call.
+  int max_batch = 32;
+  int64_t cache_max_entries = 4096;
+  /// Base evaluation options; per-request seed/repetitions override
+  /// these (see TaskForRequest). The profile configured here is what an
+  /// unset/"default" request profile resolves to. Defaults to the
+  /// paper's calibrated WordCount options — the same baseline the
+  /// offline sweeps run, so served and offline results agree.
+  ExperimentOptions experiment = DefaultExperimentOptions();
+  /// Test/diagnostic seam: invoked on the dispatcher thread with the
+  /// batch size after the batch is popped (its keys now coalesce as
+  /// in-flight) and before evaluation. Keep it cheap in production.
+  std::function<void(size_t)> dispatch_hook;
+};
+
+/// \brief Transport-independent prediction service (see file comment).
+///
+/// Thread-safe: Submit may be called from any number of transport
+/// threads. Every returned future is eventually fulfilled with exactly
+/// one single-line JSON response.
+class PredictService {
+ public:
+  explicit PredictService(PredictServiceOptions options);
+  /// Drains (every admitted request answered) and stops the dispatcher.
+  ~PredictService();
+
+  PredictService(const PredictService&) = delete;
+  PredictService& operator=(const PredictService&) = delete;
+
+  /// Parses and routes one request line. Stats requests and all
+  /// rejections resolve immediately; predict requests resolve when
+  /// their (possibly shared) evaluation completes.
+  std::future<std::string> Submit(const std::string& request_line);
+
+  /// Builds, counts and immediately resolves a request-level error the
+  /// transport detected itself (e.g. an oversized line), so those
+  /// responses still show up in request_errors_total/responses_total.
+  std::future<std::string> RejectRequestError(
+      const std::optional<std::string>& id, ServeErrorCode code,
+      const std::string& message);
+
+  /// Stops admitting predict requests; already-admitted ones keep
+  /// evaluating. Idempotent.
+  void BeginDrain();
+
+  /// BeginDrain, then blocks until the queue is fully served and the
+  /// dispatcher has exited. Idempotent, safe from multiple threads.
+  void Drain();
+
+  /// Immediately shuts the evaluation pool down (in-flight batch
+  /// finishes, later batches are rejected `shutting_down`). For fast
+  /// teardown and fault-injection tests; normal shutdown is Drain().
+  void ShutdownWorkerPool();
+
+  /// Snapshot of the observability counters. With `reset_window`, the
+  /// cache window is atomically folded into the cumulative counters and
+  /// restarted (the returned snapshot's window is the one that just
+  /// closed).
+  ServeStatsSnapshot Stats(bool reset_window = false);
+
+  int64_t queue_depth() const;
+  bool draining() const;
+  int thread_count() const { return runner_.thread_count(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One response-awaiting request (its own id and admission time).
+  struct Waiter {
+    std::optional<std::string> id;
+    std::promise<std::string> promise;
+    Clock::time_point admitted;
+  };
+
+  /// One scheduled evaluation; coalesced requests share it.
+  struct Evaluation {
+    PredictRequest request;
+    std::string key;
+    std::vector<Waiter> waiters;  // guarded by mu_
+  };
+  using EvaluationPtr = std::shared_ptr<Evaluation>;
+
+  void DispatcherLoop();
+  /// Builds one waiter's response and records latency/response counters.
+  void FulfillWaiters(std::vector<Waiter> waiters,
+                      const Result<ExperimentResult>* result,
+                      bool pool_down);
+  std::future<std::string> ImmediateResponse(std::string response);
+
+  PredictServiceOptions options_;
+  SweepRunner runner_;
+
+  mutable std::mutex mu_;  // queue, pending map, lifecycle flags
+  std::condition_variable work_cv_;
+  std::deque<EvaluationPtr> queue_;
+  /// Canonical key -> queued or in-flight evaluation (coalescing map).
+  std::unordered_map<std::string, EvaluationPtr> pending_;
+  bool draining_ = false;
+
+  std::mutex drain_mu_;  // serializes Drain() joiners
+  std::thread dispatcher_;
+
+  mutable std::mutex stats_mu_;
+  LatencyHistogram latency_;
+  int64_t requests_total_ = 0;
+  int64_t evaluations_total_ = 0;
+  int64_t coalesced_total_ = 0;
+  int64_t rejected_overload_total_ = 0;
+  int64_t rejected_shutdown_total_ = 0;
+  int64_t request_errors_total_ = 0;
+  int64_t responses_total_ = 0;
+  /// Cache counters of windows closed by reset_window (cumulative =
+  /// folded + live).
+  MvaCacheStats cache_folded_;
+};
+
+}  // namespace mrperf

@@ -1,0 +1,113 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "engine/sweep_format.h"
+
+namespace mrperf {
+
+void LatencyHistogram::Add(double latency_ms) {
+  if (!(latency_ms >= 0.0)) latency_ms = 0.0;  // clocks can misbehave
+  stats_.Add(latency_ms);
+  size_t b = 0;
+  while (b < kBucketBoundsMs.size() && latency_ms > kBucketBoundsMs[b]) {
+    ++b;
+  }
+  ++buckets_[b];
+}
+
+double LatencyHistogram::PercentileMs(double p) const {
+  const int64_t n = static_cast<int64_t>(stats_.count());
+  if (n == 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Rank of the target sample (1-based, nearest-rank definition).
+  const int64_t target = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(p / 100.0 * n)));
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    const int64_t in_bucket = buckets_[b];
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Interpolate within [lower, upper) by the rank's position among
+    // this bucket's samples. The unbounded last bucket has no upper
+    // edge; the observed max is the only defensible estimate there.
+    const double lower = b == 0 ? 0.0 : kBucketBoundsMs[b - 1];
+    const double upper =
+        b < kBucketBoundsMs.size() ? kBucketBoundsMs[b] : stats_.max();
+    const double fraction =
+        static_cast<double>(target - cumulative) / in_bucket;
+    const double estimate = lower + (upper - lower) * fraction;
+    return std::min(stats_.max(), std::max(stats_.min(), estimate));
+  }
+  return stats_.max();
+}
+
+namespace {
+
+void AppendCacheJson(std::string& out, const char* key,
+                     const MvaCacheStats& cache) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"%s\": {\"hits\": %lld, \"misses\": %lld, \"insertions\": %lld, "
+      "\"evictions\": %lld, \"size\": %lld, \"hit_rate\": ",
+      key, static_cast<long long>(cache.hits),
+      static_cast<long long>(cache.misses),
+      static_cast<long long>(cache.insertions),
+      static_cast<long long>(cache.evictions),
+      static_cast<long long>(cache.size));
+  out += buf;
+  AppendJsonDouble(out, cache.hit_rate());
+  out += '}';
+}
+
+}  // namespace
+
+std::string FormatServeStatsJson(const ServeStatsSnapshot& s) {
+  std::string out;
+  out.reserve(768);
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"queue_depth\": %lld, \"draining\": %s, \"requests_total\": %lld, "
+      "\"evaluations_total\": %lld, \"coalesced_total\": %lld, "
+      "\"rejected_overload_total\": %lld, \"rejected_shutdown_total\": "
+      "%lld, \"request_errors_total\": %lld, \"responses_total\": %lld, "
+      "\"threads\": %d, ",
+      static_cast<long long>(s.queue_depth), s.draining ? "true" : "false",
+      static_cast<long long>(s.requests_total),
+      static_cast<long long>(s.evaluations_total),
+      static_cast<long long>(s.coalesced_total),
+      static_cast<long long>(s.rejected_overload_total),
+      static_cast<long long>(s.rejected_shutdown_total),
+      static_cast<long long>(s.request_errors_total),
+      static_cast<long long>(s.responses_total), s.threads);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "\"latency_ms\": {\"count\": %lld, ",
+                static_cast<long long>(s.latency_count));
+  out += buf;
+  const std::pair<const char*, double> latency_fields[] = {
+      {"mean", s.latency_mean_ms}, {"min", s.latency_min_ms},
+      {"max", s.latency_max_ms},   {"p50", s.latency_p50_ms},
+      {"p95", s.latency_p95_ms},   {"p99", s.latency_p99_ms},
+  };
+  for (size_t i = 0; i < std::size(latency_fields); ++i) {
+    out += '"';
+    out += latency_fields[i].first;
+    out += "\": ";
+    AppendJsonDouble(out, latency_fields[i].second);
+    out += i + 1 < std::size(latency_fields) ? ", " : "}, ";
+  }
+  AppendCacheJson(out, "cache", s.cache);
+  out += ", ";
+  AppendCacheJson(out, "cache_window", s.cache_window);
+  out += '}';
+  return out;
+}
+
+}  // namespace mrperf

@@ -1,0 +1,87 @@
+/// \file stats.h
+/// \brief Observability for the prediction service: a fixed-bucket
+/// latency histogram with percentile estimates, and the /stats snapshot
+/// the wire protocol exposes.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/statistics.h"
+#include "queueing/mva_cache.h"
+
+namespace mrperf {
+
+/// \brief Streaming latency accumulator: exact count/mean/min/max via
+/// RunningStats plus fixed log-spaced buckets for percentile estimates.
+///
+/// Percentiles interpolate linearly inside the bucket holding the
+/// target rank, so they are estimates bounded by the bucket edges —
+/// the standard operational-histogram trade-off (exact quantiles would
+/// need every sample). Not internally synchronized: the service updates
+/// it under its own stats mutex.
+class LatencyHistogram {
+ public:
+  /// Bucket upper bounds, milliseconds; the last bucket is unbounded.
+  static constexpr std::array<double, 13> kBucketBoundsMs = {
+      1.0,    2.0,    5.0,    10.0,   25.0,    50.0,   100.0,
+      250.0,  500.0,  1000.0, 2500.0, 5000.0,  10000.0};
+
+  void Add(double latency_ms);
+
+  size_t count() const { return stats_.count(); }
+  double mean_ms() const { return stats_.mean(); }
+  double min_ms() const { return stats_.min(); }
+  double max_ms() const { return stats_.max(); }
+
+  /// Estimated p-th percentile (0..100); 0 when empty. Clamped to the
+  /// observed [min, max].
+  double PercentileMs(double p) const;
+
+ private:
+  RunningStats stats_;
+  std::array<int64_t, kBucketBoundsMs.size() + 1> buckets_ = {};
+};
+
+/// \brief One /stats response payload (all counters cumulative since
+/// startup unless noted).
+struct ServeStatsSnapshot {
+  int64_t queue_depth = 0;
+  bool draining = false;
+  /// Admitted predict requests, including ones served by coalescing.
+  int64_t requests_total = 0;
+  /// Point evaluations actually dispatched (tasks completed).
+  int64_t evaluations_total = 0;
+  /// Requests served by sharing another request's in-flight evaluation.
+  int64_t coalesced_total = 0;
+  int64_t rejected_overload_total = 0;
+  int64_t rejected_shutdown_total = 0;
+  /// Malformed / semantically invalid request lines.
+  int64_t request_errors_total = 0;
+  /// Responses built (success + error), predict and stats alike.
+  int64_t responses_total = 0;
+  int threads = 0;
+
+  /// Admission-to-response latency of predict requests.
+  size_t latency_count = 0;
+  double latency_mean_ms = 0.0;
+  double latency_min_ms = 0.0;
+  double latency_max_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+
+  /// Shared MVA-solve cache, cumulative since startup.
+  MvaCacheStats cache;
+  /// Same counters since the last {"kind":"stats","reset_window":true}.
+  MvaCacheStats cache_window;
+};
+
+/// \brief Renders the snapshot as a single-line JSON object (the value
+/// of the response's "stats" key). Non-finite doubles follow the sweep
+/// serializers' null rule.
+std::string FormatServeStatsJson(const ServeStatsSnapshot& snapshot);
+
+}  // namespace mrperf

@@ -1,0 +1,102 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mrperf {
+namespace {
+
+/// Restores the process-wide log level on scope exit so these tests
+/// cannot leak verbosity into the rest of the suite.
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : previous_(Logger::GetLevel()) {
+    Logger::SetLevel(level);
+  }
+  ~ScopedLogLevel() { Logger::SetLevel(previous_); }
+
+ private:
+  LogLevel previous_;
+};
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(LoggingTest, LevelsBelowThresholdAreDropped) {
+  ScopedLogLevel scoped(LogLevel::kWarning);
+  testing::internal::CaptureStderr();
+  MRPERF_LOG(Debug) << "dropped debug";
+  MRPERF_LOG(Info) << "dropped info";
+  MRPERF_LOG(Warning) << "kept warning";
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("dropped"), std::string::npos);
+  EXPECT_NE(captured.find("kept warning"), std::string::npos);
+}
+
+TEST(LoggingTest, ConcurrentThreadsNeverInterleaveLineFragments) {
+  // The serving subsystem logs from connection handlers, the dispatcher
+  // and the accept loop at once; Logger must emit each line atomically.
+  // Without the serialized single-write emission, fragments of the
+  // distinctive payloads below interleave and the per-line regex fails.
+  constexpr int kThreads = 8;
+  constexpr int kLinesPerThread = 200;
+  ScopedLogLevel scoped(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t] {
+        const std::string payload(32, static_cast<char>('A' + t));
+        for (int i = 0; i < kLinesPerThread; ++i) {
+          MRPERF_LOG(Info) << "thread " << t << " line " << i << " "
+                           << payload;
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const std::string captured = testing::internal::GetCapturedStderr();
+  const std::vector<std::string> lines = SplitLines(captured);
+  ASSERT_EQ(lines.size(),
+            static_cast<size_t>(kThreads) * kLinesPerThread);
+
+  std::vector<int> per_thread(kThreads, 0);
+  for (const std::string& line : lines) {
+    // Every line must be exactly one whole message: prefix, then
+    // "thread T line N " and 32 repeats of that thread's letter.
+    const size_t at = line.find("] thread ");
+    ASSERT_NE(at, std::string::npos) << "fragmented line: " << line;
+    ASSERT_EQ(line.compare(0, 6, "[INFO "), 0) << line;
+    int t = -1;
+    int i = -1;
+    char letters[64] = {0};
+    ASSERT_EQ(std::sscanf(line.c_str() + at, "] thread %d line %d %63s",
+                          &t, &i, letters),
+              3)
+        << line;
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    const std::string expected(32, static_cast<char>('A' + t));
+    ASSERT_EQ(std::string(letters), expected) << "torn line: " << line;
+    ++per_thread[static_cast<size_t>(t)];
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_thread[static_cast<size_t>(t)], kLinesPerThread)
+        << "thread " << t << " lost lines";
+  }
+}
+
+}  // namespace
+}  // namespace mrperf

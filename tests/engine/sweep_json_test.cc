@@ -187,6 +187,17 @@ TEST(SweepJsonTest, RecordsCarryAllFields) {
   EXPECT_EQ(json.find(",\n  {"), std::string::npos);
 }
 
+TEST(SweepJsonTest, ResultObjectHelperMatchesArrayElementByteExactly) {
+  // The serving layer builds predict responses from
+  // AppendSweepResultJsonObject; the byte-identity gate between served
+  // and offline results relies on this helper being exactly the array
+  // element FormatSweepJson writes.
+  std::string object;
+  AppendSweepResultJsonObject(object, SampleResult());
+  EXPECT_EQ(FormatSweepJson({SampleResult()}), "[\n  " + object + "\n]\n");
+  EXPECT_TRUE(IsValidJson(object));
+}
+
 TEST(SweepJsonTest, DoublesRoundTripBitExactly) {
   ExperimentResult r = SampleResult();
   r.measured_sec = 1.0 / 3.0;

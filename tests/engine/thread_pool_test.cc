@@ -94,5 +94,78 @@ TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
   EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
 }
 
+TEST(ThreadPoolTest, ConcurrentSubmittersRaceShutdownSafely) {
+  // The serving layer's call site: producers keep submitting while a
+  // drain shuts the pool down. Every Submit must either return a future
+  // that is eventually fulfilled (accepted before shutdown) or throw
+  // std::runtime_error — no third outcome, no lost tasks, no crash.
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> executed{0};
+  ThreadPool pool(2);
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<void>>> futures(4);
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < 256; ++i) {
+        try {
+          futures[static_cast<size_t>(t)].push_back(
+              pool.Submit([&executed] { ++executed; }));
+          ++accepted;
+        } catch (const std::runtime_error&) {
+          ++rejected;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  pool.Shutdown();
+  for (auto& t : submitters) t.join();
+  for (auto& fs : futures) {
+    for (auto& f : fs) f.get();  // accepted => fulfilled, never blocks
+  }
+  EXPECT_EQ(accepted.load() + rejected.load(), 4 * 256);
+  EXPECT_EQ(executed.load(), accepted.load());  // drained, none dropped
+  EXPECT_EQ(pool.tasks_completed(), accepted.load());
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateUnderConcurrentLoad) {
+  // Half the tasks throw while many consumers collect concurrently:
+  // each future must carry exactly its own task's outcome.
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::vector<std::future<int>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([i]() -> int {
+      if (i % 2 == 0) throw std::runtime_error("task failed");
+      return i;
+    }));
+  }
+  std::atomic<int> threw{0};
+  std::atomic<int> returned{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&, c] {
+      for (int i = c; i < kTasks; i += 4) {
+        try {
+          const int value = futures[static_cast<size_t>(i)].get();
+          EXPECT_EQ(value, i);
+          EXPECT_NE(i % 2, 0);
+          ++returned;
+        } catch (const std::runtime_error&) {
+          EXPECT_EQ(i % 2, 0);
+          ++threw;
+        }
+      }
+    });
+  }
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(threw.load(), kTasks / 2);
+  EXPECT_EQ(returned.load(), kTasks / 2);
+  // Throwing tasks must not have corrupted the pool.
+  EXPECT_EQ(pool.Submit([] { return 5; }).get(), 5);
+}
+
 }  // namespace
 }  // namespace mrperf

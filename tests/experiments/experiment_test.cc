@@ -1,5 +1,6 @@
 #include "experiments/experiment.h"
 
+#include <cmath>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -66,6 +67,33 @@ TEST(ExperimentTest, ZeroRepetitionsRejected) {
   ExperimentOptions opts = FastOptions();
   opts.repetitions = 0;
   EXPECT_FALSE(RunSimulatedMeasurement(ExperimentPoint(), opts).ok());
+}
+
+TEST(ExperimentTest, ZeroRepetitionsMakesRunExperimentModelOnly) {
+  // The serving layer's "model_only" mode: the simulator is skipped,
+  // measurement and error fields come back NaN (the serializers' null),
+  // and the model side matches a full run bit-for-bit.
+  ExperimentOptions opts = FastOptions();
+  opts.repetitions = 0;
+  const ExperimentPoint point;
+  Result<ExperimentResult> model_only = RunExperiment(point, opts);
+  ASSERT_TRUE(model_only.ok()) << model_only.status().ToString();
+  EXPECT_TRUE(std::isnan(model_only->measured_sec));
+  EXPECT_TRUE(std::isnan(model_only->forkjoin_error));
+  EXPECT_TRUE(std::isnan(model_only->tripathi_error));
+  EXPECT_GT(model_only->forkjoin_sec, 0.0);
+  EXPECT_GT(model_only->tripathi_sec, 0.0);
+
+  Result<ExperimentResult> full = RunExperiment(point, FastOptions());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(model_only->forkjoin_sec, full->forkjoin_sec);
+  EXPECT_EQ(model_only->tripathi_sec, full->tripathi_sec);
+  EXPECT_EQ(model_only->model_iterations, full->model_iterations);
+
+  // Invalid points are still rejected in model-only mode.
+  ExperimentPoint invalid;
+  invalid.num_nodes = 0;
+  EXPECT_FALSE(RunExperiment(invalid, opts).ok());
 }
 
 TEST(ExperimentTest, ExplicitUniformScenarioReproducesBaselineByteExactly) {

@@ -77,6 +77,38 @@ TEST(ScenarioTest, ValidateRejectsBadShapesAndProfiles) {
   EXPECT_FALSE(ValidateScenario(spec).ok());
 }
 
+TEST(ScenarioTest, ClusterShapeLabelRoundTrips) {
+  const ClusterShape shapes[] = {
+      {},
+      {ClusterNodeGroup{4, Resource{64 * kGiB, 12}}},
+      {ClusterNodeGroup{2, Resource{64 * kGiB, 12}},
+       ClusterNodeGroup{3, Resource{16 * kGiB, 4}}},
+      {ClusterNodeGroup{1, Resource{kMiB, 1}}},
+  };
+  for (const ClusterShape& shape : shapes) {
+    Result<ClusterShape> parsed =
+        ClusterShapeFromLabel(ClusterShapeLabel(shape));
+    ASSERT_TRUE(parsed.ok())
+        << ClusterShapeLabel(shape) << ": " << parsed.status().ToString();
+    EXPECT_EQ(*parsed, shape) << ClusterShapeLabel(shape);
+  }
+  // Both spellings of the uniform cluster parse to the empty shape.
+  EXPECT_TRUE(ClusterShapeFromLabel("uniform")->empty());
+  EXPECT_TRUE(ClusterShapeFromLabel("")->empty());
+}
+
+TEST(ScenarioTest, ClusterShapeFromLabelRejectsMalformedLabels) {
+  const char* bad[] = {
+      "garbage",        "2x65536MBx12",     "2x65536MB",
+      "x65536MBx12c",   "0x65536MBx12c",    "2x0MBx12c",
+      "2x65536MBx0c",   "2x65536MBx12c+",   "+2x65536MBx12c",
+      "2x65536MBx12c ", "-1x65536MBx12c",   "2x65536MBx12cc",
+  };
+  for (const char* label : bad) {
+    EXPECT_FALSE(ClusterShapeFromLabel(label).ok()) << label;
+  }
+}
+
 TEST(ScenarioTest, ClusterConfigGroupHelpers) {
   ClusterConfig cluster = PaperCluster(4);
   EXPECT_EQ(cluster.TotalNodes(), 4);

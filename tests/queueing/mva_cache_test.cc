@@ -149,6 +149,42 @@ TEST(MvaCacheTest, ClearResetsEntriesAndStats) {
   EXPECT_EQ(stats.insertions, 0);
 }
 
+TEST(MvaCacheTest, ResetStatsZerosCountersButKeepsEntries) {
+  MvaSolveCache cache;
+  auto first = cache.SolveThrough(TwoTaskProblem(0.4), {});  // miss+insert
+  ASSERT_TRUE(first.ok());
+  auto second = cache.SolveThrough(TwoTaskProblem(0.4), {});  // hit
+  ASSERT_TRUE(second.ok());
+
+  const MvaCacheStats before = cache.stats();
+  EXPECT_EQ(before.hits, 1);
+  EXPECT_EQ(before.misses, 1);
+  EXPECT_EQ(before.insertions, 1);
+  EXPECT_EQ(before.size, 1);
+
+  // The returned snapshot is the closed window, atomically.
+  const MvaCacheStats window = cache.ResetStats();
+  EXPECT_EQ(window.hits, before.hits);
+  EXPECT_EQ(window.misses, before.misses);
+  EXPECT_EQ(window.insertions, before.insertions);
+  EXPECT_EQ(window.size, before.size);
+
+  const MvaCacheStats after = cache.stats();
+  EXPECT_EQ(after.hits, 0);
+  EXPECT_EQ(after.misses, 0);
+  EXPECT_EQ(after.insertions, 0);
+  EXPECT_EQ(after.evictions, 0);
+  EXPECT_EQ(after.size, 1);  // entries stay resident
+
+  // The resident entry still hits — counted in the fresh window, and
+  // bit-identical to the pre-reset solution.
+  auto warm = cache.SolveThrough(TwoTaskProblem(0.4), {});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->response[0], first->response[0]);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 0);
+}
+
 TEST(MvaCacheTest, ConcurrentSolveThroughIsSafeAndConsistent) {
   MvaSolveCache cache;
   const OverlapMvaProblem problem = TwoTaskProblem(0.9);

@@ -1,0 +1,96 @@
+#include "serve/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mrperf {
+namespace {
+
+TEST(JsonParserTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->bool_value());
+  EXPECT_FALSE(ParseJson("false")->bool_value());
+  EXPECT_EQ(ParseJson("42")->number_value(), 42.0);
+  EXPECT_EQ(ParseJson("-1.5e2")->number_value(), -150.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+  EXPECT_EQ(ParseJson("  0.25  ")->number_value(), 0.25);
+}
+
+TEST(JsonParserTest, ParsesNestedStructures) {
+  Result<JsonValue> parsed =
+      ParseJson(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* a = parsed->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array_items().size(), 3u);
+  EXPECT_EQ(a->array_items()[0].number_value(), 1.0);
+  const JsonValue* b = a->array_items()[2].Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->string_value(), "c");
+  EXPECT_TRUE(parsed->Find("d")->Find("e")->is_null());
+  EXPECT_EQ(parsed->Find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, StringEscapes) {
+  EXPECT_EQ(ParseJson(R"("a\"b\\c\/d\n\t")")->string_value(),
+            "a\"b\\c/d\n\t");
+  EXPECT_EQ(ParseJson(R"("\u0041")")->string_value(), "A");
+  // 2- and 3-byte UTF-8, and a surrogate pair (U+1F600).
+  EXPECT_EQ(ParseJson(R"("\u00e9")")->string_value(), "\xc3\xa9");
+  EXPECT_EQ(ParseJson(R"("\u20ac")")->string_value(), "\xe2\x82\xac");
+  EXPECT_EQ(ParseJson(R"("\ud83d\ude00")")->string_value(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParserTest, DuplicateKeysLastWins) {
+  Result<JsonValue> parsed = ParseJson(R"({"k": 1, "k": 2})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("k")->number_value(), 2.0);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",           "{",         "}",        "{\"a\":}", "[1,]",
+      "{\"a\" 1}",  "nul",       "tru",      "01",       "1.",
+      ".5",         "1e",        "+1",       "\"unterminated",
+      "\"\\x\"",    "\"\\u12\"", "{}extra",  "[1 2]",    "{'a': 1}",
+      "\"\\ud800\"" /* unpaired surrogate */,
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseJson(text).ok()) << "input: " << text;
+  }
+}
+
+TEST(JsonParserTest, RejectsUnescapedControlCharacters) {
+  EXPECT_FALSE(ParseJson("\"a\nb\"").ok());
+  EXPECT_FALSE(ParseJson("\"a\tb\"").ok());
+}
+
+TEST(JsonParserTest, BoundsNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_FALSE(ParseJson(deep).ok());
+  // A flat request-sized object is far below the bound.
+  EXPECT_TRUE(ParseJson(R"({"a": [[[[1]]]]})").ok());
+}
+
+TEST(JsonParserTest, ErrorsNameTheOffset) {
+  Result<JsonValue> parsed = ParseJson("{\"a\": @}");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("offset"), std::string::npos);
+}
+
+TEST(AppendJsonStringTest, EscapesSpecialCharacters) {
+  std::string out;
+  AppendJsonString(out, "a\"b\\c\nd\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+  // Round-trip through the parser.
+  EXPECT_EQ(ParseJson(out)->string_value(), "a\"b\\c\nd\x01");
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,236 @@
+#include "serve/request.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "serve/json.h"
+
+namespace mrperf {
+namespace {
+
+PredictRequest ParsePredict(const std::string& line) {
+  Result<ServeRequest> parsed = ParseServeRequest(line);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->kind, ServeRequest::Kind::kPredict);
+  return parsed->predict;
+}
+
+TEST(ParseServeRequestTest, DefaultsMatchExperimentPointDefaults) {
+  const PredictRequest request = ParsePredict("{}");
+  EXPECT_EQ(request.point, ExperimentPoint{});
+  EXPECT_EQ(request.repetitions, 5);
+  EXPECT_EQ(request.seed, 1234u);
+}
+
+TEST(ParseServeRequestTest, ParsesEveryField) {
+  const PredictRequest request = ParsePredict(
+      R"({"kind":"predict","id":"r1","nodes":6,"input_gb":0.5,"jobs":3,)"
+      R"("block_mb":64,"reducers":4,"scheduler":"tetris",)"
+      R"("profile":"terasort","cluster":"2x65536MBx12c+1x16384MBx4c",)"
+      R"("repetitions":2,"seed":99})");
+  EXPECT_EQ(request.point.num_nodes, 6);
+  EXPECT_EQ(request.point.input_bytes, kGiB / 2);
+  EXPECT_EQ(request.point.num_jobs, 3);
+  EXPECT_EQ(request.point.block_size_bytes, 64 * kMiB);
+  EXPECT_EQ(request.point.num_reducers, 4);
+  EXPECT_EQ(request.point.scenario.scheduler,
+            SchedulerKind::kTetrisPacking);
+  EXPECT_EQ(request.point.scenario.profile, "terasort");
+  ASSERT_EQ(request.point.scenario.cluster.size(), 2u);
+  EXPECT_EQ(request.point.scenario.cluster[0].count, 2);
+  EXPECT_EQ(request.point.scenario.cluster[1].capacity.vcores, 4);
+  EXPECT_EQ(request.repetitions, 2);
+  EXPECT_EQ(request.seed, 99u);
+}
+
+// ---- canonicalization (satellite) --------------------------------------
+
+TEST(CanonicalKeyTest, KeyOrderAndWhitespaceDoNotMatter) {
+  const PredictRequest a = ParsePredict(
+      R"({"nodes":4,"input_gb":1.0,"jobs":2,"profile":"terasort"})");
+  const PredictRequest b = ParsePredict(
+      "  { \"profile\" : \"terasort\" ,\t\"jobs\": 2, "
+      "\"input_gb\": 1.0, \"nodes\": 4 }  ");
+  EXPECT_EQ(CanonicalPredictKey(a), CanonicalPredictKey(b));
+}
+
+TEST(CanonicalKeyTest, SpelledOutDefaultsCanonicalizeLikeOmissions) {
+  // Every field at its default, spelled out three different ways.
+  const PredictRequest a = ParsePredict("{}");
+  const PredictRequest b = ParsePredict(
+      R"({"kind":"predict","nodes":4,"input_bytes":1073741824,"jobs":1,)"
+      R"("block_mb":128,"reducers":2,"scheduler":"capacity",)"
+      R"("profile":"default","cluster":"uniform","repetitions":5,)"
+      R"("seed":1234,"model_only":false})");
+  const PredictRequest c =
+      ParsePredict(R"({"input_gb":1.0,"block_size_bytes":134217728})");
+  EXPECT_EQ(CanonicalPredictKey(a), CanonicalPredictKey(b));
+  EXPECT_EQ(CanonicalPredictKey(a), CanonicalPredictKey(c));
+}
+
+TEST(CanonicalKeyTest, ModelOnlyIsRepetitionsZero) {
+  const PredictRequest a = ParsePredict(R"({"model_only":true})");
+  const PredictRequest b = ParsePredict(R"({"repetitions":0})");
+  EXPECT_EQ(a.repetitions, 0);
+  EXPECT_EQ(CanonicalPredictKey(a), CanonicalPredictKey(b));
+}
+
+TEST(CanonicalKeyTest, EveryKnobChangesTheKey) {
+  const std::string base = CanonicalPredictKey(ParsePredict("{}"));
+  const char* variants[] = {
+      R"({"nodes":5})",           R"({"input_gb":2.0})",
+      R"({"jobs":2})",            R"({"block_mb":64})",
+      R"({"reducers":3})",        R"({"scheduler":"tetris"})",
+      R"({"profile":"grep"})",    R"({"cluster":"2x16384MBx4c"})",
+      R"({"repetitions":3})",     R"({"seed":7})",
+  };
+  for (const char* line : variants) {
+    EXPECT_NE(CanonicalPredictKey(ParsePredict(line)), base)
+        << "variant: " << line;
+  }
+}
+
+// ---- structured errors (satellite) -------------------------------------
+
+TEST(ParseServeRequestTest, MalformedJsonIsAnError) {
+  EXPECT_FALSE(ParseServeRequest("not json at all").ok());
+  EXPECT_FALSE(ParseServeRequest("{\"nodes\": }").ok());
+  EXPECT_FALSE(ParseServeRequest("[1, 2, 3]").ok());  // not an object
+}
+
+TEST(ParseServeRequestTest, UnknownProfileIsAStructuredError) {
+  Result<ServeRequest> parsed =
+      ParseServeRequest(R"({"profile":"sorting-hat"})");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+  EXPECT_NE(parsed.status().message().find("sorting-hat"),
+            std::string::npos);
+}
+
+TEST(ParseServeRequestTest, RejectsBadFieldsWithNamedErrors) {
+  const char* bad[] = {
+      R"({"kind":"transmogrify"})",
+      R"({"nodes":0})",
+      R"({"nodes":2.5})",
+      R"({"nodes":"four"})",
+      R"({"input_gb":-1})",
+      R"({"jobs":0})",
+      R"({"reducers":-1})",
+      R"({"scheduler":"fifo9000"})",
+      R"({"cluster":"2x0MBx4c"})",
+      R"({"cluster":"garbage"})",
+      R"({"repetitions":-1})",
+      R"({"repetitions":101})",
+      R"({"input_gb":1e300})",
+      R"({"input_gb":9007200})",
+      R"({"seed":-1})",
+      R"({"seed":9007199254740993})",
+      R"({"typo_field":1})",
+      R"({"id":42})",
+      R"({"input_gb":1.0,"input_bytes":5})",
+      R"({"block_mb":64,"block_size_bytes":5})",
+      R"({"model_only":true,"repetitions":3})",
+      R"({"kind":"stats","nodes":4})",
+  };
+  for (const char* line : bad) {
+    Result<ServeRequest> parsed = ParseServeRequest(line);
+    EXPECT_FALSE(parsed.ok()) << "line: " << line;
+  }
+}
+
+TEST(ParseServeRequestTest, ErrorClassificationIsParseVsInvalid) {
+  // The wire contract behind bench_serve_load's malformed-line gate:
+  // "not even a JSON object" classifies as parse_error, well-formed
+  // JSON with bad fields as invalid_argument.
+  const char* parse_errors[] = {"{{{", "not json", "[1]", "\"str\"", "42"};
+  for (const char* line : parse_errors) {
+    Result<ServeRequest> parsed = ParseServeRequest(line);
+    ASSERT_FALSE(parsed.ok()) << line;
+    EXPECT_EQ(RequestErrorCode(parsed.status()),
+              ServeErrorCode::kParseError)
+        << line;
+  }
+  const char* invalid[] = {R"({"profile":"zzz"})", R"({"nodes":0})",
+                           R"({"typo":1})"};
+  for (const char* line : invalid) {
+    Result<ServeRequest> parsed = ParseServeRequest(line);
+    ASSERT_FALSE(parsed.ok()) << line;
+    EXPECT_EQ(RequestErrorCode(parsed.status()),
+              ServeErrorCode::kInvalidArgument)
+        << line;
+  }
+}
+
+TEST(ParseServeRequestTest, StatsKindParses) {
+  Result<ServeRequest> parsed =
+      ParseServeRequest(R"({"kind":"stats","id":"s1","reset_window":true})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->kind, ServeRequest::Kind::kStats);
+  EXPECT_EQ(parsed->id.value(), "s1");
+  EXPECT_TRUE(parsed->stats.reset_window);
+}
+
+// ---- responses ---------------------------------------------------------
+
+TEST(ResponseTest, PredictResponseEmbedsSweepJsonObjectVerbatim) {
+  ExperimentResult result;
+  result.point.num_nodes = 3;
+  result.measured_sec = 100.5;
+  result.forkjoin_sec = 97.25;
+  result.tripathi_sec = std::nan("");  // exercises the null rule
+  result.model_converged = true;
+  const std::string response = MakePredictResponse({"r9"}, result);
+  Result<JsonValue> parsed = ParseJson(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  EXPECT_EQ(parsed->Find("id")->string_value(), "r9");
+  EXPECT_TRUE(parsed->Find("ok")->bool_value());
+  const JsonValue* obj = parsed->Find("result");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->Find("nodes")->number_value(), 3.0);
+  EXPECT_EQ(obj->Find("measured_sec")->number_value(), 100.5);
+  EXPECT_TRUE(obj->Find("tripathi_sec")->is_null());
+}
+
+TEST(ResponseTest, ErrorResponseCarriesCodeAndEscapedMessage) {
+  const std::string response = MakeErrorResponse(
+      std::nullopt, ServeErrorCode::kOverloaded, "queue \"full\"\n");
+  Result<JsonValue> parsed = ParseJson(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  EXPECT_TRUE(parsed->Find("id")->is_null());
+  EXPECT_FALSE(parsed->Find("ok")->bool_value());
+  const JsonValue* error = parsed->Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->Find("code")->string_value(), "overloaded");
+  EXPECT_EQ(error->Find("message")->string_value(), "queue \"full\"\n");
+}
+
+TEST(ResponseTest, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kParseError),
+               "parse_error");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kShuttingDown),
+               "shutting_down");
+  EXPECT_EQ(ServeErrorCodeFromStatus(Status::InvalidArgument("x")),
+            ServeErrorCode::kInvalidArgument);
+  EXPECT_EQ(ServeErrorCodeFromStatus(Status::NotConverged("x")),
+            ServeErrorCode::kNotConverged);
+  EXPECT_EQ(ServeErrorCodeFromStatus(Status::Internal("x")),
+            ServeErrorCode::kInternal);
+}
+
+TEST(TaskForRequestTest, PinsSeedAndRepetitions) {
+  const PredictRequest request =
+      ParsePredict(R"({"nodes":2,"repetitions":3,"seed":42})");
+  const ExperimentOptions base = DefaultExperimentOptions();
+  const SweepRunner::Task task = TaskForRequest(request, base);
+  EXPECT_FALSE(task.derive_seed);
+  EXPECT_EQ(task.options.base_seed, 42u);
+  EXPECT_EQ(task.options.repetitions, 3);
+  EXPECT_EQ(task.point.num_nodes, 2);
+  // Base calibration carries over untouched.
+  EXPECT_EQ(task.options.sim.task_cv, base.sim.task_cv);
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,192 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/json.h"
+#include "serve/request.h"
+
+namespace mrperf {
+namespace {
+
+PredictServerOptions FastServerOptions() {
+  PredictServerOptions options;
+  options.port = 0;  // ephemeral
+  options.service.num_threads = 2;
+  return options;
+}
+
+std::string RequestLine(const std::string& id, int nodes) {
+  return "{\"id\":\"" + id + "\",\"nodes\":" + std::to_string(nodes) +
+         ",\"input_gb\":0.25,\"repetitions\":1}";
+}
+
+TEST(PredictServerTest, ServesPredictAndStatsOverTcp) {
+  PredictServer server(FastServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  PredictClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  Result<std::string> predict = client.Call(RequestLine("t1", 2));
+  ASSERT_TRUE(predict.ok());
+  Result<JsonValue> parsed = ParseJson(*predict);
+  ASSERT_TRUE(parsed.ok()) << *predict;
+  EXPECT_EQ(parsed->Find("id")->string_value(), "t1");
+  EXPECT_TRUE(parsed->Find("ok")->bool_value());
+  EXPECT_GT(parsed->Find("result")->Find("measured_sec")->number_value(),
+            0.0);
+
+  Result<std::string> stats = client.Call(R"({"kind":"stats"})");
+  ASSERT_TRUE(stats.ok());
+  Result<JsonValue> stats_parsed = ParseJson(*stats);
+  ASSERT_TRUE(stats_parsed.ok()) << *stats;
+  EXPECT_EQ(stats_parsed->Find("stats")
+                ->Find("requests_total")
+                ->number_value(),
+            1.0);
+  server.DrainAndStop();
+}
+
+TEST(PredictServerTest, MalformedLinesAnswerWithoutDisconnecting) {
+  PredictServer server(FastServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  PredictClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  Result<std::string> garbage = client.Call("definitely not json");
+  ASSERT_TRUE(garbage.ok());
+  EXPECT_NE(garbage->find("\"code\": \"parse_error\""), std::string::npos);
+
+  Result<std::string> unknown = client.Call(R"({"profile":"zzz"})");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_NE(unknown->find("\"code\": \"invalid_argument\""),
+            std::string::npos);
+
+  // The connection survived both errors.
+  Result<std::string> fine = client.Call(RequestLine("ok", 2));
+  ASSERT_TRUE(fine.ok());
+  EXPECT_NE(fine->find("\"ok\": true"), std::string::npos);
+  server.DrainAndStop();
+}
+
+TEST(PredictServerTest, PipelinedResponsesArriveInRequestOrder) {
+  PredictServer server(FastServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  PredictClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  constexpr int kRequests = 5;
+  for (int i = 0; i < kRequests; ++i) {
+    // Mixed durations (different points) plus blank keep-alive lines:
+    // order must still follow submission order.
+    ASSERT_TRUE(client.SendLine("").ok());
+    ASSERT_TRUE(
+        client.SendLine(RequestLine("seq" + std::to_string(i), 2 + i % 3))
+            .ok());
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    Result<std::string> response = client.ReadLine();
+    ASSERT_TRUE(response.ok()) << "response " << i;
+    EXPECT_NE(response->find("\"id\": \"seq" + std::to_string(i) + "\""),
+              std::string::npos)
+        << *response;
+  }
+  server.DrainAndStop();
+}
+
+TEST(PredictServerTest, DrainAndStopFlushesThenCloses) {
+  PredictServer server(FastServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+  PredictClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        client.SendLine(RequestLine("drain" + std::to_string(i), 2 + i))
+            .ok());
+  }
+  // Wait until all three are admitted (sent bytes may not have been
+  // read yet), then drain: admitted requests must still be answered.
+  for (int spin = 0; server.service().Stats().requests_total < 3; ++spin) {
+    ASSERT_LT(spin, 2000) << "requests never admitted";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.DrainAndStop();  // idempotent; drains admitted requests
+
+  // Every admitted request was answered before the close...
+  for (int i = 0; i < 3; ++i) {
+    Result<std::string> response = client.ReadLine();
+    ASSERT_TRUE(response.ok()) << "response " << i << " lost in drain";
+    EXPECT_NE(response->find("\"ok\": true"), std::string::npos)
+        << *response;
+  }
+  // ...then the connection was closed,
+  EXPECT_FALSE(client.ReadLine().ok());
+  // and the port no longer accepts connections.
+  PredictClient late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", port).ok());
+  server.DrainAndStop();  // second call is a no-op
+}
+
+TEST(PredictServerTest, OversizedLineGetsErrorThenDisconnect) {
+  PredictServerOptions options = FastServerOptions();
+  options.max_line_bytes = 256;
+  PredictServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  PredictClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.SendLine(std::string(1024, 'x')).ok());
+  Result<std::string> response = client.ReadLine();
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("\"code\": \"parse_error\""), std::string::npos);
+  EXPECT_NE(response->find("exceeds"), std::string::npos);
+  EXPECT_FALSE(client.ReadLine().ok());  // connection was terminated
+  // The transport-level error is still visible in the service counters.
+  const ServeStatsSnapshot stats = server.service().Stats();
+  EXPECT_EQ(stats.request_errors_total, 1);
+  EXPECT_EQ(stats.responses_total, 1);
+  server.DrainAndStop();
+}
+
+TEST(PredictServerTest, ConcurrentConnectionsShareTheCache) {
+  PredictServer server(FastServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::vector<std::string> responses(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      PredictClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+      // All clients ask for the same point: coalescing or cache hits.
+      Result<std::string> r =
+          client.Call(RequestLine("c" + std::to_string(c), 3));
+      if (r.ok()) responses[static_cast<size_t>(c)] = *r;
+    });
+  }
+  for (auto& t : threads) t.join();
+  const size_t at = responses[0].find("\"result\"");
+  ASSERT_NE(at, std::string::npos);
+  const std::string expected = responses[0].substr(at);
+  for (int c = 1; c < kClients; ++c) {
+    ASSERT_FALSE(responses[static_cast<size_t>(c)].empty()) << c;
+    EXPECT_EQ(responses[static_cast<size_t>(c)]
+                  .substr(responses[static_cast<size_t>(c)]
+                              .find("\"result\"")),
+              expected)
+        << "client " << c;
+  }
+  const ServeStatsSnapshot stats = server.service().Stats();
+  EXPECT_EQ(stats.requests_total, kClients);
+  EXPECT_GE(stats.coalesced_total + stats.cache.hits, 1);
+  server.DrainAndStop();
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,249 @@
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+
+namespace mrperf {
+namespace {
+
+/// Blocks the dispatcher inside dispatch_hook until opened, so tests
+/// can deterministically pile requests up behind an in-flight batch.
+class DispatchGate {
+ public:
+  void OnDispatch() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++entered_;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+  /// Waits until the dispatcher has entered the hook `n` times.
+  void WaitEntered(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this, n] { return entered_ >= n; });
+  }
+
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  int entered_ = 0;
+};
+
+PredictServiceOptions FastServiceOptions() {
+  PredictServiceOptions options;
+  options.num_threads = 2;
+  return options;
+}
+
+/// A small, fast, distinct request line (~tens of ms to evaluate).
+std::string RequestLine(const std::string& id, int nodes, int jobs = 1) {
+  return "{\"id\":\"" + id + "\",\"nodes\":" + std::to_string(nodes) +
+         ",\"input_gb\":0.25,\"jobs\":" + std::to_string(jobs) +
+         ",\"repetitions\":1}";
+}
+
+TEST(PredictServiceTest, ServedResponseIsByteIdenticalToOffline) {
+  PredictService service(FastServiceOptions());
+  const std::string line = RequestLine("r1", 2);
+  const std::string served = service.Submit(line).get();
+
+  // Offline oracle: same request through a plain SweepRunner.
+  Result<ServeRequest> parsed = ParseServeRequest(line);
+  ASSERT_TRUE(parsed.ok());
+  SweepOptions sweep;
+  sweep.experiment = DefaultExperimentOptions();
+  SweepRunner runner(sweep);
+  const SweepReport report = runner.RunTasks(
+      {TaskForRequest(parsed->predict, sweep.experiment)});
+  ASSERT_TRUE(report.all_ok());
+  EXPECT_EQ(served, MakePredictResponse(parsed->id, *report.results[0]));
+}
+
+TEST(PredictServiceTest, CoalescesDuplicatesOntoInFlightEvaluation) {
+  auto gate = std::make_shared<DispatchGate>();
+  PredictServiceOptions options = FastServiceOptions();
+  options.dispatch_hook = [gate](size_t) { gate->OnDispatch(); };
+  PredictService service(options);
+
+  std::future<std::string> first = service.Submit(RequestLine("dup-a", 2));
+  gate->WaitEntered(1);  // evaluation of dup-a is now in flight
+  // Same point, different id and textual form: must attach, not requeue.
+  std::future<std::string> second = service.Submit(
+      R"({"repetitions":1, "input_gb":0.25, "nodes":2, "id":"dup-b"})");
+  gate->Open();
+
+  const std::string a = first.get();
+  const std::string b = second.get();
+  EXPECT_NE(a.find("\"id\": \"dup-a\""), std::string::npos) << a;
+  EXPECT_NE(b.find("\"id\": \"dup-b\""), std::string::npos) << b;
+  // Identical result bytes: one evaluation answered both.
+  EXPECT_EQ(a.substr(a.find("\"result\"")), b.substr(b.find("\"result\"")));
+
+  const ServeStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.requests_total, 2);
+  EXPECT_EQ(stats.evaluations_total, 1);
+  EXPECT_EQ(stats.coalesced_total, 1);
+  EXPECT_EQ(stats.responses_total, 2);
+}
+
+TEST(PredictServiceTest, RejectsOverloadedWithStructuredError) {
+  auto gate = std::make_shared<DispatchGate>();
+  PredictServiceOptions options = FastServiceOptions();
+  options.max_queue = 1;
+  options.dispatch_hook = [gate](size_t) { gate->OnDispatch(); };
+  PredictService service(options);
+
+  std::future<std::string> a = service.Submit(RequestLine("a", 2));
+  gate->WaitEntered(1);  // a is in flight; the queue is empty again
+  std::future<std::string> b = service.Submit(RequestLine("b", 3));
+  std::future<std::string> c = service.Submit(RequestLine("c", 4));
+  const std::string rejected = c.get();  // immediate, queue was full
+  EXPECT_NE(rejected.find("\"code\": \"overloaded\""), std::string::npos)
+      << rejected;
+  gate->Open();
+  EXPECT_NE(a.get().find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(b.get().find("\"ok\": true"), std::string::npos);
+  EXPECT_EQ(service.Stats().rejected_overload_total, 1);
+}
+
+TEST(PredictServiceTest, DrainAnswersAdmittedThenRejectsNewRequests) {
+  PredictService service(FastServiceOptions());
+  std::vector<std::future<std::string>> admitted;
+  for (int i = 0; i < 4; ++i) {
+    admitted.push_back(service.Submit(RequestLine("q" + std::to_string(i),
+                                                  2 + i)));
+  }
+  service.Drain();
+  for (auto& f : admitted) {
+    EXPECT_NE(f.get().find("\"ok\": true"), std::string::npos);
+  }
+  const std::string late = service.Submit(RequestLine("late", 2)).get();
+  EXPECT_NE(late.find("\"code\": \"shutting_down\""), std::string::npos)
+      << late;
+  EXPECT_TRUE(service.draining());
+  EXPECT_EQ(service.Stats().rejected_shutdown_total, 1);
+}
+
+TEST(PredictServiceTest, PoolShutdownConvertsToShuttingDownResponses) {
+  // The ThreadPool::Submit-after-Shutdown path at the server's call
+  // site: evaluations queued after the worker pool died must resolve as
+  // clean shutting_down rejections, not lost futures or crashes.
+  PredictService service(FastServiceOptions());
+  service.ShutdownWorkerPool();
+  std::vector<std::future<std::string>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(service.Submit(RequestLine("p" + std::to_string(i),
+                                                 2 + i)));
+  }
+  for (auto& f : futures) {
+    const std::string response = f.get();
+    EXPECT_NE(response.find("\"code\": \"shutting_down\""),
+              std::string::npos)
+        << response;
+  }
+  EXPECT_EQ(service.Stats().rejected_shutdown_total, 3);
+  EXPECT_EQ(service.Stats().evaluations_total, 0);
+}
+
+TEST(PredictServiceTest, MalformedAndInvalidLinesGetImmediateErrors) {
+  PredictService service(FastServiceOptions());
+  const std::string parse_error = service.Submit("{{{{").get();
+  EXPECT_NE(parse_error.find("\"code\": \"parse_error\""),
+            std::string::npos);
+  const std::string invalid =
+      service.Submit(R"({"profile":"nope"})").get();
+  EXPECT_NE(invalid.find("\"code\": \"invalid_argument\""),
+            std::string::npos);
+  EXPECT_EQ(service.Stats().request_errors_total, 2);
+}
+
+TEST(PredictServiceTest, ModelOnlyRequestsServeNullMeasurement) {
+  PredictService service(FastServiceOptions());
+  const std::string response =
+      service.Submit(R"({"nodes":2,"input_gb":0.25,"model_only":true})")
+          .get();
+  Result<JsonValue> parsed = ParseJson(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  const JsonValue* result = parsed->Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_TRUE(result->Find("measured_sec")->is_null());
+  EXPECT_TRUE(result->Find("forkjoin_error")->is_null());
+  EXPECT_GT(result->Find("forkjoin_sec")->number_value(), 0.0);
+}
+
+TEST(PredictServiceTest, StatsRequestReportsAndResetsCacheWindow) {
+  PredictService service(FastServiceOptions());
+  // Two rounds of the same request: round two hits the MVA cache.
+  service.Submit(RequestLine("w1", 2)).get();
+  service.Submit(RequestLine("w2", 2)).get();
+
+  const ServeStatsSnapshot before = service.Stats();
+  EXPECT_EQ(before.requests_total, 2);
+  EXPECT_EQ(before.evaluations_total, 2);
+  EXPECT_GT(before.cache.hits, 0);
+  EXPECT_EQ(before.cache_window.hits, before.cache.hits);
+  EXPECT_EQ(before.latency_count, 2u);
+  EXPECT_GE(before.latency_p95_ms, before.latency_p50_ms);
+
+  // Closing the window moves counters into the cumulative total.
+  const ServeStatsSnapshot closing = service.Stats(/*reset_window=*/true);
+  EXPECT_EQ(closing.cache.hits, before.cache.hits);
+  const ServeStatsSnapshot after = service.Stats();
+  EXPECT_EQ(after.cache_window.hits, 0);
+  EXPECT_EQ(after.cache_window.lookups(), 0);
+  EXPECT_EQ(after.cache.hits, before.cache.hits);  // cumulative survives
+  EXPECT_EQ(after.cache.size, before.cache.size);  // entries untouched
+
+  // The stats request kind end-to-end, with reset_window.
+  const std::string response =
+      service.Submit(R"({"kind":"stats","id":"s","reset_window":true})")
+          .get();
+  Result<JsonValue> parsed = ParseJson(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  EXPECT_EQ(parsed->Find("id")->string_value(), "s");
+  const JsonValue* stats = parsed->Find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->Find("requests_total")->number_value(), 2.0);
+  ASSERT_NE(stats->Find("latency_ms"), nullptr);
+  EXPECT_EQ(stats->Find("latency_ms")->Find("count")->number_value(), 2.0);
+  ASSERT_NE(stats->Find("cache"), nullptr);
+  EXPECT_EQ(stats->Find("cache")->Find("hits")->number_value(),
+            static_cast<double>(before.cache.hits));
+}
+
+TEST(PredictServiceTest, BatchedRequestsAllComplete) {
+  // More distinct requests than max_batch: several micro-batches.
+  PredictServiceOptions options = FastServiceOptions();
+  options.max_batch = 2;
+  PredictService service(options);
+  std::vector<std::future<std::string>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(
+        service.Submit(RequestLine("b" + std::to_string(i), 2, 1 + i % 3)));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const std::string response = futures[i].get();
+    EXPECT_NE(response.find("\"ok\": true"), std::string::npos)
+        << "request " << i << ": " << response;
+  }
+  EXPECT_EQ(service.Stats().responses_total, 6);
+}
+
+}  // namespace
+}  // namespace mrperf

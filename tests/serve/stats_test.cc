@@ -1,0 +1,94 @@
+#include "serve/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "serve/json.h"
+
+namespace mrperf {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramIsAllZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.PercentileMs(50), 0.0);
+  EXPECT_EQ(histogram.PercentileMs(99), 0.0);
+}
+
+TEST(LatencyHistogramTest, TracksExactMomentsAndRange) {
+  LatencyHistogram histogram;
+  for (double ms : {1.0, 3.0, 5.0, 7.0}) histogram.Add(ms);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.mean_ms(), 4.0);
+  EXPECT_EQ(histogram.min_ms(), 1.0);
+  EXPECT_EQ(histogram.max_ms(), 7.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreBucketBoundedEstimates) {
+  LatencyHistogram histogram;
+  // 90 fast samples (~3 ms bucket (2,5]) and 10 slow (~80 ms (50,100]).
+  for (int i = 0; i < 90; ++i) histogram.Add(3.0);
+  for (int i = 0; i < 10; ++i) histogram.Add(80.0);
+  const double p50 = histogram.PercentileMs(50);
+  EXPECT_GE(p50, 2.0);
+  EXPECT_LE(p50, 5.0);
+  const double p95 = histogram.PercentileMs(95);
+  EXPECT_GE(p95, 50.0);
+  EXPECT_LE(p95, 100.0);
+  // Monotone in p, clamped to the observed range.
+  EXPECT_LE(histogram.PercentileMs(50), histogram.PercentileMs(95));
+  EXPECT_LE(histogram.PercentileMs(95), histogram.PercentileMs(99));
+  EXPECT_LE(histogram.PercentileMs(100), histogram.max_ms());
+  EXPECT_GE(histogram.PercentileMs(0), histogram.min_ms());
+}
+
+TEST(LatencyHistogramTest, UnboundedTopBucketFallsBackToMax) {
+  LatencyHistogram histogram;
+  histogram.Add(50000.0);  // beyond the last bound
+  histogram.Add(90000.0);
+  EXPECT_EQ(histogram.PercentileMs(99), 90000.0);
+}
+
+TEST(FormatServeStatsJsonTest, RendersParseableSnapshot) {
+  ServeStatsSnapshot snapshot;
+  snapshot.queue_depth = 3;
+  snapshot.draining = true;
+  snapshot.requests_total = 10;
+  snapshot.evaluations_total = 6;
+  snapshot.coalesced_total = 4;
+  snapshot.rejected_overload_total = 1;
+  snapshot.request_errors_total = 2;
+  snapshot.responses_total = 13;
+  snapshot.threads = 4;
+  snapshot.latency_count = 10;
+  snapshot.latency_mean_ms = 12.5;
+  snapshot.latency_p99_ms = 80.0;
+  snapshot.cache.hits = 7;
+  snapshot.cache.misses = 3;
+  snapshot.cache.size = 5;
+  snapshot.cache_window.hits = 2;
+  snapshot.cache_window.misses = 2;
+
+  const std::string json = FormatServeStatsJson(snapshot);
+  Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << json;
+  EXPECT_EQ(parsed->Find("queue_depth")->number_value(), 3.0);
+  EXPECT_TRUE(parsed->Find("draining")->bool_value());
+  EXPECT_EQ(parsed->Find("requests_total")->number_value(), 10.0);
+  EXPECT_EQ(parsed->Find("coalesced_total")->number_value(), 4.0);
+  EXPECT_EQ(parsed->Find("threads")->number_value(), 4.0);
+  const JsonValue* latency = parsed->Find("latency_ms");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->Find("count")->number_value(), 10.0);
+  EXPECT_EQ(latency->Find("mean")->number_value(), 12.5);
+  EXPECT_EQ(latency->Find("p99")->number_value(), 80.0);
+  const JsonValue* cache = parsed->Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->Find("hits")->number_value(), 7.0);
+  EXPECT_EQ(cache->Find("hit_rate")->number_value(), 0.7);
+  const JsonValue* window = parsed->Find("cache_window");
+  ASSERT_NE(window, nullptr);
+  EXPECT_EQ(window->Find("hit_rate")->number_value(), 0.5);
+}
+
+}  // namespace
+}  // namespace mrperf

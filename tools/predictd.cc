@@ -1,0 +1,144 @@
+/// predictd — the online prediction daemon.
+///
+/// Serves the paper's what-if model over newline-delimited JSON on TCP
+/// (wire protocol: src/serve/request.h). All the serving machinery —
+/// bounded admission, micro-batching onto the sweep engine's worker
+/// pool, in-flight coalescing, the shared MVA cache — lives in
+/// src/serve/; this binary only parses flags, prints the bound address,
+/// and turns SIGTERM/SIGINT into a graceful drain (every admitted
+/// request is answered before exit).
+///
+/// Flags: --port=N (default 0 = ephemeral; the bound port is printed),
+/// --host=A (default 127.0.0.1), --threads=N (0 = auto),
+/// --max-queue=N, --batch=N, --verbose.
+///
+/// Example session:
+///   $ ./predictd --port=7077 &
+///   predictd listening on 127.0.0.1:7077
+///   $ printf '%s\n' '{"kind":"predict","nodes":4,"input_gb":1.0}' |
+///       nc 127.0.0.1 7077
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "serve/server.h"
+#include "serve/stats.h"
+
+namespace {
+
+/// Self-pipe: the only async-signal-safe way to hand a signal to the
+/// main thread without polling.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void HandleShutdownSignal(int signo) {
+  const unsigned char byte = static_cast<unsigned char>(signo);
+  // write() is async-signal-safe; a full pipe just means a shutdown is
+  // already pending.
+  [[maybe_unused]] ssize_t n = write(g_signal_pipe[1], &byte, 1);
+}
+
+int IntFlag(int argc, char** argv, const char* flag, int fallback) {
+  const size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return std::atoi(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
+std::string StringFlag(int argc, char** argv, const char* flag,
+                       const std::string& fallback) {
+  const size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return std::string(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrperf;
+
+  if (HasFlag(argc, argv, "--help")) {
+    std::printf(
+        "predictd: online MapReduce performance prediction service\n"
+        "  --port=N       TCP port (default 0 = ephemeral, printed)\n"
+        "  --host=A       IPv4 listen address (default 127.0.0.1)\n"
+        "  --threads=N    evaluation workers (default 0 = auto)\n"
+        "  --max-queue=N  admission queue bound (default 256)\n"
+        "  --batch=N      micro-batch cap (default 32)\n"
+        "  --verbose      info-level logging\n");
+    return 0;
+  }
+  if (HasFlag(argc, argv, "--verbose")) {
+    Logger::SetLevel(LogLevel::kInfo);
+  }
+
+  PredictServerOptions options;
+  options.host = StringFlag(argc, argv, "--host", options.host);
+  options.port = IntFlag(argc, argv, "--port", options.port);
+  options.service.num_threads = IntFlag(argc, argv, "--threads", 0);
+  options.service.max_queue =
+      IntFlag(argc, argv, "--max-queue", options.service.max_queue);
+  options.service.max_batch =
+      IntFlag(argc, argv, "--batch", options.service.max_batch);
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "predictd: pipe() failed: %s\n",
+                 std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action = {};
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  PredictServer server(options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "predictd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // Machine-parseable (bench_serve_load and the CI smoke job read it);
+  // keep the format stable.
+  std::printf("predictd listening on %s:%d\n", options.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  // Block until SIGTERM/SIGINT.
+  unsigned char signo = 0;
+  while (read(g_signal_pipe[0], &signo, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "predictd: signal %d, draining...\n", signo);
+  server.DrainAndStop();
+
+  const ServeStatsSnapshot stats = server.service().Stats();
+  std::fprintf(stderr,
+               "predictd: served %lld responses (%lld requests, %lld "
+               "evaluations, %lld coalesced), cache hit rate %.3f, "
+               "p50/p95/p99 latency %.1f/%.1f/%.1f ms\n",
+               static_cast<long long>(stats.responses_total),
+               static_cast<long long>(stats.requests_total),
+               static_cast<long long>(stats.evaluations_total),
+               static_cast<long long>(stats.coalesced_total),
+               stats.cache.hit_rate(), stats.latency_p50_ms,
+               stats.latency_p95_ms, stats.latency_p99_ms);
+  return 0;
+}
