@@ -4,10 +4,13 @@
 #include "figure_common.h"
 
 int main(int argc, char** argv) {
+  mrperf::bench::BenchArgs args(argc, argv);
+  const int threads = args.Threads();
+  const std::string out = args.OutPath();
+  const std::string json_out = args.JsonOutPath();
+  if (!args.Validate()) return 2;
   return mrperf::bench::RunNodeSweepFigure(
       "Figure 13: Input 5GB; #jobs 4", /*input_gb=*/5.0, /*num_jobs=*/4,
       /*block_size_bytes=*/128 * mrperf::kMiB,
-      mrperf::bench::ThreadsFromArgs(argc, argv),
-      mrperf::bench::OutPathFromArgs(argc, argv),
-      mrperf::bench::JsonOutPathFromArgs(argc, argv));
+      threads, out, json_out);
 }

@@ -4,9 +4,12 @@
 #include "figure_common.h"
 
 int main(int argc, char** argv) {
+  mrperf::bench::BenchArgs args(argc, argv);
+  const int threads = args.Threads();
+  const std::string out = args.OutPath();
+  const std::string json_out = args.JsonOutPath();
+  if (!args.Validate()) return 2;
   return mrperf::bench::RunJobSweepFigure(
       "Figure 14: #Nodes 4; Input 5GB", /*nodes=*/4, /*input_gb=*/5.0,
-      mrperf::bench::ThreadsFromArgs(argc, argv),
-      mrperf::bench::OutPathFromArgs(argc, argv),
-      mrperf::bench::JsonOutPathFromArgs(argc, argv));
+      threads, out, json_out);
 }

@@ -1,0 +1,60 @@
+/// \file bench_flags.h
+/// \brief The shared CLI surface of the bench binaries.
+///
+/// Every bench used to hand-roll the same strncmp loops for
+/// `--threads/--out/--json-out/--progress/--smoke`, with slightly
+/// different accepted spellings and silently ignored typos. BenchArgs
+/// centralizes the parsing: both `--flag=value` and `--flag value`
+/// spellings are accepted everywhere, bench-specific flags go through
+/// the same typed accessors, and `Validate()` rejects anything left
+/// over with one uniform error message — a typo like `--thread=8` fails
+/// the run instead of silently benchmarking the default.
+///
+/// Usage: construct from (argc, argv), read every flag the bench
+/// understands, then call Validate() last — it reports precisely the
+/// arguments no accessor consumed.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mrperf::bench {
+
+/// \brief Argument parser for bench binaries (see file comment).
+class BenchArgs {
+ public:
+  BenchArgs(int argc, char** argv);
+
+  /// `--flag=N` / `--flag N`; `fallback` when absent. A malformed value
+  /// parses as 0/0.0 (atoi semantics) — bound it at the call site.
+  int IntFlag(const char* flag, int fallback);
+  double DoubleFlag(const char* flag, double fallback);
+  /// `--flag=S` / `--flag S`; `fallback` when absent.
+  std::string StringFlag(const char* flag,
+                         const std::string& fallback = std::string());
+  /// Bare `--flag` presence.
+  bool BoolFlag(const char* flag);
+
+  /// The uniform surface shared by every sweep bench.
+  int Threads() { return IntFlag("--threads", 0); }
+  std::string OutPath() { return StringFlag("--out"); }
+  std::string JsonOutPath() { return StringFlag("--json-out"); }
+  bool Progress() { return BoolFlag("--progress"); }
+  bool Smoke() { return BoolFlag("--smoke"); }
+
+  /// Call after reading every known flag: prints one uniform error per
+  /// argument nothing consumed and returns false if there were any.
+  bool Validate() const;
+
+ private:
+  /// Finds `flag` in either spelling, marks what it consumes, returns
+  /// whether it was present (value in *value).
+  bool Consume(const char* flag, std::string* value);
+
+  std::string program_;
+  std::vector<std::string> args_;
+  std::vector<bool> used_;
+};
+
+}  // namespace mrperf::bench

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_flags.h"
 #include "queueing/mva_approx.h"
 #include "queueing/mva_exact.h"
 #include "queueing/mva_kernel.h"
@@ -372,26 +373,17 @@ int Run(bool smoke, double min_ms, int max_tasks,
 }  // namespace mrperf
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  double min_ms = 0.0;  // 0 = use the mode default below
-  int max_tasks = 256;
-  std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strncmp(argv[i], "--min-ms=", 9) == 0) {
-      min_ms = std::atof(argv[i] + 9);
-    } else if (std::strncmp(argv[i], "--max-tasks=", 12) == 0) {
-      max_tasks = std::atoi(argv[i] + 12);
-    } else if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
-      json_path = argv[i] + 11;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--smoke] [--min-ms=N] [--max-tasks=T] "
-                   "[--json-out=PATH]\n",
-                   argv[0]);
-      return 2;
-    }
+  mrperf::bench::BenchArgs args(argc, argv);
+  const bool smoke = args.Smoke();
+  double min_ms = args.DoubleFlag("--min-ms", 0.0);  // 0 = mode default
+  const int max_tasks = args.IntFlag("--max-tasks", 256);
+  const std::string json_path = args.JsonOutPath();
+  if (!args.Validate()) {
+    std::fprintf(stderr,
+                 "usage: %s [--smoke] [--min-ms=N] [--max-tasks=T] "
+                 "[--json-out=PATH]\n",
+                 argv[0]);
+    return 2;
   }
   // An explicit --min-ms wins regardless of flag order.
   if (min_ms <= 0.0) min_ms = smoke ? 20.0 : 200.0;

@@ -16,7 +16,6 @@
 /// the requested worker count — the CI Release perf-smoke configuration).
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -32,13 +31,13 @@
 int main(int argc, char** argv) {
   using namespace mrperf;
 
-  const int num_threads = bench::ThreadsFromArgs(argc, argv);
-  bool smoke = false;
-  bool show_progress = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-    if (std::strcmp(argv[i], "--progress") == 0) show_progress = true;
-  }
+  bench::BenchArgs args(argc, argv);
+  const int num_threads = args.Threads();
+  const bool smoke = args.Smoke();
+  const bool show_progress = args.Progress();
+  const std::string out_path = args.OutPath();
+  const std::string json_path = args.JsonOutPath();
+  if (!args.Validate()) return 2;
 
   // 2-tier heterogeneous shape: half big paper-testbed nodes, half
   // small nodes with a quarter of the memory and a third of the cores.
@@ -128,13 +127,8 @@ int main(int argc, char** argv) {
                 report.threads_used);
   }
 
-  if (!bench::MaybeWriteCsv(bench::OutPathFromArgs(argc, argv), results)) {
-    return 1;
-  }
-  if (!bench::MaybeWriteJson(bench::JsonOutPathFromArgs(argc, argv),
-                             results)) {
-    return 1;
-  }
+  if (!bench::MaybeWriteCsv(out_path, results)) return 1;
+  if (!bench::MaybeWriteJson(json_path, results)) return 1;
   std::printf(
       "\nExpected shape: Tetris rows keep the model's capacity-FIFO\n"
       "assumption, so their errors bound how far the paper's model\n"

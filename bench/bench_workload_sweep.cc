@@ -11,7 +11,6 @@
 /// persist the results as CSV / JSON.
 
 #include <cstdio>
-#include <cstring>
 #include <vector>
 
 #include "engine/sweep_runner.h"
@@ -22,6 +21,13 @@
 
 int main(int argc, char** argv) {
   using namespace mrperf;
+  bench::BenchArgs args(argc, argv);
+  const int num_threads = args.Threads();
+  const bool show_progress = args.Progress();
+  const std::string out_path = args.OutPath();
+  const std::string json_path = args.JsonOutPath();
+  if (!args.Validate()) return 2;
+
   struct Entry {
     const char* name;
     JobProfile profile;
@@ -55,11 +61,7 @@ int main(int argc, char** argv) {
   }
 
   SweepOptions sweep_opts;
-  sweep_opts.num_threads = bench::ThreadsFromArgs(argc, argv);
-  bool show_progress = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--progress") == 0) show_progress = true;
-  }
+  sweep_opts.num_threads = num_threads;
   if (show_progress) {
     sweep_opts.progress = [](const SweepProgress& p) {
       std::fprintf(stderr,
@@ -93,14 +95,8 @@ int main(int argc, char** argv) {
   PrintSweepStats(std::cout, tasks.size(), report.threads_used,
                   report.wall_seconds, report.cache_stats.hits,
                   report.cache_stats.lookups());
-  if (!bench::MaybeWriteCsv(bench::OutPathFromArgs(argc, argv),
-                            report.values())) {
-    return 1;
-  }
-  if (!bench::MaybeWriteJson(bench::JsonOutPathFromArgs(argc, argv),
-                             report.values())) {
-    return 1;
-  }
+  if (!bench::MaybeWriteCsv(out_path, report.values())) return 1;
+  if (!bench::MaybeWriteJson(json_path, report.values())) return 1;
   std::printf(
       "\nExpected shape: the calibration was fit on WordCount only; the\n"
       "other job types stress different resource mixes. Errors stay within\n"

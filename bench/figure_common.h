@@ -7,12 +7,11 @@
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_flags.h"
 #include "engine/sweep_csv.h"
 #include "engine/sweep_grid.h"
 #include "engine/sweep_json.h"
@@ -21,45 +20,6 @@
 #include "experiments/report.h"
 
 namespace mrperf::bench {
-
-/// Parses `--threads=N` / `--threads N` from argv (0 = auto-detect).
-inline int ThreadsFromArgs(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      return std::atoi(argv[i] + 10);
-    }
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      return std::atoi(argv[i + 1]);
-    }
-  }
-  return 0;
-}
-
-/// Parses `<flag>=path` / `<flag> path` from argv ("" = absent).
-inline std::string PathFlagFromArgs(int argc, char** argv,
-                                    const char* flag) {
-  const size_t flag_len = std::strlen(flag);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
-        argv[i][flag_len] == '=') {
-      return std::string(argv[i] + flag_len + 1);
-    }
-    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
-      return std::string(argv[i + 1]);
-    }
-  }
-  return std::string();
-}
-
-/// Parses `--out=path` / `--out path` from argv ("" = don't persist).
-inline std::string OutPathFromArgs(int argc, char** argv) {
-  return PathFlagFromArgs(argc, argv, "--out");
-}
-
-/// Parses `--json-out=path` / `--json-out path` ("" = don't persist).
-inline std::string JsonOutPathFromArgs(int argc, char** argv) {
-  return PathFlagFromArgs(argc, argv, "--json-out");
-}
 
 /// Persists sweep results to `out_path` when non-empty (sweep_csv.h);
 /// returns false (after printing the error) when the write fails.

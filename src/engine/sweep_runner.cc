@@ -29,7 +29,7 @@ double SecondsSince(SteadyClock::time_point start) {
 class SweepRunner::ProgressReporter {
  public:
   ProgressReporter(std::function<void(const SweepProgress&)> callback,
-                   size_t total, const MvaSolveCache& cache)
+                   size_t total, const SolveCache& cache)
       : callback_(std::move(callback)), total_(total), cache_(cache) {}
 
   /// No-op when no callback is configured.
@@ -46,7 +46,7 @@ class SweepRunner::ProgressReporter {
  private:
   const std::function<void(const SweepProgress&)> callback_;
   const size_t total_;
-  const MvaSolveCache& cache_;
+  const SolveCache& cache_;
   std::mutex mu_;
   size_t done_ = 0;
 };
@@ -86,7 +86,8 @@ uint64_t PointSeed(uint64_t base_seed, size_t point_index) {
 
 SweepRunner::SweepRunner(SweepOptions options)
     : options_(std::move(options)),
-      cache_(options_.cache_max_entries),
+      cache_(MakeSolveCache(options_.cache_shards,
+                            options_.cache_max_entries)),
       pool_(options_.num_threads > 0 ? options_.num_threads
                                      : ThreadPool::DefaultThreadCount()) {}
 
@@ -95,7 +96,7 @@ ExperimentOptions SweepRunner::PointOptions(size_t index) {
   if (options_.derive_point_seeds) {
     opts.base_seed = PointSeed(options_.experiment.base_seed, index);
   }
-  opts.model.mva_cache = options_.use_mva_cache ? &cache_ : nullptr;
+  opts.model.mva_cache = options_.use_mva_cache ? cache_.get() : nullptr;
   return opts;
 }
 
@@ -120,7 +121,7 @@ SweepReport SweepRunner::RunTasks(const std::vector<Task>& tasks) {
   const auto start = SteadyClock::now();
 
   auto reporter = std::make_shared<ProgressReporter>(options_.progress,
-                                                     tasks.size(), cache_);
+                                                     tasks.size(), *cache_);
   std::vector<std::future<Result<ExperimentResult>>> futures;
   futures.reserve(tasks.size());
   for (size_t i = 0; i < tasks.size(); ++i) {
@@ -129,7 +130,7 @@ SweepReport SweepRunner::RunTasks(const std::vector<Task>& tasks) {
     if (tasks[i].derive_seed) {
       opts.base_seed = PointSeed(tasks[i].options.base_seed, i);
     }
-    opts.model.mva_cache = options_.use_mva_cache ? &cache_ : nullptr;
+    opts.model.mva_cache = options_.use_mva_cache ? cache_.get() : nullptr;
     futures.push_back(pool_.Submit([point, opts, reporter]() mutable {
       // Resolved on the worker thread: each worker reuses one kernel
       // scratch across every point it evaluates (and across sweeps), so
@@ -148,14 +149,14 @@ SweepReport SweepRunner::RunTasks(const std::vector<Task>& tasks) {
   }
   report.wall_seconds = SecondsSince(start);
   report.threads_used = pool_.thread_count();
-  report.cache_stats = cache_.stats();
+  report.cache_stats = cache_->stats();
   return report;
 }
 
 std::vector<Result<ModelResult>> SweepRunner::RunModels(
     const std::vector<ExperimentPoint>& points) {
   auto reporter = std::make_shared<ProgressReporter>(options_.progress,
-                                                     points.size(), cache_);
+                                                     points.size(), *cache_);
   std::vector<std::future<Result<ModelResult>>> futures;
   futures.reserve(points.size());
   for (size_t i = 0; i < points.size(); ++i) {

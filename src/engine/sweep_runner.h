@@ -10,7 +10,7 @@
 ///     point evaluation shares no mutable state except the MVA cache —
 ///     whose hits are bit-identical to recomputation. A sweep therefore
 ///     produces byte-identical results at any worker count.
-///  2. **Memoized solves.** One MvaSolveCache is threaded through every
+///  2. **Memoized solves.** One SolveCache is threaded through every
 ///     model solve of the sweep, so structurally identical overlap-MVA
 ///     fixed points (period-2 cycles, repeated calibration points,
 ///     symmetric concurrent jobs) are computed once. Each worker also
@@ -22,13 +22,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "engine/sweep_grid.h"
 #include "engine/thread_pool.h"
 #include "experiments/experiment.h"
-#include "queueing/mva_cache.h"
+#include "queueing/solve_cache.h"
 
 namespace mrperf {
 
@@ -59,6 +60,11 @@ struct SweepOptions {
   /// Share one overlap-MVA memo cache across all points of a sweep.
   bool use_mva_cache = true;
   int64_t cache_max_entries = 4096;
+  /// Lock shards for the shared cache (MakeSolveCache): 1 selects the
+  /// single-mutex MvaSolveCache — right for batch sweeps — while the
+  /// serving layer passes its fan-in width so concurrent solves stop
+  /// contending on one lock. Results are bit-identical either way.
+  int cache_shards = 1;
   /// Optional progress observer, invoked once per completed point of
   /// Run/RunTasks/RunModels with (points done, total, cache stats).
   /// Calls come from worker threads but are serialized (never
@@ -128,13 +134,19 @@ class SweepRunner {
       const std::vector<ExperimentPoint>& points);
 
   int thread_count() const { return pool_.thread_count(); }
-  MvaCacheStats cache_stats() const { return cache_.stats(); }
+  MvaCacheStats cache_stats() const { return cache_->stats(); }
 
   /// Atomically snapshots and resets the shared cache's counters
   /// (entries stay resident) so a long-lived consumer — the serving
   /// layer — can report per-window hit rates. See
-  /// MvaSolveCache::ResetStats.
-  MvaCacheStats ResetCacheStats() { return cache_.ResetStats(); }
+  /// SolveCache::ResetStats.
+  MvaCacheStats ResetCacheStats() { return cache_->ResetStats(); }
+
+  /// The shared solve cache (built by MakeSolveCache from
+  /// SweepOptions::cache_shards / cache_max_entries). The serving layer
+  /// uses this for the checkpoint/recover lifecycle.
+  SolveCache& cache() { return *cache_; }
+  const SolveCache& cache() const { return *cache_; }
 
   /// Shuts the worker pool down: queued evaluations drain, then any
   /// later Run*/RunTasks throws std::runtime_error from the pool's
@@ -153,7 +165,7 @@ class SweepRunner {
   class ProgressReporter;
 
   SweepOptions options_;
-  MvaSolveCache cache_;
+  std::unique_ptr<SolveCache> cache_;
   ThreadPool pool_;
 };
 

@@ -31,8 +31,8 @@
 #include "model/overlap.h"
 #include "model/precedence_tree.h"
 #include "model/timeline.h"
-#include "queueing/mva_cache.h"
 #include "queueing/mva_overlap.h"
+#include "queueing/solve_cache.h"
 
 namespace mrperf {
 
@@ -59,7 +59,7 @@ struct ModelOptions {
   /// — period-2 placement cycles, repeated calibration points — are
   /// solved once. A hit is bit-identical to recomputation, so enabling
   /// the cache never changes results.
-  MvaSolveCache* mva_cache = nullptr;
+  SolveCache* mva_cache = nullptr;
   /// Optional reusable kernel buffers for the A4 solves (not owned; one
   /// per thread — a scratch is not thread-safe). The sweep engine wires
   /// a per-worker scratch through so grid sweeps stop reallocating

@@ -1,0 +1,265 @@
+#include "queueing/cache_checkpoint.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+namespace mrperf {
+namespace {
+
+/// Reasonableness bounds: a corrupt length prefix must fail fast with a
+/// clear message instead of attempting a multi-gigabyte allocation.
+constexpr uint32_t kMaxKeyBytes = 64u << 20;
+constexpr uint32_t kMaxSolutionDim = 1u << 24;
+constexpr uint64_t kMaxEntries = 1ull << 32;
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(b, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(b, 8);
+}
+
+void AppendI32(std::string* out, int32_t v) {
+  AppendU32(out, static_cast<uint32_t>(v));
+}
+
+void AppendDoubles(std::string* out, const double* values, size_t count) {
+  out->append(reinterpret_cast<const char*>(values),
+              count * sizeof(double));
+}
+
+/// Bounds-checked sequential reader over the checkpoint body.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (size_ - pos_ < 4) return false;
+    uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+      r |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *v = r;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (size_ - pos_ < 8) return false;
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+      r |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *v = r;
+    return true;
+  }
+
+  bool ReadBytes(std::string* out, size_t count) {
+    if (size_ - pos_ < count) return false;
+    out->assign(data_ + pos_, count);
+    pos_ += count;
+    return true;
+  }
+
+  bool ReadDoubles(std::vector<double>* out, size_t count) {
+    if (size_ - pos_ < count * sizeof(double)) return false;
+    out->resize(count);
+    if (count > 0) {
+      std::memcpy(out->data(), data_ + pos_, count * sizeof(double));
+    }
+    pos_ += count * sizeof(double);
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::InvalidArgument("cache checkpoint '" + path + "': " + what);
+}
+
+}  // namespace
+
+uint32_t CacheCheckpointCrc32(const std::string& data) {
+  const std::array<uint32_t, 256>& table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status WriteCacheCheckpoint(
+    const std::string& path,
+    const std::vector<CacheCheckpointEntry>& entries) {
+  std::string out;
+  out.append(kCacheCheckpointMagic, sizeof(kCacheCheckpointMagic));
+  AppendU32(&out, kCacheCheckpointVersion);
+  AppendU64(&out, entries.size());
+  for (const CacheCheckpointEntry& entry : entries) {
+    const OverlapMvaSolution& s = entry.solution;
+    if (s.residence.size() != s.response.size()) {
+      return Status::InvalidArgument(
+          "cache checkpoint: entry with mismatched residence/response "
+          "row counts cannot be serialized");
+    }
+    AppendU32(&out, static_cast<uint32_t>(entry.key.size()));
+    out += entry.key;
+    const uint32_t rows = static_cast<uint32_t>(s.residence.size());
+    const uint32_t cols =
+        rows > 0 ? static_cast<uint32_t>(s.residence[0].size()) : 0;
+    AppendU32(&out, rows);
+    AppendU32(&out, cols);
+    for (const std::vector<double>& row : s.residence) {
+      if (row.size() != cols) {
+        return Status::InvalidArgument(
+            "cache checkpoint: ragged residence matrix cannot be "
+            "serialized");
+      }
+      AppendDoubles(&out, row.data(), row.size());
+    }
+    AppendDoubles(&out, s.response.data(), s.response.size());
+    AppendI32(&out, s.iterations);
+  }
+  AppendU32(&out, CacheCheckpointCrc32(out));
+
+  // Atomic replace: a crash between fopen and rename leaves at worst a
+  // stale .tmp next to an intact previous checkpoint.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + tmp + "' for writing");
+  }
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != out.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<CacheCheckpointEntry>> ReadCacheCheckpoint(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cache checkpoint '" + path +
+                            "' does not exist");
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Internal("error reading '" + path + "'");
+  }
+
+  constexpr size_t kHeaderBytes = 4 + 4 + 8;
+  if (data.size() < kHeaderBytes + 4) {
+    return Corrupt(path, "truncated (shorter than header + CRC)");
+  }
+  // The trailing CRC covers everything before it: any flipped bit in
+  // header or payload (or in the CRC itself) fails verification.
+  const std::string body = data.substr(0, data.size() - 4);
+  Reader crc_reader(data.data() + data.size() - 4, 4);
+  uint32_t stored_crc = 0;
+  crc_reader.ReadU32(&stored_crc);
+  if (CacheCheckpointCrc32(body) != stored_crc) {
+    return Corrupt(path, "CRC mismatch (corrupt or truncated file)");
+  }
+
+  Reader reader(body.data(), body.size());
+  std::string magic;
+  reader.ReadBytes(&magic, sizeof(kCacheCheckpointMagic));
+  if (std::memcmp(magic.data(), kCacheCheckpointMagic,
+                  sizeof(kCacheCheckpointMagic)) != 0) {
+    return Corrupt(path, "bad magic (not a cache checkpoint)");
+  }
+  uint32_t version = 0;
+  reader.ReadU32(&version);
+  if (version != kCacheCheckpointVersion) {
+    return Corrupt(path, "unsupported format version " +
+                             std::to_string(version) + " (this build reads " +
+                             std::to_string(kCacheCheckpointVersion) + ")");
+  }
+  uint64_t count = 0;
+  reader.ReadU64(&count);
+  if (count > kMaxEntries) {
+    return Corrupt(path, "implausible entry count");
+  }
+
+  std::vector<CacheCheckpointEntry> entries;
+  entries.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    CacheCheckpointEntry entry;
+    uint32_t key_len = 0;
+    if (!reader.ReadU32(&key_len) || key_len > kMaxKeyBytes ||
+        !reader.ReadBytes(&entry.key, key_len)) {
+      return Corrupt(path, "truncated entry key");
+    }
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    if (!reader.ReadU32(&rows) || !reader.ReadU32(&cols) ||
+        rows > kMaxSolutionDim || cols > kMaxSolutionDim) {
+      return Corrupt(path, "truncated or implausible solution shape");
+    }
+    entry.solution.residence.resize(rows);
+    for (uint32_t r = 0; r < rows; ++r) {
+      if (!reader.ReadDoubles(&entry.solution.residence[r], cols)) {
+        return Corrupt(path, "truncated residence matrix");
+      }
+    }
+    if (!reader.ReadDoubles(&entry.solution.response, rows)) {
+      return Corrupt(path, "truncated response vector");
+    }
+    uint32_t iterations = 0;
+    if (!reader.ReadU32(&iterations)) {
+      return Corrupt(path, "truncated iteration count");
+    }
+    entry.solution.iterations = static_cast<int32_t>(iterations);
+    entries.push_back(std::move(entry));
+  }
+  if (reader.remaining() != 0) {
+    return Corrupt(path, "trailing bytes after the last entry");
+  }
+  return entries;
+}
+
+}  // namespace mrperf

@@ -1,95 +1,11 @@
 #include "queueing/mva_cache.h"
 
 #include <algorithm>
-#include <cstring>
 
 namespace mrperf {
-namespace {
-
-/// Appends the raw bytes of a trivially copyable value to `out`.
-template <typename T>
-void AppendBytes(std::string* out, const T& value) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  const char* p = reinterpret_cast<const char*>(&value);
-  out->append(p, sizeof(T));
-}
-
-void AppendDoubles(std::string* out, const std::vector<double>& values) {
-  AppendBytes(out, values.size());
-  if (!values.empty()) {
-    out->append(reinterpret_cast<const char*>(values.data()),
-                values.size() * sizeof(double));
-  }
-}
-
-}  // namespace
 
 MvaSolveCache::MvaSolveCache(int64_t max_entries)
     : max_entries_(std::max<int64_t>(1, max_entries)) {}
-
-namespace {
-
-/// Options + centers prefix shared by the per-task and grouped keys.
-/// `assume_valid` and `kernel` are deliberately excluded: neither
-/// affects which solution a key maps to (grouped-kernel solves are
-/// segregated by the grouped key's tag instead).
-void AppendKeyPrefix(std::string* key, const OverlapMvaOptions& options,
-                     const std::vector<ServiceCenter>& centers) {
-  AppendBytes(key, options.tolerance);
-  AppendBytes(key, options.max_iterations);
-  AppendBytes(key, options.damping);
-
-  AppendBytes(key, centers.size());
-  for (const ServiceCenter& c : centers) {
-    // Center names are labels only; they do not affect the solution.
-    AppendBytes(key, c.type);
-    AppendBytes(key, c.server_count);
-  }
-}
-
-}  // namespace
-
-std::string MvaSolveCache::MakeKey(const OverlapMvaProblem& problem,
-                                   const OverlapMvaOptions& options) {
-  std::string key;
-  // Rough upfront estimate: demands + overlap rows dominate.
-  size_t doubles = problem.tasks.size() * problem.centers.size() +
-                   problem.overlap.size() * problem.overlap.size();
-  key.reserve(64 + doubles * sizeof(double));
-
-  key.push_back('T');  // per-task problem; solution has one row per task
-  AppendKeyPrefix(&key, options, problem.centers);
-  AppendBytes(&key, problem.tasks.size());
-  for (const OverlapTask& t : problem.tasks) {
-    AppendDoubles(&key, t.demand);
-  }
-  AppendBytes(&key, problem.overlap.size());
-  for (const std::vector<double>& row : problem.overlap) {
-    AppendDoubles(&key, row);
-  }
-  return key;
-}
-
-std::string MvaSolveCache::MakeKey(const GroupedOverlapMvaProblem& problem,
-                                   const OverlapMvaOptions& options) {
-  std::string key;
-  size_t doubles = problem.groups.size() * problem.centers.size() +
-                   problem.overlap.size() * problem.overlap.size();
-  key.reserve(64 + doubles * sizeof(double));
-
-  key.push_back('G');  // grouped problem; solution has one row per class
-  AppendKeyPrefix(&key, options, problem.centers);
-  AppendBytes(&key, problem.groups.size());
-  for (const OverlapTaskGroup& g : problem.groups) {
-    AppendBytes(&key, g.count);
-    AppendDoubles(&key, g.demand);
-  }
-  AppendBytes(&key, problem.overlap.size());
-  for (const std::vector<double>& row : problem.overlap) {
-    AppendDoubles(&key, row);
-  }
-  return key;
-}
 
 std::optional<OverlapMvaSolution> MvaSolveCache::Lookup(
     const std::string& key) {
@@ -119,63 +35,26 @@ void MvaSolveCache::Insert(const std::string& key,
   ++stats_.insertions;
 }
 
-Result<OverlapMvaSolution> MvaSolveCache::SolveThrough(
-    const OverlapMvaProblem& problem, const OverlapMvaOptions& options,
-    MvaKernelScratch* scratch) {
-  // Validate once at entry; the hot loop below (hits, the miss solve)
-  // never re-walks the O(T²) overlap matrix.
-  if (!options.assume_valid) {
-    MRPERF_RETURN_NOT_OK(problem.Validate());
-  }
-  OverlapMvaOptions opts = options;
-  opts.assume_valid = true;
-  const std::string key = MakeKey(problem, opts);
-  if (std::optional<OverlapMvaSolution> hit = Lookup(key)) {
-    return *std::move(hit);
-  }
-  Result<OverlapMvaSolution> solved = SolveOverlapMva(problem, opts, scratch);
-  if (solved.ok()) Insert(key, *solved);
-  return solved;
-}
-
-Result<OverlapMvaSolution> MvaSolveCache::SolveThrough(
-    const GroupedOverlapMvaProblem& problem, const OverlapMvaOptions& options,
-    MvaKernelScratch* scratch) {
-  if (!options.assume_valid) {
-    MRPERF_RETURN_NOT_OK(problem.Validate());
-  }
-  OverlapMvaOptions opts = options;
-  opts.assume_valid = true;
-  const MvaKernelPath path = ResolveGroupedMvaKernelPath(
-      opts.kernel, problem.TotalTasks(), problem.groups.size());
-  if (path != MvaKernelPath::kGrouped) {
-    // Reference-oracle paths run (and cache) at per-task granularity so
-    // their hits stay bit-identical to dense recomputation.
-    return SolveThrough(problem.Expand(), opts, scratch);
-  }
-  const std::string key = MakeKey(problem, opts);
-  if (std::optional<OverlapMvaSolution> hit = Lookup(key)) {
-    return ExpandGroupedMvaSolution(*hit, problem.task_group);
-  }
-  Result<OverlapMvaSolution> group_sol =
-      SolveGroupedOverlapMvaGroupLevel(problem, opts, scratch);
-  if (!group_sol.ok()) return group_sol;
-  Insert(key, *group_sol);
-  return ExpandGroupedMvaSolution(*group_sol, problem.task_group);
-}
-
 MvaCacheStats MvaSolveCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  MvaCacheStats snapshot = stats_;
-  snapshot.size = static_cast<int64_t>(entries_.size());
+  MvaCacheStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = stats_;
+    snapshot.size = static_cast<int64_t>(entries_.size());
+  }
+  AddLifecycleCounters(&snapshot);
   return snapshot;
 }
 
 MvaCacheStats MvaSolveCache::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  MvaCacheStats snapshot = stats_;
-  snapshot.size = static_cast<int64_t>(entries_.size());
-  stats_ = MvaCacheStats{};  // size is recomputed by stats() from entries_
+  MvaCacheStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = stats_;
+    snapshot.size = static_cast<int64_t>(entries_.size());
+    stats_ = MvaCacheStats{};  // size is recomputed by stats() from entries_
+  }
+  AddLifecycleCounters(&snapshot);
   return snapshot;
 }
 
@@ -184,6 +63,17 @@ void MvaSolveCache::Clear() {
   entries_.clear();
   lru_.clear();
   stats_ = MvaCacheStats{};
+}
+
+void MvaSolveCache::ForEachEntry(
+    const std::function<void(const std::string& key,
+                             const OverlapMvaSolution& solution)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Walk back-to-front: least-recently-used first, the order the
+  // checkpoint codec persists.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    fn(*it, entries_.at(*it).solution);
+  }
 }
 
 }  // namespace mrperf

@@ -1,26 +1,22 @@
 /// \file mva_cache.h
-/// \brief Thread-safe memoization cache for overlap-MVA solves.
+/// \brief The single-mutex SolveCache implementation.
 ///
-/// The modified-MVA loop (model.cc, activity A4) and sweep workloads solve
-/// many structurally identical overlap-MVA fixed points: a period-2
-/// placement cycle alternates between two exact problems, calibration
-/// sweeps re-solve the same model points under unchanged model knobs, and
-/// concurrent jobs with symmetric placement produce duplicate networks.
-/// Since SolveOverlapMva is a pure function of (problem, options), its
-/// solutions can be reused whenever the full problem bytes match.
+/// The modified-MVA loop (model.cc, activity A4) and sweep workloads
+/// solve many structurally identical overlap-MVA fixed points: a
+/// period-2 placement cycle alternates between two exact problems,
+/// calibration sweeps re-solve the same model points under unchanged
+/// model knobs, and concurrent jobs with symmetric placement produce
+/// duplicate networks. Since SolveOverlapMva is a pure function of
+/// (problem, options), its solutions can be reused whenever the full
+/// problem bytes match — see solve_cache.h for the interface contract
+/// (exact-byte keys, bit-identical hits, checkpoint/recover).
 ///
-/// Keys are the exact packed bytes of the problem and solver options (no
-/// lossy hashing), so a cache hit is bit-identical to recomputation and
-/// cannot perturb sweep determinism.
-///
-/// Group-compressed problems (GroupedOverlapMvaProblem) are keyed on the
-/// compressed representation — O(G²) bytes instead of O(T²) — and their
-/// solutions are stored at group granularity and expanded per lookup.
-/// Two consequences: key construction and comparison stop scaling with
-/// the square of the task count, and any two problems with the same
-/// compressed form (a period-2 A4 placement cycle, symmetric concurrent
-/// jobs that collapse to the same classes) hit by construction even when
-/// their member orderings differ.
+/// This implementation guards one LRU map with one mutex: minimal
+/// overhead, fully consistent stats, and entirely adequate for batch
+/// sweeps with a handful of workers. Serving-scale fan-in (every
+/// connection and worker funneling through the same lock) should use
+/// ShardedSolveCache (sharded_solve_cache.h) instead; this class also
+/// serves as its per-shard building block.
 
 #pragma once
 
@@ -31,26 +27,9 @@
 #include <string>
 #include <unordered_map>
 
-#include "queueing/mva_overlap.h"
+#include "queueing/solve_cache.h"
 
 namespace mrperf {
-
-/// \brief Hit/miss counters (snapshot).
-struct MvaCacheStats {
-  int64_t hits = 0;
-  int64_t misses = 0;
-  int64_t insertions = 0;
-  /// Least-recently-used entries displaced to make room.
-  int64_t evictions = 0;
-  /// Entries currently resident.
-  int64_t size = 0;
-
-  int64_t lookups() const { return hits + misses; }
-  double hit_rate() const {
-    const int64_t n = lookups();
-    return n > 0 ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
-  }
-};
 
 /// \brief Bounded, thread-safe solution cache keyed on the full problem.
 ///
@@ -61,61 +40,34 @@ struct MvaCacheStats {
 /// hitting on their recent problems — the repeated fixed points of a
 /// point appear close together in time — instead of freezing the cache
 /// at whatever happened to be solved first.
-class MvaSolveCache {
+class MvaSolveCache : public SolveCache {
  public:
   /// \param max_entries cap on resident entries (>= 1).
   explicit MvaSolveCache(int64_t max_entries = 4096);
 
-  /// Serializes the problem + options into an exact lookup key.
-  static std::string MakeKey(const OverlapMvaProblem& problem,
-                             const OverlapMvaOptions& options);
+  std::optional<OverlapMvaSolution> Lookup(const std::string& key) override;
+  void Insert(const std::string& key,
+              const OverlapMvaSolution& solution) override;
 
-  /// Compressed key for a grouped problem: centers, per-class
-  /// (count, demand) and the G×G θ blocks — `task_group` is excluded,
-  /// since it only orders the expansion of the shared group-level
-  /// solution. Tagged so grouped keys can never collide with per-task
-  /// keys (their cached solutions have different shapes).
-  static std::string MakeKey(const GroupedOverlapMvaProblem& problem,
-                             const OverlapMvaOptions& options);
+  /// Snapshot taken in one critical section: counters and size are
+  /// mutually consistent (`size == insertions - evictions` always
+  /// holds), never torn relative to each other.
+  MvaCacheStats stats() const override;
 
-  /// Returns the cached solution for `key`, if present, marking the
-  /// entry most-recently used.
-  std::optional<OverlapMvaSolution> Lookup(const std::string& key);
-
-  /// Stores `solution` under `key`, evicting the least-recently-used
-  /// entry when full (no-op when the key is already present).
-  void Insert(const std::string& key, const OverlapMvaSolution& solution);
-
-  /// Convenience wrapper: lookup, else solve and insert. Forwards solver
-  /// errors unchanged; errors are never cached. `scratch` (optional,
-  /// per-thread) is handed to the solver on a miss. Validates the
-  /// problem ONCE at entry (unless options.assume_valid) — hits and the
-  /// miss solve never re-validate.
-  Result<OverlapMvaSolution> SolveThrough(const OverlapMvaProblem& problem,
-                                          const OverlapMvaOptions& options,
-                                          MvaKernelScratch* scratch = nullptr);
-
-  /// Grouped SolveThrough: stores/reuses the group-level solution under
-  /// the compressed key and expands it through `problem.task_group` per
-  /// call. When options.kernel resolves to a per-task reference path,
-  /// delegates to the dense SolveThrough on the expanded problem.
-  Result<OverlapMvaSolution> SolveThrough(
-      const GroupedOverlapMvaProblem& problem,
-      const OverlapMvaOptions& options, MvaKernelScratch* scratch = nullptr);
-
-  MvaCacheStats stats() const;
-
-  /// Resets the hit/miss/insertion/eviction counters to zero while
-  /// leaving every cached entry resident (stats().size is unaffected —
-  /// it always reflects the live entry count), returning the counters
-  /// as they stood at the reset. Snapshot-and-reset is atomic, so a
-  /// long-lived server can fold windows into cumulative totals without
-  /// losing concurrent lookups — and without throwing away its warm
-  /// cache.
-  MvaCacheStats ResetStats();
+  /// Atomic snapshot-and-reset of the window counters with every entry
+  /// left resident; see SolveCache::ResetStats.
+  MvaCacheStats ResetStats() override;
 
   /// Drops all entries and resets counters.
-  void Clear();
+  void Clear() override;
+
+  int shard_count() const override { return 1; }
+  int64_t max_entries() const override { return max_entries_; }
+
+  void ForEachEntry(
+      const std::function<void(const std::string& key,
+                               const OverlapMvaSolution& solution)>& fn)
+      const override;
 
  private:
   struct Entry {

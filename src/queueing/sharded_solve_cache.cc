@@ -1,0 +1,105 @@
+#include "queueing/sharded_solve_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace mrperf {
+namespace {
+
+int RoundUpToPowerOfTwo(int v) {
+  int p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// SplitMix64 finisher. std::hash<std::string> is a good byte hash but
+/// libstdc++ gives no guarantee about its low bits; the finisher
+/// redistributes the full hash so masking with (shards - 1) draws on
+/// every input bit.
+uint64_t MixHash(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+ShardedSolveCache::ShardedSolveCache(int shards, int64_t max_entries)
+    : max_entries_(std::max<int64_t>(1, max_entries)) {
+  const int count = RoundUpToPowerOfTwo(std::max(2, shards));
+  mask_ = static_cast<uint64_t>(count - 1);
+  const int64_t per_shard = std::max<int64_t>(1, max_entries_ / count);
+  shards_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<MvaSolveCache>(per_shard));
+  }
+}
+
+MvaSolveCache& ShardedSolveCache::ShardFor(const std::string& key) {
+  const uint64_t h = MixHash(std::hash<std::string>{}(key));
+  return *shards_[h & mask_];
+}
+
+std::optional<OverlapMvaSolution> ShardedSolveCache::Lookup(
+    const std::string& key) {
+  return ShardFor(key).Lookup(key);
+}
+
+void ShardedSolveCache::Insert(const std::string& key,
+                               const OverlapMvaSolution& solution) {
+  ShardFor(key).Insert(key, solution);
+}
+
+MvaCacheStats ShardedSolveCache::stats() const {
+  MvaCacheStats total;
+  for (const std::unique_ptr<MvaSolveCache>& shard : shards_) {
+    const MvaCacheStats s = shard->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.insertions += s.insertions;
+    total.evictions += s.evictions;
+    total.size += s.size;
+  }
+  AddLifecycleCounters(&total);
+  return total;
+}
+
+MvaCacheStats ShardedSolveCache::ResetStats() {
+  MvaCacheStats total;
+  for (const std::unique_ptr<MvaSolveCache>& shard : shards_) {
+    const MvaCacheStats s = shard->ResetStats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.insertions += s.insertions;
+    total.evictions += s.evictions;
+    total.size += s.size;
+  }
+  AddLifecycleCounters(&total);
+  return total;
+}
+
+void ShardedSolveCache::Clear() {
+  for (const std::unique_ptr<MvaSolveCache>& shard : shards_) {
+    shard->Clear();
+  }
+}
+
+void ShardedSolveCache::ForEachEntry(
+    const std::function<void(const std::string& key,
+                             const OverlapMvaSolution& solution)>& fn) const {
+  for (const std::unique_ptr<MvaSolveCache>& shard : shards_) {
+    shard->ForEachEntry(fn);
+  }
+}
+
+std::unique_ptr<SolveCache> MakeSolveCache(int shards, int64_t max_entries) {
+  if (shards <= 1) {
+    return std::make_unique<MvaSolveCache>(max_entries);
+  }
+  return std::make_unique<ShardedSolveCache>(shards, max_entries);
+}
+
+}  // namespace mrperf

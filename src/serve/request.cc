@@ -122,6 +122,16 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
     MRPERF_ASSIGN_OR_RETURN(std::string value, StringField(*id, "id"));
     request.id = std::move(value);
   }
+  if (const JsonValue* version = root.Find("version")) {
+    MRPERF_ASSIGN_OR_RETURN(
+        const int64_t v, IntegerField(*version, "version", 0, 1 << 20));
+    if (v != kServeProtocolVersion) {
+      return Status::InvalidArgument(
+          "unsupported protocol version " + std::to_string(v) +
+          " (this server speaks version " +
+          std::to_string(kServeProtocolVersion) + ")");
+    }
+  }
 
   const bool is_predict = request.kind == ServeRequest::Kind::kPredict;
   bool saw_model_only = false;
@@ -133,7 +143,9 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
   bool saw_block_bytes = false;
 
   for (const auto& [key, value] : root.object_members()) {
-    if (key == "kind" || key == "id") continue;  // handled above
+    if (key == "kind" || key == "id" || key == "version") {
+      continue;  // handled above
+    }
     if (!is_predict) {
       if (key == "reset_window") {
         MRPERF_ASSIGN_OR_RETURN(request.stats.reset_window,

@@ -2,7 +2,14 @@
 /// \brief Wire protocol of the prediction service: newline-delimited
 /// JSON requests and responses.
 ///
-/// One request per line. A predict request names a grid point — numeric
+/// One request per line. Every request may carry an optional integer
+/// "version" naming the protocol major it was written against
+/// (kServeProtocolVersion is what this build speaks); omitting it means
+/// "current". A version this server does not speak is rejected with a
+/// structured `invalid_argument` error — never misinterpreted — so old
+/// clients fail loudly when the protocol moves underneath them.
+///
+/// A predict request names a grid point — numeric
 /// knobs plus the scenario axes — and evaluation controls:
 ///
 ///   {"kind": "predict", "id": "r1", "nodes": 4, "input_gb": 1.0,
@@ -50,6 +57,12 @@
 
 namespace mrperf {
 
+/// \brief The wire-protocol major this build speaks. Requests may pin
+/// it via the optional "version" field; /stats reports it so clients
+/// can discover what they are talking to. Bumped only on breaking
+/// changes (added optional fields do not count).
+inline constexpr int kServeProtocolVersion = 1;
+
 /// \brief Machine-readable error category on the wire.
 enum class ServeErrorCode {
   kParseError,        // not valid JSON / not an object / bad field type
@@ -78,7 +91,7 @@ struct PredictRequest {
 /// \brief A parsed stats request.
 struct StatsRequest {
   /// Fold the cache-stats window into the cumulative counters and start
-  /// a fresh window (see MvaSolveCache::ResetStats).
+  /// a fresh window (see SolveCache::ResetStats).
   bool reset_window = false;
 };
 

@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 namespace mrperf {
@@ -12,6 +13,7 @@ SweepOptions SweepOptionsFor(const PredictServiceOptions& options) {
   sweep.experiment = options.experiment;
   sweep.use_mva_cache = true;
   sweep.cache_max_entries = options.cache_max_entries;
+  sweep.cache_shards = options.cache_shards;
   // Irrelevant to RunTasks (every task pins derive_seed = false), set
   // for clarity: seeds always come from the request.
   sweep.derive_point_seeds = false;
@@ -25,7 +27,13 @@ MvaCacheStats SumCacheStats(const MvaCacheStats& folded,
   total.misses = folded.misses + window.misses;
   total.insertions = folded.insertions + window.insertions;
   total.evictions = folded.evictions + window.evictions;
-  total.size = window.size;  // resident entries are not window-scoped
+  // Gauges, not window counters: resident entries and the
+  // checkpoint/recover lifecycle are cumulative already.
+  total.size = window.size;
+  total.checkpoints = window.checkpoints;
+  total.checkpoint_entries = window.checkpoint_entries;
+  total.recoveries = window.recoveries;
+  total.recovered_entries = window.recovered_entries;
   return total;
 }
 
@@ -33,6 +41,26 @@ MvaCacheStats SumCacheStats(const MvaCacheStats& folded,
 
 PredictService::PredictService(PredictServiceOptions options)
     : options_(std::move(options)), runner_(SweepOptionsFor(options_)) {
+  if (!options_.cache_file.empty()) {
+    const Status recovered = runner_.cache().Recover(options_.cache_file);
+    if (recovered.ok()) {
+      std::fprintf(stderr,
+                   "predict-service: recovered %lld cache entries from %s\n",
+                   static_cast<long long>(runner_.cache_stats().size),
+                   options_.cache_file.c_str());
+    } else if (recovered.code() == StatusCode::kNotFound) {
+      // First boot: nothing to recover yet, the drain will write one.
+      std::fprintf(stderr,
+                   "predict-service: no cache checkpoint at %s, "
+                   "starting cold\n",
+                   options_.cache_file.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "predict-service: cache recovery failed (%s), "
+                   "starting cold\n",
+                   recovered.ToString().c_str());
+    }
+  }
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -241,6 +269,21 @@ void PredictService::Drain() {
   BeginDrain();
   std::lock_guard<std::mutex> lock(drain_mu_);
   if (dispatcher_.joinable()) dispatcher_.join();
+  // Checkpoint after the dispatcher exits: every admitted evaluation
+  // has been inserted, so the file captures the full working set.
+  if (!options_.cache_file.empty() && !checkpointed_) {
+    checkpointed_ = true;
+    const Status written = runner_.cache().Checkpoint(options_.cache_file);
+    if (written.ok()) {
+      std::fprintf(stderr,
+                   "predict-service: checkpointed %lld cache entries to %s\n",
+                   static_cast<long long>(runner_.cache_stats().size),
+                   options_.cache_file.c_str());
+    } else {
+      std::fprintf(stderr, "predict-service: cache checkpoint failed (%s)\n",
+                   written.ToString().c_str());
+    }
+  }
 }
 
 void PredictService::ShutdownWorkerPool() { runner_.Shutdown(); }
@@ -253,6 +296,7 @@ ServeStatsSnapshot PredictService::Stats(bool reset_window) {
     snapshot.draining = draining_;
   }
   snapshot.threads = runner_.thread_count();
+  snapshot.cache_shards = runner_.cache().shard_count();
   // ResetCacheStats is an atomic snapshot-and-reset, so no lookup is
   // ever lost between the window we report and the fresh one.
   const MvaCacheStats window =

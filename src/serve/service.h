@@ -17,10 +17,16 @@
 ///    evaluation instead of consuming a queue slot — the serving
 ///    analogue of the MVA cache's key dedup, one layer up. Each waiter
 ///    still receives its own response (its own id, its own latency).
-///  - **Shared solver state.** One process-wide MvaSolveCache (inside
-///    the runner) serves every connection, so steady traffic over
+///  - **Shared solver state.** One process-wide SolveCache (inside the
+///    runner, sharded by default — serving fan-in would contend on a
+///    single lock) serves every connection, so steady traffic over
 ///    popular scenarios is cache-hit dominated; per-worker kernel
 ///    scratch is reused across requests as in batch sweeps.
+///  - **Warm restarts.** With `cache_file` configured, Drain()
+///    checkpoints the resident cache entries to disk and the next boot
+///    recovers them, so a restarted server answers its first requests
+///    from cache instead of re-solving its steady-state working set. A
+///    missing/corrupt file is logged and served cold — never fatal.
 ///
 /// Determinism: request seeds are carried by the request itself
 /// (TaskForRequest pins derive_seed off), so a response is
@@ -67,6 +73,14 @@ struct PredictServiceOptions {
   /// Micro-batch cap: queued evaluations dispatched per RunTasks call.
   int max_batch = 32;
   int64_t cache_max_entries = 4096;
+  /// Lock shards of the shared solve cache (MakeSolveCache; rounded up
+  /// to a power of two, 1 = single mutex). The default covers typical
+  /// worker-pool fan-in; results are bit-identical at any shard count.
+  int cache_shards = 8;
+  /// When nonempty: recover the solve cache from this checkpoint file
+  /// at construction (cold start + warning log if missing or invalid)
+  /// and checkpoint the resident entries back on Drain().
+  std::string cache_file;
   /// Base evaluation options; per-request seed/repetitions override
   /// these (see TaskForRequest). The profile configured here is what an
   /// unset/"default" request profile resolves to. Defaults to the
@@ -164,6 +178,9 @@ class PredictService {
   bool draining_ = false;
 
   std::mutex drain_mu_;  // serializes Drain() joiners
+  /// Whether the drain-time cache checkpoint ran (guarded by drain_mu_;
+  /// Drain is idempotent, the checkpoint must be too).
+  bool checkpointed_ = false;
   std::thread dispatcher_;
 
   mutable std::mutex stats_mu_;

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "engine/sweep_format.h"
+#include "serve/request.h"
 
 namespace mrperf {
 
@@ -49,19 +50,35 @@ double LatencyHistogram::PercentileMs(double p) const {
 
 namespace {
 
+/// With `shards >= 1` (the cumulative "cache" object) the shard count
+/// and checkpoint/recover lifecycle gauges are included; the
+/// window-scoped "cache_window" object omits them (they are cumulative
+/// gauges, never window counters).
 void AppendCacheJson(std::string& out, const char* key,
-                     const MvaCacheStats& cache) {
-  char buf[256];
+                     const MvaCacheStats& cache, int shards = 0) {
+  char buf[512];
   std::snprintf(
       buf, sizeof(buf),
       "\"%s\": {\"hits\": %lld, \"misses\": %lld, \"insertions\": %lld, "
-      "\"evictions\": %lld, \"size\": %lld, \"hit_rate\": ",
+      "\"evictions\": %lld, \"size\": %lld, ",
       key, static_cast<long long>(cache.hits),
       static_cast<long long>(cache.misses),
       static_cast<long long>(cache.insertions),
       static_cast<long long>(cache.evictions),
       static_cast<long long>(cache.size));
   out += buf;
+  if (shards >= 1) {
+    std::snprintf(buf, sizeof(buf),
+                  "\"shards\": %d, \"checkpoints\": %lld, "
+                  "\"checkpoint_entries\": %lld, \"recoveries\": %lld, "
+                  "\"recovered_entries\": %lld, ",
+                  shards, static_cast<long long>(cache.checkpoints),
+                  static_cast<long long>(cache.checkpoint_entries),
+                  static_cast<long long>(cache.recoveries),
+                  static_cast<long long>(cache.recovered_entries));
+    out += buf;
+  }
+  out += "\"hit_rate\": ";
   AppendJsonDouble(out, cache.hit_rate());
   out += '}';
 }
@@ -74,12 +91,14 @@ std::string FormatServeStatsJson(const ServeStatsSnapshot& s) {
   char buf[512];
   std::snprintf(
       buf, sizeof(buf),
-      "{\"queue_depth\": %lld, \"draining\": %s, \"requests_total\": %lld, "
+      "{\"protocol_version\": %d, "
+      "\"queue_depth\": %lld, \"draining\": %s, \"requests_total\": %lld, "
       "\"evaluations_total\": %lld, \"coalesced_total\": %lld, "
       "\"rejected_overload_total\": %lld, \"rejected_shutdown_total\": "
       "%lld, \"request_errors_total\": %lld, \"responses_total\": %lld, "
       "\"threads\": %d, ",
-      static_cast<long long>(s.queue_depth), s.draining ? "true" : "false",
+      kServeProtocolVersion, static_cast<long long>(s.queue_depth),
+      s.draining ? "true" : "false",
       static_cast<long long>(s.requests_total),
       static_cast<long long>(s.evaluations_total),
       static_cast<long long>(s.coalesced_total),
@@ -103,7 +122,7 @@ std::string FormatServeStatsJson(const ServeStatsSnapshot& s) {
     AppendJsonDouble(out, latency_fields[i].second);
     out += i + 1 < std::size(latency_fields) ? ", " : "}, ";
   }
-  AppendCacheJson(out, "cache", s.cache);
+  AppendCacheJson(out, "cache", s.cache, std::max(1, s.cache_shards));
   out += ", ";
   AppendCacheJson(out, "cache_window", s.cache_window);
   out += '}';

@@ -10,7 +10,7 @@
 #include <string>
 
 #include "common/statistics.h"
-#include "queueing/mva_cache.h"
+#include "queueing/solve_cache.h"
 
 namespace mrperf {
 
@@ -73,10 +73,13 @@ struct ServeStatsSnapshot {
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
 
-  /// Shared MVA-solve cache, cumulative since startup.
+  /// Shared MVA-solve cache, cumulative since startup. Includes the
+  /// checkpoint/recover lifecycle counters (warm-restart observability).
   MvaCacheStats cache;
   /// Same counters since the last {"kind":"stats","reset_window":true}.
   MvaCacheStats cache_window;
+  /// Lock shards of the shared cache (1 = the single-mutex cache).
+  int cache_shards = 0;
 };
 
 /// \brief Renders the snapshot as a single-line JSON object (the value

@@ -149,6 +149,30 @@ TEST(SweepRunnerTest, CacheDoesNotChangeResults) {
   EXPECT_EQ(b.cache_stats.lookups(), 0);
 }
 
+TEST(SweepRunnerTest, ShardedCacheDoesNotChangeResults) {
+  // Sharding is a pure locking change: the sweep must be byte-identical
+  // whether the runner's cache has 1 shard or 8.
+  SweepOptions sharded_opts = FastSweepOptions(2);
+  sharded_opts.cache_shards = 8;
+  SweepRunner single(FastSweepOptions(2));
+  SweepRunner sharded(sharded_opts);
+  EXPECT_EQ(single.cache().shard_count(), 1);
+  EXPECT_EQ(sharded.cache().shard_count(), 8);
+
+  const auto points = SmallGrid().Expand();
+  SweepReport a = single.Run(points);
+  SweepReport b = sharded.Run(points);
+  ASSERT_TRUE(a.all_ok());
+  ASSERT_TRUE(b.all_ok());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(a.results[i]->measured_sec, b.results[i]->measured_sec);
+    EXPECT_EQ(a.results[i]->forkjoin_sec, b.results[i]->forkjoin_sec);
+    EXPECT_EQ(a.results[i]->tripathi_sec, b.results[i]->tripathi_sec);
+  }
+  EXPECT_EQ(a.cache_stats.lookups(), b.cache_stats.lookups());
+  EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
+}
+
 TEST(SweepRunnerTest, PerPointSeedsDecorrelateMeasurements) {
   // Two grid points identical in every axis: with derived seeds their
   // simulated medians must come from different streams.

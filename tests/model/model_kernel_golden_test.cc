@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include "experiments/experiment.h"
+#include "queueing/mva_cache.h"
 #include "queueing/mva_kernel.h"
 
 namespace mrperf {

@@ -94,6 +94,26 @@ TEST(CanonicalKeyTest, EveryKnobChangesTheKey) {
 
 // ---- structured errors (satellite) -------------------------------------
 
+TEST(ParseServeRequestTest, AcceptsTheSpokenProtocolVersion) {
+  const PredictRequest request = ParsePredict(
+      R"({"version":1,"nodes":3})");
+  EXPECT_EQ(request.point.num_nodes, 3);
+}
+
+TEST(ParseServeRequestTest, RejectsProtocolVersionMismatch) {
+  for (const char* line :
+       {R"({"version":0})", R"({"version":2,"nodes":3})"}) {
+    Result<ServeRequest> parsed = ParseServeRequest(line);
+    ASSERT_FALSE(parsed.ok()) << line;
+    EXPECT_TRUE(parsed.status().IsInvalidArgument());
+    // The message names both versions so old clients can self-diagnose.
+    EXPECT_NE(parsed.status().message().find("version"), std::string::npos);
+    EXPECT_NE(parsed.status().message().find(
+                  std::to_string(kServeProtocolVersion)),
+              std::string::npos);
+  }
+}
+
 TEST(ParseServeRequestTest, MalformedJsonIsAnError) {
   EXPECT_FALSE(ParseServeRequest("not json at all").ok());
   EXPECT_FALSE(ParseServeRequest("{\"nodes\": }").ok());

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <condition_variable>
+#include <cstdio>
 #include <future>
 #include <mutex>
 #include <string>
@@ -225,6 +226,62 @@ TEST(PredictServiceTest, StatsRequestReportsAndResetsCacheWindow) {
   ASSERT_NE(stats->Find("cache"), nullptr);
   EXPECT_EQ(stats->Find("cache")->Find("hits")->number_value(),
             static_cast<double>(before.cache.hits));
+}
+
+TEST(PredictServiceTest, CheckpointOnDrainWarmsTheNextBoot) {
+  const std::string path = testing::TempDir() + "/service_cache.ckpt";
+  std::remove(path.c_str());
+
+  // First life: evaluate, then drain — the drain writes the checkpoint.
+  std::string first_response;
+  {
+    PredictServiceOptions options = FastServiceOptions();
+    options.cache_shards = 4;
+    options.cache_file = path;
+    PredictService service(options);
+    EXPECT_EQ(service.Stats().cache.recoveries, 0);  // no file yet: cold
+    first_response = service.Submit(RequestLine("warm", 2)).get();
+    service.Drain();
+  }
+
+  // Second life: the boot recovery must be visible in stats, and the
+  // replayed request must hit the cache and answer byte-identically.
+  {
+    PredictServiceOptions options = FastServiceOptions();
+    options.cache_shards = 4;
+    options.cache_file = path;
+    PredictService service(options);
+    const ServeStatsSnapshot boot = service.Stats();
+    EXPECT_EQ(boot.cache_shards, 4);
+    EXPECT_EQ(boot.cache.recoveries, 1);
+    EXPECT_GT(boot.cache.recovered_entries, 0);
+    EXPECT_GT(boot.cache.size, 0);
+
+    const std::string replay = service.Submit(RequestLine("warm", 2)).get();
+    EXPECT_EQ(replay, first_response);
+    EXPECT_GT(service.Stats().cache.hits, 0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PredictServiceTest, CorruptCacheFileStartsColdWithoutCrashing) {
+  const std::string path = testing::TempDir() + "/corrupt_cache.ckpt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("MRSC but definitely not a checkpoint", f);
+    std::fclose(f);
+  }
+  PredictServiceOptions options = FastServiceOptions();
+  options.cache_file = path;
+  PredictService service(options);
+  const ServeStatsSnapshot boot = service.Stats();
+  EXPECT_EQ(boot.cache.recoveries, 0);
+  EXPECT_EQ(boot.cache.size, 0);
+  // The service still serves.
+  const std::string response = service.Submit(RequestLine("ok", 2)).get();
+  EXPECT_NE(response.find("\"ok\": true"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(PredictServiceTest, BatchedRequestsAllComplete) {

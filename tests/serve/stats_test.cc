@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "serve/json.h"
+#include "serve/request.h"
 
 namespace mrperf {
 namespace {
@@ -88,6 +89,40 @@ TEST(FormatServeStatsJsonTest, RendersParseableSnapshot) {
   const JsonValue* window = parsed->Find("cache_window");
   ASSERT_NE(window, nullptr);
   EXPECT_EQ(window->Find("hit_rate")->number_value(), 0.5);
+}
+
+TEST(FormatServeStatsJsonTest, ReportsProtocolVersionAndCacheLifecycle) {
+  ServeStatsSnapshot snapshot;
+  snapshot.cache_shards = 8;
+  snapshot.cache.hits = 6;
+  snapshot.cache.misses = 2;
+  snapshot.cache.size = 4;
+  snapshot.cache.checkpoints = 2;
+  snapshot.cache.checkpoint_entries = 9;
+  snapshot.cache.recoveries = 1;
+  snapshot.cache.recovered_entries = 7;
+
+  const std::string json = FormatServeStatsJson(snapshot);
+  Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << json;
+  EXPECT_EQ(parsed->Find("protocol_version")->number_value(),
+            static_cast<double>(kServeProtocolVersion));
+
+  const JsonValue* cache = parsed->Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->Find("shards")->number_value(), 8.0);
+  EXPECT_EQ(cache->Find("checkpoints")->number_value(), 2.0);
+  EXPECT_EQ(cache->Find("checkpoint_entries")->number_value(), 9.0);
+  EXPECT_EQ(cache->Find("recoveries")->number_value(), 1.0);
+  EXPECT_EQ(cache->Find("recovered_entries")->number_value(), 7.0);
+  EXPECT_EQ(cache->Find("hit_rate")->number_value(), 0.75);
+
+  // The window sub-object reports only window counters: shard count and
+  // lifecycle gauges live on the cumulative object.
+  const JsonValue* window = parsed->Find("cache_window");
+  ASSERT_NE(window, nullptr);
+  EXPECT_EQ(window->Find("shards"), nullptr);
+  EXPECT_EQ(window->Find("recoveries"), nullptr);
 }
 
 }  // namespace

@@ -10,7 +10,9 @@
 ///
 /// Flags: --port=N (default 0 = ephemeral; the bound port is printed),
 /// --host=A (default 127.0.0.1), --threads=N (0 = auto),
-/// --max-queue=N, --batch=N, --verbose.
+/// --max-queue=N, --batch=N, --cache-shards=N, --cache-file=PATH
+/// (checkpoint the solve cache on drain, recover it on boot — warm
+/// restarts), --verbose.
 ///
 /// Example session:
 ///   $ ./predictd --port=7077 &
@@ -83,6 +85,10 @@ int main(int argc, char** argv) {
         "  --threads=N    evaluation workers (default 0 = auto)\n"
         "  --max-queue=N  admission queue bound (default 256)\n"
         "  --batch=N      micro-batch cap (default 32)\n"
+        "  --cache-shards=N  solve-cache lock shards, rounded up to a\n"
+        "                    power of two; 1 = single mutex (default 8)\n"
+        "  --cache-file=PATH checkpoint the solve cache here on drain\n"
+        "                    and recover it on the next boot\n"
         "  --verbose      info-level logging\n");
     return 0;
   }
@@ -98,6 +104,10 @@ int main(int argc, char** argv) {
       IntFlag(argc, argv, "--max-queue", options.service.max_queue);
   options.service.max_batch =
       IntFlag(argc, argv, "--batch", options.service.max_batch);
+  options.service.cache_shards =
+      IntFlag(argc, argv, "--cache-shards", options.service.cache_shards);
+  options.service.cache_file =
+      StringFlag(argc, argv, "--cache-file", options.service.cache_file);
 
   if (pipe(g_signal_pipe) != 0) {
     std::fprintf(stderr, "predictd: pipe() failed: %s\n",
