@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace mrperf {
 namespace {
@@ -15,8 +16,8 @@ std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
 /// guarantee we actually need — one fully formatted line per write, never
 /// interleaved fragments — should not depend on the libc. Leaked on
 /// purpose (trivially destructible type): loggers run until process exit.
-std::mutex& EmitMutex() {
-  static std::mutex* mu = new std::mutex;
+Mutex& EmitMutex() {
+  static Mutex* mu = new Mutex;
   return *mu;
 }
 
@@ -67,7 +68,7 @@ void Logger::Log(LogLevel level, const char* file, int line,
   formatted += "] ";
   formatted += msg;
   formatted += '\n';
-  std::lock_guard<std::mutex> lock(EmitMutex());
+  MutexLock lock(EmitMutex());
   std::fwrite(formatted.data(), 1, formatted.size(), stderr);
 }
 

@@ -106,10 +106,12 @@ template <typename T>
 class Result {
  public:
   /// Implicit construction from a value (success).
-  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+  Result(T value) : repr_(std::move(value)) {}
 
   /// Implicit construction from an error status. Aborts if `status.ok()`.
-  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+  Result(Status status) : repr_(std::move(status)) {
     if (std::get<Status>(repr_).ok()) {
       Abort("Result constructed from OK status");
     }

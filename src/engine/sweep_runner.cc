@@ -3,9 +3,9 @@
 #include <chrono>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <utility>
 
+#include "common/thread_annotations.h"
 #include "queueing/mva_kernel.h"
 
 namespace mrperf {
@@ -35,7 +35,7 @@ class SweepRunner::ProgressReporter {
   /// No-op when no callback is configured.
   void PointDone() {
     if (!callback_) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     SweepProgress progress;
     progress.points_done = ++done_;
     progress.points_total = total_;
@@ -47,8 +47,8 @@ class SweepRunner::ProgressReporter {
   const std::function<void(const SweepProgress&)> callback_;
   const size_t total_;
   const SolveCache& cache_;
-  std::mutex mu_;
-  size_t done_ = 0;
+  Mutex mu_;
+  size_t done_ GUARDED_BY(mu_) = 0;
 };
 
 bool SweepReport::all_ok() const {

@@ -6,6 +6,7 @@ namespace mrperf {
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
+  thread_count_ = n;
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -19,12 +20,16 @@ int ThreadPool::DefaultThreadCount() {
 }
 
 void ThreadPool::Shutdown() {
+  // One caller at a time: the winner joins the workers while any racing
+  // caller blocks here and returns only once the join is complete (a
+  // second caller must never observe half-joined threads, and
+  // concurrent join() on one std::thread is undefined behavior).
+  MutexLock shutdown_lock(shutdown_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_ && workers_.empty()) return;
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  wake_workers_.notify_all();
+  wake_workers_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -32,7 +37,7 @@ void ThreadPool::Shutdown() {
 }
 
 int64_t ThreadPool::tasks_completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tasks_completed_;
 }
 
@@ -40,9 +45,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_workers_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) {
+        wake_workers_.Wait(lock);
+      }
       // Drain the queue even when shutting down: accepted tasks hold
       // futures someone may be waiting on.
       if (queue_.empty()) return;
@@ -51,7 +57,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();  // packaged_task: exceptions land in the future, never here
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++tasks_completed_;
     }
   }

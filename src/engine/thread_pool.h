@@ -10,17 +10,17 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace mrperf {
 
@@ -30,6 +30,9 @@ namespace mrperf {
 /// including from tasks running on the pool (the queue is unbounded, so
 /// recursive submission cannot deadlock — though a task *waiting* on a
 /// future of a queued task can starve; the sweep engine never does that).
+/// Shutdown() may race Submit() and other Shutdown() calls: late submits
+/// fail fast, concurrent shutdowns serialize, and both block until every
+/// accepted task has run.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to >= 1).
@@ -41,8 +44,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Number of worker threads.
-  int thread_count() const { return static_cast<int>(workers_.size()); }
+  /// Number of worker threads (fixed at construction; stays the spawned
+  /// count after Shutdown so reports keep describing the pool that ran).
+  int thread_count() const { return thread_count_; }
 
   /// Reasonable default worker count: hardware concurrency, at least 1.
   static int DefaultThreadCount();
@@ -58,18 +62,20 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::move(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (shutting_down_) {
         throw std::runtime_error("ThreadPool::Submit after Shutdown");
       }
       queue_.emplace([task] { (*task)(); });
     }
-    wake_workers_.notify_one();
+    wake_workers_.NotifyOne();
     return result;
   }
 
   /// Stops accepting new tasks, runs every already-queued task to
-  /// completion, and joins the workers. Idempotent.
+  /// completion, and joins the workers. Idempotent and safe to call from
+  /// several threads at once: every caller returns only after the
+  /// workers are joined.
   void Shutdown();
 
   /// Tasks executed to completion so far (diagnostic).
@@ -78,12 +84,19 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable wake_workers_;
-  std::queue<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  bool shutting_down_ = false;
-  int64_t tasks_completed_ = 0;
+  mutable Mutex mu_;
+  CondVar wake_workers_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  int64_t tasks_completed_ GUARDED_BY(mu_) = 0;
+
+  /// Serializes Shutdown() callers (join must run once; a second caller
+  /// must block until the first finishes, not race the joins).
+  Mutex shutdown_mu_ ACQUIRED_BEFORE(mu_);
+  /// Worker threads; written by the constructor, then only touched under
+  /// shutdown_mu_ (joined and cleared by the winning Shutdown caller).
+  std::vector<std::thread> workers_ GUARDED_BY(shutdown_mu_);
+  int thread_count_ = 0;
 };
 
 }  // namespace mrperf

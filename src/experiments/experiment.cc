@@ -78,7 +78,9 @@ int PointNodeCount(const ExperimentPoint& point) {
 
 std::string PointLabel(const ExperimentPoint& point) {
   char buf[96];
-  std::snprintf(buf, sizeof(buf), "n%d %.1fGB j%d b%lldMB r%d",
+  std::snprintf(buf, sizeof(buf),
+                // lint:allow-next-line(double-format): label, not serialized
+                "n%d %.1fGB j%d b%lldMB r%d",
                 PointNodeCount(point),
                 static_cast<double>(point.input_bytes) / kGiB,
                 point.num_jobs,

@@ -9,7 +9,7 @@ MvaSolveCache::MvaSolveCache(int64_t max_entries)
 
 std::optional<OverlapMvaSolution> MvaSolveCache::Lookup(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -23,7 +23,7 @@ std::optional<OverlapMvaSolution> MvaSolveCache::Lookup(
 
 void MvaSolveCache::Insert(const std::string& key,
                            const OverlapMvaSolution& solution) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (entries_.count(key) > 0) return;
   if (static_cast<int64_t>(entries_.size()) >= max_entries_) {
     entries_.erase(lru_.back());
@@ -38,7 +38,7 @@ void MvaSolveCache::Insert(const std::string& key,
 MvaCacheStats MvaSolveCache::stats() const {
   MvaCacheStats snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snapshot = stats_;
     snapshot.size = static_cast<int64_t>(entries_.size());
   }
@@ -49,7 +49,7 @@ MvaCacheStats MvaSolveCache::stats() const {
 MvaCacheStats MvaSolveCache::ResetStats() {
   MvaCacheStats snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snapshot = stats_;
     snapshot.size = static_cast<int64_t>(entries_.size());
     stats_ = MvaCacheStats{};  // size is recomputed by stats() from entries_
@@ -59,7 +59,7 @@ MvaCacheStats MvaSolveCache::ResetStats() {
 }
 
 void MvaSolveCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   lru_.clear();
   stats_ = MvaCacheStats{};
@@ -68,7 +68,7 @@ void MvaSolveCache::Clear() {
 void MvaSolveCache::ForEachEntry(
     const std::function<void(const std::string& key,
                              const OverlapMvaSolution& solution)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Walk back-to-front: least-recently-used first, the order the
   // checkpoint codec persists.
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {

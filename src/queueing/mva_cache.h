@@ -22,11 +22,11 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "queueing/solve_cache.h"
 
 namespace mrperf {
@@ -76,12 +76,12 @@ class MvaSolveCache : public SolveCache {
     std::list<std::string>::iterator recency;
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
   /// Keys ordered by recency of use; the back is the eviction victim.
-  std::list<std::string> lru_;
+  std::list<std::string> lru_ GUARDED_BY(mu_);
   int64_t max_entries_;
-  MvaCacheStats stats_;
+  MvaCacheStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace mrperf

@@ -11,7 +11,20 @@
 /// multiply–add into FMA and every variant — and the scalar path —
 /// produces bit-identical results; vectorizing the k loop never
 /// reorders a per-(i,k) accumulator.
-#if defined(__x86_64__) && defined(__ELF__) && defined(__has_attribute)
+/// ThreadSanitizer cannot coexist with target_clones: the clones'
+/// ifunc resolver runs during relocation, before the TSan runtime
+/// initializes, and crashes at load. The scalar/blocked paths are
+/// bit-identical to the clones, so TSan builds lose only speed.
+#if defined(__SANITIZE_THREAD__)
+#define MRPERF_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MRPERF_TSAN_BUILD 1
+#endif
+#endif
+
+#if defined(__x86_64__) && defined(__ELF__) && defined(__has_attribute) && \
+    !defined(MRPERF_TSAN_BUILD)
 #if __has_attribute(target_clones)
 #define MRPERF_SIMD_CLONES __attribute__((target_clones("default", "avx2")))
 #endif

@@ -141,7 +141,7 @@ Status SolveCache::Checkpoint(const std::string& path) {
   });
   MRPERF_RETURN_NOT_OK(WriteCacheCheckpoint(path, entries));
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    MutexLock lock(lifecycle_mu_);
     ++checkpoints_;
     checkpoint_entries_ += static_cast<int64_t>(entries.size());
   }
@@ -158,7 +158,7 @@ Status SolveCache::Recover(const std::string& path) {
     Insert(entry.key, entry.solution);
   }
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    MutexLock lock(lifecycle_mu_);
     ++recoveries_;
     recovered_entries_ += static_cast<int64_t>(entries.size());
   }
@@ -166,7 +166,7 @@ Status SolveCache::Recover(const std::string& path) {
 }
 
 void SolveCache::AddLifecycleCounters(MvaCacheStats* stats) const {
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  MutexLock lock(lifecycle_mu_);
   stats->checkpoints = checkpoints_;
   stats->checkpoint_entries = checkpoint_entries_;
   stats->recoveries = recoveries_;

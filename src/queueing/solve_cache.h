@@ -34,10 +34,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "queueing/mva_overlap.h"
 
 namespace mrperf {
@@ -179,11 +179,11 @@ class SolveCache {
   /// Lifecycle counters live here so every implementation reports them
   /// identically; implementations fold them in via
   /// AddLifecycleCounters.
-  mutable std::mutex lifecycle_mu_;
-  int64_t checkpoints_ = 0;
-  int64_t checkpoint_entries_ = 0;
-  int64_t recoveries_ = 0;
-  int64_t recovered_entries_ = 0;
+  mutable Mutex lifecycle_mu_;
+  int64_t checkpoints_ GUARDED_BY(lifecycle_mu_) = 0;
+  int64_t checkpoint_entries_ GUARDED_BY(lifecycle_mu_) = 0;
+  int64_t recoveries_ GUARDED_BY(lifecycle_mu_) = 0;
+  int64_t recovered_entries_ GUARDED_BY(lifecycle_mu_) = 0;
 
  protected:
   /// Adds the checkpoint/recover counters into `stats` (implementations

@@ -104,7 +104,7 @@ void PredictServer::AcceptLoop() {
     raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
     raw->writer = std::thread([this, raw] { WriterLoop(raw); });
     {
-      std::lock_guard<std::mutex> lock(connections_mu_);
+      MutexLock lock(connections_mu_);
       connections_.push_back(std::move(conn));
     }
     ReapFinishedConnections();
@@ -133,10 +133,10 @@ void PredictServer::ReaderLoop(Connection* conn) {
       if (line.empty()) continue;  // blank keep-alive lines are ignored
       std::future<std::string> response = service_->Submit(line);
       {
-        std::lock_guard<std::mutex> lock(conn->mu);
+        MutexLock lock(conn->mu);
         conn->responses.push_back(std::move(response));
       }
-      conn->cv.notify_one();
+      conn->cv.NotifyOne();
     }
     if (overlong) break;
     buffer.erase(0, start);
@@ -156,17 +156,17 @@ void PredictServer::ReaderLoop(Connection* conn) {
         "request line exceeds " + std::to_string(options_.max_line_bytes) +
             " bytes");
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       conn->responses.push_back(std::move(response));
     }
-    conn->cv.notify_one();
+    conn->cv.NotifyOne();
     ::shutdown(conn->fd, SHUT_RD);
   }
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     conn->reader_done = true;
   }
-  conn->cv.notify_all();
+  conn->cv.NotifyAll();
 }
 
 void PredictServer::WriterLoop(Connection* conn) {
@@ -177,10 +177,13 @@ void PredictServer::WriterLoop(Connection* conn) {
   for (;;) {
     std::future<std::string> next;
     {
-      std::unique_lock<std::mutex> lock(conn->mu);
-      conn->cv.wait(lock, [conn] {
-        return !conn->responses.empty() || conn->reader_done;
-      });
+      MutexLock lock(conn->mu);
+      // Explicit loop, not the predicate overload: a predicate lambda
+      // is a separate function to the thread-safety analysis, where
+      // the guarded reads would look unlocked.
+      while (conn->responses.empty() && !conn->reader_done) {
+        conn->cv.Wait(lock);
+      }
       if (conn->responses.empty()) break;  // reader_done and flushed
       next = std::move(conn->responses.front());
       conn->responses.pop_front();
@@ -202,7 +205,7 @@ void PredictServer::WriterLoop(Connection* conn) {
 }
 
 void PredictServer::ReapFinishedConnections() {
-  std::lock_guard<std::mutex> lock(connections_mu_);
+  MutexLock lock(connections_mu_);
   for (auto it = connections_.begin(); it != connections_.end();) {
     Connection* conn = it->get();
     if (!conn->finished.load()) {
@@ -218,7 +221,7 @@ void PredictServer::ReapFinishedConnections() {
 
 void PredictServer::DrainAndStop() {
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    MutexLock lock(stop_mu_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -243,14 +246,14 @@ void PredictServer::DrainAndStop() {
   // Half-close read sides so idle readers see EOF; writers then flush
   // the (all ready) remaining responses and exit.
   {
-    std::lock_guard<std::mutex> lock(connections_mu_);
+    MutexLock lock(connections_mu_);
     for (const auto& conn : connections_) {
       ::shutdown(conn->fd, SHUT_RD);
     }
   }
   std::vector<std::unique_ptr<Connection>> remaining;
   {
-    std::lock_guard<std::mutex> lock(connections_mu_);
+    MutexLock lock(connections_mu_);
     remaining.swap(connections_);
   }
   for (const auto& conn : remaining) {

@@ -22,16 +22,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "serve/service.h"
 
 namespace mrperf {
@@ -80,10 +79,10 @@ class PredictServer {
     std::thread reader;
     std::thread writer;
 
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::future<std::string>> responses;
-    bool reader_done = false;
+    Mutex mu;
+    CondVar cv;
+    std::deque<std::future<std::string>> responses GUARDED_BY(mu);
+    bool reader_done GUARDED_BY(mu) = false;
     /// Both loops exited; the connection is joinable for reaping.
     std::atomic<bool> finished{false};
   };
@@ -100,11 +99,12 @@ class PredictServer {
   int port_ = 0;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
-  bool stopped_ = false;  // guarded by stop_mu_
-  std::mutex stop_mu_;
+  Mutex stop_mu_;
+  bool stopped_ GUARDED_BY(stop_mu_) = false;
 
-  std::mutex connections_mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  Mutex connections_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      GUARDED_BY(connections_mu_);
 };
 
 }  // namespace mrperf

@@ -44,19 +44,18 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "engine/sweep_runner.h"
 #include "serve/request.h"
 #include "serve/stats.h"
@@ -156,7 +155,11 @@ class PredictService {
   struct Evaluation {
     PredictRequest request;
     std::string key;
-    std::vector<Waiter> waiters;  // guarded by mu_
+    /// Guarded by the owning service's mu_ (a nested struct cannot name
+    /// the outer instance's mutex in a GUARDED_BY expression): waiters
+    /// attach in Submit and are moved out in DispatcherLoop, both under
+    /// mu_; FulfillWaiters then owns them exclusively.
+    std::vector<Waiter> waiters;
   };
   using EvaluationPtr = std::shared_ptr<Evaluation>;
 
@@ -170,31 +173,35 @@ class PredictService {
   PredictServiceOptions options_;
   SweepRunner runner_;
 
-  mutable std::mutex mu_;  // queue, pending map, lifecycle flags
-  std::condition_variable work_cv_;
-  std::deque<EvaluationPtr> queue_;
+  /// Admission state: queue, coalescing map, lifecycle flag.
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  std::deque<EvaluationPtr> queue_ GUARDED_BY(mu_);
   /// Canonical key -> queued or in-flight evaluation (coalescing map).
-  std::unordered_map<std::string, EvaluationPtr> pending_;
-  bool draining_ = false;
+  std::unordered_map<std::string, EvaluationPtr> pending_ GUARDED_BY(mu_);
+  bool draining_ GUARDED_BY(mu_) = false;
 
-  std::mutex drain_mu_;  // serializes Drain() joiners
-  /// Whether the drain-time cache checkpoint ran (guarded by drain_mu_;
-  /// Drain is idempotent, the checkpoint must be too).
-  bool checkpointed_ = false;
+  /// Serializes Drain() joiners; held while joining the dispatcher, so
+  /// it must never be acquired under mu_ (the dispatcher needs mu_ to
+  /// make progress toward exiting).
+  Mutex drain_mu_ ACQUIRED_BEFORE(mu_);
+  /// Whether the drain-time cache checkpoint ran (Drain is idempotent,
+  /// the checkpoint must be too).
+  bool checkpointed_ GUARDED_BY(drain_mu_) = false;
   std::thread dispatcher_;
 
-  mutable std::mutex stats_mu_;
-  LatencyHistogram latency_;
-  int64_t requests_total_ = 0;
-  int64_t evaluations_total_ = 0;
-  int64_t coalesced_total_ = 0;
-  int64_t rejected_overload_total_ = 0;
-  int64_t rejected_shutdown_total_ = 0;
-  int64_t request_errors_total_ = 0;
-  int64_t responses_total_ = 0;
+  mutable Mutex stats_mu_;
+  LatencyHistogram latency_ GUARDED_BY(stats_mu_);
+  int64_t requests_total_ GUARDED_BY(stats_mu_) = 0;
+  int64_t evaluations_total_ GUARDED_BY(stats_mu_) = 0;
+  int64_t coalesced_total_ GUARDED_BY(stats_mu_) = 0;
+  int64_t rejected_overload_total_ GUARDED_BY(stats_mu_) = 0;
+  int64_t rejected_shutdown_total_ GUARDED_BY(stats_mu_) = 0;
+  int64_t request_errors_total_ GUARDED_BY(stats_mu_) = 0;
+  int64_t responses_total_ GUARDED_BY(stats_mu_) = 0;
   /// Cache counters of windows closed by reset_window (cumulative =
   /// folded + live).
-  MvaCacheStats cache_folded_;
+  MvaCacheStats cache_folded_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace mrperf

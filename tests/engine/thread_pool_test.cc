@@ -167,5 +167,32 @@ TEST(ThreadPoolTest, ExceptionsPropagateUnderConcurrentLoad) {
   EXPECT_EQ(pool.Submit([] { return 5; }).get(), 5);
 }
 
+TEST(ThreadPoolTest, ConcurrentShutdownCallersAllBlockUntilJoined) {
+  // Regression: two Shutdown() callers used to race the join loop — the
+  // second could return (or join the same std::thread, which is UB)
+  // while the first was still mid-join. Now shutdowns serialize and
+  // every caller returns only after the workers are joined, so the
+  // accepted task's side effect is visible to all of them.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 12; ++i) {
+      pool.Submit([&ran] { ++ran; });
+    }
+    std::vector<std::thread> shutdowns;
+    shutdowns.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      shutdowns.emplace_back([&pool, &ran] {
+        pool.Shutdown();
+        // Every accepted task completed by the time ANY caller returns.
+        EXPECT_EQ(ran.load(), 12);
+      });
+    }
+    for (auto& t : shutdowns) t.join();
+    EXPECT_EQ(pool.tasks_completed(), 12);
+    EXPECT_THROW(pool.Submit([] {}), std::runtime_error);
+  }
+}
+
 }  // namespace
 }  // namespace mrperf

@@ -1,0 +1,115 @@
+/// TSan-targeted stress test for the TCP transport: many concurrent
+/// clients, each pipelining a burst of request lines (heavy duplicate
+/// overlap, so batching and coalescing engage), against a live
+/// PredictServer — then a DrainAndStop racing late arrivals. Every
+/// pipelined request must get exactly one in-order response.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+
+namespace mrperf {
+namespace {
+
+std::string ModelOnlyLine(const std::string& id, int nodes) {
+  return "{\"id\":\"" + id + "\",\"nodes\":" + std::to_string(nodes) +
+         ",\"input_gb\":0.25,\"model_only\":true}";
+}
+
+TEST(PredictServerStressTest, ManyPipelinedClientsGetOrderedResponses) {
+  PredictServerOptions options;
+  options.service.num_threads = 2;
+  PredictServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 8;
+  constexpr int kRequests = 25;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  std::vector<int> ok_responses(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &ok_responses, c] {
+      PredictClient client;
+      ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+      // Pipeline the whole burst before reading anything: responses
+      // must come back in request order, matched by id.
+      for (int i = 0; i < kRequests; ++i) {
+        const std::string id =
+            "c" + std::to_string(c) + "-" + std::to_string(i);
+        ASSERT_TRUE(client.SendLine(ModelOnlyLine(id, 2 + (i % 5))).ok());
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        Result<std::string> response = client.ReadLine();
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        const std::string want_id =
+            "\"c" + std::to_string(c) + "-" + std::to_string(i) + "\"";
+        EXPECT_NE(response->find(want_id), std::string::npos)
+            << "out-of-order response for client " << c << ": " << *response;
+        if (response->find("\"error\"") == std::string::npos) {
+          ++ok_responses[c];
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(ok_responses[c], kRequests) << "client " << c;
+  }
+
+  // 8 clients × 25 requests over 5 distinct keys: between in-flight
+  // coalescing and the shared solve cache, duplicate work must have
+  // collapsed (a re-evaluated key hits the cache even when its timing
+  // never overlapped another request's).
+  const ServeStatsSnapshot stats = server.service().Stats();
+  EXPECT_EQ(stats.responses_total, kClients * kRequests);
+  EXPECT_GT(stats.coalesced_total + stats.cache.hits, 0);
+
+  server.DrainAndStop();
+}
+
+TEST(PredictServerStressTest, DrainAndStopRacesActiveClients) {
+  PredictServerOptions options;
+  options.service.num_threads = 2;
+  PredictServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, c] {
+      PredictClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        return;  // server may already be stopping — that's the race
+      }
+      int answered = 0;
+      for (int i = 0; i < 50; ++i) {
+        const std::string id =
+            "d" + std::to_string(c) + "-" + std::to_string(i);
+        if (!client.SendLine(ModelOnlyLine(id, 2 + (i % 3))).ok()) break;
+        Result<std::string> response = client.ReadLine();
+        // A drained server half-closes after flushing: every response
+        // read before EOF must be well-formed (result or structured
+        // rejection), and EOF itself is a clean end of session.
+        if (!response.ok()) break;
+        EXPECT_NE(response->find(id), std::string::npos) << *response;
+        ++answered;
+      }
+      EXPECT_GE(answered, 0);
+    });
+  }
+  // Stop while the clients are mid-conversation.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.DrainAndStop();
+  for (std::thread& t : clients) t.join();
+}
+
+}  // namespace
+}  // namespace mrperf
