@@ -1,11 +1,17 @@
 #include "engine/sweep_runner.h"
 
+#include <algorithm>
 #include <chrono>
+#include <deque>
+#include <exception>
 #include <future>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <utility>
 
 #include "common/thread_annotations.h"
+#include "model/model.h"
 #include "queueing/mva_kernel.h"
 
 namespace mrperf {
@@ -15,6 +21,148 @@ using SteadyClock = std::chrono::steady_clock;
 
 double SecondsSince(SteadyClock::time_point start) {
   return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+/// Default chunk width: ~32 chunks across the grid, enough stealing
+/// granularity for skewed point costs while keeping warm-start chains
+/// long. A pure function of the point count — see
+/// SweepOptions::chunk_points.
+size_t DefaultChunkPoints(size_t points) {
+  return std::max<size_t>(1, points / 32);
+}
+
+/// Shared state of one RunTasks fan-out. Held by shared_ptr in every
+/// worker task so an exception unwinding the RunTasks frame while
+/// workers are still draining can never leave them with dangling
+/// references (RunTasks additionally joins every worker before
+/// returning or rethrowing).
+struct SweepWorkState {
+  struct Unit {
+    ExperimentPoint point;
+    ExperimentOptions options;
+  };
+  std::vector<Unit> units;
+  /// Chunk c covers point indices [c·chunk_points, …) — fixed before
+  /// any worker starts.
+  size_t chunk_points = 1;
+  bool warm_start = false;
+  /// Fan a point's repetitions out as pool sub-tasks (set only when
+  /// chunks leave pool threads idle, so the sub-tasks always have a
+  /// free thread to run on).
+  bool fan_repetitions = false;
+  /// One slot per point, each written by exactly the worker holding its
+  /// chunk; engaged for every point once all workers have joined.
+  std::vector<std::optional<Result<ExperimentResult>>> slots;
+
+  Mutex mu;
+  std::deque<size_t> chunk_queue GUARDED_BY(mu);
+
+  /// Steals the next whole chunk; false when the deque is empty.
+  bool PopChunk(size_t* chunk) {
+    MutexLock lock(mu);
+    if (chunk_queue.empty()) return false;
+    *chunk = chunk_queue.front();
+    chunk_queue.pop_front();
+    return true;
+  }
+};
+
+/// Evaluates one point, fanning its independent simulator repetitions
+/// out to `pool` when allowed. The fanned path computes exactly the
+/// values of RunExperiment's sequential loop (seed = base_seed +
+/// rep·7919) and assembles them with the shared helper, so both paths
+/// are byte-identical — the fan-out decision may therefore depend on
+/// worker count (it is scheduling only).
+Result<ExperimentResult> EvaluatePoint(ThreadPool& pool,
+                                       const ExperimentPoint& point,
+                                       const ExperimentOptions& options,
+                                       bool fan_repetitions) {
+  const int reps = options.repetitions;
+  if (!fan_repetitions || reps <= 1) return RunExperiment(point, options);
+
+  // Sub-tasks only touch the simulator side; strip the model options so
+  // no cross-thread pointer (scratch, warm-start carry) leaks into the
+  // captured copies.
+  ExperimentOptions sim_options = options;
+  sim_options.model = ModelOptions{};
+  std::vector<std::optional<std::future<Result<double>>>> futures(
+      static_cast<size_t>(reps));
+  std::vector<std::optional<Result<double>>> inline_results(
+      static_cast<size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    try {
+      futures[rep] = pool.Submit([point, sim_options, rep]() {
+        return RunSimulatedRepetition(point, sim_options, rep);
+      });
+    } catch (const std::runtime_error&) {
+      // Pool shutting down mid-sweep: finish this repetition inline.
+      inline_results[rep] = RunSimulatedRepetition(point, sim_options, rep);
+    }
+  }
+  // The model solve overlaps with the in-flight repetitions.
+  Result<ModelResult> model = RunModelPrediction(point, options);
+
+  std::vector<double> rep_means;
+  rep_means.reserve(static_cast<size_t>(reps));
+  Status rep_error = Status::OK();
+  for (int rep = 0; rep < reps; ++rep) {
+    // Drain every future even after a failure so no sub-task outlives
+    // this frame unobserved.
+    Result<double> mean =
+        futures[rep] ? futures[rep]->get() : *std::move(inline_results[rep]);
+    if (!mean.ok()) {
+      if (rep_error.ok()) rep_error = mean.status();
+      continue;
+    }
+    rep_means.push_back(*mean);
+  }
+  // Error precedence matches the sequential path: the first failing
+  // repetition (in rep order) wins over a model failure.
+  if (!rep_error.ok()) return rep_error;
+  if (!model.ok()) return model.status();
+  return AssembleExperimentResult(point, *model, rep_means);
+}
+
+/// Walks one stolen chunk in index order, threading the warm-start
+/// carry from each point into its successor. `point_done` is the
+/// progress callback hook.
+void ProcessChunk(ThreadPool& pool, SweepWorkState& state, size_t chunk,
+                  const std::function<void()>& point_done) {
+  const size_t begin = chunk * state.chunk_points;
+  const size_t end =
+      std::min(begin + state.chunk_points, state.units.size());
+  ModelWarmStart carry;
+  bool have_carry = false;
+  for (size_t i = begin; i < end; ++i) {
+    const SweepWorkState::Unit& unit = state.units[i];
+    ExperimentOptions opts = unit.options;
+    // Resolved on the worker thread: each worker reuses one kernel
+    // scratch across every point it evaluates (and across sweeps), so
+    // grid sweeps stop reallocating solver buffers per point.
+    opts.model.mva_scratch = &ThreadLocalMvaScratch();
+    ModelWarmStart exported;
+    if (state.warm_start) {
+      opts.model.warm_start = true;
+      opts.model.export_warm_start = &exported;
+      if (have_carry && !carry.empty()) {
+        opts.model.initial_guess = &carry;
+      }
+    }
+    Result<ExperimentResult> result =
+        EvaluatePoint(pool, unit.point, opts, state.fan_repetitions);
+    if (state.warm_start) {
+      if (result.ok()) {
+        carry = std::move(exported);
+        have_carry = true;
+      } else {
+        // A failed point resets the chain: its successor starts cold,
+        // exactly as if it opened the chunk.
+        have_carry = false;
+      }
+    }
+    state.slots[i] = std::move(result);
+    point_done();
+  }
 }
 
 }  // namespace
@@ -119,33 +267,76 @@ SweepReport SweepRunner::Run(const SweepGrid& grid) {
 
 SweepReport SweepRunner::RunTasks(const std::vector<Task>& tasks) {
   const auto start = SteadyClock::now();
+  const size_t n = tasks.size();
 
-  auto reporter = std::make_shared<ProgressReporter>(options_.progress,
-                                                     tasks.size(), *cache_);
-  std::vector<std::future<Result<ExperimentResult>>> futures;
-  futures.reserve(tasks.size());
-  for (size_t i = 0; i < tasks.size(); ++i) {
-    const ExperimentPoint point = tasks[i].point;
-    ExperimentOptions opts = tasks[i].options;
+  auto reporter = std::make_shared<ProgressReporter>(options_.progress, n,
+                                                     *cache_);
+  auto state = std::make_shared<SweepWorkState>();
+  state->units.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    SweepWorkState::Unit unit;
+    unit.point = tasks[i].point;
+    unit.options = tasks[i].options;
     if (tasks[i].derive_seed) {
-      opts.base_seed = PointSeed(tasks[i].options.base_seed, i);
+      unit.options.base_seed = PointSeed(tasks[i].options.base_seed, i);
     }
-    opts.model.mva_cache = options_.use_mva_cache ? cache_.get() : nullptr;
-    futures.push_back(pool_.Submit([point, opts, reporter]() mutable {
-      // Resolved on the worker thread: each worker reuses one kernel
-      // scratch across every point it evaluates (and across sweeps), so
-      // grid sweeps stop reallocating solver buffers per point.
-      opts.model.mva_scratch = &ThreadLocalMvaScratch();
-      Result<ExperimentResult> result = RunExperiment(point, opts);
-      reporter->PointDone();
-      return result;
-    }));
+    unit.options.model.mva_cache =
+        options_.use_mva_cache ? cache_.get() : nullptr;
+    state->units.push_back(std::move(unit));
   }
+  // The chunk layout is a pure function of the point count (plus the
+  // explicit override) — never of the worker count — so every
+  // warm-start chain is identical at any thread count.
+  state->chunk_points = options_.chunk_points > 0 ? options_.chunk_points
+                                                  : DefaultChunkPoints(n);
+  state->warm_start = options_.warm_start;
+  const size_t num_chunks =
+      n == 0 ? 0 : (n + state->chunk_points - 1) / state->chunk_points;
+  state->slots.resize(n);
+  {
+    MutexLock lock(state->mu);
+    for (size_t c = 0; c < num_chunks; ++c) state->chunk_queue.push_back(c);
+  }
+  const size_t workers = std::min<size_t>(
+      static_cast<size_t>(pool_.thread_count()), num_chunks);
+  // Small grids: with pool threads left idle by the chunk workers, fan
+  // each point's simulator repetitions out as sub-tasks (the idle
+  // threads run them; results are byte-identical either way).
+  state->fan_repetitions =
+      workers < static_cast<size_t>(pool_.thread_count());
+
+  std::vector<std::future<void>> worker_futures;
+  worker_futures.reserve(workers);
+  std::exception_ptr failure;
+  try {
+    for (size_t w = 0; w < workers; ++w) {
+      worker_futures.push_back(
+          pool_.Submit([state, reporter, &pool = pool_]() {
+            size_t chunk = 0;
+            while (state->PopChunk(&chunk)) {
+              ProcessChunk(pool, *state, chunk,
+                           [&reporter]() { reporter->PointDone(); });
+            }
+          }));
+    }
+  } catch (...) {
+    failure = std::current_exception();  // pool shut down mid-submit
+  }
+  // Join every worker before touching the slots (and before any
+  // rethrow can unwind this frame).
+  for (auto& f : worker_futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!failure) failure = std::current_exception();
+    }
+  }
+  if (failure) std::rethrow_exception(failure);
 
   SweepReport report;
-  report.results.reserve(tasks.size());
-  for (auto& f : futures) {
-    report.results.push_back(f.get());
+  report.results.reserve(n);
+  for (auto& slot : state->slots) {
+    report.results.push_back(*std::move(slot));
   }
   report.wall_seconds = SecondsSince(start);
   report.threads_used = pool_.thread_count();

@@ -108,34 +108,45 @@ ExperimentOptions DefaultExperimentOptions() {
   return opts;
 }
 
+Result<double> RunSimulatedRepetition(const ExperimentPoint& point,
+                                      const ExperimentOptions& options,
+                                      int rep) {
+  MRPERF_RETURN_NOT_OK(ValidatePoint(point));
+  if (rep < 0) {
+    return Status::InvalidArgument("rep must be >= 0");
+  }
+  const ClusterConfig cluster = ClusterFor(point);
+  const HadoopConfig config = ConfigFor(point);
+  MRPERF_ASSIGN_OR_RETURN(const JobProfile profile,
+                          ProfileFor(point, options));
+  SimOptions sim_opts = options.sim;
+  sim_opts.seed = options.base_seed + static_cast<uint64_t>(rep) * 7919;
+  sim_opts.scheduler = point.scenario.scheduler;
+  ClusterSimulator sim(cluster, sim_opts);
+  for (int j = 0; j < point.num_jobs; ++j) {
+    SimJobSpec spec;
+    spec.profile = profile;
+    spec.config = config;
+    spec.input_bytes = point.input_bytes;
+    spec.submit_time = 0.0;  // §5.1: jobs executed simultaneously
+    MRPERF_RETURN_NOT_OK(sim.SubmitJob(spec));
+  }
+  MRPERF_ASSIGN_OR_RETURN(SimResult result, sim.Run());
+  return result.MeanJobResponse();
+}
+
 Result<double> RunSimulatedMeasurement(const ExperimentPoint& point,
                                        const ExperimentOptions& options) {
   MRPERF_RETURN_NOT_OK(ValidatePoint(point));
   if (options.repetitions < 1) {
     return Status::InvalidArgument("repetitions must be >= 1");
   }
-  const ClusterConfig cluster = ClusterFor(point);
-  const HadoopConfig config = ConfigFor(point);
-  MRPERF_ASSIGN_OR_RETURN(const JobProfile profile,
-                          ProfileFor(point, options));
-
   std::vector<double> means;
   means.reserve(options.repetitions);
   for (int rep = 0; rep < options.repetitions; ++rep) {
-    SimOptions sim_opts = options.sim;
-    sim_opts.seed = options.base_seed + static_cast<uint64_t>(rep) * 7919;
-    sim_opts.scheduler = point.scenario.scheduler;
-    ClusterSimulator sim(cluster, sim_opts);
-    for (int j = 0; j < point.num_jobs; ++j) {
-      SimJobSpec spec;
-      spec.profile = profile;
-      spec.config = config;
-      spec.input_bytes = point.input_bytes;
-      spec.submit_time = 0.0;  // §5.1: jobs executed simultaneously
-      MRPERF_RETURN_NOT_OK(sim.SubmitJob(spec));
-    }
-    MRPERF_ASSIGN_OR_RETURN(SimResult result, sim.Run());
-    means.push_back(result.MeanJobResponse());
+    MRPERF_ASSIGN_OR_RETURN(double mean,
+                            RunSimulatedRepetition(point, options, rep));
+    means.push_back(mean);
   }
   return Median(means);
 }
@@ -157,31 +168,29 @@ Result<ModelResult> RunModelPrediction(const ExperimentPoint& point,
   return SolveModel(input, options.model);
 }
 
-Result<ExperimentResult> RunExperiment(const ExperimentPoint& point,
-                                       const ExperimentOptions& options) {
+Result<ExperimentResult> AssembleExperimentResult(
+    const ExperimentPoint& point, const ModelResult& model,
+    const std::vector<double>& rep_means) {
   ExperimentResult out;
   out.point = point;
-  const bool model_only = options.repetitions == 0;
-  if (model_only) {
-    out.measured_sec = std::numeric_limits<double>::quiet_NaN();
-  } else {
-    MRPERF_ASSIGN_OR_RETURN(out.measured_sec,
-                            RunSimulatedMeasurement(point, options));
-  }
-  MRPERF_ASSIGN_OR_RETURN(ModelResult model,
-                          RunModelPrediction(point, options));
   out.forkjoin_sec = model.forkjoin_response;
   out.tripathi_sec = model.tripathi_response;
   out.model_iterations = model.iterations;
   out.model_converged = model.converged;
   out.tree_depth = model.tree_depth;
-  if (model_only) {
+  out.mva_iterations = model.mva_iterations;
+  out.mva_warm_solves = model.mva_warm_solves;
+  out.mva_cold_solves = model.mva_cold_solves;
+  out.mva_cache_hits = model.mva_cache_hits;
+  if (rep_means.empty()) {
     // No measurement to compare against: the errors are undefined, and
     // the serializers' non-finite rule turns them into JSON null.
+    out.measured_sec = std::numeric_limits<double>::quiet_NaN();
     out.forkjoin_error = std::numeric_limits<double>::quiet_NaN();
     out.tripathi_error = std::numeric_limits<double>::quiet_NaN();
     return out;
   }
+  out.measured_sec = Median(rep_means);
   MRPERF_ASSIGN_OR_RETURN(
       out.forkjoin_error,
       SignedRelativeError(out.forkjoin_sec, out.measured_sec));
@@ -189,6 +198,26 @@ Result<ExperimentResult> RunExperiment(const ExperimentPoint& point,
       out.tripathi_error,
       SignedRelativeError(out.tripathi_sec, out.measured_sec));
   return out;
+}
+
+Result<ExperimentResult> RunExperiment(const ExperimentPoint& point,
+                                       const ExperimentOptions& options) {
+  std::vector<double> rep_means;
+  if (options.repetitions != 0) {
+    if (options.repetitions < 1) {
+      return Status::InvalidArgument("repetitions must be >= 1");
+    }
+    MRPERF_RETURN_NOT_OK(ValidatePoint(point));
+    rep_means.reserve(options.repetitions);
+    for (int rep = 0; rep < options.repetitions; ++rep) {
+      MRPERF_ASSIGN_OR_RETURN(double mean,
+                              RunSimulatedRepetition(point, options, rep));
+      rep_means.push_back(mean);
+    }
+  }
+  MRPERF_ASSIGN_OR_RETURN(ModelResult model,
+                          RunModelPrediction(point, options));
+  return AssembleExperimentResult(point, model, rep_means);
 }
 
 }  // namespace mrperf

@@ -77,6 +77,13 @@ struct ExperimentResult {
   int model_iterations = 0;
   bool model_converged = false;
   int tree_depth = 0;
+  /// A4 solver effort of the model run (ModelResult counters): damped
+  /// MVA sweeps executed across the outer loop, and the executed solves
+  /// split by how they started (cache hits run zero sweeps).
+  int64_t mva_iterations = 0;
+  int mva_warm_solves = 0;
+  int mva_cold_solves = 0;
+  int mva_cache_hits = 0;
 };
 
 /// \brief Default options with the paper's WordCount calibration.
@@ -89,6 +96,24 @@ Result<ExperimentResult> RunExperiment(const ExperimentPoint& point,
 /// \brief Runs only the simulator side (used by calibration and tests).
 Result<double> RunSimulatedMeasurement(const ExperimentPoint& point,
                                        const ExperimentOptions& options);
+
+/// \brief Runs repetition `rep` alone (seed = base_seed + rep·7919) and
+/// returns its mean job response. RunSimulatedMeasurement is the median
+/// over reps 0..repetitions−1 of exactly these values, so evaluating
+/// repetitions as parallel sub-tasks (the sweep engine's small-grid
+/// fan-out) and assembling with AssembleExperimentResult reproduces
+/// RunExperiment byte for byte.
+Result<double> RunSimulatedRepetition(const ExperimentPoint& point,
+                                      const ExperimentOptions& options,
+                                      int rep);
+
+/// \brief Combines a model prediction with per-repetition simulator
+/// means into the final result. Empty `rep_means` is the model-only
+/// mode: measured_sec and both error fields come back NaN. Shared by
+/// RunExperiment and the sweep engine's repetition fan-out.
+Result<ExperimentResult> AssembleExperimentResult(
+    const ExperimentPoint& point, const ModelResult& model,
+    const std::vector<double>& rep_means);
 
 /// \brief Runs only the model side.
 Result<ModelResult> RunModelPrediction(const ExperimentPoint& point,

@@ -87,9 +87,31 @@ std::string SolveCache::MakeKey(const GroupedOverlapMvaProblem& problem,
   return key;
 }
 
+namespace {
+
+/// Drops a warm-start guess whose shape cannot seed an R×C solve, so
+/// the call degrades to a normal cached cold solve instead of an
+/// uncached one.
+void DropMismatchedGuess(OverlapMvaOptions* opts, size_t rows, size_t cols) {
+  if (opts->initial_residence != nullptr &&
+      (opts->initial_residence->rows != rows ||
+       opts->initial_residence->cols != cols)) {
+    opts->initial_residence = nullptr;
+  }
+}
+
+void FillInfo(SolveThroughInfo* info, bool hit, bool warm, int iterations) {
+  if (info == nullptr) return;
+  info->hit = hit;
+  info->warm_started = warm;
+  info->iterations = iterations;
+}
+
+}  // namespace
+
 Result<OverlapMvaSolution> SolveCache::SolveThrough(
     const OverlapMvaProblem& problem, const OverlapMvaOptions& options,
-    MvaKernelScratch* scratch) {
+    MvaKernelScratch* scratch, SolveThroughInfo* info) {
   // Validate once at entry; the hot loop below (hits, the miss solve)
   // never re-walks the O(T²) overlap matrix.
   if (!options.assume_valid) {
@@ -97,18 +119,35 @@ Result<OverlapMvaSolution> SolveCache::SolveThrough(
   }
   OverlapMvaOptions opts = options;
   opts.assume_valid = true;
+  DropMismatchedGuess(&opts, problem.tasks.size(), problem.centers.size());
+  if (opts.initial_residence != nullptr) {
+    // Warm bypass: no lookup, no insert (see the header's determinism
+    // argument — only cold canonical solves may populate the cache).
+    Result<OverlapMvaSolution> solved =
+        SolveOverlapMva(problem, opts, scratch);
+    if (solved.ok()) {
+      RecordSolve(solved->iterations);
+      FillInfo(info, false, solved->warm_started, solved->iterations);
+    }
+    return solved;
+  }
   const std::string key = MakeKey(problem, opts);
   if (std::optional<OverlapMvaSolution> hit = Lookup(key)) {
+    FillInfo(info, true, false, 0);
     return *std::move(hit);
   }
   Result<OverlapMvaSolution> solved = SolveOverlapMva(problem, opts, scratch);
-  if (solved.ok()) Insert(key, *solved);
+  if (solved.ok()) {
+    Insert(key, *solved);
+    RecordSolve(solved->iterations);
+    FillInfo(info, false, false, solved->iterations);
+  }
   return solved;
 }
 
 Result<OverlapMvaSolution> SolveCache::SolveThrough(
     const GroupedOverlapMvaProblem& problem, const OverlapMvaOptions& options,
-    MvaKernelScratch* scratch) {
+    MvaKernelScratch* scratch, SolveThroughInfo* info) {
   if (!options.assume_valid) {
     MRPERF_RETURN_NOT_OK(problem.Validate());
   }
@@ -119,16 +158,28 @@ Result<OverlapMvaSolution> SolveCache::SolveThrough(
   if (path != MvaKernelPath::kGrouped) {
     // Reference-oracle paths run (and cache) at per-task granularity so
     // their hits stay bit-identical to dense recomputation.
-    return SolveThrough(problem.Expand(), opts, scratch);
+    return SolveThrough(problem.Expand(), opts, scratch, info);
+  }
+  DropMismatchedGuess(&opts, problem.groups.size(), problem.centers.size());
+  if (opts.initial_residence != nullptr) {
+    Result<OverlapMvaSolution> group_sol =
+        SolveGroupedOverlapMvaGroupLevel(problem, opts, scratch);
+    if (!group_sol.ok()) return group_sol;
+    RecordSolve(group_sol->iterations);
+    FillInfo(info, false, group_sol->warm_started, group_sol->iterations);
+    return ExpandGroupedMvaSolution(*group_sol, problem.task_group);
   }
   const std::string key = MakeKey(problem, opts);
   if (std::optional<OverlapMvaSolution> hit = Lookup(key)) {
+    FillInfo(info, true, false, 0);
     return ExpandGroupedMvaSolution(*hit, problem.task_group);
   }
   Result<OverlapMvaSolution> group_sol =
       SolveGroupedOverlapMvaGroupLevel(problem, opts, scratch);
   if (!group_sol.ok()) return group_sol;
   Insert(key, *group_sol);
+  RecordSolve(group_sol->iterations);
+  FillInfo(info, false, false, group_sol->iterations);
   return ExpandGroupedMvaSolution(*group_sol, problem.task_group);
 }
 
@@ -165,12 +216,20 @@ Status SolveCache::Recover(const std::string& path) {
   return Status::OK();
 }
 
+void SolveCache::RecordSolve(int iterations) {
+  MutexLock lock(lifecycle_mu_);
+  ++solves_;
+  solve_iterations_ += iterations;
+}
+
 void SolveCache::AddLifecycleCounters(MvaCacheStats* stats) const {
   MutexLock lock(lifecycle_mu_);
   stats->checkpoints = checkpoints_;
   stats->checkpoint_entries = checkpoint_entries_;
   stats->recoveries = recoveries_;
   stats->recovered_entries = recovered_entries_;
+  stats->solves = solves_;
+  stats->solve_iterations = solve_iterations_;
 }
 
 }  // namespace mrperf

@@ -71,11 +71,14 @@ void AppendCacheJson(std::string& out, const char* key,
     std::snprintf(buf, sizeof(buf),
                   "\"shards\": %d, \"checkpoints\": %lld, "
                   "\"checkpoint_entries\": %lld, \"recoveries\": %lld, "
-                  "\"recovered_entries\": %lld, ",
+                  "\"recovered_entries\": %lld, \"solves\": %lld, "
+                  "\"solve_iterations\": %lld, ",
                   shards, static_cast<long long>(cache.checkpoints),
                   static_cast<long long>(cache.checkpoint_entries),
                   static_cast<long long>(cache.recoveries),
-                  static_cast<long long>(cache.recovered_entries));
+                  static_cast<long long>(cache.recovered_entries),
+                  static_cast<long long>(cache.solves),
+                  static_cast<long long>(cache.solve_iterations));
     out += buf;
   }
   out += "\"hit_rate\": ";

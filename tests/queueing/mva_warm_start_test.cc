@@ -1,0 +1,226 @@
+/// Warm-start property tests for the overlap-MVA solver stack: a
+/// warm-started solve must land on the cold fixed point (within the
+/// pinned 1e-8 tolerance) in fewer damped sweeps, a mismatched seed
+/// must be ignored bit-identically, and seeded SolveThrough calls must
+/// bypass the shared cache entirely (no lookups, no insertions) while
+/// still being accounted in the solves/solve_iterations lifecycle
+/// counters.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "queueing/mva_cache.h"
+#include "queueing/mva_kernel.h"
+#include "queueing/mva_overlap.h"
+#include "queueing/solve_cache.h"
+
+namespace mrperf {
+namespace {
+
+constexpr double kFixedPointTol = 1e-8;
+
+/// 2 nodes × (cpu, disk), `tasks` tasks striped across the nodes,
+/// homogeneous overlap θ.
+OverlapMvaProblem BuildProblem(int tasks, double theta,
+                               double demand_scale = 1.0) {
+  OverlapMvaProblem p;
+  for (int n = 0; n < 2; ++n) {
+    const std::string id = std::to_string(n);
+    p.centers.push_back({"cpu" + id, CenterType::kQueueing, 2});
+    p.centers.push_back({"disk" + id, CenterType::kQueueing, 1});
+  }
+  const size_t K = p.centers.size();
+  for (int t = 0; t < tasks; ++t) {
+    OverlapTask task;
+    task.demand.assign(K, 0.0);
+    task.demand[(t % 2) * 2] = 6.0 * demand_scale;
+    task.demand[(t % 2) * 2 + 1] = 2.0 * demand_scale;
+    p.tasks.push_back(task);
+  }
+  p.overlap.assign(tasks, std::vector<double>(tasks, theta));
+  for (int i = 0; i < tasks; ++i) p.overlap[i][i] = 0.0;
+  return p;
+}
+
+GroupedOverlapMvaProblem BuildGroupedProblem(int groups, int per_group,
+                                             double theta,
+                                             double demand_scale = 1.0) {
+  GroupedOverlapMvaProblem p;
+  p.centers = {{"cpu", CenterType::kQueueing, 4},
+               {"disk", CenterType::kQueueing, 1}};
+  for (int g = 0; g < groups; ++g) {
+    OverlapTaskGroup group;
+    group.count = per_group;
+    group.demand = {(4.0 + g) * demand_scale, (1.0 + 0.5 * g) * demand_scale};
+    p.groups.push_back(std::move(group));
+    for (int c = 0; c < per_group; ++c) p.task_group.push_back(g);
+  }
+  p.overlap.assign(groups, std::vector<double>(groups, theta));
+  return p;
+}
+
+void ExpectSameFixedPoint(const OverlapMvaSolution& a,
+                          const OverlapMvaSolution& b) {
+  ASSERT_EQ(a.response.size(), b.response.size());
+  for (size_t i = 0; i < a.response.size(); ++i) {
+    const double tol =
+        kFixedPointTol * std::max(1.0, std::abs(a.response[i]));
+    EXPECT_NEAR(a.response[i], b.response[i], tol) << "task " << i;
+  }
+}
+
+TEST(MvaWarmStartTest, WarmSolveReachesTheColdFixedPointInFewerSweeps) {
+  const OverlapMvaProblem base = BuildProblem(8, 0.7);
+  const OverlapMvaProblem neighbor = BuildProblem(8, 0.7, 1.02);
+  OverlapMvaOptions opts;
+
+  auto base_sol = SolveOverlapMva(base, opts);
+  ASSERT_TRUE(base_sol.ok());
+  auto cold = SolveOverlapMva(neighbor, opts);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->warm_started);
+
+  const FlatMatrix seed = SolutionResidenceMatrix(*base_sol);
+  OverlapMvaOptions warm_opts = opts;
+  warm_opts.initial_residence = &seed;
+  auto warm = SolveOverlapMva(neighbor, warm_opts);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->warm_started);
+  ExpectSameFixedPoint(*cold, *warm);
+  EXPECT_LT(warm->iterations, cold->iterations);
+}
+
+TEST(MvaWarmStartTest, WarmFromTheExactFixedPointConvergesAlmostInstantly) {
+  const OverlapMvaProblem p = BuildProblem(6, 0.5);
+  OverlapMvaOptions opts;
+  auto cold = SolveOverlapMva(p, opts);
+  ASSERT_TRUE(cold.ok());
+
+  const FlatMatrix seed = SolutionResidenceMatrix(*cold);
+  OverlapMvaOptions warm_opts = opts;
+  warm_opts.initial_residence = &seed;
+  auto warm = SolveOverlapMva(p, warm_opts);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->warm_started);
+  EXPECT_LE(warm->iterations, 2);
+  ExpectSameFixedPoint(*cold, *warm);
+}
+
+TEST(MvaWarmStartTest, MismatchedSeedShapeIsIgnoredBitIdentically) {
+  const OverlapMvaProblem p = BuildProblem(5, 0.6);
+  OverlapMvaOptions opts;
+  auto cold = SolveOverlapMva(p, opts);
+  ASSERT_TRUE(cold.ok());
+
+  FlatMatrix wrong;  // 2×2, nothing like the 5×4 residence shape
+  wrong.Reshape(2, 2);
+  OverlapMvaOptions warm_opts = opts;
+  warm_opts.initial_residence = &wrong;
+  auto sol = SolveOverlapMva(p, warm_opts);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_FALSE(sol->warm_started);
+  EXPECT_EQ(sol->iterations, cold->iterations);
+  EXPECT_EQ(sol->response, cold->response);
+  EXPECT_EQ(sol->residence, cold->residence);
+}
+
+TEST(MvaWarmStartTest, GroupedWarmSolveMatchesColdWithinTolerance) {
+  const GroupedOverlapMvaProblem base = BuildGroupedProblem(3, 4, 0.6);
+  const GroupedOverlapMvaProblem neighbor =
+      BuildGroupedProblem(3, 4, 0.6, 1.02);
+  OverlapMvaOptions opts;
+  opts.kernel = MvaKernelPath::kGrouped;
+
+  auto base_sol = SolveGroupedOverlapMvaGroupLevel(base, opts);
+  ASSERT_TRUE(base_sol.ok());
+  auto cold = SolveGroupedOverlapMva(neighbor, opts);
+  ASSERT_TRUE(cold.ok());
+
+  // Class-level seed: one row per group.
+  const FlatMatrix seed = SolutionResidenceMatrix(*base_sol);
+  OverlapMvaOptions warm_opts = opts;
+  warm_opts.initial_residence = &seed;
+  auto warm = SolveGroupedOverlapMva(neighbor, warm_opts);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->warm_started);
+  ExpectSameFixedPoint(*cold, *warm);
+  EXPECT_LT(warm->iterations, cold->iterations);
+}
+
+TEST(MvaWarmStartTest, SeededSolveThroughBypassesTheCache) {
+  MvaSolveCache cache(16);
+  const OverlapMvaProblem p = BuildProblem(4, 0.5);
+  OverlapMvaOptions opts;
+
+  auto cold = SolveOverlapMva(p, opts);
+  ASSERT_TRUE(cold.ok());
+  const FlatMatrix seed = SolutionResidenceMatrix(*cold);
+  OverlapMvaOptions warm_opts = opts;
+  warm_opts.initial_residence = &seed;
+
+  SolveThroughInfo info;
+  auto warm = cache.SolveThrough(p, warm_opts, nullptr, &info);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(info.warm_started);
+  EXPECT_FALSE(info.hit);
+  EXPECT_GT(info.iterations, 0);
+
+  // No cache traffic at all: the warm result is trajectory-dependent,
+  // so it must be neither looked up nor inserted.
+  MvaCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups(), 0);
+  EXPECT_EQ(stats.insertions, 0);
+  EXPECT_EQ(stats.size, 0);
+  // ... but the executed solve is still accounted.
+  EXPECT_EQ(stats.solves, 1);
+  EXPECT_EQ(stats.solve_iterations, info.iterations);
+
+  // A cold solve-through of the same problem misses, solves, inserts.
+  SolveThroughInfo cold_info;
+  auto through = cache.SolveThrough(p, opts, nullptr, &cold_info);
+  ASSERT_TRUE(through.ok());
+  EXPECT_FALSE(cold_info.hit);
+  EXPECT_FALSE(cold_info.warm_started);
+  stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+  EXPECT_EQ(stats.solves, 2);
+  EXPECT_EQ(stats.solve_iterations,
+            info.iterations + cold_info.iterations);
+
+  // And a repeat is a pure hit: zero additional executed iterations.
+  SolveThroughInfo hit_info;
+  auto hit = cache.SolveThrough(p, opts, nullptr, &hit_info);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit_info.hit);
+  EXPECT_EQ(hit_info.iterations, 0);
+  stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.solves, 2);  // unchanged by the hit
+}
+
+TEST(MvaWarmStartTest, SeededSolveThroughDropsAMismatchedSeed) {
+  MvaSolveCache cache(16);
+  const OverlapMvaProblem p = BuildProblem(4, 0.5);
+  FlatMatrix wrong;
+  wrong.Reshape(1, 1);
+  OverlapMvaOptions warm_opts;
+  warm_opts.initial_residence = &wrong;
+
+  // The mismatched seed is dropped before the cache decision, so this
+  // call takes the normal cold path: lookup (miss), solve, insert.
+  SolveThroughInfo info;
+  auto sol = cache.SolveThrough(p, warm_opts, nullptr, &info);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_FALSE(info.warm_started);
+  EXPECT_FALSE(info.hit);
+  const MvaCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+}
+
+}  // namespace
+}  // namespace mrperf

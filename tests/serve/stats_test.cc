@@ -101,6 +101,8 @@ TEST(FormatServeStatsJsonTest, ReportsProtocolVersionAndCacheLifecycle) {
   snapshot.cache.checkpoint_entries = 9;
   snapshot.cache.recoveries = 1;
   snapshot.cache.recovered_entries = 7;
+  snapshot.cache.solves = 11;
+  snapshot.cache.solve_iterations = 341;
 
   const std::string json = FormatServeStatsJson(snapshot);
   Result<JsonValue> parsed = ParseJson(json);
@@ -115,6 +117,10 @@ TEST(FormatServeStatsJsonTest, ReportsProtocolVersionAndCacheLifecycle) {
   EXPECT_EQ(cache->Find("checkpoint_entries")->number_value(), 9.0);
   EXPECT_EQ(cache->Find("recoveries")->number_value(), 1.0);
   EXPECT_EQ(cache->Find("recovered_entries")->number_value(), 7.0);
+  // Executed-solver-effort gauges: cumulative fixed-point solves run on
+  // misses (and warm bypass solves) plus their damped-sweep total.
+  EXPECT_EQ(cache->Find("solves")->number_value(), 11.0);
+  EXPECT_EQ(cache->Find("solve_iterations")->number_value(), 341.0);
   EXPECT_EQ(cache->Find("hit_rate")->number_value(), 0.75);
 
   // The window sub-object reports only window counters: shard count and
