@@ -30,13 +30,30 @@
 ///     checkpoint on drain). A second predictd recovering that file must
 ///     report the recovery in /stats, hit the cache on its first
 ///     request, and answer every replayed request byte-identically.
+///  7. **C10k gate.** A fresh predictd (1 worker, 2 event-loop threads)
+///     holds >= 1000 idle connections while 64 active clients pipeline
+///     bursts on top: every response ordered, served on the fixed loop
+///     budget (event_loop_threads in /stats must not grow).
+///  8. **QoS gate.** Bulk clients saturate the queue with distinct
+///     evaluations while an interactive client interleaves requests:
+///     server-side interactive p99 must beat bulk p99. Then requests
+///     with deadline_ms=1 behind a parked backlog must each get a
+///     structured answer — deadline_exceeded is never silently dropped
+///     and the stats counter matches the responses observed.
+///  9. **Metrics gate.** GET /metrics over the same port must parse as
+///     valid Prometheus text exposition (ValidatePrometheusText) and
+///     carry the per-priority latency histogram.
 ///
 /// Flags: --predictd=PATH (default ./predictd), --threads=N (server
 /// workers, default 4), --connections=C (default 4), --requests=M per
 /// connection in the load phase (default 10), --json-out=PATH, --smoke
 /// (CI sizing: fewer load requests).
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <signal.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -58,6 +75,7 @@
 #include "queueing/sharded_solve_cache.h"
 #include "serve/client.h"
 #include "serve/json.h"
+#include "serve/metrics.h"
 #include "serve/request.h"
 
 namespace {
@@ -214,6 +232,93 @@ bool StopChildGracefully(ChildServer* child) {
   return ok;
 }
 
+/// Raises the soft fd limit to the hard cap: phase 7 holds a thousand
+/// client sockets on the bench side alone.
+void RaiseFdLimit() {
+  rlimit limit{};
+  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur < limit.rlim_max) {
+    limit.rlim_cur = limit.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &limit);
+  }
+}
+
+/// Idle raw TCP connection for the C10k column: connects and parks.
+class IdleConn {
+ public:
+  ~IdleConn() { Close(); }
+
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Extracts stats.latency_by_priority.<klass>.<key>.
+double PriorityLatencyField(const std::string& response, const char* klass,
+                            const char* key) {
+  Result<JsonValue> parsed = ParseJson(response);
+  if (!parsed.ok()) return -1.0;
+  const JsonValue* stats = parsed->Find("stats");
+  const JsonValue* by_priority =
+      stats ? stats->Find("latency_by_priority") : nullptr;
+  const JsonValue* klass_json =
+      by_priority ? by_priority->Find(klass) : nullptr;
+  const JsonValue* field = klass_json ? klass_json->Find(key) : nullptr;
+  if (field == nullptr || !field->is_number()) return -1.0;
+  return field->number_value();
+}
+
+/// Minimal HTTP GET against predictd's metrics endpoint; true on a
+/// complete response, with the status line and body returned.
+bool HttpGet(int port, const std::string& path, std::string* status_line,
+             std::string* body) {
+  PredictClient client;
+  if (!client.Connect("127.0.0.1", port).ok()) return false;
+  if (!client.SendLine("GET " + path + " HTTP/1.1").ok()) return false;
+  if (!client.SendLine("Host: localhost").ok()) return false;
+  if (!client.SendLine("").ok()) return false;
+  std::vector<std::string> lines;
+  for (;;) {
+    Result<std::string> line = client.ReadLine();
+    if (!line.ok()) break;  // server closes after the one-shot response
+    std::string text = *line;
+    if (!text.empty() && text.back() == '\r') text.pop_back();
+    lines.push_back(text);
+  }
+  if (lines.empty()) return false;
+  *status_line = lines[0];
+  size_t at = 1;
+  while (at < lines.size() && !lines[at].empty()) ++at;  // headers
+  ++at;                                                  // blank separator
+  body->clear();
+  for (; at < lines.size(); ++at) {
+    *body += lines[at];
+    *body += '\n';
+  }
+  return true;
+}
+
 /// Phase 5 measurement: `threads` workers each run `iters` hot-key
 /// Lookups against `cache` (every key resident, so the loop is pure
 /// lock + copy cost — the serving steady state). Returns wall seconds.
@@ -252,6 +357,7 @@ double BestHotKeyLookupSeconds(SolveCache& cache,
 }  // namespace
 
 int main(int argc, char** argv) {
+  RaiseFdLimit();
   bench::BenchArgs args(argc, argv);
   const int threads = [&] {
     const int t = args.Threads();
@@ -690,6 +796,334 @@ int main(int argc, char** argv) {
         recovered_entries, kWarmRequests, warm_hits);
   }
 
+  // ---- Phases 7-9: C10k transport, QoS, metrics (fresh child) ---------
+  constexpr int kIdleConnections = 1000;
+  constexpr int kActiveClients = 64;
+  constexpr int kDeadlineRequests = 6;
+  const int active_requests = smoke ? 8 : 16;
+  const size_t c10k_total = static_cast<size_t>(kActiveClients) *
+                            static_cast<size_t>(active_requests);
+  double c10k_wall = 0.0;
+  double c10k_rps = 0.0;
+  double bulk_p99 = 0.0;
+  double interactive_p99 = 0.0;
+  int deadline_hits = 0;
+  {
+    ChildServer qos_child;
+    // One worker + a deliberately small batch: queue wait dominates, so
+    // priority ordering and deadline expiry are visible in latency.
+    if (!SpawnPredictd(predictd_path, /*threads=*/1, &qos_child,
+                       {"--batch=2"})) {
+      return 1;
+    }
+    PredictClient qos_stats;
+    if (!qos_stats.Connect("127.0.0.1", qos_child.port).ok()) {
+      KillChild(&qos_child);
+      return 1;
+    }
+
+    // ---- Phase 7: >= 1k idle + 64 active pipelined clients ------------
+    std::vector<IdleConn> idle(kIdleConnections);
+    int idle_up = 0;
+    for (int i = 0; i < kIdleConnections; ++i) {
+      if (!idle[static_cast<size_t>(i)].Connect(qos_child.port)) break;
+      ++idle_up;
+    }
+    if (idle_up != kIdleConnections) {
+      std::fprintf(stderr, "c10k gate FAILED: only %d/%d idle connections\n",
+                   idle_up, kIdleConnections);
+      KillChild(&qos_child);
+      return 1;
+    }
+    std::vector<int> active_ok(kActiveClients, 0);
+    {
+      std::vector<std::thread> actives;
+      const auto start = SteadyClock::now();
+      for (int c = 0; c < kActiveClients; ++c) {
+        actives.emplace_back([&, c] {
+          PredictClient client;
+          if (!client.Connect("127.0.0.1", qos_child.port).ok()) return;
+          for (int i = 0; i < active_requests; ++i) {
+            const std::string id =
+                "k" + std::to_string(c) + "-" + std::to_string(i);
+            if (!client
+                     .SendLine(R"({"id":")" + id + R"(","nodes":)" +
+                               std::to_string(2 + i % 5) +
+                               R"(,"input_gb":0.25,"model_only":true})")
+                     .ok()) {
+              return;
+            }
+          }
+          for (int i = 0; i < active_requests; ++i) {
+            Result<std::string> response = client.ReadLine();
+            if (!response.ok()) return;
+            const std::string want =
+                "\"k" + std::to_string(c) + "-" + std::to_string(i) + "\"";
+            if (response->find(want) == std::string::npos ||
+                response->find("\"ok\": true") == std::string::npos) {
+              return;  // out of order or failed: active_ok stays short
+            }
+            ++active_ok[static_cast<size_t>(c)];
+          }
+        });
+      }
+      for (std::thread& t : actives) t.join();
+      c10k_wall = std::chrono::duration<double>(SteadyClock::now() - start)
+                      .count();
+    }
+    for (int c = 0; c < kActiveClients; ++c) {
+      if (active_ok[static_cast<size_t>(c)] != active_requests) {
+        std::fprintf(stderr,
+                     "c10k gate FAILED: client %d got %d/%d ordered "
+                     "responses\n",
+                     c, active_ok[static_cast<size_t>(c)], active_requests);
+        KillChild(&qos_child);
+        return 1;
+      }
+    }
+    c10k_rps = c10k_wall > 0
+                   ? static_cast<double>(c10k_total) / c10k_wall
+                   : 0.0;
+    Result<std::string> c10k_stats =
+        qos_stats.Call(R"({"kind":"stats"})");
+    if (!c10k_stats.ok()) {
+      KillChild(&qos_child);
+      return 1;
+    }
+    const double live_connections = StatsField(*c10k_stats, "connections");
+    const double loop_threads =
+        StatsField(*c10k_stats, "event_loop_threads");
+    std::printf(
+        "c10k: %d idle + %d active clients, %zu pipelined requests in "
+        "%.2fs -> %.0f req/s on %.0f event-loop threads (%.0f live "
+        "connections)\n",
+        kIdleConnections, kActiveClients, c10k_total, c10k_wall, c10k_rps,
+        loop_threads, live_connections);
+    if (live_connections < kIdleConnections || loop_threads != 2.0) {
+      std::fprintf(stderr,
+                   "c10k gate FAILED: %.0f connections on %.0f loop "
+                   "threads (want >= %d on a fixed budget of 2)\n",
+                   live_connections, loop_threads, kIdleConnections);
+      KillChild(&qos_child);
+      return 1;
+    }
+
+    // ---- Phase 8a: interactive p99 beats bulk p99 under saturation ----
+    constexpr int kBulkClients = 4;
+    constexpr int kBulkPerClient = 12;
+    constexpr int kInteractive = 8;
+    {
+      std::vector<std::thread> bulk_clients;
+      std::vector<int> bulk_ok(kBulkClients, 0);
+      for (int c = 0; c < kBulkClients; ++c) {
+        bulk_clients.emplace_back([&, c] {
+          PredictClient client;
+          if (!client.Connect("127.0.0.1", qos_child.port).ok()) return;
+          for (int i = 0; i < kBulkPerClient; ++i) {
+            // Distinct seeds: no coalescing, every request a real
+            // evaluation competing for the single worker.
+            client.SendLine(
+                R"({"id":"qb)" + std::to_string(c) + "-" +
+                std::to_string(i) +
+                R"(","nodes":3,"input_gb":0.5,"jobs":2,"repetitions":2,)"
+                R"("seed":)" + std::to_string(1000 + c * 100 + i) + "}");
+          }
+          for (int i = 0; i < kBulkPerClient; ++i) {
+            Result<std::string> response = client.ReadLine();
+            if (!response.ok() ||
+                response->find("\"ok\": true") == std::string::npos) {
+              return;
+            }
+            ++bulk_ok[static_cast<size_t>(c)];
+          }
+        });
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      PredictClient interactive_client;
+      if (!interactive_client.Connect("127.0.0.1", qos_child.port).ok()) {
+        KillChild(&qos_child);
+        return 1;
+      }
+      int interactive_ok = 0;
+      for (int i = 0; i < kInteractive; ++i) {
+        Result<std::string> response = interactive_client.Call(
+            R"({"id":"qi)" + std::to_string(i) +
+            R"(","nodes":3,"input_gb":0.5,"jobs":2,"repetitions":2,)"
+            R"("seed":)" + std::to_string(9000 + i) +
+            R"(,"priority":"interactive"})");
+        if (response.ok() &&
+            response->find("\"ok\": true") != std::string::npos) {
+          ++interactive_ok;
+        }
+      }
+      for (std::thread& t : bulk_clients) t.join();
+      int bulk_answered = 0;
+      for (int ok_count : bulk_ok) bulk_answered += ok_count;
+      if (bulk_answered != kBulkClients * kBulkPerClient ||
+          interactive_ok != kInteractive) {
+        std::fprintf(stderr, "qos gate FAILED: %d/%d bulk, %d/%d "
+                             "interactive responses\n",
+                     bulk_answered, kBulkClients * kBulkPerClient,
+                     interactive_ok, kInteractive);
+        KillChild(&qos_child);
+        return 1;
+      }
+    }
+    Result<std::string> qos_snapshot =
+        qos_stats.Call(R"({"kind":"stats"})");
+    if (!qos_snapshot.ok()) {
+      KillChild(&qos_child);
+      return 1;
+    }
+    bulk_p99 = PriorityLatencyField(*qos_snapshot, "bulk", "p99");
+    interactive_p99 =
+        PriorityLatencyField(*qos_snapshot, "interactive", "p99");
+    std::printf(
+        "qos: saturated single worker -> bulk p99 %.1f ms, interactive "
+        "p99 %.1f ms\n",
+        bulk_p99, interactive_p99);
+    if (!(interactive_p99 > 0.0) || !(bulk_p99 > 0.0) ||
+        !(interactive_p99 < bulk_p99)) {
+      std::fprintf(stderr,
+                   "qos gate FAILED: interactive p99 %.1f ms not below "
+                   "bulk p99 %.1f ms\n",
+                   interactive_p99, bulk_p99);
+      KillChild(&qos_child);
+      return 1;
+    }
+
+    // ---- Phase 8b: tiny deadlines behind a parked backlog -------------
+    {
+      const double admitted_before =
+          StatsField(*qos_stats.Call(R"({"kind":"stats"})"),
+                     "requests_total");
+      constexpr int kBacklog = 16;
+      PredictClient backlog;
+      if (!backlog.Connect("127.0.0.1", qos_child.port).ok()) {
+        KillChild(&qos_child);
+        return 1;
+      }
+      for (int i = 0; i < kBacklog; ++i) {
+        backlog.SendLine(
+            R"({"id":"bk)" + std::to_string(i) +
+            R"(","nodes":3,"input_gb":0.5,"jobs":2,"repetitions":2,)"
+            R"("seed":)" + std::to_string(5000 + i) + "}");
+      }
+      // Wait until the backlog is admitted so the deadline requests are
+      // deterministically queued behind real work.
+      for (int spin = 0;; ++spin) {
+        const double admitted = StatsField(
+            *qos_stats.Call(R"({"kind":"stats"})"), "requests_total");
+        if (admitted - admitted_before >= kBacklog) break;
+        if (spin > 2000) {
+          std::fprintf(stderr, "deadline gate: backlog never admitted\n");
+          KillChild(&qos_child);
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      PredictClient deadline_client;
+      if (!deadline_client.Connect("127.0.0.1", qos_child.port).ok()) {
+        KillChild(&qos_child);
+        return 1;
+      }
+      for (int i = 0; i < kDeadlineRequests; ++i) {
+        deadline_client.SendLine(R"({"id":"dl)" + std::to_string(i) +
+                                 R"(","nodes":)" + std::to_string(2 + i) +
+                                 R"(,"input_gb":0.25,"model_only":true,)"
+                                 R"("deadline_ms":1})");
+      }
+      for (int i = 0; i < kDeadlineRequests; ++i) {
+        Result<std::string> response = deadline_client.ReadLine();
+        if (!response.ok()) {
+          std::fprintf(stderr,
+                       "deadline gate FAILED: response %d dropped (%s)\n",
+                       i, response.status().ToString().c_str());
+          KillChild(&qos_child);
+          return 1;
+        }
+        if (response->find("deadline_exceeded") != std::string::npos) {
+          ++deadline_hits;
+        } else if (response->find("\"ok\": true") == std::string::npos) {
+          std::fprintf(stderr,
+                       "deadline gate FAILED: response %d neither served "
+                       "nor expired: %s\n",
+                       i, response->c_str());
+          KillChild(&qos_child);
+          return 1;
+        }
+      }
+      for (int i = 0; i < kBacklog; ++i) {
+        Result<std::string> response = backlog.ReadLine();
+        if (!response.ok() ||
+            response->find("\"ok\": true") == std::string::npos) {
+          std::fprintf(stderr, "deadline gate: backlog response %d lost\n",
+                       i);
+          KillChild(&qos_child);
+          return 1;
+        }
+      }
+      const double expired_total = StatsField(
+          *qos_stats.Call(R"({"kind":"stats"})"), "deadline_exceeded_total");
+      std::printf(
+          "deadline: %d/%d answered with deadline_exceeded behind a "
+          "%d-deep backlog (stats counter %.0f)\n",
+          deadline_hits, kDeadlineRequests, kBacklog, expired_total);
+      if (deadline_hits < 1 ||
+          expired_total != static_cast<double>(deadline_hits)) {
+        std::fprintf(stderr,
+                     "deadline gate FAILED: %d expirations observed but "
+                     "stats report %.0f\n",
+                     deadline_hits, expired_total);
+        KillChild(&qos_child);
+        return 1;
+      }
+    }
+
+    // ---- Phase 9: /metrics parses as Prometheus text exposition -------
+    {
+      std::string status_line;
+      std::string body;
+      if (!HttpGet(qos_child.port, "/metrics", &status_line, &body) ||
+          status_line.find("200") == std::string::npos) {
+        std::fprintf(stderr, "metrics gate FAILED: GET /metrics -> '%s'\n",
+                     status_line.c_str());
+        KillChild(&qos_child);
+        return 1;
+      }
+      const Status valid = ValidatePrometheusText(body);
+      if (!valid.ok()) {
+        std::fprintf(stderr, "metrics gate FAILED: %s\n%s",
+                     valid.ToString().c_str(), body.c_str());
+        KillChild(&qos_child);
+        return 1;
+      }
+      for (const char* needle :
+           {"# TYPE predictd_request_latency_milliseconds histogram",
+            "priority=\"interactive\"", "predictd_deadline_exceeded_total",
+            "predictd_connections"}) {
+        if (body.find(needle) == std::string::npos) {
+          std::fprintf(stderr, "metrics gate FAILED: missing '%s'\n",
+                       needle);
+          KillChild(&qos_child);
+          return 1;
+        }
+      }
+      std::printf("metrics: %zu bytes of valid Prometheus exposition\n",
+                  body.size());
+    }
+
+    // SIGTERM with the thousand idle connections still parked: the drain
+    // must still terminate promptly and exit 0.
+    if (!StopChildGracefully(&qos_child)) {
+      std::fprintf(stderr,
+                   "c10k drain gate FAILED: predictd did not exit 0 with "
+                   "%d connections parked\n",
+                   kIdleConnections);
+      return 1;
+    }
+  }
+
   // ---- Persist the perf trajectory ------------------------------------
   if (!json_out.empty()) {
     std::string out = "{\"requests\": " + std::to_string(load_total) +
@@ -721,7 +1155,21 @@ int main(int argc, char** argv) {
     AppendJsonDouble(out, recovered_entries);
     out += ", \"byte_identical\": ";
     out += warm_byte_identical ? "true" : "false";
-    out += "}}\n";
+    out += "}, \"c10k\": {\"idle_connections\": " +
+           std::to_string(kIdleConnections) +
+           ", \"active_clients\": " + std::to_string(kActiveClients) +
+           ", \"requests\": " + std::to_string(c10k_total) +
+           ", \"wall_seconds\": ";
+    AppendJsonDouble(out, c10k_wall);
+    out += ", \"throughput_rps\": ";
+    AppendJsonDouble(out, c10k_rps);
+    out += "}, \"qos\": {\"bulk_p99_ms\": ";
+    AppendJsonDouble(out, bulk_p99);
+    out += ", \"interactive_p99_ms\": ";
+    AppendJsonDouble(out, interactive_p99);
+    out += ", \"deadline_requests\": " + std::to_string(kDeadlineRequests) +
+           ", \"deadline_exceeded\": " + std::to_string(deadline_hits) +
+           ", \"metrics_valid\": true}}\n";
     std::FILE* f = std::fopen(json_out.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", json_out.c_str());

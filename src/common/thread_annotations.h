@@ -36,6 +36,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -157,6 +158,11 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  /// Wait() with a timeout; false iff it timed out (the lock is held
+  /// either way). Same spurious-wakeup rule: re-check the condition.
+  bool WaitFor(MutexLock& lock, std::chrono::milliseconds timeout) {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
+  }
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

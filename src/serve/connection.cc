@@ -1,0 +1,364 @@
+#include "serve/connection.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace mrperf {
+namespace {
+
+/// Read budget per readiness callback: a firehose sender must not
+/// starve the loop's other connections (level-triggered readiness
+/// redelivers what is left).
+constexpr int kMaxReadChunksPerWakeup = 16;
+
+/// HTTP header cap; beyond this with no blank line the client is not
+/// speaking HTTP worth answering.
+constexpr size_t kMaxHttpHeaderBytes = 16384;
+
+}  // namespace
+
+Connection::Connection(int fd, std::string peer, EventLoop* loop,
+                       const ConnectionContext* context,
+                       ClosedCallback on_closed)
+    : fd_(fd),
+      peer_(std::move(peer)),
+      loop_(loop),
+      context_(context),
+      on_closed_(std::move(on_closed)) {}
+
+Connection::~Connection() {
+  // Normal teardown runs CloseNow(); this is the safety net for a
+  // connection destroyed without ever finishing (e.g. Register failed
+  // paths already closed the fd, so only close once).
+  if (!finished_ && fd_ >= 0) ::close(fd_);
+}
+
+void Connection::Register() {
+  interest_ = EPOLLIN;
+  const Status added = loop_->Add(fd_, interest_, this);
+  if (!added.ok()) {
+    CloseNow();
+    return;
+  }
+  // The socket may already hold bytes (fast client); level-triggered
+  // epoll would report them, but serving them now saves a wakeup.
+  HandleReadable();
+  MaybeFinish();
+}
+
+void Connection::OnReady(uint32_t events) {
+  // Keep ourselves alive across everything a callback can trigger
+  // (CloseNow drops the owner's reference mid-call).
+  const std::shared_ptr<Connection> self = shared_from_this();
+  if (finished_) return;
+  if ((events & EPOLLOUT) != 0) HandleWritable();
+  if (!finished_ &&
+      (events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP)) != 0) {
+    HandleReadable();
+  }
+  if (!finished_) MaybeFinish();
+}
+
+void Connection::HandleReadable() {
+  if (read_state_ == ReadState::kDone) return;
+  char chunk[16384];
+  for (int i = 0; i < kMaxReadChunksPerWakeup; ++i) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      // Hard error: same as EOF — the client is done sending.
+      read_state_ = ReadState::kDone;
+      break;
+    }
+    if (n == 0) {  // EOF
+      read_state_ = ReadState::kDone;
+      break;
+    }
+    if (read_state_ == ReadState::kDiscarding) continue;
+    read_buffer_.append(chunk, static_cast<size_t>(n));
+    if (!ProcessBuffer()) break;
+  }
+  UpdateInterest();
+}
+
+bool Connection::ProcessBuffer() {
+  if (!http_checked_) {
+    if (!context_->enable_http) {
+      http_checked_ = true;
+    } else if (read_buffer_.size() < 4) {
+      // Could still be the start of "GET " (JSON lines cannot start
+      // with 'G', so waiting never delays a real request line).
+      if (read_buffer_.compare(0, read_buffer_.size(), "GET ", 0,
+                               read_buffer_.size()) == 0) {
+        return true;
+      }
+      http_checked_ = true;
+    } else {
+      http_checked_ = true;
+      http_mode_ = read_buffer_.compare(0, 4, "GET ") == 0;
+    }
+  }
+  if (http_mode_) return ProcessHttp();
+
+  bool overlong = false;
+  size_t start = 0;
+  for (size_t nl = read_buffer_.find('\n', start); nl != std::string::npos;
+       nl = read_buffer_.find('\n', start)) {
+    if (nl - start > context_->max_line_bytes) {
+      overlong = true;
+      break;
+    }
+    std::string line = read_buffer_.substr(start, nl - start);
+    start = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // telnet
+    if (line.empty()) continue;  // blank keep-alive lines are ignored
+    EnqueueLine(line);
+  }
+  if (overlong) {
+    HandleOverlong();
+    return false;
+  }
+  read_buffer_.erase(0, start);
+  if (read_buffer_.size() > context_->max_line_bytes) {
+    // No newline within the cap: same verdict as an oversized complete
+    // line — a broken client, not a request. Answer once, then stop
+    // parsing this connection.
+    HandleOverlong();
+    return false;
+  }
+  return true;
+}
+
+void Connection::HandleOverlong() {
+  read_buffer_.clear();
+  // Keep consuming (and dropping) inbound bytes until the client
+  // closes: closing with unread data would reset the socket and could
+  // destroy the very error response this answer is.
+  read_state_ = ReadState::kDiscarding;
+  const uint64_t index = next_slot_++;
+  slots_.push_back(Slot{});
+  std::weak_ptr<Connection> weak = weak_from_this();
+  EventLoop* loop = loop_;
+  // Counted through the service so /stats still reconciles with the
+  // responses actually written.
+  context_->service->RejectRequestErrorTo(
+      std::nullopt, ServeErrorCode::kParseError,
+      "request line exceeds " + std::to_string(context_->max_line_bytes) +
+          " bytes",
+      [weak, loop, index](std::string text) {
+        loop->Post([weak, index, text = std::move(text)]() mutable {
+          if (std::shared_ptr<Connection> self = weak.lock()) {
+            self->OnResponseReady(index, std::move(text));
+          }
+        });
+      });
+}
+
+bool Connection::ProcessHttp() {
+  size_t header_end = read_buffer_.find("\r\n\r\n");
+  size_t skip = 4;
+  if (header_end == std::string::npos) {
+    header_end = read_buffer_.find("\n\n");
+    skip = 2;
+  }
+  if (header_end == std::string::npos) {
+    if (read_buffer_.size() > kMaxHttpHeaderBytes) {
+      read_state_ = ReadState::kDone;
+      return false;
+    }
+    return true;  // headers still arriving
+  }
+  (void)skip;
+  const size_t line_end = read_buffer_.find_first_of("\r\n");
+  std::string request_line = read_buffer_.substr(0, line_end);
+  // "GET <path> HTTP/1.x" — the sniff already pinned the method.
+  std::string path = request_line.substr(4);
+  const size_t path_end = path.find(' ');
+  if (path_end != std::string::npos) path = path.substr(0, path_end);
+
+  std::string body;
+  std::string content_type = "text/plain; charset=utf-8";
+  const char* status = "200 OK";
+  if (path == "/metrics" && context_->render_metrics) {
+    body = context_->render_metrics();
+    // The exposition-format version is part of the scrape contract.
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/stats" && context_->render_stats) {
+    body = context_->render_stats();
+    body += '\n';
+    content_type = "application/json";
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+  }
+
+  std::string response;
+  response.reserve(body.size() + 160);
+  response += "HTTP/1.1 ";
+  response += status;
+  response += "\r\nContent-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: ";
+  response += std::to_string(body.size());
+  response += "\r\nConnection: close\r\n\r\n";
+  response += body;
+
+  // One-shot: answer, flush, close. Further pipelined requests (or
+  // request bodies) are irrelevant after Connection: close.
+  read_state_ = ReadState::kDone;
+  read_buffer_.clear();
+  Slot slot;
+  slot.ready = true;
+  slot.raw = true;
+  slot.text = std::move(response);
+  slots_.push_back(std::move(slot));
+  ++next_slot_;
+  FlushSlots();
+  return false;
+}
+
+void Connection::EnqueueLine(const std::string& line) {
+  const uint64_t index = next_slot_++;
+  slots_.push_back(Slot{});
+  std::weak_ptr<Connection> weak = weak_from_this();
+  EventLoop* loop = loop_;
+  // The callback may fire synchronously (rejections, stats) on this
+  // thread or later on the dispatcher thread; both cross back through
+  // Post so slot state stays loop-confined.
+  context_->service->SubmitLine(
+      line, peer_, [weak, loop, index](std::string text) {
+        loop->Post([weak, index, text = std::move(text)]() mutable {
+          if (std::shared_ptr<Connection> self = weak.lock()) {
+            self->OnResponseReady(index, std::move(text));
+          }
+        });
+      });
+}
+
+void Connection::OnResponseReady(uint64_t index, std::string text) {
+  if (finished_) return;
+  if (index < slot_base_) return;  // slot already flushed (impossible)
+  Slot& slot = slots_[index - slot_base_];
+  slot.ready = true;
+  slot.text = std::move(text);
+  FlushSlots();
+  MaybeFinish();
+}
+
+void Connection::FlushSlots() {
+  while (!slots_.empty() && slots_.front().ready) {
+    if (!write_failed_) {
+      write_buffer_ += slots_.front().text;
+      if (!slots_.front().raw) write_buffer_ += '\n';
+    }
+    slots_.pop_front();
+    ++slot_base_;
+  }
+  TryWrite();
+}
+
+void Connection::TryWrite() {
+  while (!write_failed_ && write_pos_ < write_buffer_.size()) {
+    // MSG_NOSIGNAL: a client that disconnected mid-response must
+    // surface as EPIPE here, not as a process-killing SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, write_buffer_.data() + write_pos_,
+               write_buffer_.size() - write_pos_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      OnWriteFailed();
+      break;
+    }
+    write_pos_ += static_cast<size_t>(n);
+  }
+  if (write_pos_ == write_buffer_.size()) {
+    write_buffer_.clear();
+    write_pos_ = 0;
+  } else if (write_pos_ > (1u << 16)) {
+    write_buffer_.erase(0, write_pos_);
+    write_pos_ = 0;
+  }
+  UpdateInterest();
+}
+
+void Connection::OnWriteFailed() {
+  write_failed_ = true;
+  write_buffer_.clear();
+  write_pos_ = 0;
+  // The client stopped listening; stop reading more requests too. The
+  // remaining slots still resolve (the service owes every admitted
+  // request a response) — their bytes are discarded on flush.
+  if (read_state_ != ReadState::kDone) {
+    read_state_ = ReadState::kDone;
+    ::shutdown(fd_, SHUT_RD);
+  }
+}
+
+void Connection::HandleWritable() { TryWrite(); }
+
+void Connection::UpdateInterest() {
+  if (finished_) return;
+  uint32_t interest = 0;
+  if (read_state_ != ReadState::kDone) interest |= EPOLLIN;
+  if (!write_failed_ && write_pos_ < write_buffer_.size()) {
+    interest |= EPOLLOUT;
+  }
+  if (interest != interest_) {
+    interest_ = interest;
+    (void)loop_->Modify(fd_, interest);
+  }
+}
+
+void Connection::BeginDrain() {
+  if (finished_) return;
+  if (read_state_ != ReadState::kDone) {
+    // Half-close the read side (a discarding client may never close on
+    // its own; the drain must terminate).
+    read_state_ = ReadState::kDone;
+    ::shutdown(fd_, SHUT_RD);
+  }
+  UpdateInterest();
+  FlushSlots();
+  MaybeFinish();
+}
+
+void Connection::ForceClose() { CloseNow(); }
+
+void Connection::MaybeFinish() {
+  if (finished_) return;
+  if (!slots_.empty()) return;                   // responses still owed
+  if (write_pos_ < write_buffer_.size()) return;  // bytes still queued
+  if (read_state_ == ReadState::kReading) return;  // conversation open
+  if (!shut_wr_done_) {
+    // Conversation over and flushed: half-close the write side so the
+    // client sees EOF after its last response.
+    shut_wr_done_ = true;
+    ::shutdown(fd_, SHUT_WR);
+  }
+  if (read_state_ == ReadState::kDiscarding) {
+    // Hold the fd open until the client closes (see HandleOverlong);
+    // BeginDrain force-finishes this state if a drain arrives first.
+    return;
+  }
+  CloseNow();
+}
+
+void Connection::CloseNow() {
+  if (finished_) return;
+  finished_ = true;
+  loop_->Remove(fd_);
+  ::close(fd_);
+  if (on_closed_) {
+    // Last: the owner drops its reference here, and `this` may die
+    // when the caller's shared_ptr guard unwinds.
+    on_closed_(shared_from_this());
+  }
+}
+
+}  // namespace mrperf

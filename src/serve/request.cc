@@ -57,6 +57,16 @@ Result<bool> BoolField(const JsonValue& v, const std::string& key) {
 
 }  // namespace
 
+const char* RequestPriorityName(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kBulk:
+      return "bulk";
+    case RequestPriority::kInteractive:
+      return "interactive";
+  }
+  return "bulk";
+}
+
 const char* ServeErrorCodeName(ServeErrorCode code) {
   switch (code) {
     case ServeErrorCode::kParseError:
@@ -67,6 +77,10 @@ const char* ServeErrorCodeName(ServeErrorCode code) {
       return "overloaded";
     case ServeErrorCode::kShuttingDown:
       return "shutting_down";
+    case ServeErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ServeErrorCode::kQuotaExceeded:
+      return "quota_exceeded";
     case ServeErrorCode::kNotConverged:
       return "not_converged";
     case ServeErrorCode::kInternal:
@@ -125,10 +139,11 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
   if (const JsonValue* version = root.Find("version")) {
     MRPERF_ASSIGN_OR_RETURN(
         const int64_t v, IntegerField(*version, "version", 0, 1 << 20));
-    if (v != kServeProtocolVersion) {
+    if (v < kMinServeProtocolVersion || v > kServeProtocolVersion) {
       return Status::InvalidArgument(
           "unsupported protocol version " + std::to_string(v) +
-          " (this server speaks version " +
+          " (this server speaks versions " +
+          std::to_string(kMinServeProtocolVersion) + ".." +
           std::to_string(kServeProtocolVersion) + ")");
     }
   }
@@ -238,6 +253,24 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
     } else if (key == "model_only") {
       saw_model_only = true;
       MRPERF_ASSIGN_OR_RETURN(model_only, BoolField(value, key));
+    } else if (key == "priority") {
+      MRPERF_ASSIGN_OR_RETURN(const std::string name,
+                              StringField(value, key));
+      if (name == "bulk") {
+        request.predict.priority = RequestPriority::kBulk;
+      } else if (name == "interactive") {
+        request.predict.priority = RequestPriority::kInteractive;
+      } else {
+        return Status::InvalidArgument(
+            "unknown priority: '" + name +
+            "' (known: \"bulk\", \"interactive\")");
+      }
+    } else if (key == "deadline_ms") {
+      // 0 is spelled by omission; negative or beyond-a-day deadlines
+      // are unit bugs, rejected rather than silently clamped.
+      MRPERF_ASSIGN_OR_RETURN(
+          request.predict.deadline_ms,
+          IntegerField(value, key, 1, kMaxDeadlineMs));
     } else {
       return Status::InvalidArgument("unknown predict-request field: '" +
                                      key + "'");
@@ -265,6 +298,9 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
 }
 
 std::string CanonicalPredictKey(const PredictRequest& request) {
+  // Deliberately excludes priority and deadline_ms: they schedule the
+  // evaluation, they do not change its result, and including them would
+  // defeat cross-priority coalescing (see request.h).
   const ExperimentPoint& p = request.point;
   char buf[160];
   std::snprintf(buf, sizeof(buf),

@@ -4,22 +4,31 @@
 ///
 /// One request per line. Every request may carry an optional integer
 /// "version" naming the protocol major it was written against
-/// (kServeProtocolVersion is what this build speaks); omitting it means
-/// "current". A version this server does not speak is rejected with a
+/// (kServeProtocolVersion is what this build speaks; every major back
+/// to kMinServeProtocolVersion is still accepted — version-1 request
+/// lines parse byte-for-byte as they did when 1 was current); omitting
+/// it means "current". A version outside that range is rejected with a
 /// structured `invalid_argument` error — never misinterpreted — so old
 /// clients fail loudly when the protocol moves underneath them.
 ///
 /// A predict request names a grid point — numeric
-/// knobs plus the scenario axes — and evaluation controls:
+/// knobs plus the scenario axes — and evaluation + scheduling controls:
 ///
 ///   {"kind": "predict", "id": "r1", "nodes": 4, "input_gb": 1.0,
 ///    "jobs": 1, "block_mb": 128, "reducers": 2,
 ///    "scheduler": "capacity", "profile": "wordcount",
 ///    "cluster": "2x65536MBx12c+2x16384MBx4c",
-///    "repetitions": 5, "seed": 1234, "model_only": false}
+///    "repetitions": 5, "seed": 1234, "model_only": false,
+///    "priority": "interactive", "deadline_ms": 250}
 ///
 /// Every field except "kind" is optional; omitted fields take the
 /// defaults above (the paper baseline, ExperimentPoint's defaults).
+/// "priority" (version 2+) is "interactive" or "bulk" (default "bulk"):
+/// interactive requests are dispatched ahead of bulk ones.
+/// "deadline_ms" (version 2+) bounds the time the request may wait plus
+/// evaluate; a request whose deadline has already passed when its
+/// evaluation is dequeued gets a structured `deadline_exceeded` error
+/// instead of a useless late answer. 0/omitted = no deadline.
 /// "input_bytes" / "block_size_bytes" are exact-byte alternatives to
 /// the convenience "input_gb" / "block_mb" (setting both forms of one
 /// knob is an error). "cluster" is the compact ClusterShapeLabel form
@@ -31,7 +40,11 @@
 /// defaults — parse to the same PredictRequest and therefore the same
 /// CanonicalPredictKey. The service coalesces in-flight duplicates on
 /// that key, and the shared MVA cache makes repeats of a key
-/// cache-hit dominated.
+/// cache-hit dominated. Priority and deadline are scheduling metadata,
+/// not evaluation identity: they are deliberately excluded from the
+/// canonical key, so an interactive request coalesces onto a queued
+/// bulk duplicate (and upgrades its dispatch priority) while responses
+/// stay byte-identical across priorities.
 ///
 /// **Determinism.** The evaluation seed comes from the request (default
 /// 1234, the offline default), never from batch position, so a served
@@ -60,8 +73,14 @@ namespace mrperf {
 /// \brief The wire-protocol major this build speaks. Requests may pin
 /// it via the optional "version" field; /stats reports it so clients
 /// can discover what they are talking to. Bumped only on breaking
-/// changes (added optional fields do not count).
-inline constexpr int kServeProtocolVersion = 1;
+/// changes (added optional fields do not count). Version 2 added the
+/// QoS fields ("priority", "deadline_ms") and the deadline/quota error
+/// codes; version-1 requests are still accepted unchanged.
+inline constexpr int kServeProtocolVersion = 2;
+
+/// \brief Oldest wire-protocol major still accepted. A version-1
+/// request line parses exactly as it did when 1 was current.
+inline constexpr int kMinServeProtocolVersion = 1;
 
 /// \brief Machine-readable error category on the wire.
 enum class ServeErrorCode {
@@ -69,6 +88,8 @@ enum class ServeErrorCode {
   kInvalidArgument,   // well-formed but semantically invalid
   kOverloaded,        // admission queue full — retry later
   kShuttingDown,      // server draining; request was not evaluated
+  kDeadlineExceeded,  // deadline passed before the evaluation started
+  kQuotaExceeded,     // per-client rate quota exhausted — retry later
   kNotConverged,      // model solve failed to converge
   kInternal,          // anything else
 };
@@ -79,6 +100,25 @@ const char* ServeErrorCodeName(ServeErrorCode code);
 /// \brief Maps a Status from the evaluation stack onto a wire code.
 ServeErrorCode ServeErrorCodeFromStatus(const Status& status);
 
+/// \brief Dispatch class of a predict request. Interactive requests
+/// (what-if queries a person is waiting on) are dequeued ahead of bulk
+/// ones (sweep fill-in traffic); within a class dispatch stays FIFO.
+enum class RequestPriority {
+  kBulk = 0,
+  kInteractive = 1,
+};
+
+/// \brief Number of distinct RequestPriority values (array sizing).
+inline constexpr int kRequestPriorityCount = 2;
+
+/// \brief Wire name, e.g. "interactive".
+const char* RequestPriorityName(RequestPriority priority);
+
+/// \brief Upper bound on "deadline_ms": one day. Larger deadlines are
+/// indistinguishable from "no deadline" and usually a unit bug, so the
+/// wire rejects them.
+inline constexpr int64_t kMaxDeadlineMs = 86'400'000;
+
 /// \brief A parsed predict request (defaults = the paper baseline).
 struct PredictRequest {
   ExperimentPoint point;
@@ -86,6 +126,11 @@ struct PredictRequest {
   int repetitions = 5;
   /// Simulator base seed (must be < 2^53 — JSON numbers are doubles).
   uint64_t seed = 1234;
+  /// Dispatch class; not part of the evaluation's canonical identity.
+  RequestPriority priority = RequestPriority::kBulk;
+  /// Admission-to-dispatch deadline in milliseconds; 0 = none. Checked
+  /// when the evaluation is dequeued, not while it waits.
+  int64_t deadline_ms = 0;
 };
 
 /// \brief A parsed stats request.

@@ -2,39 +2,32 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <future>
 #include <utility>
 
 #include "common/logging.h"
-#include "serve/request.h"
+#include "serve/metrics.h"
+#include "serve/stats.h"
 
 namespace mrperf {
 namespace {
 
-/// Writes all of `data` (+ '\n') to `fd`; false on any write error.
-/// MSG_NOSIGNAL: a client that disconnected mid-response must surface
-/// as EPIPE here, not as a process-killing SIGPIPE.
-bool WriteLine(int fd, const std::string& data) {
-  std::string framed = data;
-  framed += '\n';
-  size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
+/// Bound on the graceful flush during DrainAndStop; a client that never
+/// reads its last responses is force-closed after this.
+constexpr std::chrono::milliseconds kDrainFlushTimeout{5000};
 
 }  // namespace
+
+void PredictServer::AcceptHandler::OnReady(uint32_t /*events*/) {
+  server_->HandleAccept();
+}
 
 PredictServer::PredictServer(PredictServerOptions options)
     : options_(std::move(options)) {}
@@ -42,9 +35,25 @@ PredictServer::PredictServer(PredictServerOptions options)
 PredictServer::~PredictServer() { DrainAndStop(); }
 
 Status PredictServer::Start() {
-  service_ = std::make_unique<PredictService>(options_.service);
+  PredictServiceOptions service_options = options_.service;
+  service_options.transport_stats_hook = [this](ServeStatsSnapshot& snapshot) {
+    FillTransportStats(snapshot);
+  };
+  service_ = std::make_unique<PredictService>(service_options);
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  context_.service = service_.get();
+  context_.max_line_bytes = options_.max_line_bytes;
+  context_.enable_http = options_.enable_metrics;
+  context_.render_metrics = [this] {
+    metrics_requests_.fetch_add(1, std::memory_order_relaxed);
+    return FormatPrometheusMetrics(service_->Stats());
+  };
+  context_.render_stats = [this] {
+    return FormatServeStatsJson(service_->Stats());
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
   if (listen_fd_ < 0) {
     return Status::Internal(std::string("socket(): ") +
                             std::strerror(errno));
@@ -69,7 +78,7 @@ Status PredictServer::Start() {
     return Status::Internal("bind(" + options_.host + ":" +
                             std::to_string(options_.port) + "): " + err);
   }
-  if (::listen(listen_fd_, 128) < 0) {
+  if (::listen(listen_fd_, 512) < 0) {
     const std::string err = std::strerror(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -81,142 +90,106 @@ Status PredictServer::Start() {
                     &bound_len) == 0) {
     port_ = ntohs(bound.sin_port);
   }
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+
+  const int loop_count =
+      options_.event_loop_threads > 0 ? options_.event_loop_threads : 1;
+  for (int i = 0; i < loop_count; ++i) {
+    auto loop = std::make_unique<EventLoop>();
+    const Status started = loop->Start();
+    if (!started.ok()) {
+      for (const auto& running : loops_) running->Stop();
+      loops_.clear();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return started;
+    }
+    loops_.push_back(std::move(loop));
+  }
+
+  // The listener registers on loop 0's own thread (registration
+  // discipline); Start() reports its epoll_ctl outcome.
+  EventLoop* accept_loop = loops_.front().get();
+  std::promise<Status> registered;
+  accept_loop->Post([this, accept_loop, &registered] {
+    registered.set_value(
+        accept_loop->Add(listen_fd_, EPOLLIN, &accept_handler_));
+  });
+  const Status added = registered.get_future().get();
+  if (!added.ok()) {
+    for (const auto& running : loops_) running->Stop();
+    loops_.clear();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return added;
+  }
   return Status::OK();
 }
 
-void PredictServer::AcceptLoop() {
+void PredictServer::HandleAccept() {
+  // Accept until EAGAIN: level-triggered epoll would re-report a
+  // non-empty backlog, but draining it now keeps accept latency flat
+  // under connection storms.
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    sockaddr_in addr{};
+    socklen_t addr_len = sizeof(addr);
+    const int fd =
+        ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      // Listening socket was shut down (DrainAndStop) or broke; either
-      // way this loop is done.
+      // EAGAIN: backlog drained. EMFILE/ENFILE and transient network
+      // errors: drop this readiness round; the next connection attempt
+      // re-arms the listener.
       return;
     }
     if (stopping_.load()) {
       ::close(fd);
-      return;
-    }
-    auto conn = std::make_unique<Connection>();
-    Connection* raw = conn.get();
-    raw->fd = fd;
-    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
-    raw->writer = std::thread([this, raw] { WriterLoop(raw); });
-    {
-      MutexLock lock(connections_mu_);
-      connections_.push_back(std::move(conn));
-    }
-    ReapFinishedConnections();
-  }
-}
-
-void PredictServer::ReaderLoop(Connection* conn) {
-  std::string buffer;
-  char chunk[4096];
-  bool overlong = false;
-  for (;;) {
-    const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF or error: client is done sending
-    buffer.append(chunk, static_cast<size_t>(n));
-    size_t start = 0;
-    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
-         nl = buffer.find('\n', start)) {
-      if (nl - start > options_.max_line_bytes) {
-        overlong = true;
-        break;
-      }
-      std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();  // telnet
-      if (line.empty()) continue;  // blank keep-alive lines are ignored
-      std::future<std::string> response = service_->Submit(line);
-      {
-        MutexLock lock(conn->mu);
-        conn->responses.push_back(std::move(response));
-      }
-      conn->cv.NotifyOne();
-    }
-    if (overlong) break;
-    buffer.erase(0, start);
-    if (buffer.size() > options_.max_line_bytes) {
-      // No newline within the cap: same verdict as an oversized
-      // complete line — a broken client, not a request. Answer once,
-      // then stop reading from this connection.
-      overlong = true;
-      break;
-    }
-  }
-  if (overlong) {
-    // Counted through the service so /stats still reconciles with the
-    // responses actually written.
-    std::future<std::string> response = service_->RejectRequestError(
-        std::nullopt, ServeErrorCode::kParseError,
-        "request line exceeds " + std::to_string(options_.max_line_bytes) +
-            " bytes");
-    {
-      MutexLock lock(conn->mu);
-      conn->responses.push_back(std::move(response));
-    }
-    conn->cv.NotifyOne();
-    ::shutdown(conn->fd, SHUT_RD);
-  }
-  {
-    MutexLock lock(conn->mu);
-    conn->reader_done = true;
-  }
-  conn->cv.NotifyAll();
-}
-
-void PredictServer::WriterLoop(Connection* conn) {
-  // Only this thread writes, so write-failure state is thread-local;
-  // remaining futures are still drained (their promises are owed a
-  // consumer) even once writes stop.
-  bool write_failed = false;
-  for (;;) {
-    std::future<std::string> next;
-    {
-      MutexLock lock(conn->mu);
-      // Explicit loop, not the predicate overload: a predicate lambda
-      // is a separate function to the thread-safety analysis, where
-      // the guarded reads would look unlocked.
-      while (conn->responses.empty() && !conn->reader_done) {
-        conn->cv.Wait(lock);
-      }
-      if (conn->responses.empty()) break;  // reader_done and flushed
-      next = std::move(conn->responses.front());
-      conn->responses.pop_front();
-    }
-    // Blocks until the (possibly batched/coalesced) evaluation
-    // finishes; responses go out strictly in request order.
-    const std::string response = next.get();
-    if (!write_failed && !WriteLine(conn->fd, response)) {
-      write_failed = true;
-      // The client stopped listening; stop reading more requests too.
-      ::shutdown(conn->fd, SHUT_RD);
-    }
-  }
-  // Conversation over (reader finished, responses flushed): half-close
-  // the write side so the client sees EOF now — the fd itself is closed
-  // when the connection is reaped.
-  ::shutdown(conn->fd, SHUT_WR);
-  conn->finished.store(true);
-}
-
-void PredictServer::ReapFinishedConnections() {
-  MutexLock lock(connections_mu_);
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    Connection* conn = it->get();
-    if (!conn->finished.load()) {
-      ++it;
       continue;
     }
-    if (conn->reader.joinable()) conn->reader.join();
-    if (conn->writer.joinable()) conn->writer.join();
-    ::close(conn->fd);
-    it = connections_.erase(it);
+    char ip[INET_ADDRSTRLEN] = "?";
+    ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+    std::string peer =
+        std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+
+    EventLoop* loop =
+        loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) %
+               loops_.size()]
+            .get();
+    auto conn = std::make_shared<Connection>(
+        fd, std::move(peer), loop, &context_,
+        [this](const std::shared_ptr<Connection>& closed) {
+          OnConnectionClosed(closed);
+        });
+    {
+      MutexLock lock(conns_mu_);
+      conns_.emplace(conn.get(), conn);
+      ++connections_total_;
+    }
+    // Register on the owning loop's thread (this may be loop 0 itself;
+    // the task then runs right after this accept batch).
+    loop->Post([conn] { conn->Register(); });
   }
+}
+
+void PredictServer::OnConnectionClosed(
+    const std::shared_ptr<Connection>& conn) {
+  MutexLock lock(conns_mu_);
+  conns_.erase(conn.get());
+  conns_cv_.NotifyAll();
+}
+
+void PredictServer::FillTransportStats(ServeStatsSnapshot& snapshot) {
+  snapshot.event_loop_threads = static_cast<int>(loops_.size());
+  int64_t pending = 0;
+  for (const auto& loop : loops_) pending += loop->pending_tasks();
+  snapshot.event_loop_pending_tasks = pending;
+  {
+    MutexLock lock(conns_mu_);
+    snapshot.connections_current = static_cast<int64_t>(conns_.size());
+    snapshot.connections_total = connections_total_;
+  }
+  snapshot.metrics_requests_total =
+      metrics_requests_.load(std::memory_order_relaxed);
 }
 
 void PredictServer::DrainAndStop() {
@@ -226,41 +199,73 @@ void PredictServer::DrainAndStop() {
     stopped_ = true;
   }
   stopping_.store(true);
-  if (listen_fd_ >= 0) {
-    // Unblocks the accept loop (Linux: accept returns EINVAL after
-    // shutdown on a listening socket).
-    ::shutdown(listen_fd_, SHUT_RDWR);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
+
+  // 1. Stop accepting: unregister and close the listener on its loop,
+  // synchronously — afterwards no connection can appear.
+  if (!loops_.empty() && listen_fd_ >= 0) {
+    EventLoop* accept_loop = loops_.front().get();
+    std::promise<void> removed;
+    accept_loop->Post([this, accept_loop, &removed] {
+      accept_loop->Remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      removed.set_value();
+    });
+    removed.get_future().wait();
+  } else if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
 
-  if (service_) {
-    // Every admitted request finishes evaluating; post-drain arrivals
-    // resolve immediately as shutting_down rejections.
-    service_->Drain();
-  }
+  // 2. Drain the service: every admitted request finishes evaluating
+  // and its completion is posted to the owning connection's loop;
+  // post-drain arrivals resolve immediately as shutting_down
+  // rejections.
+  if (service_) service_->Drain();
 
-  // Half-close read sides so idle readers see EOF; writers then flush
-  // the (all ready) remaining responses and exit.
+  // 3. Drain connections: half-close read sides, flush the remaining
+  // responses, close. The drain posts enqueue after all completion
+  // posts from step 2 (same loop, FIFO), so no response is lost.
+  std::vector<std::shared_ptr<Connection>> remaining;
   {
-    MutexLock lock(connections_mu_);
-    for (const auto& conn : connections_) {
-      ::shutdown(conn->fd, SHUT_RD);
-    }
-  }
-  std::vector<std::unique_ptr<Connection>> remaining;
-  {
-    MutexLock lock(connections_mu_);
-    remaining.swap(connections_);
+    MutexLock lock(conns_mu_);
+    remaining.reserve(conns_.size());
+    for (const auto& entry : conns_) remaining.push_back(entry.second);
   }
   for (const auto& conn : remaining) {
-    if (conn->reader.joinable()) conn->reader.join();
-    if (conn->writer.joinable()) conn->writer.join();
-    ::close(conn->fd);
+    conn->loop()->Post([conn] { conn->BeginDrain(); });
   }
+  const auto deadline = std::chrono::steady_clock::now() + kDrainFlushTimeout;
+  {
+    MutexLock lock(conns_mu_);
+    while (!conns_.empty() &&
+           std::chrono::steady_clock::now() < deadline) {
+      conns_cv_.WaitFor(lock, std::chrono::milliseconds(50));
+    }
+  }
+
+  // 4. Force-close stragglers (clients that never read their last
+  // responses must not wedge shutdown), then stop the loops. Stop()
+  // runs already-queued tasks — including these — before exiting.
+  std::vector<std::shared_ptr<Connection>> stragglers;
+  {
+    MutexLock lock(conns_mu_);
+    stragglers.reserve(conns_.size());
+    for (const auto& entry : conns_) stragglers.push_back(entry.second);
+  }
+  for (const auto& conn : stragglers) {
+    conn->loop()->Post([conn] { conn->ForceClose(); });
+  }
+  stragglers.clear();
+  for (const auto& loop : loops_) loop->Stop();
+  {
+    // Safety net: anything still tracked after the loops stopped is
+    // released here (its destructor closes the fd).
+    MutexLock lock(conns_mu_);
+    conns_.clear();
+  }
+  remaining.clear();
+
   MRPERF_LOG(Info) << "predict server on port " << port_
                    << " drained and stopped";
 }

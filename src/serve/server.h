@@ -1,36 +1,53 @@
 /// \file server.h
-/// \brief predictd's TCP transport: newline-delimited JSON over POSIX
-/// sockets, one reader/writer thread pair per connection, pipelined.
+/// \brief predictd's TCP transport: newline-delimited JSON over a
+/// fixed budget of epoll event-loop threads, pipelined per connection.
 ///
 /// The transport is deliberately thin: every request line goes straight
-/// to PredictService::Submit (which owns batching, coalescing and
-/// backpressure), and responses are written back **in request order**
-/// per connection (HTTP/1.1-style pipelining) — a client may therefore
-/// stream many request lines without waiting, which is what lets
-/// duplicates coalesce and batches form. Malformed lines produce
-/// structured error responses, never disconnects; only an oversized
-/// line (no newline within max_line_bytes) terminates its connection,
-/// after an error response.
+/// to PredictService::SubmitLine (which owns QoS scheduling, batching,
+/// coalescing, quotas and backpressure), and responses are written back
+/// **in request order** per connection (HTTP/1.1-style pipelining) — a
+/// client may therefore stream many request lines without waiting,
+/// which is what lets duplicates coalesce and batches form. Malformed
+/// lines produce structured error responses, never disconnects; only an
+/// oversized line (no newline within max_line_bytes) terminates its
+/// connection, after an error response.
+///
+/// Concurrency model (the C10k refactor): `event_loop_threads` event
+/// loops serve every connection — no per-connection threads, so ten
+/// thousand mostly-idle connections cost ten thousand fds and buffers,
+/// not twenty thousand stacks. Loop 0 additionally owns the
+/// nonblocking listener; accepted sockets are handed to loops
+/// round-robin. Each Connection is confined to its loop (see
+/// connection.h); the service's dispatcher hands completed responses
+/// back by posting to the owning loop.
+///
+/// Observability: with `enable_metrics`, HTTP `GET /metrics` (the
+/// Prometheus text exposition) and `GET /stats` (the /stats JSON) are
+/// served on the same listen port, off the same event loops — a first
+/// read starting with "GET " switches that connection to one-shot HTTP.
 ///
 /// Shutdown (DrainAndStop, wired to SIGTERM by predictd): stop
 /// accepting connections, drain the service — every admitted request
-/// is evaluated and its response written — then half-close each
-/// connection's read side, flush remaining responses, and tear down.
-/// Requests arriving during the drain get `shutting_down` rejections
-/// (still as ordered responses), never silent drops.
+/// is evaluated and its response posted — then half-close each
+/// connection's read side, flush remaining responses, and tear down. A
+/// client that never reads its last responses is force-closed after a
+/// bounded wait; requests arriving during the drain get
+/// `shutting_down` rejections (still as ordered responses), never
+/// silent drops.
 
 #pragma once
 
 #include <atomic>
-#include <deque>
-#include <future>
+#include <cstdint>
 #include <memory>
 #include <string>
-#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "serve/connection.h"
+#include "serve/event_loop.h"
 #include "serve/service.h"
 
 namespace mrperf {
@@ -44,6 +61,11 @@ struct PredictServerOptions {
   int port = 0;
   /// Maximum request-line length, newline included.
   size_t max_line_bytes = 1 << 16;
+  /// Event-loop (transport) threads; the connection count they carry is
+  /// independent of this budget. Clamped to >= 1.
+  int event_loop_threads = 2;
+  /// Serve HTTP GET /metrics and /stats on the listen port.
+  bool enable_metrics = true;
   PredictServiceOptions service;
 };
 
@@ -57,8 +79,9 @@ class PredictServer {
   PredictServer(const PredictServer&) = delete;
   PredictServer& operator=(const PredictServer&) = delete;
 
-  /// Binds, listens and starts accepting. Errors (bad host, port in
-  /// use) are returned, not logged-and-ignored.
+  /// Binds, listens, starts the event loops and begins accepting.
+  /// Errors (bad host, port in use) are returned, not
+  /// logged-and-ignored.
   Status Start();
 
   /// Port actually bound (resolves port 0); valid after Start().
@@ -67,44 +90,56 @@ class PredictServer {
   /// The underlying service (stats snapshots, drain control, tests).
   PredictService& service() { return *service_; }
 
-  /// Graceful shutdown; see file comment. Idempotent, blocks until all
-  /// connection threads are joined.
+  /// Graceful shutdown; see file comment. Idempotent, blocks until the
+  /// loops are joined.
   void DrainAndStop();
 
  private:
-  /// One accepted connection: a reader thread submitting lines and a
-  /// writer thread emitting responses in request order.
-  struct Connection {
-    int fd = -1;
-    std::thread reader;
-    std::thread writer;
+  /// Listener readiness -> HandleAccept, so the server need not itself
+  /// inherit the Handler vtable.
+  class AcceptHandler : public EventLoop::Handler {
+   public:
+    explicit AcceptHandler(PredictServer* server) : server_(server) {}
+    void OnReady(uint32_t events) override;
 
-    Mutex mu;
-    CondVar cv;
-    std::deque<std::future<std::string>> responses GUARDED_BY(mu);
-    bool reader_done GUARDED_BY(mu) = false;
-    /// Both loops exited; the connection is joinable for reaping.
-    std::atomic<bool> finished{false};
+   private:
+    PredictServer* const server_;
   };
 
-  void AcceptLoop();
-  void ReaderLoop(Connection* conn);
-  void WriterLoop(Connection* conn);
-  /// Joins and releases connections whose threads have exited.
-  void ReapFinishedConnections();
+  /// Accepts until EAGAIN (level-triggered listener on loop 0).
+  void HandleAccept();
+  /// Connection closed-callback: releases the server's reference.
+  void OnConnectionClosed(const std::shared_ptr<Connection>& conn);
+  /// transport_stats_hook: folds loop/connection gauges into a
+  /// snapshot. Called by PredictService::Stats outside service locks.
+  void FillTransportStats(ServeStatsSnapshot& snapshot);
 
   PredictServerOptions options_;
   std::unique_ptr<PredictService> service_;
+  /// Shared per-connection context; outlives every connection.
+  ConnectionContext context_;
+  /// Started in Start(), stopped in DrainAndStop(), never shrunk while
+  /// the server lives (FillTransportStats reads it unlocked).
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  AcceptHandler accept_handler_{this};
   int listen_fd_ = -1;
   int port_ = 0;
-  std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
+  /// Round-robin cursor for assigning accepted sockets to loops.
+  std::atomic<uint64_t> next_loop_{0};
+  /// GET /metrics scrapes served (render_metrics callback).
+  std::atomic<int64_t> metrics_requests_{0};
   Mutex stop_mu_;
   bool stopped_ GUARDED_BY(stop_mu_) = false;
 
-  Mutex connections_mu_;
-  std::vector<std::unique_ptr<Connection>> connections_
-      GUARDED_BY(connections_mu_);
+  Mutex conns_mu_;
+  /// Signaled whenever a connection closes (DrainAndStop waits on it).
+  CondVar conns_cv_;
+  /// Live connections; the shared_ptr here is the owner's reference,
+  /// released by OnConnectionClosed.
+  std::unordered_map<Connection*, std::shared_ptr<Connection>> conns_
+      GUARDED_BY(conns_mu_);
+  int64_t connections_total_ GUARDED_BY(conns_mu_) = 0;
 };
 
 }  // namespace mrperf

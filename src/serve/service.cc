@@ -7,6 +7,12 @@
 namespace mrperf {
 namespace {
 
+/// Quota-bucket map cap: beyond this many distinct peers, buckets that
+/// have refilled to capacity (idle peers) are pruned. Bounds transport
+/// abuse (one bucket per spoofed peer) without ever forgetting an
+/// actively limited peer.
+constexpr size_t kMaxQuotaPeers = 4096;
+
 SweepOptions SweepOptionsFor(const PredictServiceOptions& options) {
   SweepOptions sweep;
   sweep.num_threads = options.num_threads;
@@ -66,46 +72,129 @@ PredictService::PredictService(PredictServiceOptions options)
 
 PredictService::~PredictService() { Drain(); }
 
-std::future<std::string> PredictService::RejectRequestError(
+void PredictService::Respond(ResponseCallback& done, std::string response) {
+  {
+    MutexLock lock(stats_mu_);
+    ++responses_total_;
+  }
+  done(std::move(response));
+}
+
+void PredictService::RejectRequestErrorTo(
     const std::optional<std::string>& id, ServeErrorCode code,
-    const std::string& message) {
+    const std::string& message, ResponseCallback done) {
   {
     MutexLock lock(stats_mu_);
     ++request_errors_total_;
   }
-  return ImmediateResponse(MakeErrorResponse(id, code, message));
+  Respond(done, MakeErrorResponse(id, code, message));
 }
 
-std::future<std::string> PredictService::ImmediateResponse(
-    std::string response) {
-  std::promise<std::string> promise;
-  std::future<std::string> future = promise.get_future();
-  promise.set_value(std::move(response));
-  MutexLock lock(stats_mu_);
-  ++responses_total_;
+std::future<std::string> PredictService::RejectRequestError(
+    const std::optional<std::string>& id, ServeErrorCode code,
+    const std::string& message) {
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  RejectRequestErrorTo(id, code, message, [promise](std::string response) {
+    promise->set_value(std::move(response));
+  });
   return future;
 }
 
 std::future<std::string> PredictService::Submit(
     const std::string& request_line) {
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  SubmitLine(request_line, /*peer=*/"", [promise](std::string response) {
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
+bool PredictService::ConsumeQuotaToken(const std::string& peer) {
+  if (options_.quota_rps <= 0) return true;
+  const double rate = static_cast<double>(options_.quota_rps);
+  const double capacity = std::max(1.0, rate);
+  const Clock::time_point now = Clock::now();
+  MutexLock lock(mu_);
+  if (quota_.size() >= kMaxQuotaPeers) {
+    // Prune idle peers: a bucket that would refill to capacity has not
+    // been limited for at least a second and carries no state worth
+    // keeping.
+    for (auto it = quota_.begin(); it != quota_.end();) {
+      const double elapsed =
+          std::chrono::duration<double>(now - it->second.last_refill)
+              .count();
+      if (it->first != peer &&
+          it->second.tokens + elapsed * rate >= capacity) {
+        it = quota_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  auto [it, inserted] = quota_.try_emplace(peer);
+  TokenBucket& bucket = it->second;
+  if (inserted) {
+    bucket.tokens = capacity;
+    bucket.last_refill = now;
+  } else {
+    const double elapsed =
+        std::chrono::duration<double>(now - bucket.last_refill).count();
+    if (elapsed > 0.0) {
+      bucket.tokens = std::min(capacity, bucket.tokens + elapsed * rate);
+      bucket.last_refill = now;
+    }
+  }
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+void PredictService::SubmitLine(const std::string& request_line,
+                                const std::string& peer,
+                                ResponseCallback done) {
   Result<ServeRequest> parsed = ParseServeRequest(request_line);
   if (!parsed.ok()) {
-    return RejectRequestError(std::nullopt,
-                              RequestErrorCode(parsed.status()),
-                              parsed.status().message());
+    RejectRequestErrorTo(std::nullopt, RequestErrorCode(parsed.status()),
+                         parsed.status().message(), std::move(done));
+    return;
   }
   ServeRequest& request = *parsed;
 
   if (request.kind == ServeRequest::Kind::kStats) {
+    // Quota-exempt: observability stays reachable for a limited peer.
     const ServeStatsSnapshot snapshot = Stats(request.stats.reset_window);
-    return ImmediateResponse(
-        MakeStatsResponse(request.id, FormatServeStatsJson(snapshot)));
+    Respond(done,
+            MakeStatsResponse(request.id, FormatServeStatsJson(snapshot)));
+    return;
+  }
+
+  if (!ConsumeQuotaToken(peer)) {
+    {
+      MutexLock lock(stats_mu_);
+      ++rejected_quota_total_;
+    }
+    Respond(done,
+            MakeErrorResponse(
+                request.id, ServeErrorCode::kQuotaExceeded,
+                "per-client quota exceeded (" +
+                    std::to_string(options_.quota_rps) +
+                    " requests/s); retry later"));
+    return;
   }
 
   Waiter waiter;
   waiter.id = request.id;
+  waiter.done = std::move(done);
   waiter.admitted = Clock::now();
-  std::future<std::string> future = waiter.promise.get_future();
+  waiter.priority = request.predict.priority;
+  if (request.predict.deadline_ms > 0) {
+    waiter.has_deadline = true;
+    waiter.deadline =
+        waiter.admitted +
+        std::chrono::milliseconds(request.predict.deadline_ms);
+  }
 
   std::string rejection;
   bool rejected_shutdown = false;
@@ -123,33 +212,59 @@ std::future<std::string> PredictService::Submit(
       auto it = pending_.find(key);
       if (it != pending_.end()) {
         // Coalesce: share the queued/in-flight evaluation of this key.
-        it->second->waiters.push_back(std::move(waiter));
-        coalesced = true;
-      } else if (static_cast<int64_t>(queue_.size()) >=
-                 std::max(1, options_.max_queue)) {
-        rejection = MakeErrorResponse(
-            request.id, ServeErrorCode::kOverloaded,
-            "admission queue full (" + std::to_string(options_.max_queue) +
-                " evaluations queued); retry later");
-        rejected_overload = true;
-      } else {
-        auto evaluation = std::make_shared<Evaluation>();
-        evaluation->request = request.predict;
-        evaluation->key = std::move(key);
+        // An interactive arrival upgrades a still-queued bulk
+        // evaluation — the waiters of the lower class ride along.
+        EvaluationPtr& evaluation = it->second;
+        if (evaluation->queued &&
+            waiter.priority > evaluation->priority) {
+          auto& from = queues_[static_cast<int>(evaluation->priority)];
+          for (auto queued_it = from.begin(); queued_it != from.end();
+               ++queued_it) {
+            if (queued_it->get() == evaluation.get()) {
+              queues_[static_cast<int>(waiter.priority)].push_back(
+                  std::move(*queued_it));
+              from.erase(queued_it);
+              break;
+            }
+          }
+          evaluation->priority = waiter.priority;
+        }
         evaluation->waiters.push_back(std::move(waiter));
-        pending_.emplace(evaluation->key, evaluation);
-        queue_.push_back(std::move(evaluation));
+        coalesced = true;
+      } else {
+        int64_t queued_evaluations = 0;
+        for (const auto& queue : queues_) {
+          queued_evaluations += static_cast<int64_t>(queue.size());
+        }
+        if (queued_evaluations >= std::max(1, options_.max_queue)) {
+          rejection = MakeErrorResponse(
+              request.id, ServeErrorCode::kOverloaded,
+              "admission queue full (" +
+                  std::to_string(options_.max_queue) +
+                  " evaluations queued); retry later");
+          rejected_overload = true;
+        } else {
+          auto evaluation = std::make_shared<Evaluation>();
+          evaluation->request = request.predict;
+          evaluation->key = std::move(key);
+          evaluation->priority = waiter.priority;
+          evaluation->waiters.push_back(std::move(waiter));
+          pending_.emplace(evaluation->key, evaluation);
+          queues_[static_cast<int>(evaluation->priority)].push_back(
+              std::move(evaluation));
+        }
       }
     }
   }
 
   if (!rejection.empty()) {
-    waiter.promise.set_value(std::move(rejection));
-    MutexLock lock(stats_mu_);
-    ++responses_total_;
-    if (rejected_shutdown) ++rejected_shutdown_total_;
-    if (rejected_overload) ++rejected_overload_total_;
-    return future;
+    {
+      MutexLock lock(stats_mu_);
+      if (rejected_shutdown) ++rejected_shutdown_total_;
+      if (rejected_overload) ++rejected_overload_total_;
+    }
+    Respond(waiter.done, std::move(rejection));
+    return;
   }
 
   {
@@ -158,35 +273,60 @@ std::future<std::string> PredictService::Submit(
     if (coalesced) ++coalesced_total_;
   }
   if (!coalesced) work_cv_.NotifyOne();
-  return future;
 }
 
 void PredictService::DispatcherLoop() {
   for (;;) {
     std::vector<EvaluationPtr> batch;
+    std::vector<Waiter> expired;
     {
       MutexLock lock(mu_);
       // Explicit loop, not the predicate overload: the analysis treats
       // a predicate lambda as a separate function, where the guarded
-      // reads of draining_/queue_ would look unlocked.
-      while (!draining_ && queue_.empty()) {
+      // reads of draining_/queues_ would look unlocked.
+      while (!draining_ && queues_[0].empty() && queues_[1].empty()) {
         work_cv_.Wait(lock);
       }
-      if (queue_.empty()) {
+      if (queues_[0].empty() && queues_[1].empty()) {
         if (draining_) return;  // fully drained
         continue;
       }
-      const size_t batch_size =
-          std::min(queue_.size(),
-                   static_cast<size_t>(std::max(1, options_.max_batch)));
-      batch.reserve(batch_size);
-      for (size_t i = 0; i < batch_size; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      const size_t max_batch =
+          static_cast<size_t>(std::max(1, options_.max_batch));
+      const Clock::time_point now = Clock::now();
+      // Higher classes drain first; FIFO within a class.
+      for (int p = kRequestPriorityCount - 1;
+           p >= 0 && batch.size() < max_batch; --p) {
+        auto& queue = queues_[p];
+        while (!queue.empty() && batch.size() < max_batch) {
+          EvaluationPtr evaluation = std::move(queue.front());
+          queue.pop_front();
+          evaluation->queued = false;
+          // Deadline check at dequeue: expired waiters get a
+          // structured answer now instead of a useless late one.
+          std::vector<Waiter> live;
+          for (Waiter& waiter : evaluation->waiters) {
+            if (waiter.has_deadline && waiter.deadline < now) {
+              expired.push_back(std::move(waiter));
+            } else {
+              live.push_back(std::move(waiter));
+            }
+          }
+          evaluation->waiters = std::move(live);
+          if (evaluation->waiters.empty()) {
+            // Every waiter expired: skip the evaluation entirely (late
+            // coalescers will start a fresh one).
+            pending_.erase(evaluation->key);
+            continue;
+          }
+          batch.push_back(std::move(evaluation));
+        }
       }
       // The popped evaluations stay in pending_, so duplicates arriving
       // during the evaluation still coalesce onto them.
     }
+    ExpireWaiters(std::move(expired));
+    if (batch.empty()) continue;
     if (options_.dispatch_hook) options_.dispatch_hook(batch.size());
 
     std::vector<SweepRunner::Task> tasks;
@@ -226,6 +366,21 @@ void PredictService::DispatcherLoop() {
   }
 }
 
+void PredictService::ExpireWaiters(std::vector<Waiter> waiters) {
+  for (Waiter& waiter : waiters) {
+    {
+      MutexLock lock(stats_mu_);
+      ++deadline_exceeded_total_;
+      // No latency sample: expirations answered at dequeue would drag
+      // the served percentiles toward the queue wait alone.
+    }
+    Respond(waiter.done,
+            MakeErrorResponse(
+                waiter.id, ServeErrorCode::kDeadlineExceeded,
+                "deadline expired before the evaluation was dispatched"));
+  }
+}
+
 void PredictService::FulfillWaiters(std::vector<Waiter> waiters,
                                     const Result<ExperimentResult>* result,
                                     bool pool_down) {
@@ -249,16 +404,16 @@ void PredictService::FulfillWaiters(std::vector<Waiter> waiters,
             .count();
     {
       MutexLock lock(stats_mu_);
-      ++responses_total_;
       if (pool_down) {
         ++rejected_shutdown_total_;
       } else {
-        // Latency covers evaluated requests only; rejections would
-        // drag the percentiles toward zero.
-        latency_.Add(latency_ms);
+        // Latency covers evaluated requests only, split per dispatch
+        // class; rejections would drag the percentiles toward zero.
+        latency_by_priority_[static_cast<int>(waiter.priority)].Add(
+            latency_ms);
       }
     }
-    waiter.promise.set_value(std::move(response));
+    Respond(waiter.done, std::move(response));
   }
 }
 
@@ -297,7 +452,11 @@ ServeStatsSnapshot PredictService::Stats(bool reset_window) {
   ServeStatsSnapshot snapshot;
   {
     MutexLock lock(mu_);
-    snapshot.queue_depth = static_cast<int64_t>(queue_.size());
+    int64_t queued = 0;
+    for (const auto& queue : queues_) {
+      queued += static_cast<int64_t>(queue.size());
+    }
+    snapshot.queue_depth = queued;
     snapshot.draining = draining_;
   }
   snapshot.threads = runner_.thread_count();
@@ -306,33 +465,51 @@ ServeStatsSnapshot PredictService::Stats(bool reset_window) {
   // ever lost between the window we report and the fresh one.
   const MvaCacheStats window =
       reset_window ? runner_.ResetCacheStats() : runner_.cache_stats();
-  MutexLock lock(stats_mu_);
-  snapshot.requests_total = requests_total_;
-  snapshot.evaluations_total = evaluations_total_;
-  snapshot.coalesced_total = coalesced_total_;
-  snapshot.rejected_overload_total = rejected_overload_total_;
-  snapshot.rejected_shutdown_total = rejected_shutdown_total_;
-  snapshot.request_errors_total = request_errors_total_;
-  snapshot.responses_total = responses_total_;
-  snapshot.latency_count = latency_.count();
-  snapshot.latency_mean_ms = latency_.mean_ms();
-  snapshot.latency_min_ms = latency_.min_ms();
-  snapshot.latency_max_ms = latency_.max_ms();
-  snapshot.latency_p50_ms = latency_.PercentileMs(50);
-  snapshot.latency_p95_ms = latency_.PercentileMs(95);
-  snapshot.latency_p99_ms = latency_.PercentileMs(99);
-  snapshot.cache_window = window;
-  snapshot.cache = SumCacheStats(cache_folded_, window);
-  if (reset_window) {
-    cache_folded_ = SumCacheStats(cache_folded_, window);
-    cache_folded_.size = 0;  // live size is never folded
+  {
+    MutexLock lock(stats_mu_);
+    snapshot.requests_total = requests_total_;
+    snapshot.evaluations_total = evaluations_total_;
+    snapshot.coalesced_total = coalesced_total_;
+    snapshot.rejected_overload_total = rejected_overload_total_;
+    snapshot.rejected_shutdown_total = rejected_shutdown_total_;
+    snapshot.rejected_quota_total = rejected_quota_total_;
+    snapshot.deadline_exceeded_total = deadline_exceeded_total_;
+    snapshot.request_errors_total = request_errors_total_;
+    snapshot.responses_total = responses_total_;
+    LatencyHistogram overall;
+    for (int p = 0; p < kRequestPriorityCount; ++p) {
+      snapshot.latency_by_priority[p] = latency_by_priority_[p].Snapshot();
+      overall.Merge(latency_by_priority_[p]);
+    }
+    snapshot.latency_count = overall.count();
+    snapshot.latency_mean_ms = overall.mean_ms();
+    snapshot.latency_min_ms = overall.min_ms();
+    snapshot.latency_max_ms = overall.max_ms();
+    snapshot.latency_p50_ms = overall.PercentileMs(50);
+    snapshot.latency_p95_ms = overall.PercentileMs(95);
+    snapshot.latency_p99_ms = overall.PercentileMs(99);
+    snapshot.cache_window = window;
+    snapshot.cache = SumCacheStats(cache_folded_, window);
+    if (reset_window) {
+      cache_folded_ = SumCacheStats(cache_folded_, window);
+      cache_folded_.size = 0;  // live size is never folded
+    }
+  }
+  // Outside every service lock: the hook reaches back into the owning
+  // transport, which must be free to take its own locks.
+  if (options_.transport_stats_hook) {
+    options_.transport_stats_hook(snapshot);
   }
   return snapshot;
 }
 
 int64_t PredictService::queue_depth() const {
   MutexLock lock(mu_);
-  return static_cast<int64_t>(queue_.size());
+  int64_t queued = 0;
+  for (const auto& queue : queues_) {
+    queued += static_cast<int64_t>(queue.size());
+  }
+  return queued;
 }
 
 bool PredictService::draining() const {

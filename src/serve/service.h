@@ -8,6 +8,17 @@
 ///  - **Bounded admission with backpressure.** Predict requests enter a
 ///    bounded queue; when it is full the request is rejected immediately
 ///    with a structured `overloaded` error — never silently dropped.
+///  - **QoS dispatch.** The queue is split per RequestPriority:
+///    interactive evaluations are always dequeued ahead of bulk ones
+///    (FIFO within a class), so a person's what-if query is never stuck
+///    behind a bulk sweep. A request's `deadline_ms` is checked when its
+///    evaluation is dequeued: expired waiters get a structured
+///    `deadline_exceeded` response instead of a useless late answer, and
+///    an evaluation all of whose waiters expired is skipped entirely.
+///  - **Per-client quotas.** With `quota_rps` configured, each peer
+///    address holds a token bucket (capacity = one second's tokens);
+///    predict requests beyond the rate are rejected `quota_exceeded`.
+///    Stats requests are exempt — observability stays reachable.
 ///  - **Micro-batching.** A single dispatcher thread pops up to
 ///    `max_batch` queued evaluations and fans them out through one
 ///    SweepRunner::RunTasks call on the shared worker pool, so bursts
@@ -17,6 +28,8 @@
 ///    evaluation instead of consuming a queue slot — the serving
 ///    analogue of the MVA cache's key dedup, one layer up. Each waiter
 ///    still receives its own response (its own id, its own latency).
+///    The key excludes priority, so an interactive duplicate coalesces
+///    onto a queued bulk evaluation and upgrades its dispatch class.
 ///  - **Shared solver state.** One process-wide SolveCache (inside the
 ///    runner, sharded by default — serving fan-in would contend on a
 ///    single lock) serves every connection, so steady traffic over
@@ -43,6 +56,7 @@
 
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -71,6 +85,10 @@ struct PredictServiceOptions {
   int max_queue = 256;
   /// Micro-batch cap: queued evaluations dispatched per RunTasks call.
   int max_batch = 32;
+  /// Per-peer predict-request rate limit (token bucket refilled at this
+  /// rate, capacity = max(1, quota_rps)); 0 disables quotas. Stats
+  /// requests are always exempt.
+  int64_t quota_rps = 0;
   int64_t cache_max_entries = 4096;
   /// Lock shards of the shared solve cache (MakeSolveCache; rounded up
   /// to a power of two, 1 = single mutex). The default covers typical
@@ -90,15 +108,26 @@ struct PredictServiceOptions {
   /// batch size after the batch is popped (its keys now coalesce as
   /// in-flight) and before evaluation. Keep it cheap in production.
   std::function<void(size_t)> dispatch_hook;
+  /// Transport seam: invoked by Stats() (outside every service lock)
+  /// so the owning transport can fold its gauges — connection counts,
+  /// event-loop depth, /metrics scrapes — into the same snapshot.
+  std::function<void(ServeStatsSnapshot&)> transport_stats_hook;
 };
 
 /// \brief Transport-independent prediction service (see file comment).
 ///
-/// Thread-safe: Submit may be called from any number of transport
-/// threads. Every returned future is eventually fulfilled with exactly
-/// one single-line JSON response.
+/// Thread-safe: SubmitLine/Submit may be called from any number of
+/// transport threads. Every accepted line produces exactly one
+/// single-line JSON response, delivered through the caller's callback
+/// (or future).
 class PredictService {
  public:
+  /// Receives the single-line JSON response. Invoked exactly once per
+  /// submitted line — synchronously (rejections, stats) from the
+  /// submitting thread or later from the dispatcher thread — so
+  /// callbacks must be cheap and must not call back into the service.
+  using ResponseCallback = std::function<void(std::string)>;
+
   explicit PredictService(PredictServiceOptions options);
   /// Drains (every admitted request answered) and stops the dispatcher.
   ~PredictService();
@@ -106,14 +135,26 @@ class PredictService {
   PredictService(const PredictService&) = delete;
   PredictService& operator=(const PredictService&) = delete;
 
-  /// Parses and routes one request line. Stats requests and all
-  /// rejections resolve immediately; predict requests resolve when
-  /// their (possibly shared) evaluation completes.
+  /// Parses and routes one request line; `done` receives the response.
+  /// Stats requests and all rejections resolve synchronously; predict
+  /// requests resolve when their (possibly shared) evaluation
+  /// completes. `peer` keys the per-client quota bucket (the
+  /// transport's peer address; empty = a shared anonymous bucket).
+  void SubmitLine(const std::string& request_line, const std::string& peer,
+                  ResponseCallback done);
+
+  /// Future-flavored SubmitLine with no peer (quota-anonymous); the
+  /// in-process convenience used by tests and embedding callers.
   std::future<std::string> Submit(const std::string& request_line);
 
   /// Builds, counts and immediately resolves a request-level error the
   /// transport detected itself (e.g. an oversized line), so those
   /// responses still show up in request_errors_total/responses_total.
+  void RejectRequestErrorTo(const std::optional<std::string>& id,
+                            ServeErrorCode code, const std::string& message,
+                            ResponseCallback done);
+
+  /// Future-flavored RejectRequestErrorTo.
   std::future<std::string> RejectRequestError(
       const std::optional<std::string>& id, ServeErrorCode code,
       const std::string& message);
@@ -144,11 +185,17 @@ class PredictService {
  private:
   using Clock = std::chrono::steady_clock;
 
-  /// One response-awaiting request (its own id and admission time).
+  /// One response-awaiting request (its own id, deadline and admission
+  /// time).
   struct Waiter {
     std::optional<std::string> id;
-    std::promise<std::string> promise;
+    ResponseCallback done;
     Clock::time_point admitted;
+    /// Absolute deadline; admitted + deadline_ms. Meaningful only when
+    /// has_deadline.
+    Clock::time_point deadline;
+    bool has_deadline = false;
+    RequestPriority priority = RequestPriority::kBulk;
   };
 
   /// One scheduled evaluation; coalesced requests share it.
@@ -157,28 +204,53 @@ class PredictService {
     std::string key;
     /// Guarded by the owning service's mu_ (a nested struct cannot name
     /// the outer instance's mutex in a GUARDED_BY expression): waiters
-    /// attach in Submit and are moved out in DispatcherLoop, both under
-    /// mu_; FulfillWaiters then owns them exclusively.
+    /// attach in SubmitLine and are moved out in DispatcherLoop, both
+    /// under mu_; FulfillWaiters then owns them exclusively.
     std::vector<Waiter> waiters;
+    /// Dispatch class == the queue the evaluation sits in while queued
+    /// (an interactive coalescer upgrades a queued bulk evaluation).
+    /// Guarded by mu_, same note as waiters.
+    RequestPriority priority = RequestPriority::kBulk;
+    /// Still sitting in a queue (false once popped for dispatch); an
+    /// upgrade can only move a still-queued evaluation. Guarded by mu_.
+    bool queued = true;
   };
   using EvaluationPtr = std::shared_ptr<Evaluation>;
+
+  /// One peer's quota state: a token bucket refilled at quota_rps.
+  struct TokenBucket {
+    double tokens = 0.0;
+    Clock::time_point last_refill;
+  };
 
   void DispatcherLoop();
   /// Builds one waiter's response and records latency/response counters.
   void FulfillWaiters(std::vector<Waiter> waiters,
                       const Result<ExperimentResult>* result,
                       bool pool_down);
-  std::future<std::string> ImmediateResponse(std::string response);
+  /// Answers one waiter `deadline_exceeded` (counted, no latency
+  /// sample — expirations must not skew the served percentiles).
+  void ExpireWaiters(std::vector<Waiter> waiters);
+  /// Counts a response and hands it to `done`.
+  void Respond(ResponseCallback& done, std::string response);
+  /// True when the peer's bucket has a token (consuming it); always
+  /// true with quotas disabled.
+  bool ConsumeQuotaToken(const std::string& peer);
 
   PredictServiceOptions options_;
   SweepRunner runner_;
 
-  /// Admission state: queue, coalescing map, lifecycle flag.
+  /// Admission state: per-priority queues, coalescing map, quota
+  /// buckets, lifecycle flag.
   mutable Mutex mu_;
   CondVar work_cv_;
-  std::deque<EvaluationPtr> queue_ GUARDED_BY(mu_);
+  /// Indexed by RequestPriority; dispatch drains higher classes first.
+  std::array<std::deque<EvaluationPtr>, kRequestPriorityCount> queues_
+      GUARDED_BY(mu_);
   /// Canonical key -> queued or in-flight evaluation (coalescing map).
   std::unordered_map<std::string, EvaluationPtr> pending_ GUARDED_BY(mu_);
+  /// Peer address -> token bucket (quota_rps > 0 only).
+  std::unordered_map<std::string, TokenBucket> quota_ GUARDED_BY(mu_);
   bool draining_ GUARDED_BY(mu_) = false;
 
   /// Serializes Drain() joiners; held while joining the dispatcher, so
@@ -191,12 +263,18 @@ class PredictService {
   std::thread dispatcher_;
 
   mutable Mutex stats_mu_;
-  LatencyHistogram latency_ GUARDED_BY(stats_mu_);
+  /// One histogram per dispatch class; the /stats overall view is
+  /// their merge (satellite fix: a shared histogram let bulk sweeps
+  /// skew the interactive percentiles).
+  std::array<LatencyHistogram, kRequestPriorityCount> latency_by_priority_
+      GUARDED_BY(stats_mu_);
   int64_t requests_total_ GUARDED_BY(stats_mu_) = 0;
   int64_t evaluations_total_ GUARDED_BY(stats_mu_) = 0;
   int64_t coalesced_total_ GUARDED_BY(stats_mu_) = 0;
   int64_t rejected_overload_total_ GUARDED_BY(stats_mu_) = 0;
   int64_t rejected_shutdown_total_ GUARDED_BY(stats_mu_) = 0;
+  int64_t rejected_quota_total_ GUARDED_BY(stats_mu_) = 0;
+  int64_t deadline_exceeded_total_ GUARDED_BY(stats_mu_) = 0;
   int64_t request_errors_total_ GUARDED_BY(stats_mu_) = 0;
   int64_t responses_total_ GUARDED_BY(stats_mu_) = 0;
   /// Cache counters of windows closed by reset_window (cumulative =

@@ -19,6 +19,27 @@ void LatencyHistogram::Add(double latency_ms) {
   ++buckets_[b];
 }
 
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  stats_.Merge(other.stats_);
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+}
+
+LatencyStatsSnapshot LatencyHistogram::Snapshot() const {
+  LatencyStatsSnapshot snapshot;
+  snapshot.count = count();
+  snapshot.sum_ms = sum_ms();
+  snapshot.mean_ms = mean_ms();
+  snapshot.min_ms = min_ms();
+  snapshot.max_ms = max_ms();
+  snapshot.p50_ms = PercentileMs(50);
+  snapshot.p95_ms = PercentileMs(95);
+  snapshot.p99_ms = PercentileMs(99);
+  snapshot.buckets = buckets_;
+  return snapshot;
+}
+
 double LatencyHistogram::PercentileMs(double p) const {
   const int64_t n = static_cast<int64_t>(stats_.count());
   if (n == 0) return 0.0;
@@ -90,16 +111,20 @@ void AppendCacheJson(std::string& out, const char* key,
 
 std::string FormatServeStatsJson(const ServeStatsSnapshot& s) {
   std::string out;
-  out.reserve(768);
-  char buf[512];
+  out.reserve(1536);
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"protocol_version\": %d, "
       "\"queue_depth\": %lld, \"draining\": %s, \"requests_total\": %lld, "
       "\"evaluations_total\": %lld, \"coalesced_total\": %lld, "
       "\"rejected_overload_total\": %lld, \"rejected_shutdown_total\": "
+      "%lld, \"rejected_quota_total\": %lld, \"deadline_exceeded_total\": "
       "%lld, \"request_errors_total\": %lld, \"responses_total\": %lld, "
-      "\"threads\": %d, ",
+      "\"threads\": %d, \"event_loop_threads\": %d, "
+      "\"event_loop_pending_tasks\": %lld, "
+      "\"connections\": %lld, \"connections_total\": %lld, "
+      "\"metrics_requests_total\": %lld, ",
       kServeProtocolVersion, static_cast<long long>(s.queue_depth),
       s.draining ? "true" : "false",
       static_cast<long long>(s.requests_total),
@@ -107,8 +132,15 @@ std::string FormatServeStatsJson(const ServeStatsSnapshot& s) {
       static_cast<long long>(s.coalesced_total),
       static_cast<long long>(s.rejected_overload_total),
       static_cast<long long>(s.rejected_shutdown_total),
+      static_cast<long long>(s.rejected_quota_total),
+      static_cast<long long>(s.deadline_exceeded_total),
       static_cast<long long>(s.request_errors_total),
-      static_cast<long long>(s.responses_total), s.threads);
+      static_cast<long long>(s.responses_total), s.threads,
+      s.event_loop_threads,
+      static_cast<long long>(s.event_loop_pending_tasks),
+      static_cast<long long>(s.connections_current),
+      static_cast<long long>(s.connections_total),
+      static_cast<long long>(s.metrics_requests_total));
   out += buf;
   std::snprintf(buf, sizeof(buf), "\"latency_ms\": {\"count\": %lld, ",
                 static_cast<long long>(s.latency_count));
@@ -124,6 +156,27 @@ std::string FormatServeStatsJson(const ServeStatsSnapshot& s) {
     out += "\": ";
     AppendJsonDouble(out, latency_fields[i].second);
     out += i + 1 < std::size(latency_fields) ? ", " : "}, ";
+  }
+  out += "\"latency_by_priority\": {";
+  for (int p = 0; p < kRequestPriorityCount; ++p) {
+    const LatencyStatsSnapshot& l = s.latency_by_priority[p];
+    out += '"';
+    out += RequestPriorityName(static_cast<RequestPriority>(p));
+    std::snprintf(buf, sizeof(buf), "\": {\"count\": %lld, ",
+                  static_cast<long long>(l.count));
+    out += buf;
+    const std::pair<const char*, double> fields[] = {
+        {"mean", l.mean_ms}, {"min", l.min_ms}, {"max", l.max_ms},
+        {"p50", l.p50_ms},   {"p95", l.p95_ms}, {"p99", l.p99_ms},
+    };
+    for (size_t i = 0; i < std::size(fields); ++i) {
+      out += '"';
+      out += fields[i].first;
+      out += "\": ";
+      AppendJsonDouble(out, fields[i].second);
+      if (i + 1 < std::size(fields)) out += ", ";
+    }
+    out += p + 1 < kRequestPriorityCount ? "}, " : "}}, ";
   }
   AppendCacheJson(out, "cache", s.cache, std::max(1, s.cache_shards));
   out += ", ";

@@ -11,8 +11,11 @@
 
 #include "common/statistics.h"
 #include "queueing/solve_cache.h"
+#include "serve/request.h"
 
 namespace mrperf {
+
+struct LatencyStatsSnapshot;
 
 /// \brief Streaming latency accumulator: exact count/mean/min/max via
 /// RunningStats plus fixed log-spaced buckets for percentile estimates.
@@ -29,20 +32,53 @@ class LatencyHistogram {
       1.0,    2.0,    5.0,    10.0,   25.0,    50.0,   100.0,
       250.0,  500.0,  1000.0, 2500.0, 5000.0,  10000.0};
 
+  /// Bucket count including the unbounded last bucket.
+  static constexpr size_t kBucketCount = kBucketBoundsMs.size() + 1;
+
   void Add(double latency_ms);
+
+  /// Folds another histogram in (same fixed buckets, so the merge is
+  /// exact). Used to derive the overall view from per-priority
+  /// histograms without double-counting samples.
+  void Merge(const LatencyHistogram& other);
 
   size_t count() const { return stats_.count(); }
   double mean_ms() const { return stats_.mean(); }
   double min_ms() const { return stats_.min(); }
   double max_ms() const { return stats_.max(); }
+  /// Sum of all samples (the Prometheus histogram `_sum` series).
+  double sum_ms() const { return stats_.sum(); }
+  /// Per-bucket sample counts (NOT cumulative; renderers that need the
+  /// Prometheus cumulative form sum as they walk).
+  const std::array<int64_t, kBucketCount>& bucket_counts() const {
+    return buckets_;
+  }
 
   /// Estimated p-th percentile (0..100); 0 when empty. Clamped to the
   /// observed [min, max].
   double PercentileMs(double p) const;
 
+  /// Point-in-time copy of every derived figure (see below).
+  LatencyStatsSnapshot Snapshot() const;
+
  private:
   RunningStats stats_;
-  std::array<int64_t, kBucketBoundsMs.size() + 1> buckets_ = {};
+  std::array<int64_t, kBucketCount> buckets_ = {};
+};
+
+/// \brief Plain-data copy of a LatencyHistogram: moments, percentile
+/// estimates and raw bucket counts. Snapshots are taken under the
+/// service's stats mutex and rendered (JSON, Prometheus) outside it.
+struct LatencyStatsSnapshot {
+  size_t count = 0;
+  double sum_ms = 0.0;
+  double mean_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::array<int64_t, LatencyHistogram::kBucketCount> buckets = {};
 };
 
 /// \brief One /stats response payload (all counters cumulative since
@@ -58,13 +94,30 @@ struct ServeStatsSnapshot {
   int64_t coalesced_total = 0;
   int64_t rejected_overload_total = 0;
   int64_t rejected_shutdown_total = 0;
+  /// Requests answered `quota_exceeded` (per-client token bucket).
+  int64_t rejected_quota_total = 0;
+  /// Requests answered `deadline_exceeded` at dequeue — never silently
+  /// dropped, so this counter reconciles against responses_total.
+  int64_t deadline_exceeded_total = 0;
   /// Malformed / semantically invalid request lines.
   int64_t request_errors_total = 0;
   /// Responses built (success + error), predict and stats alike.
   int64_t responses_total = 0;
   int threads = 0;
 
-  /// Admission-to-response latency of predict requests.
+  /// Transport gauges (zero when no event-loop transport reports them).
+  int event_loop_threads = 0;
+  /// Cross-thread tasks queued on the event loops (completion posts,
+  /// drain posts) not yet run — the "event-loop depth" gauge.
+  int64_t event_loop_pending_tasks = 0;
+  int64_t connections_current = 0;
+  int64_t connections_total = 0;
+  /// GET /metrics scrapes served by the transport.
+  int64_t metrics_requests_total = 0;
+
+  /// Admission-to-response latency of predict requests — the overall
+  /// view, merged across priorities (kept flat for /stats JSON
+  /// stability).
   size_t latency_count = 0;
   double latency_mean_ms = 0.0;
   double latency_min_ms = 0.0;
@@ -72,6 +125,12 @@ struct ServeStatsSnapshot {
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
+
+  /// The same latency, split per dispatch class (indexed by
+  /// RequestPriority; each priority owns its histogram, so a burst of
+  /// slow bulk sweeps cannot skew the interactive percentiles).
+  std::array<LatencyStatsSnapshot, kRequestPriorityCount>
+      latency_by_priority = {};
 
   /// Shared MVA-solve cache, cumulative since startup. Includes the
   /// checkpoint/recover lifecycle counters (warm-restart observability).

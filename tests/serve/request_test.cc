@@ -95,23 +95,99 @@ TEST(CanonicalKeyTest, EveryKnobChangesTheKey) {
 // ---- structured errors (satellite) -------------------------------------
 
 TEST(ParseServeRequestTest, AcceptsTheSpokenProtocolVersion) {
-  const PredictRequest request = ParsePredict(
-      R"({"version":1,"nodes":3})");
-  EXPECT_EQ(request.point.num_nodes, 3);
+  // Version 2 (current) and version 1 (the PR5 wire protocol, still
+  // spoken for old clients) both parse.
+  const PredictRequest v2 = ParsePredict(R"({"version":2,"nodes":3})");
+  EXPECT_EQ(v2.point.num_nodes, 3);
+  const PredictRequest v1 = ParsePredict(R"({"version":1,"nodes":3})");
+  EXPECT_EQ(v1.point.num_nodes, 3);
 }
 
 TEST(ParseServeRequestTest, RejectsProtocolVersionMismatch) {
   for (const char* line :
-       {R"({"version":0})", R"({"version":2,"nodes":3})"}) {
+       {R"({"version":0})", R"({"version":3,"nodes":3})"}) {
     Result<ServeRequest> parsed = ParseServeRequest(line);
     ASSERT_FALSE(parsed.ok()) << line;
     EXPECT_TRUE(parsed.status().IsInvalidArgument());
-    // The message names both versions so old clients can self-diagnose.
+    // The message names the spoken range so old clients can
+    // self-diagnose.
     EXPECT_NE(parsed.status().message().find("version"), std::string::npos);
     EXPECT_NE(parsed.status().message().find(
                   std::to_string(kServeProtocolVersion)),
               std::string::npos);
+    EXPECT_NE(parsed.status().message().find(
+                  std::to_string(kMinServeProtocolVersion)),
+              std::string::npos);
   }
+}
+
+// ---- QoS wire fields (PR9) ---------------------------------------------
+
+TEST(ParseServeRequestTest, PriorityDefaultsToBulkAndParsesBothClasses) {
+  EXPECT_EQ(ParsePredict("{}").priority, RequestPriority::kBulk);
+  EXPECT_EQ(ParsePredict(R"({"priority":"bulk"})").priority,
+            RequestPriority::kBulk);
+  EXPECT_EQ(ParsePredict(R"({"priority":"interactive","nodes":3})").priority,
+            RequestPriority::kInteractive);
+}
+
+TEST(ParseServeRequestTest, UnknownPriorityIsANamedInvalidArgument) {
+  Result<ServeRequest> parsed =
+      ParseServeRequest(R"({"priority":"turbo"})");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+  EXPECT_EQ(RequestErrorCode(parsed.status()),
+            ServeErrorCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("turbo"), std::string::npos);
+  // Non-string priorities are errors too, not silent bulk.
+  EXPECT_FALSE(ParseServeRequest(R"({"priority":1})").ok());
+}
+
+TEST(ParseServeRequestTest, DeadlineParsesWithinItsBounds) {
+  EXPECT_EQ(ParsePredict("{}").deadline_ms, 0);  // 0 = no deadline
+  EXPECT_EQ(ParsePredict(R"({"deadline_ms":250})").deadline_ms, 250);
+  EXPECT_EQ(ParsePredict(R"({"deadline_ms":86400000})").deadline_ms,
+            kMaxDeadlineMs);
+}
+
+TEST(ParseServeRequestTest, OutOfRangeDeadlineIsInvalidArgument) {
+  const char* bad[] = {
+      R"({"deadline_ms":0})",         R"({"deadline_ms":-5})",
+      R"({"deadline_ms":86400001})",  R"({"deadline_ms":1e18})",
+      R"({"deadline_ms":2.5})",       R"({"deadline_ms":"soon"})",
+  };
+  for (const char* line : bad) {
+    Result<ServeRequest> parsed = ParseServeRequest(line);
+    ASSERT_FALSE(parsed.ok()) << line;
+    EXPECT_EQ(RequestErrorCode(parsed.status()),
+              ServeErrorCode::kInvalidArgument)
+        << line;
+    EXPECT_NE(parsed.status().message().find("deadline_ms"),
+              std::string::npos)
+        << line;
+  }
+}
+
+TEST(CanonicalKeyTest, SchedulingMetadataDoesNotChangeTheKey) {
+  // Priority and deadline affect *when* an evaluation runs, never its
+  // result — excluding them is what lets an interactive request
+  // coalesce onto a bulk duplicate with byte-identical responses.
+  const std::string base = CanonicalPredictKey(ParsePredict("{}"));
+  EXPECT_EQ(CanonicalPredictKey(
+                ParsePredict(R"({"priority":"interactive"})")),
+            base);
+  EXPECT_EQ(CanonicalPredictKey(ParsePredict(R"({"deadline_ms":500})")),
+            base);
+}
+
+TEST(ResponseTest, QosErrorCodeNamesAreStable) {
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kQuotaExceeded),
+               "quota_exceeded");
+  EXPECT_STREQ(RequestPriorityName(RequestPriority::kBulk), "bulk");
+  EXPECT_STREQ(RequestPriorityName(RequestPriority::kInteractive),
+               "interactive");
 }
 
 TEST(ParseServeRequestTest, MalformedJsonIsAnError) {

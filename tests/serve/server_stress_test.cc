@@ -1,13 +1,21 @@
-/// TSan-targeted stress test for the TCP transport: many concurrent
-/// clients, each pipelining a burst of request lines (heavy duplicate
-/// overlap, so batching and coalescing engage), against a live
-/// PredictServer — then a DrainAndStop racing late arrivals. Every
-/// pipelined request must get exactly one in-order response.
+/// TSan-targeted stress tests for the event-loop transport: many
+/// concurrent clients pipelining bursts (heavy duplicate overlap, so
+/// batching and coalescing engage), slow-loris partial lines, clients
+/// that disconnect mid-write, and a DrainAndStop racing a thousand
+/// connections — all against a live PredictServer on a fixed event-loop
+/// thread budget. Every pipelined request must get exactly one in-order
+/// response, and shutdown must always terminate.
 
 #include "serve/server.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -109,6 +117,203 @@ TEST(PredictServerStressTest, DrainAndStopRacesActiveClients) {
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   server.DrainAndStop();
   for (std::thread& t : clients) t.join();
+}
+
+/// Raw TCP socket for byte-level client behavior PredictClient cannot
+/// express: unterminated fragments (slow loris) and abrupt closes.
+class RawConn {
+ public:
+  ~RawConn() { Close(); }
+
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+
+  bool Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent,
+                               bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(PredictServerStressTest, SlowLorisPartialLinesNeverStallOtherClients) {
+  PredictServerOptions options;
+  options.service.num_threads = 2;
+  options.event_loop_threads = 2;
+  PredictServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Slow-loris connections: bytes trickle in with no newline. On the
+  // old thread-per-connection transport each pinned a reader thread;
+  // on the event loop they are just buffered fds that must never delay
+  // the fast clients interleaved below.
+  constexpr int kLoris = 32;
+  std::vector<RawConn> loris(kLoris);
+  const std::string fragment = "{\"id\":\"slow\",\"node";  // mid-key cut
+  for (int i = 0; i < kLoris; ++i) {
+    ASSERT_TRUE(loris[i].Connect(server.port())) << i;
+    ASSERT_TRUE(loris[i].Send(fragment)) << i;
+  }
+
+  // With every loris parked, a normal client must still be served
+  // promptly, pipelined order intact.
+  PredictClient fast;
+  ASSERT_TRUE(fast.Connect("127.0.0.1", server.port()).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        fast.SendLine(ModelOnlyLine("f" + std::to_string(i), 2 + i % 3))
+            .ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    Result<std::string> response = fast.ReadLine();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_NE(response->find("\"f" + std::to_string(i) + "\""),
+              std::string::npos)
+        << *response;
+  }
+
+  // Trickle a second fragment (still no newline), then complete half of
+  // the loris lines: completed requests get real responses.
+  for (int i = 0; i < kLoris; ++i) {
+    ASSERT_TRUE(loris[i].Send("s\":2,"));
+  }
+  for (int i = 0; i < kLoris; i += 2) {
+    ASSERT_TRUE(loris[i].Send("\"input_gb\":0.25,\"model_only\":true}\n"));
+  }
+
+  // Drain with half the loris mid-line: BeginDrain half-closes them and
+  // shutdown must terminate regardless.
+  server.DrainAndStop();
+  const ServeStatsSnapshot stats = server.service().Stats();
+  EXPECT_EQ(stats.connections_current, 0);
+  EXPECT_GE(stats.connections_total, kLoris + 1);
+}
+
+TEST(PredictServerStressTest, MidWriteDisconnectsDoNotLeakOrCrash) {
+  PredictServerOptions options;
+  options.service.num_threads = 2;
+  options.event_loop_threads = 2;
+  PredictServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Clients pipeline a burst and vanish without reading: the server
+  // hits send failures mid-response (EPIPE/ECONNRESET), must keep
+  // resolving the owed evaluations, and must release every connection.
+  constexpr int kRounds = 6;
+  constexpr int kPerRound = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<RawConn> clients(kPerRound);
+    for (int c = 0; c < kPerRound; ++c) {
+      ASSERT_TRUE(clients[c].Connect(server.port()));
+      std::string burst;
+      for (int i = 0; i < 10; ++i) {
+        burst += ModelOnlyLine(
+            "w" + std::to_string(round) + "-" + std::to_string(c) + "-" +
+                std::to_string(i),
+            2 + i % 4);
+        burst += '\n';
+      }
+      ASSERT_TRUE(clients[c].Send(burst));
+    }
+    // Abrupt close with responses still in flight (RST likely: unread
+    // inbound bytes may remain).
+    for (RawConn& c : clients) c.Close();
+  }
+
+  // The service still serves a well-behaved client afterwards.
+  PredictClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  Result<std::string> response = client.Call(ModelOnlyLine("after", 2));
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("\"ok\": true"), std::string::npos);
+
+  server.DrainAndStop();
+  // Every vanished connection was reaped; nothing leaked.
+  EXPECT_EQ(server.service().Stats().connections_current, 0);
+}
+
+TEST(PredictServerStressTest, DrainRacesAThousandConnections) {
+  PredictServerOptions options;
+  options.service.num_threads = 2;
+  options.event_loop_threads = 2;  // fixed budget, C10k-style fan-in
+  PredictServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A thousand mostly-idle connections (some with an unread fragment),
+  // plus a few active pipeliners, all racing DrainAndStop. The old
+  // transport would have needed 2000 threads for this; the gate here is
+  // that shutdown terminates promptly and every active request is
+  // answered or cleanly rejected — never silently dropped.
+  constexpr int kIdle = 1000;
+  std::vector<RawConn> idle(kIdle);
+  int connected = 0;
+  for (int i = 0; i < kIdle; ++i) {
+    if (!idle[i].Connect(server.port())) break;
+    ++connected;
+    if (i % 5 == 0) idle[i].Send("{\"id\":");  // parked fragment
+  }
+  ASSERT_EQ(connected, kIdle);
+
+  std::vector<std::thread> active;
+  for (int c = 0; c < 4; ++c) {
+    active.emplace_back([&server, c] {
+      PredictClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+      int sent = 0;
+      for (int i = 0; i < 20; ++i) {
+        const std::string id =
+            "r" + std::to_string(c) + "-" + std::to_string(i);
+        if (!client.SendLine(ModelOnlyLine(id, 2 + i % 3)).ok()) break;
+        ++sent;
+      }
+      for (int i = 0; i < sent; ++i) {
+        Result<std::string> response = client.ReadLine();
+        if (!response.ok()) break;  // drained: clean EOF ends the session
+        EXPECT_NE(response->find("\"r" + std::to_string(c) + "-"),
+                  std::string::npos)
+            << *response;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server.DrainAndStop();  // must terminate with 1k conns parked
+  for (std::thread& t : active) t.join();
+  const ServeStatsSnapshot stats = server.service().Stats();
+  EXPECT_EQ(stats.connections_current, 0);
+  EXPECT_GE(stats.connections_total, kIdle);
+  EXPECT_EQ(stats.event_loop_threads, 2);
 }
 
 }  // namespace

@@ -5,10 +5,12 @@
 #include <chrono>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "serve/client.h"
 #include "serve/json.h"
+#include "serve/metrics.h"
 #include "serve/request.h"
 
 namespace mrperf {
@@ -144,13 +146,155 @@ TEST(PredictServerTest, OversizedLineGetsErrorThenDisconnect) {
   ASSERT_TRUE(client.SendLine(std::string(1024, 'x')).ok());
   Result<std::string> response = client.ReadLine();
   ASSERT_TRUE(response.ok());
-  EXPECT_NE(response->find("\"code\": \"parse_error\""), std::string::npos);
-  EXPECT_NE(response->find("exceeds"), std::string::npos);
+  // Golden regression (satellite): the error payload is byte-for-byte
+  // what the PR5 thread-per-connection transport produced — protocol
+  // stability does not depend on the transport implementation.
+  EXPECT_EQ(*response,
+            MakeErrorResponse(std::nullopt, ServeErrorCode::kParseError,
+                              "request line exceeds 256 bytes"));
   EXPECT_FALSE(client.ReadLine().ok());  // connection was terminated
   // The transport-level error is still visible in the service counters.
   const ServeStatsSnapshot stats = server.service().Stats();
   EXPECT_EQ(stats.request_errors_total, 1);
   EXPECT_EQ(stats.responses_total, 1);
+  server.DrainAndStop();
+}
+
+TEST(PredictServerTest, OversizedLineWithoutNewlineAlsoGetsTheGoldenError) {
+  // The second framing path: a lineless buffer beyond the cap (the
+  // slow-loris flavor of an oversized request).
+  PredictServerOptions options = FastServerOptions();
+  options.max_line_bytes = 256;
+  PredictServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  PredictClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // SendLine appends '\n'; two half-lines first so bytes arrive with no
+  // newline until far beyond the cap.
+  ASSERT_TRUE(client.SendLine(std::string(600, 'y')).ok());
+  Result<std::string> response = client.ReadLine();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(*response,
+            MakeErrorResponse(std::nullopt, ServeErrorCode::kParseError,
+                              "request line exceeds 256 bytes"));
+  EXPECT_FALSE(client.ReadLine().ok());
+  server.DrainAndStop();
+}
+
+TEST(PredictServerTest, WireAcceptsBothSpokenVersionsAndQosFields) {
+  PredictServer server(FastServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  PredictClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Version 1 (PR5 clients) and version 2 answer byte-identically for
+  // the same point; the QoS fields ride version 2.
+  Result<std::string> v1 = client.Call(
+      R"({"version":1,"id":"v","nodes":2,"input_gb":0.25,)"
+      R"("repetitions":1})");
+  ASSERT_TRUE(v1.ok());
+  Result<std::string> v2 = client.Call(
+      R"({"version":2,"id":"v","nodes":2,"input_gb":0.25,)"
+      R"("repetitions":1,"priority":"interactive","deadline_ms":60000})");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_NE(v1->find("\"ok\": true"), std::string::npos) << *v1;
+  EXPECT_EQ(*v1, *v2);  // scheduling metadata never changes result bytes
+
+  Result<std::string> future_version =
+      client.Call(R"({"version":3,"nodes":2})");
+  ASSERT_TRUE(future_version.ok());
+  EXPECT_NE(future_version->find("\"code\": \"invalid_argument\""),
+            std::string::npos)
+      << *future_version;
+  Result<std::string> bad_priority =
+      client.Call(R"({"priority":"ludicrous","nodes":2})");
+  ASSERT_TRUE(bad_priority.ok());
+  EXPECT_NE(bad_priority->find("\"code\": \"invalid_argument\""),
+            std::string::npos)
+      << *bad_priority;
+  server.DrainAndStop();
+}
+
+/// Speaks just enough HTTP to scrape: sends a GET, returns status line,
+/// headers and body (the connection closes after one response).
+Result<std::pair<std::string, std::string>> HttpGet(int port,
+                                                    const std::string& path) {
+  PredictClient client;
+  MRPERF_RETURN_NOT_OK(client.Connect("127.0.0.1", port));
+  MRPERF_RETURN_NOT_OK(client.SendLine("GET " + path + " HTTP/1.1"));
+  MRPERF_RETURN_NOT_OK(client.SendLine("Host: localhost"));
+  MRPERF_RETURN_NOT_OK(client.SendLine(""));
+  std::string head;
+  std::string body;
+  bool in_body = false;
+  for (;;) {
+    Result<std::string> line = client.ReadLine();
+    if (!line.ok()) break;  // Connection: close ends the response
+    std::string text = *line;
+    if (!text.empty() && text.back() == '\r') text.pop_back();
+    if (!in_body && text.empty()) {
+      in_body = true;
+      continue;
+    }
+    (in_body ? body : head) += text;
+    (in_body ? body : head) += '\n';
+  }
+  return std::make_pair(head, body);
+}
+
+TEST(PredictServerTest, MetricsEndpointServesValidPrometheusText) {
+  PredictServer server(FastServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Serve one predict first so the counters are nonzero.
+  PredictClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Call(RequestLine("m1", 2)).ok());
+
+  Result<std::pair<std::string, std::string>> scrape =
+      HttpGet(server.port(), "/metrics");
+  ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
+  EXPECT_NE(scrape->first.find("HTTP/1.1 200 OK"), std::string::npos)
+      << scrape->first;
+  EXPECT_NE(scrape->first.find("text/plain; version=0.0.4"),
+            std::string::npos)
+      << scrape->first;
+  const Status valid = ValidatePrometheusText(scrape->second);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << scrape->second;
+  EXPECT_NE(scrape->second.find("predictd_requests_total 1"),
+            std::string::npos)
+      << scrape->second;
+
+  // The scrape itself is counted, and /stats serves the JSON snapshot.
+  Result<std::pair<std::string, std::string>> stats =
+      HttpGet(server.port(), "/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->first.find("application/json"), std::string::npos);
+  Result<JsonValue> parsed = ParseJson(stats->second);
+  ASSERT_TRUE(parsed.ok()) << stats->second;
+  EXPECT_EQ(parsed->Find("metrics_requests_total")->number_value(), 1.0);
+  EXPECT_GE(parsed->Find("connections")->number_value(), 1.0);
+
+  Result<std::pair<std::string, std::string>> missing =
+      HttpGet(server.port(), "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_NE(missing->first.find("404"), std::string::npos);
+  server.DrainAndStop();
+}
+
+TEST(PredictServerTest, MetricsEndpointCanBeDisabled) {
+  PredictServerOptions options = FastServerOptions();
+  options.enable_metrics = false;
+  PredictServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  // The GET line is treated as a (malformed) JSON request line, not
+  // HTTP — a structured error response, no exposition.
+  PredictClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  Result<std::string> response = client.Call("GET /metrics HTTP/1.1");
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("\"code\": \"parse_error\""), std::string::npos)
+      << *response;
   server.DrainAndStop();
 }
 

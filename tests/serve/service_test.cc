@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <future>
+#include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/json.h"
@@ -282,6 +285,188 @@ TEST(PredictServiceTest, CorruptCacheFileStartsColdWithoutCrashing) {
   const std::string response = service.Submit(RequestLine("ok", 2)).get();
   EXPECT_NE(response.find("\"ok\": true"), std::string::npos);
   std::remove(path.c_str());
+}
+
+// ---- QoS: priority, deadlines, quotas (PR9) ----------------------------
+
+/// Collects SubmitLine responses in completion order.
+class ResponseLog {
+ public:
+  PredictService::ResponseCallback Tag(const std::string& tag) {
+    return [this, tag](std::string response) {
+      std::lock_guard<std::mutex> lock(mu_);
+      order_.push_back(tag);
+      responses_[tag] = std::move(response);
+      cv_.notify_all();
+    };
+  }
+
+  void WaitFor(size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this, n] { return order_.size() >= n; });
+  }
+
+  std::vector<std::string> order() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return order_;
+  }
+
+  std::string response(const std::string& tag) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return responses_[tag];
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::string> order_;
+  std::map<std::string, std::string> responses_;
+};
+
+size_t IndexOf(const std::vector<std::string>& order,
+               const std::string& tag) {
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == tag) return i;
+  }
+  return order.size();
+}
+
+TEST(PredictServiceTest, InteractiveRequestsDispatchAheadOfBulk) {
+  auto gate = std::make_shared<DispatchGate>();
+  PredictServiceOptions options = FastServiceOptions();
+  options.max_batch = 1;  // one evaluation per batch: order observable
+  options.dispatch_hook = [gate](size_t) { gate->OnDispatch(); };
+  PredictService service(options);
+  ResponseLog log;
+
+  service.SubmitLine(RequestLine("hold", 2), "", log.Tag("hold"));
+  gate->WaitEntered(1);  // dispatcher blocked with "hold" in flight
+  // Two bulk requests queue first, then an interactive one: it must
+  // still dispatch ahead of both.
+  service.SubmitLine(RequestLine("bulk-1", 3), "", log.Tag("bulk-1"));
+  service.SubmitLine(RequestLine("bulk-2", 4), "", log.Tag("bulk-2"));
+  service.SubmitLine(
+      R"({"id":"fast","nodes":5,"input_gb":0.25,"repetitions":1,)"
+      R"("priority":"interactive"})",
+      "", log.Tag("fast"));
+  gate->Open();
+  log.WaitFor(4);
+
+  const std::vector<std::string> order = log.order();
+  EXPECT_LT(IndexOf(order, "fast"), IndexOf(order, "bulk-1")) << order[1];
+  EXPECT_LT(IndexOf(order, "fast"), IndexOf(order, "bulk-2"));
+  EXPECT_NE(log.response("fast").find("\"ok\": true"), std::string::npos);
+}
+
+TEST(PredictServiceTest, InteractiveDuplicateUpgradesQueuedBulkEvaluation) {
+  auto gate = std::make_shared<DispatchGate>();
+  PredictServiceOptions options = FastServiceOptions();
+  options.max_batch = 1;
+  options.dispatch_hook = [gate](size_t) { gate->OnDispatch(); };
+  PredictService service(options);
+  ResponseLog log;
+
+  service.SubmitLine(RequestLine("hold", 2), "", log.Tag("hold"));
+  gate->WaitEntered(1);
+  service.SubmitLine(RequestLine("bulk-other", 3), "", log.Tag("bulk-other"));
+  service.SubmitLine(RequestLine("shared", 4), "", log.Tag("shared-bulk"));
+  // Interactive duplicate of "shared": coalesces onto the queued bulk
+  // evaluation AND pulls it into the interactive queue, ahead of
+  // "bulk-other" which was queued earlier.
+  service.SubmitLine(
+      R"({"id":"shared-int","nodes":4,"input_gb":0.25,"repetitions":1,)"
+      R"("priority":"interactive"})",
+      "", log.Tag("shared-int"));
+  gate->Open();
+  log.WaitFor(4);
+
+  const std::vector<std::string> order = log.order();
+  EXPECT_LT(IndexOf(order, "shared-bulk"), IndexOf(order, "bulk-other"));
+  EXPECT_LT(IndexOf(order, "shared-int"), IndexOf(order, "bulk-other"));
+  // Coalesced: one evaluation answered both, byte-identically.
+  const std::string a = log.response("shared-bulk");
+  const std::string b = log.response("shared-int");
+  EXPECT_EQ(a.substr(a.find("\"result\"")), b.substr(b.find("\"result\"")));
+  const ServeStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.coalesced_total, 1);
+  EXPECT_EQ(stats.evaluations_total, 3);  // hold, shared, bulk-other
+}
+
+TEST(PredictServiceTest, ExpiredDeadlinesAnswerAtDequeueNotSilently) {
+  auto gate = std::make_shared<DispatchGate>();
+  PredictServiceOptions options = FastServiceOptions();
+  options.max_batch = 1;
+  options.dispatch_hook = [gate](size_t) { gate->OnDispatch(); };
+  PredictService service(options);
+  ResponseLog log;
+
+  service.SubmitLine(RequestLine("hold", 2), "", log.Tag("hold"));
+  gate->WaitEntered(1);
+  // A 1 ms deadline queued behind a blocked dispatcher is long expired
+  // by dequeue time.
+  service.SubmitLine(
+      R"({"id":"late","nodes":3,"input_gb":0.25,"repetitions":1,)"
+      R"("deadline_ms":1})",
+      "", log.Tag("late"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate->Open();
+  log.WaitFor(2);
+
+  const std::string late = log.response("late");
+  EXPECT_NE(late.find("\"code\": \"deadline_exceeded\""), std::string::npos)
+      << late;
+  EXPECT_NE(late.find("\"id\": \"late\""), std::string::npos) << late;
+  const ServeStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.deadline_exceeded_total, 1);
+  // The all-expired evaluation was skipped, never evaluated...
+  EXPECT_EQ(stats.evaluations_total, 1);  // just "hold"
+  // ...and never silently dropped: every request has a response.
+  EXPECT_EQ(stats.responses_total, 2);
+  // Expirations must not contaminate the served latency percentiles.
+  EXPECT_EQ(stats.latency_count, 1u);
+}
+
+TEST(PredictServiceTest, GenerousDeadlineStillEvaluates) {
+  PredictService service(FastServiceOptions());
+  const std::string response =
+      service
+          .Submit(
+              R"({"id":"ok","nodes":2,"input_gb":0.25,"repetitions":1,)"
+              R"("deadline_ms":86400000})")
+          .get();
+  EXPECT_NE(response.find("\"ok\": true"), std::string::npos) << response;
+  EXPECT_EQ(service.Stats().deadline_exceeded_total, 0);
+}
+
+TEST(PredictServiceTest, PerClientQuotaRejectsBurstsPerPeer) {
+  PredictServiceOptions options = FastServiceOptions();
+  options.quota_rps = 1;  // 1 token: the second burst request is over
+  PredictService service(options);
+  ResponseLog log;
+
+  service.SubmitLine(RequestLine("a1", 2), "10.0.0.1:9", log.Tag("a1"));
+  service.SubmitLine(RequestLine("a2", 3), "10.0.0.1:9", log.Tag("a2"));
+  service.SubmitLine(RequestLine("a3", 4), "10.0.0.1:9", log.Tag("a3"));
+  // A different peer holds its own bucket.
+  service.SubmitLine(RequestLine("b1", 5), "10.0.0.2:9", log.Tag("b1"));
+  log.WaitFor(4);
+
+  EXPECT_NE(log.response("a1").find("\"ok\": true"), std::string::npos);
+  for (const char* tag : {"a2", "a3"}) {
+    const std::string response = log.response(tag);
+    EXPECT_NE(response.find("\"code\": \"quota_exceeded\""),
+              std::string::npos)
+        << tag << ": " << response;
+    EXPECT_NE(response.find("retry"), std::string::npos);
+  }
+  EXPECT_NE(log.response("b1").find("\"ok\": true"), std::string::npos);
+
+  // Stats requests are quota-exempt: observability stays reachable for
+  // a throttled client.
+  const std::string stats_response =
+      service.Submit(R"({"kind":"stats"})").get();
+  EXPECT_NE(stats_response.find("\"stats\""), std::string::npos);
+  EXPECT_EQ(service.Stats().rejected_quota_total, 2);
 }
 
 TEST(PredictServiceTest, BatchedRequestsAllComplete) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "serve/json.h"
 #include "serve/request.h"
 
@@ -47,6 +49,62 @@ TEST(LatencyHistogramTest, UnboundedTopBucketFallsBackToMax) {
   histogram.Add(50000.0);  // beyond the last bound
   histogram.Add(90000.0);
   EXPECT_EQ(histogram.PercentileMs(99), 90000.0);
+}
+
+TEST(LatencyHistogramTest, MergeIsExactAcrossFixedBuckets) {
+  LatencyHistogram bulk;
+  LatencyHistogram interactive;
+  LatencyHistogram reference;
+  for (double ms : {3.0, 80.0, 700.0}) {
+    bulk.Add(ms);
+    reference.Add(ms);
+  }
+  for (double ms : {1.5, 4.0}) {
+    interactive.Add(ms);
+    reference.Add(ms);
+  }
+  LatencyHistogram merged;
+  merged.Merge(bulk);
+  merged.Merge(interactive);
+  EXPECT_EQ(merged.count(), reference.count());
+  EXPECT_DOUBLE_EQ(merged.mean_ms(), reference.mean_ms());
+  EXPECT_DOUBLE_EQ(merged.sum_ms(), reference.sum_ms());
+  EXPECT_EQ(merged.min_ms(), reference.min_ms());
+  EXPECT_EQ(merged.max_ms(), reference.max_ms());
+  EXPECT_EQ(merged.bucket_counts(), reference.bucket_counts());
+  EXPECT_DOUBLE_EQ(merged.PercentileMs(99), reference.PercentileMs(99));
+}
+
+TEST(LatencyHistogramTest, PercentileOrderHoldsForArbitrarySamples) {
+  // Property test (satellite): p50 <= p95 <= p99 must hold for any
+  // sample distribution — log-uniform, point-mass, heavy-tailed — and
+  // every percentile stays within [min, max].
+  std::mt19937 rng(20260809u);
+  std::uniform_real_distribution<double> log_ms(-1.0, 4.5);
+  std::uniform_int_distribution<int> size(1, 400);
+  for (int trial = 0; trial < 200; ++trial) {
+    LatencyHistogram histogram;
+    const int n = size(rng);
+    for (int i = 0; i < n; ++i) {
+      double ms = std::pow(10.0, log_ms(rng));
+      if (trial % 3 == 1) ms = 3.0;           // point mass
+      if (trial % 3 == 2 && i % 7 == 0) ms *= 100.0;  // heavy tail
+      histogram.Add(ms);
+    }
+    const double p50 = histogram.PercentileMs(50);
+    const double p95 = histogram.PercentileMs(95);
+    const double p99 = histogram.PercentileMs(99);
+    ASSERT_LE(p50, p95) << "trial " << trial << " n=" << n;
+    ASSERT_LE(p95, p99) << "trial " << trial << " n=" << n;
+    ASSERT_GE(p50, histogram.min_ms()) << "trial " << trial;
+    ASSERT_LE(p99, histogram.max_ms()) << "trial " << trial;
+    const LatencyStatsSnapshot snapshot = histogram.Snapshot();
+    ASSERT_LE(snapshot.p50_ms, snapshot.p95_ms) << "trial " << trial;
+    ASSERT_LE(snapshot.p95_ms, snapshot.p99_ms) << "trial " << trial;
+    int64_t total = 0;
+    for (int64_t b : snapshot.buckets) total += b;
+    ASSERT_EQ(total, static_cast<int64_t>(snapshot.count));
+  }
 }
 
 TEST(FormatServeStatsJsonTest, RendersParseableSnapshot) {
@@ -129,6 +187,49 @@ TEST(FormatServeStatsJsonTest, ReportsProtocolVersionAndCacheLifecycle) {
   ASSERT_NE(window, nullptr);
   EXPECT_EQ(window->Find("shards"), nullptr);
   EXPECT_EQ(window->Find("recoveries"), nullptr);
+}
+
+TEST(FormatServeStatsJsonTest, ReportsQosAndTransportCounters) {
+  ServeStatsSnapshot snapshot;
+  snapshot.rejected_quota_total = 4;
+  snapshot.deadline_exceeded_total = 2;
+  snapshot.event_loop_threads = 3;
+  snapshot.event_loop_pending_tasks = 7;
+  snapshot.connections_current = 11;
+  snapshot.connections_total = 29;
+  snapshot.metrics_requests_total = 5;
+  auto& bulk =
+      snapshot.latency_by_priority[static_cast<int>(RequestPriority::kBulk)];
+  bulk.count = 9;
+  bulk.mean_ms = 40.0;
+  bulk.p99_ms = 200.0;
+  auto& interactive = snapshot.latency_by_priority[static_cast<int>(
+      RequestPriority::kInteractive)];
+  interactive.count = 3;
+  interactive.mean_ms = 5.0;
+  interactive.p99_ms = 12.0;
+
+  const std::string json = FormatServeStatsJson(snapshot);
+  Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << json;
+  EXPECT_EQ(parsed->Find("rejected_quota_total")->number_value(), 4.0);
+  EXPECT_EQ(parsed->Find("deadline_exceeded_total")->number_value(), 2.0);
+  EXPECT_EQ(parsed->Find("event_loop_threads")->number_value(), 3.0);
+  EXPECT_EQ(parsed->Find("event_loop_pending_tasks")->number_value(), 7.0);
+  EXPECT_EQ(parsed->Find("connections")->number_value(), 11.0);
+  EXPECT_EQ(parsed->Find("connections_total")->number_value(), 29.0);
+  EXPECT_EQ(parsed->Find("metrics_requests_total")->number_value(), 5.0);
+
+  const JsonValue* by_priority = parsed->Find("latency_by_priority");
+  ASSERT_NE(by_priority, nullptr);
+  const JsonValue* bulk_json = by_priority->Find("bulk");
+  ASSERT_NE(bulk_json, nullptr);
+  EXPECT_EQ(bulk_json->Find("count")->number_value(), 9.0);
+  EXPECT_EQ(bulk_json->Find("p99")->number_value(), 200.0);
+  const JsonValue* interactive_json = by_priority->Find("interactive");
+  ASSERT_NE(interactive_json, nullptr);
+  EXPECT_EQ(interactive_json->Find("count")->number_value(), 3.0);
+  EXPECT_EQ(interactive_json->Find("mean")->number_value(), 5.0);
 }
 
 }  // namespace

@@ -26,6 +26,13 @@ Checks enforced (see README "Correctness tooling"):
                    outside common/thread_annotations.h; use the
                    annotated Mutex/MutexLock/CondVar wrappers so clang's
                    -Wthread-safety analysis sees every acquisition.
+  blocking-io      direct I/O syscalls (read/write/recv/send/accept...)
+                   are banned in src/serve/event_loop.cc: the loop is
+                   pure readiness dispatch, and one blocking call there
+                   stalls every connection on that loop. Socket I/O
+                   belongs in handlers (connection.cc); the loop's own
+                   nonblocking wake-eventfd reads/writes carry
+                   `lint:allow(blocking-io)` escapes with reasons.
   bare-nolint      NOLINT markers must name a check and carry a reason:
                    `// NOLINT(check-name): why`.
 
@@ -57,6 +64,9 @@ RAW_MUTEX_RE = re.compile(
     r"unique_lock|scoped_lock|shared_lock|condition_variable)\b")
 DOUBLE_FMT_RE = re.compile(r"%[-+ #0-9.*]*[efgEFG]")
 PARENT_INCLUDE_RE = re.compile(r'#\s*include\s+"\.\./')
+BLOCKING_IO_RE = re.compile(
+    r"(^|[^\w.])(::)?\s*(read|write|recv|recvfrom|recvmsg|send|sendto|"
+    r"sendmsg|accept4?|pread|pwrite)\s*\(")
 
 # Namespace-scope variable definition heuristic: a column-0 (or
 # namespace-indented column-0; this tree keeps namespace contents at
@@ -120,6 +130,7 @@ def check_file(path, root, findings):
     in_src_or_tools = in_src or rel.startswith("tools/")
     is_random_impl = rel.startswith("src/common/random.")
     is_annotations = rel == "src/common/thread_annotations.h"
+    is_event_loop = rel == "src/serve/event_loop.cc"
 
     if path.endswith(HEADER_EXTS):
         first_code = next(
@@ -146,6 +157,14 @@ def check_file(path, root, findings):
                     path, lineno, "nondeterminism",
                     "banned nondeterminism source; use common/random.h "
                     "(seeded) instead"))
+
+        if is_event_loop:
+            if BLOCKING_IO_RE.search(code) and not allowed(raw, "blocking-io", prev):
+                findings.append(Finding(
+                    path, lineno, "blocking-io",
+                    "I/O syscall in the event loop; the loop is pure "
+                    "readiness dispatch — do socket I/O in a Handler "
+                    "(connection.cc)"))
 
         if in_src and not is_annotations:
             if RAW_MUTEX_RE.search(code) and not allowed(raw, "raw-mutex", prev):

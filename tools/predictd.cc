@@ -10,9 +10,12 @@
 ///
 /// Flags: --port=N (default 0 = ephemeral; the bound port is printed),
 /// --host=A (default 127.0.0.1), --threads=N (0 = auto),
-/// --max-queue=N, --batch=N, --cache-shards=N, --cache-file=PATH
-/// (checkpoint the solve cache on drain, recover it on boot — warm
-/// restarts), --verbose.
+/// --event-loop-threads=N (transport event loops; the connection count
+/// they carry is independent of this budget), --max-queue=N, --batch=N,
+/// --quota-rps=N (per-client token-bucket rate limit; 0 = off),
+/// --metrics=0|1 (HTTP GET /metrics and /stats on the listen port),
+/// --cache-shards=N, --cache-file=PATH (checkpoint the solve cache on
+/// drain, recover it on boot — warm restarts), --verbose.
 ///
 /// Example session:
 ///   $ ./predictd --port=7077 &
@@ -25,6 +28,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include "common/logging.h"
@@ -72,6 +76,19 @@ bool HasFlag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+/// Raise the fd soft limit to the hard limit: with an event-loop
+/// transport the connection count is bounded by fds, not threads, and
+/// the default soft limit (often 1024) would cap a C10k deployment at
+/// a tenth of its capacity. Best effort — failure just keeps the
+/// current limit.
+void RaiseFdLimit() {
+  struct rlimit limit = {};
+  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur >= limit.rlim_max) return;
+  limit.rlim_cur = limit.rlim_max;
+  (void)setrlimit(RLIMIT_NOFILE, &limit);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,8 +100,14 @@ int main(int argc, char** argv) {
         "  --port=N       TCP port (default 0 = ephemeral, printed)\n"
         "  --host=A       IPv4 listen address (default 127.0.0.1)\n"
         "  --threads=N    evaluation workers (default 0 = auto)\n"
+        "  --event-loop-threads=N  transport event loops (default 2);\n"
+        "                    connection capacity is independent of this\n"
         "  --max-queue=N  admission queue bound (default 256)\n"
         "  --batch=N      micro-batch cap (default 32)\n"
+        "  --quota-rps=N  per-client predict requests/second (token\n"
+        "                    bucket per peer address; default 0 = off)\n"
+        "  --metrics=0|1  HTTP GET /metrics (Prometheus text) and\n"
+        "                    /stats on the listen port (default 1)\n"
         "  --cache-shards=N  solve-cache lock shards, rounded up to a\n"
         "                    power of two; 1 = single mutex (default 8)\n"
         "  --cache-file=PATH checkpoint the solve cache here on drain\n"
@@ -99,6 +122,12 @@ int main(int argc, char** argv) {
   PredictServerOptions options;
   options.host = StringFlag(argc, argv, "--host", options.host);
   options.port = IntFlag(argc, argv, "--port", options.port);
+  options.event_loop_threads = IntFlag(argc, argv, "--event-loop-threads",
+                                       options.event_loop_threads);
+  options.enable_metrics =
+      IntFlag(argc, argv, "--metrics", options.enable_metrics ? 1 : 0) != 0;
+  options.service.quota_rps = IntFlag(
+      argc, argv, "--quota-rps", static_cast<int>(options.service.quota_rps));
   options.service.num_threads = IntFlag(argc, argv, "--threads", 0);
   options.service.max_queue =
       IntFlag(argc, argv, "--max-queue", options.service.max_queue);
@@ -108,6 +137,8 @@ int main(int argc, char** argv) {
       IntFlag(argc, argv, "--cache-shards", options.service.cache_shards);
   options.service.cache_file =
       StringFlag(argc, argv, "--cache-file", options.service.cache_file);
+
+  RaiseFdLimit();
 
   if (pipe(g_signal_pipe) != 0) {
     std::fprintf(stderr, "predictd: pipe() failed: %s\n",
