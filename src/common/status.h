@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kFailedPrecondition = 6,
   kInternal = 7,
   kNotImplemented = 8,
+  kUnavailable = 9,
 };
 
 /// \brief Returns a short human-readable name for a status code.
@@ -70,6 +71,9 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   /// @}
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -84,6 +88,7 @@ class Status {
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// Renders e.g. "InvalidArgument: numNodes must be positive".
   std::string ToString() const;

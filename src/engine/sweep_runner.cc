@@ -23,13 +23,6 @@ double SecondsSince(SteadyClock::time_point start) {
   return std::chrono::duration<double>(SteadyClock::now() - start).count();
 }
 
-/// Default chunk width: ~32 chunks across the grid, enough stealing
-/// granularity for skewed point costs while keeping warm-start chains
-/// long. A pure function of the point count — see
-/// SweepOptions::chunk_points.
-size_t DefaultChunkPoints(size_t points) {
-  return std::max<size_t>(1, points / 32);
-}
 
 /// Shared state of one RunTasks fan-out. Held by shared_ptr in every
 /// worker task so an exception unwinding the RunTasks frame while
@@ -167,6 +160,10 @@ void ProcessChunk(ThreadPool& pool, SweepWorkState& state, size_t chunk,
 
 }  // namespace
 
+size_t DefaultSweepChunkPoints(size_t points) {
+  return std::max<size_t>(1, points / 32);
+}
+
 /// Counts completed points and invokes the user callback under a mutex,
 /// so observers see serialized, completion-ordered snapshots whatever
 /// the worker count. Shared (by value) with every worker lambda: if an
@@ -287,8 +284,9 @@ SweepReport SweepRunner::RunTasks(const std::vector<Task>& tasks) {
   // The chunk layout is a pure function of the point count (plus the
   // explicit override) — never of the worker count — so every
   // warm-start chain is identical at any thread count.
-  state->chunk_points = options_.chunk_points > 0 ? options_.chunk_points
-                                                  : DefaultChunkPoints(n);
+  state->chunk_points = options_.chunk_points > 0
+                            ? options_.chunk_points
+                            : DefaultSweepChunkPoints(n);
   state->warm_start = options_.warm_start;
   const size_t num_chunks =
       n == 0 ? 0 : (n + state->chunk_points - 1) / state->chunk_points;

@@ -55,6 +55,16 @@
 
 namespace mrperf {
 
+/// \brief Default points-per-chunk of Run/RunTasks when
+/// SweepOptions::chunk_points is 0: ~32 chunks across the grid, enough
+/// stealing granularity for skewed point costs while keeping
+/// warm-start chains long. A pure function of the point count alone —
+/// never the worker count — which is what makes the layout (and every
+/// warm-start chain) identical at any thread count. Exported because
+/// the fleet scatter layer reuses the identical layout to split a
+/// sweep across replicas (fleet/scatter.h).
+size_t DefaultSweepChunkPoints(size_t points);
+
 /// \brief Snapshot handed to SweepOptions::progress after each point.
 struct SweepProgress {
   /// Points completed so far (successful or failed), 1-based by the

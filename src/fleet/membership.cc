@@ -1,0 +1,214 @@
+#include "fleet/membership.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "serve/client.h"
+
+namespace mrperf {
+
+Result<std::vector<ReplicaAddress>> ParseReplicaList(
+    const std::string& spec) {
+  std::vector<ReplicaAddress> replicas;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) {
+      return Status::InvalidArgument(
+          "empty replica entry in --replicas list '" + spec + "'");
+    }
+    const size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == entry.size()) {
+      return Status::InvalidArgument("replica entry '" + entry +
+                                     "' is not host:port");
+    }
+    ReplicaAddress address;
+    address.host = entry.substr(0, colon);
+    const std::string port_text = entry.substr(colon + 1);
+    for (const char c : port_text) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("replica entry '" + entry +
+                                       "' has a non-numeric port");
+      }
+    }
+    if (port_text.size() > 5) {
+      return Status::InvalidArgument("replica entry '" + entry +
+                                     "' port out of range");
+    }
+    address.port = std::stoi(port_text);
+    if (address.port < 1 || address.port > 65535) {
+      return Status::InvalidArgument("replica entry '" + entry +
+                                     "' port out of range");
+    }
+    replicas.push_back(std::move(address));
+  }
+  if (replicas.empty()) {
+    return Status::InvalidArgument("--replicas list is empty");
+  }
+  return replicas;
+}
+
+FleetMembership::FleetMembership(std::vector<ReplicaAddress> replicas,
+                                 MembershipOptions options)
+    : replicas_(std::move(replicas)), options_(options) {
+  MutexLock lock(mu_);
+  states_.resize(replicas_.size());
+}
+
+FleetMembership::~FleetMembership() { StopProbing(); }
+
+void FleetMembership::StartProbing() {
+  {
+    MutexLock lock(mu_);
+    if (probing_) return;
+    probing_ = true;
+    stop_ = false;
+  }
+  prober_ = std::thread([this] { ProbeLoop(); });
+}
+
+void FleetMembership::StopProbing() {
+  {
+    MutexLock lock(mu_);
+    if (!probing_) return;
+    probing_ = false;
+    stop_ = true;
+    stop_cv_.NotifyAll();
+  }
+  if (prober_.joinable()) prober_.join();
+}
+
+bool FleetMembership::IsHealthy(size_t replica) const {
+  MutexLock lock(mu_);
+  return replica < states_.size() && states_[replica].healthy;
+}
+
+void FleetMembership::ReportFailure(size_t replica) {
+  MutexLock lock(mu_);
+  if (replica >= states_.size()) return;
+  State& state = states_[replica];
+  ++state.consecutive_failures;
+  if (state.healthy) {
+    state.healthy = false;
+    MRPERF_LOG(Warning) << "fleet: replica " << replica << " ("
+                        << replicas_[replica].ToString()
+                        << ") marked dead by transport failure";
+  }
+}
+
+void FleetMembership::ReportSuccess(size_t replica) {
+  MutexLock lock(mu_);
+  if (replica >= states_.size()) return;
+  State& state = states_[replica];
+  state.consecutive_failures = 0;
+  state.backoff_ticks = 0;
+  state.next_backoff_ticks = 1;
+  if (!state.healthy) {
+    state.healthy = true;
+    MRPERF_LOG(Info) << "fleet: replica " << replica << " ("
+                     << replicas_[replica].ToString() << ") rejoined";
+  }
+}
+
+std::vector<ReplicaHealth> FleetMembership::Snapshot() const {
+  std::vector<ReplicaHealth> out;
+  out.reserve(replicas_.size());
+  MutexLock lock(mu_);
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    ReplicaHealth health;
+    health.address = replicas_[r];
+    health.healthy = states_[r].healthy;
+    health.consecutive_failures = states_[r].consecutive_failures;
+    health.probes_total = states_[r].probes_total;
+    health.probe_failures_total = states_[r].probe_failures_total;
+    out.push_back(std::move(health));
+  }
+  return out;
+}
+
+bool FleetMembership::ProbeOnce(size_t replica) {
+  PredictClientOptions client_options;
+  client_options.connect_timeout_ms = options_.probe_timeout_ms;
+  client_options.read_timeout_ms = options_.probe_timeout_ms;
+  PredictClient client(client_options);
+  const Status connected = client.Connect(replicas_[replica].host,
+                                          replicas_[replica].port);
+  if (!connected.ok()) return false;
+  const Result<std::string> response = client.Call("{\"kind\": \"stats\"}");
+  if (!response.ok()) return false;
+  // Any well-formed single-line answer counts: the probe checks
+  // liveness of the serving path, not the stats schema.
+  return !response.ValueOrDie().empty();
+}
+
+void FleetMembership::ProbeLoop() {
+  const auto interval =
+      std::chrono::milliseconds(std::max(1, options_.probe_interval_ms));
+  // Max dead-replica backoff in probe ticks.
+  const int max_ticks = std::max(
+      1, options_.max_backoff_ms / std::max(1, options_.probe_interval_ms));
+  for (;;) {
+    std::vector<size_t> due;
+    {
+      MutexLock lock(mu_);
+      if (stop_) return;
+      for (size_t r = 0; r < states_.size(); ++r) {
+        State& state = states_[r];
+        if (state.backoff_ticks > 0) {
+          --state.backoff_ticks;
+          continue;
+        }
+        due.push_back(r);
+      }
+    }
+    for (const size_t r : due) {
+      // Probing happens outside mu_: a slow or timing-out replica must
+      // not block ReportFailure from the transport threads.
+      const bool up = ProbeOnce(r);
+      MutexLock lock(mu_);
+      if (stop_) return;
+      State& state = states_[r];
+      ++state.probes_total;
+      if (up) {
+        state.consecutive_failures = 0;
+        state.backoff_ticks = 0;
+        state.next_backoff_ticks = 1;
+        if (!state.healthy) {
+          state.healthy = true;
+          MRPERF_LOG(Info) << "fleet: replica " << r << " ("
+                           << replicas_[r].ToString()
+                           << ") rejoined (probe success)";
+        }
+        continue;
+      }
+      ++state.probe_failures_total;
+      ++state.consecutive_failures;
+      if (state.healthy &&
+          state.consecutive_failures >= options_.failure_threshold) {
+        state.healthy = false;
+        MRPERF_LOG(Warning)
+            << "fleet: replica " << r << " (" << replicas_[r].ToString()
+            << ") marked dead after " << state.consecutive_failures
+            << " failed probes";
+      }
+      if (!state.healthy) {
+        // Exponential backoff for dead replicas, capped; recovery is
+        // detected within one backoff of the replica returning.
+        state.backoff_ticks = state.next_backoff_ticks;
+        state.next_backoff_ticks =
+            std::min(max_ticks, state.next_backoff_ticks * 2);
+      }
+    }
+    MutexLock lock(mu_);
+    if (stop_) return;
+    stop_cv_.WaitFor(lock, interval);
+  }
+}
+
+}  // namespace mrperf

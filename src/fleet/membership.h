@@ -1,0 +1,133 @@
+/// \file membership.h
+/// \brief Static fleet membership with periodic health probes.
+///
+/// The replica set is fixed at startup (--replicas=host:port,...);
+/// what changes at runtime is each replica's health. A background
+/// prober issues {"kind":"stats"} over a short-timeout PredictClient
+/// connection at `probe_interval_ms`; a replica is marked dead after
+/// `failure_threshold` consecutive probe failures and healthy again on
+/// the first probe success. Dead replicas are probed on an exponential
+/// backoff (capped at `max_backoff_ms`) so a crashed process is not
+/// hammered, yet rejoins within one backoff of recovering.
+///
+/// The router additionally reports its own transport failures through
+/// ReportFailure(): a connect refusal or mid-request disconnect marks
+/// the replica dead immediately — requests must not wait for the next
+/// probe tick to stop routing at a corpse. Routing consults
+/// IsHealthy() on the ring's preference order; when every replica
+/// looks dead the router still tries the primary (the view may just be
+/// stale), so a fully-partitioned router degrades to per-request
+/// errors rather than rejecting everything outright.
+///
+/// Thread-safe: the prober thread, event-loop threads (ReportFailure)
+/// and stats renderers all share one annotated Mutex.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace mrperf {
+
+/// \brief One replica's address (IPv4 host + port).
+struct ReplicaAddress {
+  std::string host;
+  int port = 0;
+
+  std::string ToString() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+/// \brief Parses "host:port,host:port,..." (the --replicas flag).
+/// Strict: empty entries, missing ports and non-numeric ports are
+/// errors — a typo must not silently shrink the fleet.
+Result<std::vector<ReplicaAddress>> ParseReplicaList(const std::string& spec);
+
+/// \brief Point-in-time health view of one replica.
+struct ReplicaHealth {
+  ReplicaAddress address;
+  bool healthy = true;
+  /// Consecutive probe/transport failures since the last success.
+  int64_t consecutive_failures = 0;
+  int64_t probes_total = 0;
+  int64_t probe_failures_total = 0;
+};
+
+/// \brief Membership configuration.
+struct MembershipOptions {
+  /// Steady-state probe cadence per healthy replica.
+  int probe_interval_ms = 200;
+  /// Consecutive failures before a replica is marked dead (transport
+  /// failures reported by the router bypass this and kill immediately).
+  int failure_threshold = 2;
+  /// Per-probe connect/read timeout.
+  int probe_timeout_ms = 250;
+  /// Cap of the dead-replica probe backoff.
+  int max_backoff_ms = 2000;
+};
+
+/// \brief Static replica list + probed health (see file comment).
+class FleetMembership {
+ public:
+  FleetMembership(std::vector<ReplicaAddress> replicas,
+                  MembershipOptions options);
+  /// Stops the prober if still running.
+  ~FleetMembership();
+
+  FleetMembership(const FleetMembership&) = delete;
+  FleetMembership& operator=(const FleetMembership&) = delete;
+
+  /// Starts the background prober thread. Optional: without it, health
+  /// changes only through ReportFailure/ReportSuccess (tests).
+  void StartProbing();
+  /// Stops and joins the prober. Idempotent.
+  void StopProbing();
+
+  size_t replica_count() const { return replicas_.size(); }
+  const ReplicaAddress& address(size_t replica) const {
+    return replicas_[replica];
+  }
+
+  bool IsHealthy(size_t replica) const;
+
+  /// Transport-observed failure: marks the replica dead immediately
+  /// (the router saw a refused connect or a mid-request disconnect).
+  void ReportFailure(size_t replica);
+  /// Transport-observed success; also how a probe reports recovery.
+  void ReportSuccess(size_t replica);
+
+  /// Snapshot of every replica's health, indexed by replica.
+  std::vector<ReplicaHealth> Snapshot() const;
+
+ private:
+  void ProbeLoop();
+  /// One probe round-trip; true on a successful stats response.
+  bool ProbeOnce(size_t replica);
+
+  const std::vector<ReplicaAddress> replicas_;
+  const MembershipOptions options_;
+
+  mutable Mutex mu_;
+  CondVar stop_cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool probing_ GUARDED_BY(mu_) = false;
+  struct State {
+    bool healthy = true;
+    int64_t consecutive_failures = 0;
+    int64_t probes_total = 0;
+    int64_t probe_failures_total = 0;
+    /// Probe ticks left to skip (dead-replica exponential backoff).
+    int backoff_ticks = 0;
+    int next_backoff_ticks = 1;
+  };
+  std::vector<State> states_ GUARDED_BY(mu_);
+  std::thread prober_;
+};
+
+}  // namespace mrperf

@@ -1,0 +1,204 @@
+#include "fleet/upstream.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iterator>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mrperf {
+
+Upstream::Upstream(EventLoop* loop, size_t replica, ReplicaAddress address,
+                   FleetMembership* membership, RerouteCallback reroute)
+    : loop_(loop),
+      replica_(replica),
+      address_(std::move(address)),
+      membership_(membership),
+      reroute_(std::move(reroute)) {}
+
+Upstream::~Upstream() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Upstream::Send(RoutedRequest request) {
+  pendings_.push_back(std::move(request));
+  write_buffer_ += pendings_.back().line;
+  write_buffer_ += '\n';
+  if (state_ == State::kDisconnected && !StartConnect()) {
+    FailConnection("connect");
+    return;
+  }
+  if (state_ == State::kConnected) {
+    TryWrite();
+  } else {
+    UpdateInterest();
+  }
+}
+
+bool Upstream::StartConnect() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return false;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(address_.port));
+  if (::inet_pton(AF_INET, address_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0 && errno != EINPROGRESS) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  state_ = rc == 0 ? State::kConnected : State::kConnecting;
+  interest_ = state_ == State::kConnected ? EPOLLIN : EPOLLOUT;
+  const Status added = loop_->Add(fd_, interest_, this);
+  if (!added.ok()) {
+    ::close(fd_);
+    fd_ = -1;
+    state_ = State::kDisconnected;
+    return false;
+  }
+  return true;
+}
+
+void Upstream::OnReady(uint32_t events) {
+  if (state_ == State::kConnecting) {
+    HandleConnectReady();
+    return;
+  }
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    FailConnection("poll");
+    return;
+  }
+  if ((events & EPOLLIN) != 0) {
+    HandleReadable();
+    if (state_ != State::kConnected) return;
+  }
+  if ((events & EPOLLOUT) != 0) TryWrite();
+}
+
+void Upstream::HandleConnectReady() {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+    FailConnection("connect");
+    return;
+  }
+  state_ = State::kConnected;
+  UpdateInterest();
+  TryWrite();
+}
+
+void Upstream::HandleReadable() {
+  char chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      read_buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or hard error: the replica went away mid-stream.
+    FailConnection(n == 0 ? "eof" : "recv");
+    return;
+  }
+  // Each complete line answers the oldest pending (FIFO: predictd
+  // responds in request order per connection).
+  size_t start = 0;
+  for (;;) {
+    const size_t newline = read_buffer_.find('\n', start);
+    if (newline == std::string::npos) break;
+    std::string line = read_buffer_.substr(start, newline - start);
+    start = newline + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (pendings_.empty()) {
+      // A response with no matching request is a protocol violation;
+      // drop the connection rather than misattribute it.
+      read_buffer_.clear();
+      FailConnection("unmatched response");
+      return;
+    }
+    RoutedRequest answered = std::move(pendings_.front());
+    pendings_.pop_front();
+    membership_->ReportSuccess(replica_);
+    answered.done(std::move(line));
+  }
+  read_buffer_.erase(0, start);
+}
+
+void Upstream::TryWrite() {
+  while (write_pos_ < write_buffer_.size()) {
+    const ssize_t n =
+        ::send(fd_, write_buffer_.data() + write_pos_,
+               write_buffer_.size() - write_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_pos_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    FailConnection("send");
+    return;
+  }
+  if (write_pos_ == write_buffer_.size()) {
+    write_buffer_.clear();
+    write_pos_ = 0;
+  }
+  UpdateInterest();
+}
+
+void Upstream::UpdateInterest() {
+  if (fd_ < 0) return;
+  uint32_t wanted = 0;
+  if (state_ == State::kConnecting) {
+    wanted = EPOLLOUT;
+  } else {
+    wanted = EPOLLIN;
+    if (write_pos_ < write_buffer_.size()) wanted |= EPOLLOUT;
+  }
+  if (wanted != interest_) {
+    interest_ = wanted;
+    loop_->Modify(fd_, wanted);
+  }
+}
+
+void Upstream::FailConnection(const char* what) {
+  if (fd_ >= 0) {
+    loop_->Remove(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  state_ = State::kDisconnected;
+  interest_ = 0;
+  write_buffer_.clear();
+  write_pos_ = 0;
+  read_buffer_.clear();
+  std::vector<RoutedRequest> failed(
+      std::make_move_iterator(pendings_.begin()),
+      std::make_move_iterator(pendings_.end()));
+  pendings_.clear();
+  membership_->ReportFailure(replica_);
+  if (!failed.empty()) {
+    MRPERF_LOG(Warning) << "fleet: upstream " << address_.ToString() << " "
+                        << what << " failure; rerouting " << failed.size()
+                        << " in-flight request(s)";
+    reroute_(std::move(failed));
+  }
+}
+
+}  // namespace mrperf

@@ -1,0 +1,125 @@
+/// \file upstream.h
+/// \brief One router-to-replica connection on the router's event loop:
+/// lazy nonblocking connect, pipelined request lines out, FIFO
+/// response matching in.
+///
+/// The router keeps **two** upstream connections per replica — one per
+/// RequestPriority. predictd answers in request order per connection,
+/// so a single shared connection would let a long bulk response block
+/// an interactive one behind it in the pipeline; separate connections
+/// keep the replica's QoS dispatch order visible end-to-end. Within
+/// one connection FIFO matching is exact: predictd's ordered
+/// pipelining guarantees response k answers request k.
+///
+/// An Upstream is **loop-confined** (the same discipline as
+/// serve/connection.h): every member is touched only from its
+/// EventLoop's thread, so it holds no locks. Connects are lazy — the
+/// first Send() after a disconnect starts a nonblocking connect
+/// (EINPROGRESS -> EPOLLOUT -> SO_ERROR) and queues lines behind it —
+/// and the loop has no timers, so a hung connect is bounded by the
+/// kernel, not by us; FleetMembership's prober is what keeps routing
+/// away from black holes.
+///
+/// Failure semantics: any transport failure (refused or failed
+/// connect, mid-stream EOF, read/write error) closes the connection,
+/// reports the replica to FleetMembership, and hands **every**
+/// unanswered Pending — written or still queued — to the reroute
+/// callback in send order. Requests are retry-safe by construction
+/// (evaluations are deterministic and coalesced), so the router simply
+/// re-dispatches them down their ring preference order.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/membership.h"
+#include "serve/event_loop.h"
+#include "serve/request.h"
+
+namespace mrperf {
+
+/// \brief One routed request awaiting its response line.
+struct RoutedRequest {
+  /// The request line, forwarded byte-for-byte (this is what makes
+  /// fleet responses byte-identical to a single predictd's).
+  std::string line;
+  /// The request's id, for the structured `unavailable` fallback when
+  /// every replica in the preference order has failed.
+  std::optional<std::string> id;
+  /// Selects the per-priority upstream connection (QoS isolation).
+  RequestPriority priority = RequestPriority::kBulk;
+  /// Ring failover order (HashRing::PreferenceOrder of the canonical
+  /// key); preference[0] is the primary.
+  std::vector<size_t> preference;
+  /// Next index in `preference` to try after a transport failure.
+  size_t next_preference = 0;
+  /// Delivers the response line to the original client (thread-safe;
+  /// Connection re-posts to its own loop).
+  std::function<void(std::string)> done;
+};
+
+/// \brief One lazy nonblocking connection to one replica (see file
+/// comment). Construct on any thread; everything else loop-only.
+class Upstream : public EventLoop::Handler {
+ public:
+  /// Receives every unanswered request of a failed connection, in send
+  /// order, for re-dispatch. Runs on the loop thread, possibly
+  /// synchronously under Send().
+  using RerouteCallback = std::function<void(std::vector<RoutedRequest>)>;
+
+  Upstream(EventLoop* loop, size_t replica, ReplicaAddress address,
+           FleetMembership* membership, RerouteCallback reroute);
+  /// Closes the socket if open. Destroy only after the loop stopped
+  /// (or on the loop thread).
+  ~Upstream() override;
+
+  Upstream(const Upstream&) = delete;
+  Upstream& operator=(const Upstream&) = delete;
+
+  /// Queues one request line behind the connection, connecting first
+  /// if needed. Loop thread only. On immediate connect failure the
+  /// request (and anything else queued) goes to the reroute callback
+  /// before Send returns.
+  void Send(RoutedRequest request);
+
+  /// Unanswered requests (sent or queued). Loop thread only.
+  size_t pending() const { return pendings_.size(); }
+
+  void OnReady(uint32_t events) override;
+
+ private:
+  enum class State { kDisconnected, kConnecting, kConnected };
+
+  /// Starts the nonblocking connect; false on immediate failure.
+  bool StartConnect();
+  void HandleConnectReady();
+  void HandleReadable();
+  void TryWrite();
+  /// Recomputes the epoll interest mask for the current state.
+  void UpdateInterest();
+  /// Tears the connection down and hands all pendings to reroute.
+  void FailConnection(const char* what);
+
+  EventLoop* const loop_;
+  const size_t replica_;
+  const ReplicaAddress address_;
+  FleetMembership* const membership_;
+  RerouteCallback reroute_;
+
+  // --- loop-confined state ---
+  State state_ = State::kDisconnected;
+  int fd_ = -1;
+  uint32_t interest_ = 0;
+  std::string read_buffer_;
+  std::string write_buffer_;
+  size_t write_pos_ = 0;
+  /// Every request not yet answered, in send order (FIFO matching).
+  std::deque<RoutedRequest> pendings_;
+};
+
+}  // namespace mrperf

@@ -1,20 +1,38 @@
 #include "serve/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace mrperf {
+namespace {
+
+/// Milliseconds left until `deadline`, clamped at 0. A no-deadline
+/// caller passes timeout_ms == 0 and never reaches this.
+int RemainingMs(std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return static_cast<int>(std::max<int64_t>(0, left.count()));
+}
+
+}  // namespace
 
 PredictClient::~PredictClient() { Close(); }
 
 Status PredictClient::Connect(const std::string& host, int port) {
   Close();
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  // Nonblocking from birth so a connect timeout is enforceable; the
+  // socket stays nonblocking afterwards and ReadLine/SendLine poll.
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd_ < 0) {
     return Status::Internal(std::string("socket(): ") +
                             std::strerror(errno));
@@ -26,14 +44,77 @@ Status PredictClient::Connect(const std::string& host, int port) {
     Close();
     return Status::InvalidArgument("invalid IPv4 address: '" + host + "'");
   }
+  const std::string where = host + ":" + std::to_string(port);
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string err = std::strerror(errno);
-    Close();
-    return Status::Internal("connect(" + host + ":" + std::to_string(port) +
-                            "): " + err);
+    if (errno != EINPROGRESS) {
+      const int err = errno;
+      Close();
+      if (err == ECONNREFUSED || err == ENETUNREACH || err == EHOSTUNREACH ||
+          err == ETIMEDOUT) {
+        return Status::Unavailable("connect(" + where +
+                                   "): " + std::strerror(err));
+      }
+      return Status::Internal("connect(" + where +
+                              "): " + std::strerror(err));
+    }
+    // In progress: wait for writability, bounded by the timeout.
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    const int timeout =
+        options_.connect_timeout_ms > 0 ? options_.connect_timeout_ms : -1;
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, timeout);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      Close();
+      return Status::Unavailable("connect(" + where + "): timed out after " +
+                                 std::to_string(options_.connect_timeout_ms) +
+                                 " ms");
+    }
+    if (rc < 0) {
+      const std::string err = std::strerror(errno);
+      Close();
+      return Status::Internal("poll(connect " + where + "): " + err);
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 ||
+        so_error != 0) {
+      const int err = so_error != 0 ? so_error : errno;
+      Close();
+      if (err == ECONNREFUSED || err == ENETUNREACH || err == EHOSTUNREACH ||
+          err == ETIMEDOUT) {
+        return Status::Unavailable("connect(" + where +
+                                   "): " + std::strerror(err));
+      }
+      return Status::Internal("connect(" + where +
+                              "): " + std::strerror(err));
+    }
   }
   buffer_.clear();
   return Status::OK();
+}
+
+Status PredictClient::ConnectWithRetry(const std::string& host, int port,
+                                       const RetryBackoff& backoff) {
+  const int attempts = std::max(1, backoff.max_attempts);
+  int sleep_ms = std::max(1, backoff.initial_backoff_ms);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      sleep_ms = std::min(backoff.max_backoff_ms > 0 ? backoff.max_backoff_ms
+                                                     : sleep_ms * 2,
+                          sleep_ms * 2);
+    }
+    last = Connect(host, port);
+    // Only Unavailable is worth retrying: a bad address or a local
+    // resource failure will not heal by waiting.
+    if (last.ok() || !last.IsUnavailable()) return last;
+  }
+  return last;
 }
 
 Status PredictClient::SendLine(const std::string& line) {
@@ -46,6 +127,22 @@ Status PredictClient::SendLine(const std::string& line) {
                              framed.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Nonblocking socket with a full send buffer: wait (the write
+        // side has no configured deadline; sends are small lines).
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = POLLOUT;
+        int rc;
+        do {
+          rc = ::poll(&pfd, 1, -1);
+        } while (rc < 0 && errno == EINTR);
+        if (rc < 0) {
+          return Status::Internal(std::string("poll(send): ") +
+                                  std::strerror(errno));
+        }
+        continue;
+      }
       return Status::Internal(std::string("send(): ") +
                               std::strerror(errno));
     }
@@ -56,6 +153,12 @@ Status PredictClient::SendLine(const std::string& line) {
 
 Result<std::string> PredictClient::ReadLine() {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  // One deadline bounds the whole line, not each byte: a server
+  // trickling a response cannot stretch the wait unboundedly.
+  const bool bounded = options_.read_timeout_ms > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(bounded ? options_.read_timeout_ms : 0);
   for (;;) {
     const size_t nl = buffer_.find('\n');
     if (nl != std::string::npos) {
@@ -66,6 +169,26 @@ Result<std::string> PredictClient::ReadLine() {
     char chunk[4096];
     const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      const int timeout = bounded ? RemainingMs(deadline) : -1;
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, timeout);
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        return Status::Unavailable(
+            "read timed out after " +
+            std::to_string(options_.read_timeout_ms) + " ms");
+      }
+      if (rc < 0) {
+        return Status::Internal(std::string("poll(read): ") +
+                                std::strerror(errno));
+      }
+      continue;
+    }
     if (n < 0) {
       return Status::Internal(std::string("read(): ") +
                               std::strerror(errno));

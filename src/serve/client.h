@@ -1,8 +1,14 @@
 /// \file client.h
 /// \brief Minimal blocking client for the predictd wire protocol, used
-/// by bench_serve_load, the server tests and the CI smoke job. One
-/// TCP connection, newline-delimited request/response lines; requests
-/// may be pipelined (send many, then read responses in order).
+/// by bench_serve_load, the server tests, the CI smoke job, and the
+/// fleet membership prober. One TCP connection, newline-delimited
+/// request/response lines; requests may be pipelined (send many, then
+/// read responses in order).
+///
+/// Failures are structured: a refused or timed-out connection and a
+/// read that exceeds its timeout return `Unavailable` — the retryable
+/// category the fleet router and ConnectWithRetry key on — while
+/// protocol-level misuse stays `FailedPrecondition`/`Internal`.
 
 #pragma once
 
@@ -12,17 +18,47 @@
 
 namespace mrperf {
 
+/// \brief Client-side socket behavior. Zero timeouts preserve the
+/// historical fully blocking semantics.
+struct PredictClientOptions {
+  /// Bound on establishing the TCP connection; 0 = block indefinitely.
+  int connect_timeout_ms = 0;
+  /// Bound on waiting for each response line's next byte; 0 = block
+  /// indefinitely.
+  int read_timeout_ms = 0;
+};
+
+/// \brief Exponential backoff schedule for ConnectWithRetry.
+struct RetryBackoff {
+  /// Connection attempts in total (>= 1).
+  int max_attempts = 4;
+  /// Sleep before the second attempt; doubles each further attempt.
+  int initial_backoff_ms = 20;
+  /// Cap on any single backoff sleep.
+  int max_backoff_ms = 500;
+};
+
 /// \brief Blocking line-oriented client (single-threaded use).
 class PredictClient {
  public:
   PredictClient() = default;
+  explicit PredictClient(PredictClientOptions options)
+      : options_(options) {}
   ~PredictClient();
 
   PredictClient(const PredictClient&) = delete;
   PredictClient& operator=(const PredictClient&) = delete;
 
-  /// Connects to an IPv4 host:port.
+  /// Connects to an IPv4 host:port. A refused connection or a
+  /// connect-timeout expiry returns `Unavailable` (retryable); other
+  /// failures keep their historical categories.
   Status Connect(const std::string& host, int port);
+
+  /// Connect with exponential backoff between attempts, retrying only
+  /// `Unavailable` outcomes (a refused port may simply not be bound
+  /// yet). Returns the last attempt's status.
+  Status ConnectWithRetry(const std::string& host, int port,
+                          const RetryBackoff& backoff = {});
 
   bool connected() const { return fd_ >= 0; }
 
@@ -30,7 +66,8 @@ class PredictClient {
   Status SendLine(const std::string& line);
 
   /// Blocks for the next response line. NotFound("connection closed")
-  /// on a clean EOF — which is how a drained server ends the session.
+  /// on a clean EOF — which is how a drained server ends the session —
+  /// and `Unavailable` when read_timeout_ms expires first.
   Result<std::string> ReadLine();
 
   /// SendLine + ReadLine (no pipelining).
@@ -39,6 +76,7 @@ class PredictClient {
   void Close();
 
  private:
+  PredictClientOptions options_;
   int fd_ = -1;
   std::string buffer_;
 };

@@ -146,8 +146,7 @@ void Connection::HandleOverlong() {
   EventLoop* loop = loop_;
   // Counted through the service so /stats still reconciles with the
   // responses actually written.
-  context_->service->RejectRequestErrorTo(
-      std::nullopt, ServeErrorCode::kParseError,
+  context_->reject_overlong(
       "request line exceeds " + std::to_string(context_->max_line_bytes) +
           " bytes",
       [weak, loop, index](std::string text) {
@@ -230,7 +229,7 @@ void Connection::EnqueueLine(const std::string& line) {
   // The callback may fire synchronously (rejections, stats) on this
   // thread or later on the dispatcher thread; both cross back through
   // Post so slot state stays loop-confined.
-  context_->service->SubmitLine(
+  context_->submit_line(
       line, peer_, [weak, loop, index](std::string text) {
         loop->Post([weak, index, text = std::move(text)]() mutable {
           if (std::shared_ptr<Connection> self = weak.lock()) {

@@ -40,14 +40,30 @@
 #include <string>
 
 #include "serve/event_loop.h"
-#include "serve/service.h"
 
 namespace mrperf {
 
 /// \brief Shared, immutable context the owning server hands every
 /// connection; must outlive them all.
+///
+/// The transport is decoupled from PredictService through the two
+/// submit callbacks: predictd wires them to
+/// PredictService::SubmitLine/RejectRequestErrorTo, while the fleet
+/// router wires them to its routing layer — same framing, pipelining
+/// and drain semantics either way.
 struct ConnectionContext {
-  PredictService* service = nullptr;
+  /// Receives one response line (exactly once per submitted line).
+  using ResponseCallback = std::function<void(std::string)>;
+
+  /// Routes one request line; `done` may fire synchronously on the
+  /// calling thread or later from any other thread.
+  std::function<void(const std::string& line, const std::string& peer,
+                     ResponseCallback done)>
+      submit_line;
+  /// Builds (and counts) the structured parse_error response for an
+  /// oversized request line the transport rejected itself.
+  std::function<void(const std::string& message, ResponseCallback done)>
+      reject_overlong;
   /// Maximum request-line length, newline included.
   size_t max_line_bytes = 1 << 16;
   /// Serve HTTP GETs (metrics/stats) on the same port.

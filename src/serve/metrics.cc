@@ -123,6 +123,27 @@ std::string FormatPrometheusMetrics(const ServeStatsSnapshot& s) {
   AppendGaugeFamily(out, "predictd_protocol_version",
                     "Wire-protocol major this server speaks.",
                     kServeProtocolVersion);
+  // Info-style gauge (value pinned to 1): the identity rides in the
+  // label, the predictd_build_info idiom. Label values escape per the
+  // exposition format.
+  AppendFamilyHeader(out, "predictd_replica_info",
+                     "Replica identity of this predictd process.", "gauge");
+  {
+    std::string labels = "{replica_id=\"";
+    for (const char c : s.replica_id) {
+      if (c == '\\') {
+        labels += "\\\\";
+      } else if (c == '"') {
+        labels += "\\\"";
+      } else if (c == '\n') {
+        labels += "\\n";
+      } else {
+        labels += c;
+      }
+    }
+    labels += "\"}";
+    AppendIntSample(out, "predictd_replica_info", labels.c_str(), 1);
+  }
   AppendGaugeFamily(out, "predictd_queue_depth",
                     "Distinct evaluations queued for dispatch.",
                     s.queue_depth);

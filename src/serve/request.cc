@@ -83,10 +83,26 @@ const char* ServeErrorCodeName(ServeErrorCode code) {
       return "quota_exceeded";
     case ServeErrorCode::kNotConverged:
       return "not_converged";
+    case ServeErrorCode::kUnavailable:
+      return "unavailable";
     case ServeErrorCode::kInternal:
       return "internal";
   }
   return "internal";
+}
+
+ServeErrorCode ServeErrorCodeFromName(const std::string& name) {
+  static constexpr ServeErrorCode kCodes[] = {
+      ServeErrorCode::kParseError,       ServeErrorCode::kInvalidArgument,
+      ServeErrorCode::kOverloaded,       ServeErrorCode::kShuttingDown,
+      ServeErrorCode::kDeadlineExceeded, ServeErrorCode::kQuotaExceeded,
+      ServeErrorCode::kNotConverged,     ServeErrorCode::kUnavailable,
+      ServeErrorCode::kInternal,
+  };
+  for (const ServeErrorCode code : kCodes) {
+    if (name == ServeErrorCodeName(code)) return code;
+  }
+  return ServeErrorCode::kInternal;
 }
 
 ServeErrorCode ServeErrorCodeFromStatus(const Status& status) {
@@ -97,6 +113,8 @@ ServeErrorCode ServeErrorCodeFromStatus(const Status& status) {
       return ServeErrorCode::kInvalidArgument;
     case StatusCode::kNotConverged:
       return ServeErrorCode::kNotConverged;
+    case StatusCode::kUnavailable:
+      return ServeErrorCode::kUnavailable;
     default:
       return ServeErrorCode::kInternal;
   }

@@ -91,11 +91,17 @@ enum class ServeErrorCode {
   kDeadlineExceeded,  // deadline passed before the evaluation started
   kQuotaExceeded,     // per-client rate quota exhausted — retry later
   kNotConverged,      // model solve failed to converge
+  kUnavailable,       // no replica reachable (fleet routing) — retry later
   kInternal,          // anything else
 };
 
 /// \brief Wire name, e.g. "invalid_argument".
 const char* ServeErrorCodeName(ServeErrorCode code);
+
+/// \brief Inverse of ServeErrorCodeName; kInternal for unknown names.
+/// The fleet router uses this to re-wrap a replica's structured error
+/// under the original request id without inventing new codes.
+ServeErrorCode ServeErrorCodeFromName(const std::string& name);
 
 /// \brief Maps a Status from the evaluation stack onto a wire code.
 ServeErrorCode ServeErrorCodeFromStatus(const Status& status);

@@ -1,14 +1,8 @@
 #include "serve/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/epoll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
 #include <chrono>
-#include <cstring>
 #include <future>
 #include <utility>
 
@@ -25,10 +19,6 @@ constexpr std::chrono::milliseconds kDrainFlushTimeout{5000};
 
 }  // namespace
 
-void PredictServer::AcceptHandler::OnReady(uint32_t /*events*/) {
-  server_->HandleAccept();
-}
-
 PredictServer::PredictServer(PredictServerOptions options)
     : options_(std::move(options)) {}
 
@@ -41,7 +31,16 @@ Status PredictServer::Start() {
   };
   service_ = std::make_unique<PredictService>(service_options);
 
-  context_.service = service_.get();
+  context_.submit_line = [this](const std::string& line,
+                                const std::string& peer,
+                                ConnectionContext::ResponseCallback done) {
+    service_->SubmitLine(line, peer, std::move(done));
+  };
+  context_.reject_overlong = [this](const std::string& message,
+                                    ConnectionContext::ResponseCallback done) {
+    service_->RejectRequestErrorTo(std::nullopt, ServeErrorCode::kParseError,
+                                   message, std::move(done));
+  };
   context_.max_line_bytes = options_.max_line_bytes;
   context_.enable_http = options_.enable_metrics;
   context_.render_metrics = [this] {
@@ -52,44 +51,8 @@ Status PredictServer::Start() {
     return FormatServeStatsJson(service_->Stats());
   };
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
-  if (listen_fd_ < 0) {
-    return Status::Internal(std::string("socket(): ") +
-                            std::strerror(errno));
-  }
-  const int reuse = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::InvalidArgument("invalid IPv4 listen address: '" +
-                                   options_.host + "'");
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Internal("bind(" + options_.host + ":" +
-                            std::to_string(options_.port) + "): " + err);
-  }
-  if (::listen(listen_fd_, 512) < 0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Internal("listen(): " + err);
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) == 0) {
-    port_ = ntohs(bound.sin_port);
-  }
+  MRPERF_RETURN_NOT_OK(listener_.Open(options_.host, options_.port));
+  port_ = listener_.port();
 
   const int loop_count =
       options_.event_loop_threads > 0 ? options_.event_loop_threads : 1;
@@ -99,8 +62,7 @@ Status PredictServer::Start() {
     if (!started.ok()) {
       for (const auto& running : loops_) running->Stop();
       loops_.clear();
-      ::close(listen_fd_);
-      listen_fd_ = -1;
+      listener_.Shutdown();
       return started;
     }
     loops_.push_back(std::move(loop));
@@ -111,64 +73,42 @@ Status PredictServer::Start() {
   EventLoop* accept_loop = loops_.front().get();
   std::promise<Status> registered;
   accept_loop->Post([this, accept_loop, &registered] {
-    registered.set_value(
-        accept_loop->Add(listen_fd_, EPOLLIN, &accept_handler_));
+    registered.set_value(listener_.Register(
+        accept_loop,
+        [this](int fd, std::string peer) { HandleAccept(fd, std::move(peer)); }));
   });
   const Status added = registered.get_future().get();
   if (!added.ok()) {
     for (const auto& running : loops_) running->Stop();
     loops_.clear();
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    listener_.Shutdown();
     return added;
   }
   return Status::OK();
 }
 
-void PredictServer::HandleAccept() {
-  // Accept until EAGAIN: level-triggered epoll would re-report a
-  // non-empty backlog, but draining it now keeps accept latency flat
-  // under connection storms.
-  for (;;) {
-    sockaddr_in addr{};
-    socklen_t addr_len = sizeof(addr);
-    const int fd =
-        ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len,
-                  SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      // EAGAIN: backlog drained. EMFILE/ENFILE and transient network
-      // errors: drop this readiness round; the next connection attempt
-      // re-arms the listener.
-      return;
-    }
-    if (stopping_.load()) {
-      ::close(fd);
-      continue;
-    }
-    char ip[INET_ADDRSTRLEN] = "?";
-    ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
-    std::string peer =
-        std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
-
-    EventLoop* loop =
-        loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) %
-               loops_.size()]
-            .get();
-    auto conn = std::make_shared<Connection>(
-        fd, std::move(peer), loop, &context_,
-        [this](const std::shared_ptr<Connection>& closed) {
-          OnConnectionClosed(closed);
-        });
-    {
-      MutexLock lock(conns_mu_);
-      conns_.emplace(conn.get(), conn);
-      ++connections_total_;
-    }
-    // Register on the owning loop's thread (this may be loop 0 itself;
-    // the task then runs right after this accept batch).
-    loop->Post([conn] { conn->Register(); });
+void PredictServer::HandleAccept(int fd, std::string peer) {
+  if (stopping_.load()) {
+    ::close(fd);
+    return;
   }
+  EventLoop* loop =
+      loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) %
+             loops_.size()]
+          .get();
+  auto conn = std::make_shared<Connection>(
+      fd, std::move(peer), loop, &context_,
+      [this](const std::shared_ptr<Connection>& closed) {
+        OnConnectionClosed(closed);
+      });
+  {
+    MutexLock lock(conns_mu_);
+    conns_.emplace(conn.get(), conn);
+    ++connections_total_;
+  }
+  // Register on the owning loop's thread (this may be loop 0 itself;
+  // the task then runs right after this accept batch).
+  loop->Post([conn] { conn->Register(); });
 }
 
 void PredictServer::OnConnectionClosed(
@@ -179,6 +119,7 @@ void PredictServer::OnConnectionClosed(
 }
 
 void PredictServer::FillTransportStats(ServeStatsSnapshot& snapshot) {
+  snapshot.replica_id = options_.replica_id;
   snapshot.event_loop_threads = static_cast<int>(loops_.size());
   int64_t pending = 0;
   for (const auto& loop : loops_) pending += loop->pending_tasks();
@@ -202,19 +143,16 @@ void PredictServer::DrainAndStop() {
 
   // 1. Stop accepting: unregister and close the listener on its loop,
   // synchronously — afterwards no connection can appear.
-  if (!loops_.empty() && listen_fd_ >= 0) {
+  if (!loops_.empty()) {
     EventLoop* accept_loop = loops_.front().get();
     std::promise<void> removed;
-    accept_loop->Post([this, accept_loop, &removed] {
-      accept_loop->Remove(listen_fd_);
-      ::close(listen_fd_);
-      listen_fd_ = -1;
+    accept_loop->Post([this, &removed] {
+      listener_.Shutdown();
       removed.set_value();
     });
     removed.get_future().wait();
-  } else if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  } else {
+    listener_.Shutdown();
   }
 
   // 2. Drain the service: every admitted request finishes evaluating

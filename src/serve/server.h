@@ -48,6 +48,7 @@
 #include "common/thread_annotations.h"
 #include "serve/connection.h"
 #include "serve/event_loop.h"
+#include "serve/listener.h"
 #include "serve/service.h"
 
 namespace mrperf {
@@ -66,6 +67,10 @@ struct PredictServerOptions {
   int event_loop_threads = 2;
   /// Serve HTTP GET /metrics and /stats on the listen port.
   bool enable_metrics = true;
+  /// Operator-assigned replica identity (the predictd --replica-id
+  /// flag). Surfaced in /stats and as the predictd_replica_info label
+  /// so a fleet's replicas are tellable apart; empty = standalone.
+  std::string replica_id;
   PredictServiceOptions service;
 };
 
@@ -95,19 +100,9 @@ class PredictServer {
   void DrainAndStop();
 
  private:
-  /// Listener readiness -> HandleAccept, so the server need not itself
-  /// inherit the Handler vtable.
-  class AcceptHandler : public EventLoop::Handler {
-   public:
-    explicit AcceptHandler(PredictServer* server) : server_(server) {}
-    void OnReady(uint32_t events) override;
-
-   private:
-    PredictServer* const server_;
-  };
-
-  /// Accepts until EAGAIN (level-triggered listener on loop 0).
-  void HandleAccept();
+  /// TcpListener accept callback: wraps one accepted socket in a
+  /// Connection on a round-robin loop (or closes it when stopping).
+  void HandleAccept(int fd, std::string peer);
   /// Connection closed-callback: releases the server's reference.
   void OnConnectionClosed(const std::shared_ptr<Connection>& conn);
   /// transport_stats_hook: folds loop/connection gauges into a
@@ -121,8 +116,8 @@ class PredictServer {
   /// Started in Start(), stopped in DrainAndStop(), never shrunk while
   /// the server lives (FillTransportStats reads it unlocked).
   std::vector<std::unique_ptr<EventLoop>> loops_;
-  AcceptHandler accept_handler_{this};
-  int listen_fd_ = -1;
+  /// Opened in Start(); shut down on loop 0 in DrainAndStop step 1.
+  TcpListener listener_;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   /// Round-robin cursor for assigning accepted sockets to loops.

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "engine/sweep_format.h"
+#include "serve/json.h"
 #include "serve/request.h"
 
 namespace mrperf {
@@ -113,9 +114,12 @@ std::string FormatServeStatsJson(const ServeStatsSnapshot& s) {
   std::string out;
   out.reserve(1536);
   char buf[1024];
+  out += "{\"replica_id\": ";
+  AppendJsonString(out, s.replica_id);
+  out += ", ";
   std::snprintf(
       buf, sizeof(buf),
-      "{\"protocol_version\": %d, "
+      "\"protocol_version\": %d, "
       "\"queue_depth\": %lld, \"draining\": %s, \"requests_total\": %lld, "
       "\"evaluations_total\": %lld, \"coalesced_total\": %lld, "
       "\"rejected_overload_total\": %lld, \"rejected_shutdown_total\": "

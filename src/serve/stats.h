@@ -84,6 +84,9 @@ struct LatencyStatsSnapshot {
 /// \brief One /stats response payload (all counters cumulative since
 /// startup unless noted).
 struct ServeStatsSnapshot {
+  /// Operator-assigned replica identity (predictd --replica-id); empty
+  /// for a standalone daemon. Filled by the transport_stats_hook.
+  std::string replica_id;
   int64_t queue_depth = 0;
   bool draining = false;
   /// Admitted predict requests, including ones served by coalescing.

@@ -1,0 +1,127 @@
+#include "fleet/membership.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace mrperf {
+namespace {
+
+TEST(ParseReplicaListTest, ParsesOrderedHostPortList) {
+  const auto parsed =
+      ParseReplicaList("127.0.0.1:7171,127.0.0.1:7172,10.0.0.5:80");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::vector<ReplicaAddress>& replicas = parsed.ValueOrDie();
+  ASSERT_EQ(replicas.size(), 3u);
+  EXPECT_EQ(replicas[0].host, "127.0.0.1");
+  EXPECT_EQ(replicas[0].port, 7171);
+  EXPECT_EQ(replicas[2].ToString(), "10.0.0.5:80");
+}
+
+TEST(ParseReplicaListTest, RejectsMalformedEntries) {
+  // A typo must not silently shrink the fleet (and shift the ring).
+  EXPECT_FALSE(ParseReplicaList("").ok());
+  EXPECT_FALSE(ParseReplicaList("127.0.0.1:7171,").ok());
+  EXPECT_FALSE(ParseReplicaList(",127.0.0.1:7171").ok());
+  EXPECT_FALSE(ParseReplicaList("127.0.0.1").ok());
+  EXPECT_FALSE(ParseReplicaList("127.0.0.1:").ok());
+  EXPECT_FALSE(ParseReplicaList(":7171").ok());
+  EXPECT_FALSE(ParseReplicaList("127.0.0.1:port").ok());
+  EXPECT_FALSE(ParseReplicaList("127.0.0.1:0").ok());
+  EXPECT_FALSE(ParseReplicaList("127.0.0.1:65536").ok());
+  EXPECT_FALSE(ParseReplicaList("127.0.0.1:7171,,127.0.0.1:7172").ok());
+}
+
+std::vector<ReplicaAddress> TwoReplicas() {
+  return {{"127.0.0.1", 1}, {"127.0.0.1", 2}};
+}
+
+TEST(FleetMembershipTest, StartsHealthyAndTracksReports) {
+  FleetMembership membership(TwoReplicas(), MembershipOptions{});
+  EXPECT_EQ(membership.replica_count(), 2u);
+  EXPECT_TRUE(membership.IsHealthy(0));
+  EXPECT_TRUE(membership.IsHealthy(1));
+
+  // A transport failure kills immediately — no probe quorum needed.
+  membership.ReportFailure(1);
+  EXPECT_TRUE(membership.IsHealthy(0));
+  EXPECT_FALSE(membership.IsHealthy(1));
+
+  membership.ReportSuccess(1);
+  EXPECT_TRUE(membership.IsHealthy(1));
+
+  const std::vector<ReplicaHealth> snapshot = membership.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[1].address.ToString(), "127.0.0.1:2");
+  EXPECT_TRUE(snapshot[1].healthy);
+  EXPECT_EQ(snapshot[1].consecutive_failures, 0);
+}
+
+TEST(FleetMembershipTest, OutOfRangeReplicaIsUnhealthyNoop) {
+  FleetMembership membership(TwoReplicas(), MembershipOptions{});
+  EXPECT_FALSE(membership.IsHealthy(7));
+  membership.ReportFailure(7);
+  membership.ReportSuccess(7);
+  EXPECT_TRUE(membership.IsHealthy(0));
+}
+
+TEST(FleetMembershipTest, ProberDetectsDeathAndRecovery) {
+  // Probe a real PredictServer: alive -> healthy; stopped -> dead
+  // after failure_threshold probes; restarted on the same port ->
+  // healthy again within a backoff.
+  auto server = std::make_unique<PredictServer>(PredictServerOptions{});
+  ASSERT_TRUE(server->Start().ok());
+  const int port = server->port();
+
+  MembershipOptions options;
+  options.probe_interval_ms = 20;
+  options.probe_timeout_ms = 250;
+  options.failure_threshold = 2;
+  options.max_backoff_ms = 80;
+  FleetMembership membership({{"127.0.0.1", port}}, options);
+  membership.StartProbing();
+
+  const auto wait_for = [&membership](bool healthy) {
+    for (int i = 0; i < 500; ++i) {
+      if (membership.IsHealthy(0) == healthy) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  };
+
+  EXPECT_TRUE(wait_for(true));
+  EXPECT_TRUE(membership.IsHealthy(0));
+
+  server->DrainAndStop();
+  server.reset();
+  EXPECT_TRUE(wait_for(false));
+
+  PredictServerOptions reborn_options;
+  reborn_options.port = port;
+  PredictServer reborn(reborn_options);
+  ASSERT_TRUE(reborn.Start().ok());
+  EXPECT_TRUE(wait_for(true));
+
+  membership.StopProbing();
+  const std::vector<ReplicaHealth> snapshot = membership.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_GT(snapshot[0].probes_total, 0);
+  EXPECT_GT(snapshot[0].probe_failures_total, 0);
+}
+
+TEST(FleetMembershipTest, StopProbingIsIdempotent) {
+  FleetMembership membership(TwoReplicas(), MembershipOptions{});
+  membership.StopProbing();  // never started
+  membership.StartProbing();
+  membership.StartProbing();  // double start is a no-op
+  membership.StopProbing();
+  membership.StopProbing();
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -1,0 +1,147 @@
+#include "fleet/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mrperf {
+namespace {
+
+TEST(FleetKeyHashTest, PinnedGoldenValues) {
+  // Pinned bytes: the ring's placement contract. A change here means
+  // every deployed router would shuffle keys across the fleet and
+  // every warm replica cache would go cold — bump deliberately.
+  EXPECT_EQ(FleetKeyHash(""), 5665620140241705579ULL);
+  EXPECT_EQ(FleetKeyHash("abc"), 15640132219158150659ULL);
+}
+
+TEST(FleetKeyHashTest, DistinctKeysScatter) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(FleetKeyHash("key-" + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(HashRingTest, PinnedGoldenRouting) {
+  // CanonicalPredictKey-shaped strings, pinned against 3- and
+  // 5-replica rings at the default virtual-node count.
+  // request_key_golden_test pins the key bytes underneath; together
+  // they freeze fleet placement.
+  const std::string k1 =
+      "n=4|i=1073741824|j=1|b=134217728|r=2|reps=5|seed=1234|s=capacity|"
+      "p=default|c=uniform";
+  const std::string k2 =
+      "n=8|i=2147483648|j=1|b=134217728|r=2|reps=0|seed=1234|s=capacity|"
+      "p=default|c=uniform";
+  const std::string k3 =
+      "n=16|i=5368709120|j=4|b=268435456|r=8|reps=3|seed=99|s=fifo|"
+      "p=wordcount|c=uniform";
+  HashRing ring3(3);
+  HashRing ring5(5);
+  EXPECT_EQ(ring3.Route(k1), 1u);
+  EXPECT_EQ(ring3.Route(k2), 0u);
+  EXPECT_EQ(ring3.Route(k3), 1u);
+  EXPECT_EQ(ring5.Route(k1), 1u);
+  EXPECT_EQ(ring5.Route(k2), 0u);
+  EXPECT_EQ(ring5.Route(k3), 4u);
+  EXPECT_EQ(ring3.PreferenceOrder(k1), (std::vector<size_t>{1, 0, 2}));
+  EXPECT_EQ(ring3.PreferenceOrder(k2), (std::vector<size_t>{0, 2, 1}));
+  EXPECT_EQ(ring3.PreferenceOrder(k3), (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(HashRingTest, RoutingIsDeterministicAcrossInstances) {
+  HashRing a(4);
+  HashRing b(4);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    EXPECT_EQ(a.Route(key), b.Route(key));
+    EXPECT_EQ(a.PreferenceOrder(key), b.PreferenceOrder(key));
+  }
+}
+
+TEST(HashRingTest, PreferenceOrderVisitsEveryReplicaOnce) {
+  HashRing ring(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<size_t> order =
+        ring.PreferenceOrder("key-" + std::to_string(i));
+    ASSERT_EQ(order.size(), 5u);
+    EXPECT_EQ(order.front(), ring.Route("key-" + std::to_string(i)));
+    std::set<size_t> distinct(order.begin(), order.end());
+    EXPECT_EQ(distinct.size(), 5u);
+  }
+}
+
+TEST(HashRingTest, LoadSpreadsAcrossReplicas) {
+  // With 64 virtual nodes per replica, 3 replicas should each own a
+  // material share of 3000 distinct keys — no replica starves or hogs.
+  HashRing ring(3);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    ++counts[ring.Route("key-" + std::to_string(i))];
+  }
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [replica, count] : counts) {
+    EXPECT_GT(count, 3000 / 6) << "replica " << replica << " starves";
+    EXPECT_LT(count, 3000 / 2) << "replica " << replica << " hogs";
+  }
+}
+
+TEST(HashRingTest, SingleReplicaRoutesEverything) {
+  HashRing ring(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(ring.Route("key-" + std::to_string(i)), 0u);
+    EXPECT_EQ(ring.PreferenceOrder("key-" + std::to_string(i)),
+              std::vector<size_t>{0});
+  }
+}
+
+TEST(HashRingTest, ReplicaDeathMovesOnlyItsOwnKeys) {
+  // The consistent-hashing property the fleet leans on: removing one
+  // replica from the ring must not move keys between the survivors.
+  // Simulate the removal with the router's actual failover rule: the
+  // key lands on the first non-dead replica of its preference order.
+  HashRing ring(4);
+  const size_t dead = 2;
+  int moved = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const std::vector<size_t> order = ring.PreferenceOrder(key);
+    size_t with_all = order[0];
+    size_t with_dead = order[0] != dead ? order[0] : order[1];
+    if (with_all != dead) {
+      EXPECT_EQ(with_dead, with_all)
+          << "key of a live replica moved when replica " << dead << " died";
+    } else {
+      ++moved;
+    }
+  }
+  // The dead replica's own arcs (roughly a quarter) must actually move.
+  EXPECT_GT(moved, 2000 / 8);
+}
+
+TEST(HashRingTest, MoreVirtualNodesTightenTheSpread) {
+  HashRing coarse(3, 8);
+  HashRing fine(3, 256);
+  const auto spread = [](const HashRing& ring) {
+    std::map<size_t, int> counts;
+    for (int i = 0; i < 6000; ++i) {
+      ++counts[ring.Route("key-" + std::to_string(i))];
+    }
+    int max_count = 0;
+    int min_count = 6000;
+    for (const auto& [replica, count] : counts) {
+      max_count = std::max(max_count, count);
+      min_count = std::min(min_count, count);
+    }
+    return max_count - min_count;
+  };
+  EXPECT_LE(spread(fine), spread(coarse));
+}
+
+}  // namespace
+}  // namespace mrperf

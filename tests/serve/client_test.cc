@@ -1,0 +1,134 @@
+/// PredictClient failure-semantics tests: refused connections and
+/// expired read timeouts must surface as `Unavailable` — the retryable
+/// category ConnectWithRetry and the fleet router's membership prober
+/// key on — while a drained server's clean EOF stays NotFound.
+
+#include "serve/client.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "serve/server.h"
+
+namespace mrperf {
+namespace {
+
+PredictServerOptions FastServerOptions() {
+  PredictServerOptions options;
+  options.port = 0;
+  options.service.num_threads = 2;
+  return options;
+}
+
+/// A loopback port with nothing listening: bind ephemeral, release.
+int DeadPort() {
+  PredictServer ephemeral(FastServerOptions());
+  EXPECT_TRUE(ephemeral.Start().ok());
+  const int port = ephemeral.port();
+  ephemeral.DrainAndStop();
+  return port;
+}
+
+TEST(PredictClientTest, RefusedConnectionIsUnavailable) {
+  PredictClient client;
+  const Status status = client.Connect("127.0.0.1", DeadPort());
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(PredictClientTest, ConnectWithRetryGivesUpAfterMaxAttempts) {
+  const int port = DeadPort();
+  PredictClient client;
+  RetryBackoff backoff;
+  backoff.max_attempts = 3;
+  backoff.initial_backoff_ms = 1;
+  backoff.max_backoff_ms = 2;
+  const auto start = std::chrono::steady_clock::now();
+  const Status status = client.ConnectWithRetry("127.0.0.1", port, backoff);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+  // Three refused attempts with millisecond backoffs finish fast; a
+  // runaway retry loop would blow well past this bound.
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+}
+
+TEST(PredictClientTest, ConnectWithRetrySurvivesALateServer) {
+  // The server comes up only after the first attempt has been refused
+  // — the exact "replica not bound yet" startup race the backoff is
+  // for.
+  const int port = DeadPort();
+  std::thread late_server([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    PredictServerOptions options = FastServerOptions();
+    options.port = port;
+    PredictServer server(options);
+    ASSERT_TRUE(server.Start().ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    server.DrainAndStop();
+  });
+  PredictClient client;
+  RetryBackoff backoff;
+  backoff.max_attempts = 10;
+  backoff.initial_backoff_ms = 20;
+  backoff.max_backoff_ms = 100;
+  const Status status = client.ConnectWithRetry("127.0.0.1", port, backoff);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(client.connected());
+  client.Close();
+  late_server.join();
+}
+
+TEST(PredictClientTest, ReadTimeoutExpiresAsUnavailable) {
+  PredictServer server(FastServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  PredictClientOptions options;
+  options.connect_timeout_ms = 1000;
+  options.read_timeout_ms = 50;
+  PredictClient client(options);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // No request sent, so no response ever comes: the read deadline is
+  // the only way out.
+  Result<std::string> response = client.ReadLine();
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsUnavailable())
+      << response.status().ToString();
+
+  // The timeout is a deadline, not a corruption: the same connection
+  // still completes a real round trip afterwards. A loaded machine can
+  // stretch the evaluation past the 50ms window, so keep re-arming the
+  // read — each expiry is the retryable Unavailable, never an error
+  // that poisons the stream.
+  ASSERT_TRUE(client.SendLine(R"({"id": "after-timeout", "nodes": 2})").ok());
+  Result<std::string> answered = client.ReadLine();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!answered.ok() && answered.status().IsUnavailable() &&
+         std::chrono::steady_clock::now() < deadline) {
+    answered = client.ReadLine();
+  }
+  ASSERT_TRUE(answered.ok()) << answered.status().ToString();
+  EXPECT_NE(answered.ValueOrDie().find("\"id\": \"after-timeout\""),
+            std::string::npos);
+  server.DrainAndStop();
+}
+
+TEST(PredictClientTest, DrainedServerEofIsNotFound) {
+  PredictServer server(FastServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  PredictClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  server.DrainAndStop();
+  Result<std::string> response = client.ReadLine();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kNotFound)
+      << response.status().ToString();
+}
+
+}  // namespace
+}  // namespace mrperf

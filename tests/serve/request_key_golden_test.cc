@@ -1,0 +1,83 @@
+/// Golden-byte pins for CanonicalPredictKey. The key's exact bytes are
+/// load-bearing well beyond this process: the service coalesces and
+/// caches on them, and the fleet router consistent-hashes them onto
+/// the ring — so changing a single byte reshuffles keys across every
+/// deployed fleet and cold-starts every warm replica cache. These
+/// tests freeze the format; bump the pins only with a deliberate
+/// placement-contract change (and say so in the commit).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/request.h"
+
+namespace mrperf {
+namespace {
+
+std::string KeyOf(const std::string& line) {
+  Result<ServeRequest> parsed = ParseServeRequest(line);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  if (!parsed.ok()) return std::string();
+  EXPECT_EQ(parsed.ValueOrDie().kind, ServeRequest::Kind::kPredict);
+  return CanonicalPredictKey(parsed.ValueOrDie().predict);
+}
+
+TEST(CanonicalPredictKeyGoldenTest, DefaultPointPinnedBytes) {
+  // The paper-baseline point every omitted field resolves to:
+  // 4 nodes, 1 GiB input, 1 job, 128 MiB blocks, 2 reducers,
+  // 5 repetitions, seed 1234, capacity scheduler, the service's
+  // configured profile (spelled ""), uniform cluster.
+  EXPECT_EQ(KeyOf("{}"),
+            "n=4|i=1073741824|j=1|b=134217728|r=2|reps=5|seed=1234|"
+            "s=capacity|p=|c=uniform");
+}
+
+TEST(CanonicalPredictKeyGoldenTest, ExplicitPointPinnedBytes) {
+  EXPECT_EQ(
+      KeyOf(R"({"kind": "predict", "nodes": 16, "input_gb": 5.0,)"
+            R"( "jobs": 4, "block_mb": 256, "reducers": 8,)"
+            R"( "repetitions": 3, "seed": 99, "scheduler": "tetris",)"
+            R"( "profile": "wordcount",)"
+            R"( "cluster": "2x65536MBx12c+2x16384MBx4c"})"),
+      "n=16|i=5368709120|j=4|b=268435456|r=8|reps=3|seed=99|"
+      "s=tetris|p=wordcount|c=2x65536MBx12c+2x16384MBx4c");
+}
+
+TEST(CanonicalPredictKeyGoldenTest, EquivalentSpellingsCanonicalize) {
+  // Key order, spelled-out defaults, exact-byte aliases and the
+  // "default" profile spelling all collapse onto one key — that
+  // collapse is what makes coalescing, caching and ring placement see
+  // duplicates as duplicates.
+  const std::string key = KeyOf("{}");
+  EXPECT_EQ(KeyOf(R"({"seed": 1234, "repetitions": 5, "jobs": 1,)"
+                  R"( "nodes": 4, "input_bytes": 1073741824,)"
+                  R"( "block_size_bytes": 134217728, "reducers": 2,)"
+                  R"( "scheduler": "capacity", "profile": "default",)"
+                  R"( "cluster": "uniform"})"),
+            key);
+  EXPECT_EQ(KeyOf(R"({"input_gb": 1.0})"), key);
+  // model_only is wire sugar for repetitions == 0.
+  EXPECT_EQ(KeyOf(R"({"model_only": true})"),
+            KeyOf(R"({"repetitions": 0})"));
+}
+
+TEST(CanonicalPredictKeyGoldenTest, QoSFieldsAreExcluded) {
+  // Priority and deadline schedule the evaluation; they do not change
+  // its result, its cache entry, or its ring placement.
+  const std::string key = KeyOf("{}");
+  EXPECT_EQ(KeyOf(R"({"priority": "interactive"})"), key);
+  EXPECT_EQ(KeyOf(R"({"deadline_ms": 250})"), key);
+  EXPECT_EQ(KeyOf(R"({"priority": "bulk", "deadline_ms": 1})"), key);
+}
+
+TEST(CanonicalPredictKeyGoldenTest, DistinctEvaluationsDiverge) {
+  const std::string key = KeyOf("{}");
+  EXPECT_NE(KeyOf(R"({"nodes": 5})"), key);
+  EXPECT_NE(KeyOf(R"({"seed": 1235})"), key);
+  EXPECT_NE(KeyOf(R"({"repetitions": 4})"), key);
+  EXPECT_NE(KeyOf(R"({"profile": "terasort"})"), key);
+}
+
+}  // namespace
+}  // namespace mrperf

@@ -130,7 +130,11 @@ def check_file(path, root, findings):
     in_src_or_tools = in_src or rel.startswith("tools/")
     is_random_impl = rel.startswith("src/common/random.")
     is_annotations = rel == "src/common/thread_annotations.h"
-    is_event_loop = rel == "src/serve/event_loop.cc"
+    # Files that must stay pure dispatch/routing logic: no I/O syscalls.
+    # The event loop only dispatches readiness; the fleet router only
+    # routes — sockets belong to TcpListener, Connection and Upstream.
+    is_io_free_zone = rel in ("src/serve/event_loop.cc",
+                              "src/fleet/router.cc")
 
     if path.endswith(HEADER_EXTS):
         first_code = next(
@@ -158,13 +162,14 @@ def check_file(path, root, findings):
                     "banned nondeterminism source; use common/random.h "
                     "(seeded) instead"))
 
-        if is_event_loop:
+        if is_io_free_zone:
             if BLOCKING_IO_RE.search(code) and not allowed(raw, "blocking-io", prev):
                 findings.append(Finding(
                     path, lineno, "blocking-io",
-                    "I/O syscall in the event loop; the loop is pure "
-                    "readiness dispatch — do socket I/O in a Handler "
-                    "(connection.cc)"))
+                    "I/O syscall in an I/O-free zone; event_loop.cc is "
+                    "pure readiness dispatch and router.cc is pure "
+                    "routing — do socket I/O in a Handler (connection.cc, "
+                    "listener.cc, upstream.cc)"))
 
         if in_src and not is_annotations:
             if RAW_MUTEX_RE.search(code) and not allowed(raw, "raw-mutex", prev):

@@ -1,0 +1,182 @@
+/// predict-router — the fleet router daemon.
+///
+/// Fronts N predictd replicas as one predictd-compatible endpoint:
+/// predict lines route to a replica by consistent-hashing their
+/// canonical key (duplicates keep coalescing fleet-wide), sweep
+/// requests scatter across the fleet and gather back in grid order,
+/// and replica failures re-route in-flight requests down the ring
+/// (src/fleet/router.h has the full contract). This binary only parses
+/// flags, prints the bound address, and turns SIGTERM/SIGINT into a
+/// graceful drain (every admitted request is answered before exit).
+///
+/// Flags: --replicas=host:port,... (required), --port=N (default 0 =
+/// ephemeral; the bound port is printed), --host=A (default
+/// 127.0.0.1), --event-loop-threads=N, --virtual-nodes=N,
+/// --probe-interval-ms=N, --probe-timeout-ms=N, --failure-threshold=N,
+/// --metrics=0|1, --verbose.
+///
+/// Example session:
+///   $ ./predictd --port=7171 & ./predictd --port=7172 &
+///   $ ./predict_router --port=7077 --replicas=127.0.0.1:7171,127.0.0.1:7172
+///   predict-router listening on 127.0.0.1:7077
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "fleet/router.h"
+
+namespace {
+
+/// Self-pipe: the only async-signal-safe way to hand a signal to the
+/// main thread without polling.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void HandleShutdownSignal(int signo) {
+  const unsigned char byte = static_cast<unsigned char>(signo);
+  // write() is async-signal-safe; a full pipe just means a shutdown is
+  // already pending.
+  [[maybe_unused]] ssize_t n = write(g_signal_pipe[1], &byte, 1);
+}
+
+int IntFlag(int argc, char** argv, const char* flag, int fallback) {
+  const size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return std::atoi(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
+std::string StringFlag(int argc, char** argv, const char* flag,
+                       const std::string& fallback) {
+  const size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return std::string(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Raise the fd soft limit to the hard limit: the router carries both
+/// client connections and per-replica upstreams on event loops, so fds
+/// are its capacity bound. Best effort.
+void RaiseFdLimit() {
+  struct rlimit limit = {};
+  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur >= limit.rlim_max) return;
+  limit.rlim_cur = limit.rlim_max;
+  (void)setrlimit(RLIMIT_NOFILE, &limit);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrperf;
+
+  if (HasFlag(argc, argv, "--help")) {
+    std::printf(
+        "predict-router: consistent-hash fleet router for predictd\n"
+        "  --replicas=H:P,...  the fleet, in ring order (required)\n"
+        "  --port=N       TCP port (default 0 = ephemeral, printed)\n"
+        "  --host=A       IPv4 listen address (default 127.0.0.1)\n"
+        "  --event-loop-threads=N  transport event loops (default 2);\n"
+        "                    the last also runs the replica upstreams\n"
+        "  --virtual-nodes=N  ring points per replica (default 64)\n"
+        "  --probe-interval-ms=N   health probe cadence (default 200)\n"
+        "  --probe-timeout-ms=N    per-probe timeout (default 250)\n"
+        "  --failure-threshold=N   probes before dead (default 2)\n"
+        "  --metrics=0|1  HTTP GET /metrics (Prometheus text) and\n"
+        "                    /stats on the listen port (default 1)\n"
+        "  --verbose      info-level logging\n");
+    return 0;
+  }
+  if (HasFlag(argc, argv, "--verbose")) {
+    Logger::SetLevel(LogLevel::kInfo);
+  }
+
+  FleetRouterOptions options;
+  options.host = StringFlag(argc, argv, "--host", options.host);
+  options.port = IntFlag(argc, argv, "--port", options.port);
+  options.event_loop_threads = IntFlag(argc, argv, "--event-loop-threads",
+                                       options.event_loop_threads);
+  options.virtual_nodes =
+      IntFlag(argc, argv, "--virtual-nodes", options.virtual_nodes);
+  options.enable_metrics =
+      IntFlag(argc, argv, "--metrics", options.enable_metrics ? 1 : 0) != 0;
+  options.membership.probe_interval_ms = IntFlag(
+      argc, argv, "--probe-interval-ms", options.membership.probe_interval_ms);
+  options.membership.probe_timeout_ms = IntFlag(
+      argc, argv, "--probe-timeout-ms", options.membership.probe_timeout_ms);
+  options.membership.failure_threshold = IntFlag(
+      argc, argv, "--failure-threshold", options.membership.failure_threshold);
+
+  const std::string replica_spec = StringFlag(argc, argv, "--replicas", "");
+  if (replica_spec.empty()) {
+    std::fprintf(stderr,
+                 "predict-router: --replicas=host:port,... is required\n");
+    return 1;
+  }
+  Result<std::vector<ReplicaAddress>> replicas =
+      ParseReplicaList(replica_spec);
+  if (!replicas.ok()) {
+    std::fprintf(stderr, "predict-router: %s\n",
+                 replicas.status().ToString().c_str());
+    return 1;
+  }
+  options.replicas = std::move(replicas.ValueOrDie());
+
+  RaiseFdLimit();
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "predict-router: pipe() failed: %s\n",
+                 std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action = {};
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+  // Upstream replicas may vanish mid-write; MSG_NOSIGNAL covers sends,
+  // this covers the rest.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  FleetRouter router(options);
+  const Status started = router.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "predict-router: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // Machine-parseable (bench_fleet_load and the CI smoke job read it);
+  // keep the format stable.
+  std::printf("predict-router listening on %s:%d\n", options.host.c_str(),
+              router.port());
+  std::fflush(stdout);
+
+  // Block until SIGTERM/SIGINT.
+  unsigned char signo = 0;
+  while (read(g_signal_pipe[0], &signo, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "predict-router: signal %d, draining...\n", signo);
+  router.DrainAndStop();
+
+  std::fprintf(stderr, "predict-router: final stats %s\n",
+               router.StatsJson().c_str());
+  return 0;
+}

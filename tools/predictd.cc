@@ -112,6 +112,8 @@ int main(int argc, char** argv) {
         "                    power of two; 1 = single mutex (default 8)\n"
         "  --cache-file=PATH checkpoint the solve cache here on drain\n"
         "                    and recover it on the next boot\n"
+        "  --replica-id=S identity label surfaced in /stats and as the\n"
+        "                    predictd_replica_info metric label\n"
         "  --verbose      info-level logging\n");
     return 0;
   }
@@ -137,6 +139,8 @@ int main(int argc, char** argv) {
       IntFlag(argc, argv, "--cache-shards", options.service.cache_shards);
   options.service.cache_file =
       StringFlag(argc, argv, "--cache-file", options.service.cache_file);
+  options.replica_id =
+      StringFlag(argc, argv, "--replica-id", options.replica_id);
 
   RaiseFdLimit();
 
